@@ -1,0 +1,76 @@
+"""Ablation bench — node-level statistic aggregation (Section V).
+
+The paper replaces per-term forwarding tables with one table per home
+node ("the forwarding table on the node m_i maintains only one
+two-dimensional array (instead of T_i arrays) ... the approach greatly
+reduces the maintenance cost").  This ablation runs MOVE both ways and
+compares forwarding-table count (the maintenance cost the paper is
+worried about) and throughput.
+
+Expected shape: per-term mode maintains far more tables for comparable
+throughput — the reason the paper aggregates.
+"""
+
+from __future__ import annotations
+
+from repro.config import AllocationConfig, SystemConfig
+from repro.core import MoveSystem
+from repro.experiments.harness import (
+    ClusterThroughputHarness,
+    build_cluster,
+)
+from conftest import LIGHT_WORKLOAD, record, run_once
+
+
+def _run(aggregate: bool, bundle):
+    workload = bundle.workload
+    cluster, config = build_cluster(
+        workload.num_nodes, workload.node_capacity, seed=0
+    )
+    config = SystemConfig(
+        cluster=config.cluster,
+        cost_model=config.cost_model,
+        allocation=AllocationConfig(
+            node_capacity=config.allocation.node_capacity,
+            aggregate_per_node=aggregate,
+        ),
+        seed=config.seed,
+    )
+    system = MoveSystem(cluster, config)
+    system.register_all(bundle.filters)
+    system.seed_frequencies(bundle.offline_corpus())
+    system.finalize_registration()
+    tables = len(system.plan.tables) if system.plan else 0
+    harness = ClusterThroughputHarness(
+        system, cluster, injection_rate=workload.injection_rate
+    )
+    result = harness.run(bundle.documents)
+    return tables, result.throughput
+
+
+def _sweep():
+    bundle = LIGHT_WORKLOAD.build()
+    return {
+        "aggregated": _run(True, bundle),
+        "per_term": _run(False, bundle),
+    }
+
+
+def test_ablation_node_aggregation(benchmark):
+    results = run_once(benchmark, _sweep)
+    print()
+    print("# Ablation: per-node aggregation vs per-term tables")
+    for mode, (tables, throughput) in results.items():
+        print(
+            f"  {mode:10s}: {tables:5d} forwarding tables, "
+            f"{throughput:8.1f} docs/s"
+        )
+    record(
+        benchmark,
+        tables_aggregated=results["aggregated"][0],
+        tables_per_term=results["per_term"][0],
+        tput_aggregated=results["aggregated"][1],
+        tput_per_term=results["per_term"][1],
+    )
+    # Section V's maintenance-cost argument.
+    assert results["per_term"][0] > results["aggregated"][0]

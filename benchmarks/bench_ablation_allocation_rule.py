@@ -1,0 +1,46 @@
+"""Ablation bench — the allocation rule (DESIGN.md section 5).
+
+Compares the throughput of MOVE under the three sqrt rules and a
+uniform-allocation control at the default operating point:
+
+- ``sqrt_q``      — Theorem 1 (n_i proportional to sqrt(q_i)),
+- ``sqrt_beta_q`` — Theorem 2 (n_i proportional to sqrt(1 + beta q_i)),
+- ``sqrt_pq``     — the general capacity-limited rule MOVE deploys,
+- ``uniform``     — every home node gets the same allocation factor.
+
+Expected shape: the statistics-driven rules beat uniform on the skewed
+workload; ``sqrt_pq`` should be competitive with the best.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import run_scheme_once
+from conftest import BENCH_WORKLOAD, record, run_once
+
+RULES = ("sqrt_q", "sqrt_beta_q", "sqrt_pq", "uniform")
+
+
+def _sweep():
+    bundle = BENCH_WORKLOAD.build()
+    return {
+        rule: run_scheme_once(
+            "Move", bundle, allocation_rule=rule
+        ).throughput
+        for rule in RULES
+    }
+
+
+def test_ablation_allocation_rule(benchmark):
+    throughput = run_once(benchmark, _sweep)
+    print()
+    print("# Ablation: allocation rule (Move throughput, docs/s)")
+    for rule in RULES:
+        print(f"  {rule:12s} {throughput[rule]:10.1f}")
+    record(benchmark, **{f"tput_{k}": v for k, v in throughput.items()})
+    best_adaptive = max(
+        throughput[rule] for rule in RULES if rule != "uniform"
+    )
+    # Statistics-driven allocation should not lose to uniform.
+    assert best_adaptive >= throughput["uniform"] * 0.95
+    # The deployed rule is competitive with the best adaptive rule.
+    assert throughput["sqrt_pq"] >= best_adaptive * 0.7

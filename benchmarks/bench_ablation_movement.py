@@ -1,0 +1,79 @@
+"""Ablation bench — the allocation-movement cost (INTERPRETATION.md §4).
+
+Section V names cross-cluster filter movement as the ring placement's
+downside.  This ablation runs MOVE with the movement charge on and off
+and compares the placement policies' throughput gap: with the charge
+disabled, rack and ring placement converge (locality no longer buys
+anything at allocation time); with it enabled, rack placement's cheap
+in-rack copies pull ahead — the Figure 9(c) mechanism isolated.
+"""
+
+from __future__ import annotations
+
+from repro.config import AllocationConfig, SystemConfig
+from repro.core import MoveSystem
+from repro.experiments.harness import (
+    ClusterThroughputHarness,
+    build_cluster,
+)
+from conftest import LIGHT_WORKLOAD, record, run_once
+
+
+def _run(placement: str, movement_factor: float, bundle) -> float:
+    workload = bundle.workload
+    cluster, config = build_cluster(
+        workload.num_nodes, workload.node_capacity, seed=0
+    )
+    config = SystemConfig(
+        cluster=config.cluster,
+        cost_model=config.cost_model,
+        allocation=AllocationConfig(
+            node_capacity=config.allocation.node_capacity,
+            placement=placement,
+        ),
+        seed=config.seed,
+    )
+    system = MoveSystem(cluster, config)
+    system.register_all(bundle.filters)
+    system.seed_frequencies(bundle.offline_corpus())
+    system.finalize_registration()
+    harness = ClusterThroughputHarness(
+        system,
+        cluster,
+        injection_rate=workload.injection_rate,
+        movement_cost_factor=movement_factor,
+    )
+    return harness.run(bundle.documents).throughput
+
+
+def _sweep():
+    bundle = LIGHT_WORKLOAD.build()
+    results = {}
+    for factor in (0.0, 0.3):
+        for placement in ("ring", "rack"):
+            results[(placement, factor)] = _run(
+                placement, factor, bundle
+            )
+    return results
+
+
+def test_ablation_movement_cost(benchmark):
+    results = run_once(benchmark, _sweep)
+    print()
+    print("# Ablation: allocation movement charge")
+    for factor in (0.0, 0.3):
+        ring = results[("ring", factor)]
+        rack = results[("rack", factor)]
+        print(
+            f"  factor {factor:.1f}: ring {ring:8.1f}, rack "
+            f"{rack:8.1f}, rack/ring {rack / ring:.2f}x"
+        )
+    record(
+        benchmark,
+        gap_without=results[("rack", 0.0)] / results[("ring", 0.0)],
+        gap_with=results[("rack", 0.3)] / results[("ring", 0.3)],
+    )
+    # The movement charge is what separates the placements.
+    gap_without = results[("rack", 0.0)] / results[("ring", 0.0)]
+    gap_with = results[("rack", 0.3)] / results[("ring", 0.3)]
+    assert gap_with > gap_without

@@ -1,0 +1,60 @@
+"""Ablation bench — the allocation ratio r_i (DESIGN.md section 5).
+
+Section IV-B's analysis says smaller r_i (more replication, more
+partitions) is better whenever capacity permits.  This ablation pins
+the ratio at the two extremes and compares against the capacity-tuned
+deployment value:
+
+- pure replication  (r = 1/n — one subset, n partition rows),
+- pure separation   (r = 1   — n subsets, one partition row),
+- capacity-tuned    (the deployed max(1/n, S/(n*C))).
+
+Expected shape: pure separation is the slowest (every document fans
+out to all n nodes, paying n transfer+seek costs and no spread of
+documents); the tuned ratio tracks pure replication when capacity is
+plentiful.
+"""
+
+from __future__ import annotations
+
+from repro.core import coordinator as coordinator_module
+from repro.core.allocation import required_ratio
+from repro.experiments.harness import run_scheme_once
+from conftest import BENCH_WORKLOAD, record, run_once
+
+MODES = ("replication", "separation", "tuned")
+
+
+def _run_with_ratio(mode: str, bundle) -> float:
+    original = coordinator_module.required_ratio
+    try:
+        if mode == "replication":
+            coordinator_module.required_ratio = (
+                lambda stored, n, capacity: 1.0 / n
+            )
+        elif mode == "separation":
+            coordinator_module.required_ratio = (
+                lambda stored, n, capacity: 1.0
+            )
+        return run_scheme_once("Move", bundle).throughput
+    finally:
+        coordinator_module.required_ratio = original
+
+
+def _sweep():
+    bundle = BENCH_WORKLOAD.build()
+    return {mode: _run_with_ratio(mode, bundle) for mode in MODES}
+
+
+def test_ablation_allocation_ratio(benchmark):
+    throughput = run_once(benchmark, _sweep)
+    print()
+    print("# Ablation: allocation ratio (Move throughput, docs/s)")
+    for mode in MODES:
+        print(f"  {mode:12s} {throughput[mode]:10.1f}")
+    record(benchmark, **{f"tput_{k}": v for k, v in throughput.items()})
+    # Pure separation pays full fanout per document: slowest.
+    assert throughput["separation"] <= throughput["replication"]
+    assert throughput["separation"] <= throughput["tuned"]
+    # With plentiful capacity the tuned ratio equals pure replication.
+    assert throughput["tuned"] >= throughput["replication"] * 0.8

@@ -1,0 +1,33 @@
+"""Sensitivity-study bench — scheme ordering vs vocabulary density.
+
+Not a paper figure: quantifies the reproduction finding that MOVE's
+advantage over rendezvous flooding needs a sparse term space (the
+regime of the paper's real traces: ~5.3 filters per distinct query
+term at 4M filters / 758k terms).  See
+``repro.experiments.density_study`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.density_study import run_density_study
+from conftest import record, run_once
+
+
+def test_density_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        run_density_study,
+        vocabulary_sizes=(1_000, 10_000),
+        num_documents=250,
+    )
+    print()
+    print(result.format_report())
+    record(
+        benchmark,
+        move_advantage_dense=result.move_advantage(0),
+        move_advantage_sparse=result.move_advantage(-1),
+    )
+    # The finding: Move's relative advantage grows with sparsity.
+    assert result.move_advantage(-1) > result.move_advantage(0)
+    # And in the paper's sparse regime Move wins outright.
+    assert result.move_advantage(-1) > 1.0

@@ -1,0 +1,32 @@
+"""Figure 4 bench — ranked filter-term popularity of the MSN-like trace.
+
+Regenerates the log–log popularity curve and the trace summary
+statistics (mean terms/query, length CDF, top-k draw share) that the
+paper reports for the MSN query history.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4_term_popularity import run_fig4
+from conftest import record, run_once
+
+
+def test_fig4_term_popularity(benchmark):
+    result = run_once(
+        benchmark, run_fig4, num_filters=20_000, vocabulary_size=10_000
+    )
+    print()
+    print(result.format_report())
+    print(result.series.format_table().splitlines()[0])
+    for x, y in result.series.rows()[:10]:
+        print(f"  rank {int(x):4d}  p_i {y:.6f}")
+    record(
+        benchmark,
+        mean_terms_per_query=result.mean_terms_per_query,
+        top_k_mass=result.top_k_mass,
+        distinct_terms=result.distinct_terms,
+    )
+    # Shape assertions (paper statistics).
+    assert abs(result.mean_terms_per_query - 2.843) < 0.1
+    ys = result.series.ys
+    assert all(ys[i] >= ys[i + 1] for i in range(len(ys) - 1))

@@ -1,0 +1,33 @@
+"""Figure 6 bench — single-node throughput, TREC-AP-like documents.
+
+Regenerates the fixed-R sweeps (R scaled from the paper's 1e5–1e7):
+throughput falls as Q grows at each fixed R, and at the largest R the
+smallest Q dips below its neighbour because the filter working set
+overflows memory (the paper's Q=2 exception, bound C ~ 5e6 at paper
+scale).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig67_single_node import run_fig6
+from conftest import record, run_once
+
+
+def test_fig6_single_node_ap(benchmark):
+    sweep = run_once(benchmark, run_fig6)
+    print()
+    print(sweep.format_report())
+    largest = sweep.series[-1]
+    record(
+        benchmark,
+        corpus=sweep.corpus,
+        largest_r_label=largest.label,
+        q2=largest.ys[0],
+        q10=largest.ys[1],
+    )
+    # Declining trend at every fixed R (from Q=10 onward).
+    for series in sweep.series:
+        assert series.ys[1] > series.ys[-1]
+    # Disk knee: Q=2 below Q=10 at the largest R only.
+    assert largest.ys[0] < largest.ys[1]
+    assert sweep.series[0].ys[0] > sweep.series[0].ys[1]

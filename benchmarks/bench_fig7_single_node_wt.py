@@ -1,0 +1,32 @@
+"""Figure 7 bench — single-node throughput, TREC-WT-like documents.
+
+Same sweep as Figure 6 on the short-document corpus; also reproduces
+the headline cross-figure ratio: WT throughput exceeds AP roughly by
+the mean-document-length ratio (paper: ~81.84x at a ~93x length ratio;
+here ~9x at our ~9.3x scaled length ratio).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig67_single_node import (
+    run_fig6,
+    run_fig7,
+)
+from conftest import record, run_once
+
+
+def test_fig7_single_node_wt(benchmark):
+    sweep = run_once(benchmark, run_fig7)
+    print()
+    print(sweep.format_report())
+    # Cross-figure ratio at R=1e5, Q=100 (scaled from paper's R=1e6).
+    ap = run_fig6(r_values=(1e5,), q_values=(100,))
+    wt_tput = sweep.throughput_at(1e5, 100)
+    ap_tput = ap.throughput_at(1e5, 100)
+    ratio = wt_tput / ap_tput
+    print(f"WT/AP throughput ratio at R=1e5, Q=100: {ratio:.1f}")
+    record(benchmark, corpus=sweep.corpus, wt_over_ap=ratio)
+    for series in sweep.series:
+        assert series.ys[1] > series.ys[-1]
+    # WT far faster than AP, tracking the document-length ratio.
+    assert ratio > 3.0

@@ -1,0 +1,33 @@
+"""Figure 8(a) bench — cluster throughput vs number of filters.
+
+Regenerates the Move/IL/RS curves over the scaled filter-count sweep
+(paper: 1e5 → 1e7; here /1000).  Reproduction targets: every scheme's
+throughput falls as P grows, and at the paper's default operating
+point the ordering is Move > RS > IL (paper: 93 / 70 / 42 at P=1e7).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_cluster import run_fig8a
+from conftest import BENCH_WORKLOAD, record, run_once
+
+
+def test_fig8a_throughput_vs_filters(benchmark):
+    sweep = run_once(
+        benchmark,
+        run_fig8a,
+        filter_counts=(1_000, 4_000, 10_000),
+        base=BENCH_WORKLOAD,
+    )
+    print()
+    print(sweep.format_report())
+    final = {s: sweep.series[s].ys[-1] for s in ("Move", "IL", "RS")}
+    record(benchmark, **{f"tput_{k}": v for k, v in final.items()})
+    for scheme in ("Move", "IL", "RS"):
+        ys = sweep.series[scheme].ys
+        assert ys[0] > ys[-1]
+    # Paper ordering at every swept point: Move first.
+    assert sweep.final_ordering()[0] == "Move"
+    move_ys = sweep.series["Move"].ys
+    il_ys = sweep.series["IL"].ys
+    assert all(m > i for m, i in zip(move_ys, il_ys))

@@ -1,0 +1,34 @@
+"""Figure 8(b) bench — cluster throughput vs document injection rate.
+
+Regenerates the throughput-vs-Q curves.  Reproduction targets: all
+three schemes degrade as the offered rate grows, and IL degrades by
+the largest fold while Move degrades least (paper: IL 14.11x > RS
+6.09x > Move 3.62x between Q=10 and Q=1000).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_cluster import degradation_folds, run_fig8b
+from conftest import BENCH_WORKLOAD, record, run_once
+
+
+def test_fig8b_throughput_vs_rate(benchmark):
+    sweep = run_once(
+        benchmark,
+        run_fig8b,
+        injection_rates=(10, 100, 1_000, 10_000),
+        base=BENCH_WORKLOAD,
+    )
+    print()
+    print(sweep.format_report())
+    folds = degradation_folds(sweep)
+    print(
+        "degradation folds (Q=10 -> Q=1000): "
+        + ", ".join(f"{k}={v:.2f}x" for k, v in folds.items())
+    )
+    record(benchmark, **{f"fold_{k}": v for k, v in folds.items()})
+    for scheme in ("Move", "IL", "RS"):
+        ys = sweep.series[scheme].ys
+        assert ys[0] >= ys[2]  # higher rate, lower throughput
+    # IL's hot spots make it degrade hardest; Move degrades least.
+    assert folds["IL"] >= folds["RS"] >= folds["Move"]

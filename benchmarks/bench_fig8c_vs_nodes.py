@@ -1,0 +1,32 @@
+"""Figure 8(c) bench — cluster throughput vs node count.
+
+Regenerates the throughput-vs-N curves over the paper's axis (20 to
+100 nodes).  Reproduction targets: every scheme improves with more
+nodes, and Move stays the highest across the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_cluster import run_fig8c
+from conftest import BENCH_WORKLOAD, record, run_once
+
+
+def test_fig8c_throughput_vs_nodes(benchmark):
+    sweep = run_once(
+        benchmark,
+        run_fig8c,
+        node_counts=(20, 40, 60, 80, 100),
+        base=BENCH_WORKLOAD,
+    )
+    print()
+    print(sweep.format_report())
+    final = {s: sweep.series[s].ys[-1] for s in ("Move", "IL", "RS")}
+    record(benchmark, **{f"tput_{k}": v for k, v in final.items()})
+    for scheme in ("Move", "IL", "RS"):
+        ys = sweep.series[scheme].ys
+        assert ys[-1] > ys[0]  # more nodes, higher throughput
+    # Move highest at every point of the paper's axis.
+    for index in range(len(sweep.series["Move"].ys)):
+        move = sweep.series["Move"].ys[index]
+        assert move >= sweep.series["IL"].ys[index]
+        assert move >= sweep.series["RS"].ys[index]

@@ -1,0 +1,31 @@
+"""Figure 9(a) bench — ranked per-node storage cost.
+
+Regenerates the normalized (to the RS mean) per-node storage-cost
+distribution.  Reproduction targets: IL is the most skewed (term
+popularity p_i), RS the most even (consistent hashing of filter ids),
+and Move balanced in between.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_maintenance import run_fig9a
+from conftest import LIGHT_WORKLOAD, record, run_once
+
+
+def test_fig9a_storage_distribution(benchmark):
+    result = run_once(benchmark, run_fig9a, base=LIGHT_WORKLOAD)
+    print()
+    print(result.format_report())
+    imbalances = {
+        scheme: result.imbalance(scheme)
+        for scheme in ("Move", "IL", "RS")
+    }
+    record(
+        benchmark,
+        **{f"imbalance_{k}": v for k, v in imbalances.items()},
+    )
+    assert imbalances["IL"] > imbalances["Move"]
+    assert imbalances["IL"] > imbalances["RS"]
+    # RS's consistent hashing is at least as even as Move's allocation
+    # (the paper's observation for Figure 9a).
+    assert imbalances["RS"] <= imbalances["Move"] * 1.25

@@ -1,0 +1,31 @@
+"""Figure 9(b) bench — ranked per-node matching cost.
+
+Regenerates the normalized per-node matching-cost (documents received)
+distribution.  Reproduction targets: IL the most skewed (term
+frequency q_i concentrates documents on hot home nodes); Move more
+even than RS (random partition choice spreads documents over the
+1/r_i partitions).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_maintenance import run_fig9b
+from conftest import LIGHT_WORKLOAD, record, run_once
+
+
+def test_fig9b_matching_distribution(benchmark):
+    result = run_once(benchmark, run_fig9b, base=LIGHT_WORKLOAD)
+    print()
+    print(result.format_report())
+    imbalances = {
+        scheme: result.imbalance(scheme)
+        for scheme in ("Move", "IL", "RS")
+    }
+    record(
+        benchmark,
+        **{f"imbalance_{k}": v for k, v in imbalances.items()},
+    )
+    assert imbalances["IL"] > imbalances["Move"]
+    # The paper's Figure 9b: Move's matching cost is more even than
+    # RS's (random row choice spreads documents).
+    assert imbalances["Move"] <= imbalances["RS"] * 1.1

@@ -1,0 +1,37 @@
+"""Figure 9(c) bench — throughput under node failure by placement.
+
+Regenerates the throughput comparison of the three placements of
+allocated filters (Move's hybrid vs pure ring vs pure rack) at failure
+rates 0 and 0.3.  Reproduction targets: rack-aware placement has the
+highest throughput (cheap intra-rack transfers) and ring-based the
+lowest, with Move's hybrid in between — at both failure rates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_maintenance import run_fig9cd
+from conftest import LIGHT_WORKLOAD, record, run_once
+
+
+def test_fig9c_failure_throughput(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig9cd,
+        failure_rates=(0.0, 0.3),
+        base=LIGHT_WORKLOAD,
+    )
+    print()
+    print(result.format_report())
+    record(
+        benchmark,
+        **{
+            f"tput_{placement}_{rate:g}": value
+            for (placement, rate), value in result.throughput.items()
+        },
+    )
+    for rate in (0.0, 0.3):
+        rack = result.throughput[("rack", rate)]
+        ring = result.throughput[("ring", rate)]
+        move = result.throughput[("move", rate)]
+        assert rack >= ring  # paper: rack fastest, ring slowest
+        assert rack >= move * 0.95

@@ -1,0 +1,38 @@
+"""Figure 9(d) bench — filter availability under failure by placement.
+
+Regenerates the availability comparison under rack-correlated failures
+(0.3 of the nodes, whole racks first).  Reproduction targets: rack
+placement has the lowest availability (a dead rack takes the home node
+and every copy), ring placement the highest, and Move's hybrid close
+to ring — the reason MOVE combines both policies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_maintenance import run_fig9cd
+from conftest import LIGHT_WORKLOAD, record, run_once
+
+
+def test_fig9d_failure_availability(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig9cd,
+        failure_rates=(0.0, 0.3),
+        base=LIGHT_WORKLOAD,
+        rack_correlated=True,
+    )
+    print()
+    print(result.format_report())
+    record(
+        benchmark,
+        **{
+            f"avail_{placement}_{rate:g}": value
+            for (placement, rate), value in result.availability.items()
+        },
+    )
+    rack = result.availability[("rack", 0.3)]
+    ring = result.availability[("ring", 0.3)]
+    move = result.availability[("move", 0.3)]
+    assert rack <= ring
+    assert rack <= move
+    assert move >= 0.9  # hybrid keeps availability near ring's

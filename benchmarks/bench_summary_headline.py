@@ -1,0 +1,30 @@
+"""Headline bench — the abstract's throughput-fold claim.
+
+Regenerates the Move-vs-baselines comparison at the default (scaled)
+operating point: the paper's Figure 8(a) anchor gives Move/RS = 1.33x
+and Move/IL = 2.21x; the reproduction must preserve the ordering and
+land in the same fold range.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.summary import run_summary
+from conftest import BENCH_WORKLOAD, record, run_once
+
+
+def test_headline_throughput_folds(benchmark):
+    result = run_once(benchmark, run_summary, base=BENCH_WORKLOAD)
+    print()
+    print(result.format_report())
+    record(
+        benchmark,
+        move_over_rs=result.fold("RS"),
+        move_over_il=result.fold("IL"),
+    )
+    assert result.fold("RS") > 1.0
+    assert result.fold("IL") > 1.3
+    assert (
+        result.throughput["Move"]
+        > result.throughput["RS"]
+        > result.throughput["IL"]
+    )

@@ -1,0 +1,47 @@
+"""Section VI-A statistics tables bench.
+
+Regenerates the two textual statistics tables of the evaluation setup:
+
+- **tbl-msn** — the MSN filter-trace statistics (mean 2.843
+  terms/query; cumulative <=1/2/3-term shares 31.33/67.75/85.31 %;
+  top-1000 accumulated popularity 0.437 of 2.843),
+- **tbl-overlap** — the top-1000 query-term vs document-term overlaps
+  (26.9 % for AP, 31.3 % for WT).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4_term_popularity import run_fig4
+from repro.workloads import SharedVocabulary, TREC_AP_PROFILE, TREC_WT_PROFILE
+from conftest import record, run_once
+
+
+def _stats_tables():
+    trace = run_fig4(num_filters=20_000, vocabulary_size=10_000)
+    overlaps = {}
+    for profile in (TREC_AP_PROFILE, TREC_WT_PROFILE):
+        vocabulary = SharedVocabulary(
+            size=10_000,
+            overlap_fraction=profile.query_overlap,
+            seed=7,
+        )
+        overlaps[profile.name] = vocabulary.measured_overlap()
+    return trace, overlaps
+
+
+def test_trace_statistics_tables(benchmark):
+    trace, overlaps = run_once(benchmark, _stats_tables)
+    print()
+    print(trace.format_report())
+    print("# top-1000-equivalent query/document term overlap")
+    print(f"  trec-ap: {overlaps['trec-ap']:.3f}   (paper: 0.269)")
+    print(f"  trec-wt: {overlaps['trec-wt']:.3f}   (paper: 0.313)")
+    record(
+        benchmark,
+        mean_terms=trace.mean_terms_per_query,
+        ap_overlap=overlaps["trec-ap"],
+        wt_overlap=overlaps["trec-wt"],
+    )
+    assert abs(trace.mean_terms_per_query - 2.843) < 0.1
+    assert abs(overlaps["trec-ap"] - 0.269) < 0.02
+    assert abs(overlaps["trec-wt"] - 0.313) < 0.02

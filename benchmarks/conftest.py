@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: the
+timed body runs the experiment once (``rounds=1`` — these are
+system-level experiments, not micro-ops), prints the regenerated
+rows/series, and records the headline numbers in
+``benchmark.extra_info`` so ``--benchmark-json`` output carries them.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale: the workloads are the scaled-down paper defaults described in
+EXPERIMENTS.md; absolute numbers are simulator units, the reproduction
+target is each figure's *shape*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ScaledWorkload
+
+#: Shared scaled workload for the cluster benchmarks (Figure 8/9).
+BENCH_WORKLOAD = ScaledWorkload(num_filters=4_000, num_documents=300)
+
+#: Reduced variant for the heavier sweeps.
+LIGHT_WORKLOAD = ScaledWorkload(num_filters=2_000, num_documents=200)
+
+
+def run_once(benchmark, runner, *args, **kwargs):
+    """Time ``runner`` exactly once and return its result."""
+    return benchmark.pedantic(
+        runner, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+def record(benchmark, **extra):
+    """Stash headline numbers into the benchmark's extra info."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

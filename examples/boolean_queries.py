@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Boolean query subscriptions over the MOVE cluster.
+
+Flat keyword filters fire on any shared term; real alerting wants
+predicates.  The query layer compiles "storm AND (flood OR surge) NOT
+sports" into (a) a routing filter over the query's *anchor terms* —
+registered through the unchanged MOVE machinery — and (b) an AST
+evaluated at delivery time.  Anchor soundness guarantees no satisfying
+document is missed.
+
+Run:  python examples/boolean_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import Cluster, ClusterConfig, Document, MoveSystem, SystemConfig
+from repro.matching import QueryEngine, parse_query
+
+
+def main() -> None:
+    config = SystemConfig(
+        cluster=ClusterConfig(num_nodes=8, num_racks=2, seed=31),
+        seed=31,
+    )
+    move = MoveSystem(Cluster(config.cluster), config)
+    engine = QueryEngine(move)
+
+    subscriptions = {
+        "coastal-warning": "storm AND (flood OR surge) NOT sports",
+        "quake-watch": "earthquake OR tremor",
+        "transit": "train AND (delay OR strike)",
+    }
+    for query_id, text in subscriptions.items():
+        subscription = engine.subscribe(query_id, text)
+        print(
+            f"{query_id:16s} anchors={sorted(subscription.routing_filter.terms)}"
+        )
+    move.seed_frequencies(
+        [Document.from_text("seed", "storm flood train delays")]
+    )
+    move.finalize_registration()
+
+    articles = {
+        "a1": "Storm surge floods the coastal road",
+        "a2": "Storm delays the local sports derby",
+        "a3": "Minor tremor recorded offshore",
+        "a4": "Train strike announced for Monday",
+        "a5": "Sunny weekend ahead for the coast",
+    }
+    print()
+    for doc_id, text in articles.items():
+        fired = engine.publish(Document.from_text(doc_id, text))
+        print(f"{doc_id}: {text!r:46s} -> {sorted(fired) or '(none)'}")
+
+    print()
+    node = parse_query(subscriptions["coastal-warning"])
+    print(f"parsed AST: {node}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs on environments whose
+setuptools lacks PEP 660 / bdist_wheel support (offline clusters)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — a reproduction of MOVE (ICDCS 2012).
+
+MOVE is a large-scale keyword-based content filtering and dissemination
+system: users register keyword *filters*, published *documents* are
+matched against them on a cluster of commodity machines, and an
+adaptive filter-allocation scheme (combined replication + separation
+under a storage budget) maximizes matching throughput.
+
+Quickstart::
+
+    from repro import Cluster, MoveSystem, Document, Filter
+
+    cluster = Cluster()
+    move = MoveSystem(cluster)
+    move.register(Filter.from_text("f1", "distributed systems"))
+    move.seed_frequencies([Document.from_text("seed", "systems paper")])
+    move.finalize_registration()
+    plan = move.publish(Document.from_text("d1", "new distributed tricks"))
+    print(plan.matched_filter_ids)   # {'f1'}
+
+Package layout: see DESIGN.md for the full system inventory and the
+per-experiment index.
+"""
+
+from .baselines import (
+    CentralizedSift,
+    DisseminationPlan,
+    DisseminationSystem,
+    InvertedListSystem,
+    NodeTask,
+    RendezvousSystem,
+)
+from .cluster import Cluster, KeyValueClient
+from .config import (
+    AllocationConfig,
+    ClusterConfig,
+    CostModelConfig,
+    SystemConfig,
+)
+from .core import Coordinator, ForwardingTable, MoveOptimizer, MoveSystem
+from .errors import ReproError
+from .model import (
+    BooleanAnyTermSemantics,
+    Document,
+    Filter,
+    ThresholdSemantics,
+    brute_force_match,
+)
+from .text import Tokenizer, tokenize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SystemConfig",
+    "ClusterConfig",
+    "CostModelConfig",
+    "AllocationConfig",
+    # data model
+    "Document",
+    "Filter",
+    "BooleanAnyTermSemantics",
+    "ThresholdSemantics",
+    "brute_force_match",
+    # substrate
+    "Cluster",
+    "KeyValueClient",
+    "Tokenizer",
+    "tokenize",
+    # systems
+    "MoveSystem",
+    "InvertedListSystem",
+    "RendezvousSystem",
+    "CentralizedSift",
+    "DisseminationSystem",
+    "DisseminationPlan",
+    "NodeTask",
+    # core machinery
+    "MoveOptimizer",
+    "Coordinator",
+    "ForwardingTable",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,112 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+- ``experiments [ids...]`` — regenerate paper figures as text tables
+  (all of them when no ids are given),
+- ``list`` — list the available experiment ids,
+- ``demo`` — run the quickstart scenario inline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .experiments.registry import experiment_ids
+
+    for experiment_id in experiment_ids():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.registry import (
+        export_csv,
+        format_result,
+        run_experiment,
+        experiment_ids,
+    )
+
+    targets = args.ids or experiment_ids()
+    for experiment_id in targets:
+        result = run_experiment(experiment_id)
+        print(f"=== {experiment_id} ===")
+        print(format_result(result))
+        print()
+        if args.csv_dir:
+            written = export_csv(experiment_id, result, args.csv_dir)
+            for path in written:
+                print(f"wrote {path}")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from . import Cluster, Document, Filter, MoveSystem
+
+    cluster = Cluster()
+    move = MoveSystem(cluster)
+    move.register(Filter.from_text("alice", "distributed systems"))
+    move.register(Filter.from_text("bob", "cloud storage"))
+    move.seed_frequencies(
+        [Document.from_text("seed", "cloud systems news")]
+    )
+    move.finalize_registration()
+    plan = move.publish(
+        Document.from_text("d1", "new distributed cloud tricks")
+    )
+    print(f"matched filters: {sorted(plan.matched_filter_ids)}")
+    print(f"nodes involved:  {plan.fanout}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "MOVE reproduction (ICDCS 2012): keyword-based content "
+            "filtering and dissemination"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    list_parser = subparsers.add_parser(
+        "list", help="list experiment ids"
+    )
+    list_parser.set_defaults(func=_cmd_list)
+
+    exp_parser = subparsers.add_parser(
+        "experiments", help="regenerate paper figures"
+    )
+    exp_parser.add_argument(
+        "ids", nargs="*", help="experiment ids (default: all)"
+    )
+    exp_parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also export each figure's series as CSV into this "
+        "directory",
+    )
+    exp_parser.set_defaults(func=_cmd_experiments)
+
+    demo_parser = subparsers.add_parser(
+        "demo", help="run the quickstart scenario"
+    )
+    demo_parser.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Baseline dissemination systems the paper compares against.
+
+- :mod:`repro.baselines.base` — the shared system protocol and the
+  dissemination-plan structures (also used by MOVE itself),
+- :mod:`repro.baselines.inverted_list` — **IL**: the pure distributed
+  inverted list of Section III (no allocation),
+- :mod:`repro.baselines.rendezvous` — **RS**: the distributed
+  rendezvous/flooding scheme with ROAR-style partition levels and SIFT
+  local matching,
+- :mod:`repro.baselines.centralized` — a single-node SIFT matcher (the
+  Figure 6/7 experiments).
+"""
+
+from .base import DisseminationPlan, DisseminationSystem, NodeTask
+from .centralized import CentralizedSift
+from .inverted_list import InvertedListSystem
+from .rendezvous import RendezvousSystem
+
+__all__ = [
+    "DisseminationSystem",
+    "DisseminationPlan",
+    "NodeTask",
+    "InvertedListSystem",
+    "RendezvousSystem",
+    "CentralizedSift",
+]

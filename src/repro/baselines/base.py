@@ -1,0 +1,192 @@
+"""Shared protocol for all three dissemination systems.
+
+Every system (IL, RS, MOVE) answers the same two questions for a
+published document:
+
+1. *logical* — which registered filters match (must equal the brute-
+   force oracle; the completeness invariant), and
+2. *physical* — which nodes do how much disk and network work
+   (the per-node tasks the discrete-event harness schedules and the
+   Figure 9 load metrics aggregate).
+
+:meth:`DisseminationSystem.publish` returns both as a
+:class:`DisseminationPlan`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..config import SystemConfig
+from ..model import Document, Filter
+from ..sim.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class NodeTask:
+    """Work one node performs for one document.
+
+    ``path`` is the hop sequence the document payload travels (ingest
+    node first, executing node last); the harness charges link latency
+    per hop and the payload transfer cost once per delivery.
+    ``posting_lists``/``posting_entries`` parameterize the disk-bound
+    service time via the cost model.
+    """
+
+    node_id: str
+    path: Tuple[str, ...]
+    posting_lists: int
+    posting_entries: int
+
+    def __post_init__(self) -> None:
+        if not self.path or self.path[-1] != self.node_id:
+            raise ValueError(
+                f"task path must end at the executing node {self.node_id!r}"
+            )
+        if self.posting_lists < 0 or self.posting_entries < 0:
+            raise ValueError("task costs must be non-negative")
+
+
+@dataclass
+class DisseminationPlan:
+    """Outcome of publishing one document."""
+
+    document: Document
+    matched_filter_ids: Set[str]
+    tasks: List[NodeTask] = field(default_factory=list)
+    #: Filter ids that *should* have matched but were unreachable due
+    #: to node failures (the Figure 9(d) availability loss).
+    unreachable_filter_ids: Set[str] = field(default_factory=set)
+    #: Control-plane routing messages (bloom-pruned forwarding).
+    routing_messages: int = 0
+
+    @property
+    def fanout(self) -> int:
+        """Distinct nodes that performed matching work."""
+        return len({task.node_id for task in self.tasks})
+
+    @property
+    def total_posting_entries(self) -> int:
+        return sum(task.posting_entries for task in self.tasks)
+
+
+class DisseminationSystem(ABC):
+    """Common lifecycle: register filters → finalize → publish docs.
+
+    ``threshold`` switches all three systems from the paper's boolean
+    any-term semantics to the similarity-threshold extension (Section
+    III-A, following SIFT/STAIRS): a candidate filter sharing a term
+    with the document is delivered only when its VSM cosine similarity
+    reaches the threshold.  Candidate *routing* is unchanged — shared
+    terms still decide which nodes see the document — so the allocation
+    machinery is semantics-agnostic, exactly as the paper argues.
+    """
+
+    #: Short scheme label used in experiment tables ("Move", "IL", "RS").
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        threshold: Optional[float] = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.metrics = MetricsRegistry()
+        self._registered: Dict[str, Filter] = {}
+        if threshold is not None and not 0.0 < threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        self.threshold = threshold
+        if threshold is not None:
+            from ..matching.vsm import VsmScorer
+
+            self._scorer = VsmScorer()
+        else:
+            self._scorer = None
+
+    def _apply_semantics(
+        self, document: Document, filters: Iterable[Filter]
+    ) -> List[Filter]:
+        """Post-filter term-sharing candidates by the active semantics."""
+        if self._scorer is None:
+            return list(filters)
+        return [
+            profile
+            for profile in filters
+            if self._scorer.similarity(document, profile)
+            >= self.threshold
+        ]
+
+    # -- registration ------------------------------------------------------
+
+    @abstractmethod
+    def _register(self, profile: Filter) -> None:
+        """Scheme-specific placement of one filter."""
+
+    def register(self, profile: Filter) -> None:
+        """Register a user's profile filter."""
+        if profile.filter_id in self._registered:
+            raise ValueError(
+                f"filter {profile.filter_id!r} is already registered"
+            )
+        self._registered[profile.filter_id] = profile
+        self._register(profile)
+        self.metrics.counter("filters_registered").add()
+
+    def register_all(self, profiles: Iterable[Filter]) -> None:
+        for profile in profiles:
+            self.register(profile)
+
+    def _unregister(self, profile: Filter) -> None:
+        """Scheme-specific removal of one filter.
+
+        Default raises; schemes that support subscription churn
+        override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support unregistration"
+        )
+
+    def unregister(self, filter_id: str) -> Filter:
+        """Remove a registered filter; returns the removed profile."""
+        profile = self._registered.pop(filter_id, None)
+        if profile is None:
+            raise KeyError(f"unknown filter {filter_id!r}")
+        self._unregister(profile)
+        self.metrics.counter("filters_unregistered").add()
+        return profile
+
+    def finalize_registration(self) -> None:
+        """Hook run after bulk registration (MOVE allocates here)."""
+
+    @property
+    def registered_filters(self) -> Dict[str, Filter]:
+        return dict(self._registered)
+
+    @property
+    def total_filters(self) -> int:
+        return len(self._registered)
+
+    # -- publication --------------------------------------------------------
+
+    @abstractmethod
+    def publish(self, document: Document) -> DisseminationPlan:
+        """Match ``document`` against all registered filters."""
+
+    def publish_all(
+        self, documents: Iterable[Document]
+    ) -> List[DisseminationPlan]:
+        return [self.publish(document) for document in documents]
+
+    # -- shared accounting ---------------------------------------------------
+
+    def _account_tasks(self, tasks: Sequence[NodeTask]) -> None:
+        """Fold a plan's tasks into the Figure 9 load metrics."""
+        received = self.metrics.load("documents_received")
+        entries = self.metrics.load("posting_entries")
+        for task in tasks:
+            received.add(task.node_id, 1.0)
+            entries.add(task.node_id, float(task.posting_entries))

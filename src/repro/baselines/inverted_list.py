@@ -1,0 +1,208 @@
+"""IL — the pure distributed inverted list baseline (Section III).
+
+Registration: a filter is stored, by the key/value ``put``, on the home
+node of *each* of its terms; the home node of ``t_i`` indexes it only
+under ``t_i`` (the posting lists of all home nodes together form one
+distributed inverted list).
+
+Dissemination: a document is forwarded, in parallel, to the home nodes
+of all of its terms that pass the Bloom-filter membership check; each
+home node matches the document using only its own term's posting list.
+
+No allocation: skewed ``p_i`` makes some home nodes store huge filter
+sets (storage hot spots, Figure 9a) and skewed ``q_i`` makes some home
+nodes receive most documents (matching hot spots, Figure 9b) — the low
+throughput the MOVE scheme exists to fix.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set
+
+from ..cluster.cluster import Cluster
+from ..config import SystemConfig
+from ..matching.bloom import BloomFilter
+from ..matching.inverted_index import InvertedIndex
+from ..model import Document, Filter
+from .base import DisseminationPlan, DisseminationSystem, NodeTask
+
+
+class InvertedListSystem(DisseminationSystem):
+    """The paper's baseline solution on the key/value cluster."""
+
+    name = "IL"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[SystemConfig] = None,
+        threshold: Optional[float] = None,
+    ) -> None:
+        super().__init__(config, threshold=threshold)
+        self.cluster = cluster
+        self._indexes: Dict[str, InvertedIndex] = {
+            node_id: InvertedIndex() for node_id in cluster.node_ids()
+        }
+        self._bloom = (
+            BloomFilter(
+                self.config.expected_filter_terms,
+                self.config.bloom_fp_rate,
+            )
+            if self.config.use_bloom_filter
+            else None
+        )
+        self._ingest_rng = None  # lazily built per-config seed stream
+
+    # -- registration -----------------------------------------------------
+
+    def home_of(self, term: str) -> str:
+        return self.cluster.ring.home_node(term)
+
+    def index_of(self, node_id: str) -> InvertedIndex:
+        index = self._indexes.get(node_id)
+        if index is None:
+            index = InvertedIndex()
+            self._indexes[node_id] = index
+        return index
+
+    def _register(self, profile: Filter) -> None:
+        storage_load = self.metrics.load("storage_replicas")
+        for term in profile.terms:
+            node_id = self.home_of(term)
+            node = self.cluster.node(node_id)
+            # Full filter object stored via the filter store (Figure 3)
+            # and indexed under this home node's term only.
+            node.filter_store.put(
+                profile.filter_id, "terms", profile.sorted_terms()
+            )
+            self.index_of(node_id).add_filter(
+                profile, indexed_terms=[term]
+            )
+            storage_load.add(node_id, 1.0)
+            if self._bloom is not None:
+                self._bloom.add(term)
+
+    # -- dissemination -------------------------------------------------------
+
+    def _terms_by_home(self, document: Document) -> Dict[str, List[str]]:
+        """Document terms that pass the Bloom check, grouped by home."""
+        grouped: Dict[str, List[str]] = defaultdict(list)
+        for term in document.terms:
+            if self._bloom is not None and term not in self._bloom:
+                continue
+            grouped[self.home_of(term)].append(term)
+        return grouped
+
+    def publish(self, document: Document) -> DisseminationPlan:
+        ingest = self._choose_ingest()
+        matched: Set[str] = set()
+        unreachable: Set[str] = set()
+        tasks: List[NodeTask] = []
+        grouped = self._terms_by_home(document)
+        for node_id, terms in grouped.items():
+            node = self.cluster.node(node_id)
+            index = self.index_of(node_id)
+            if not node.alive:
+                for term in terms:
+                    filters, _ = index.filters_for_term(term)
+                    unreachable.update(f.filter_id for f in filters)
+                continue
+            lists = 0
+            entries = 0
+            for term in terms:
+                filters, cost = index.match_document_single_term(
+                    document, term
+                )
+                lists += cost.posting_lists
+                entries += cost.posting_entries
+                matched.update(
+                    f.filter_id
+                    for f in self._apply_semantics(document, filters)
+                )
+            tasks.append(
+                NodeTask(
+                    node_id=node_id,
+                    path=(ingest, node_id),
+                    posting_lists=lists,
+                    posting_entries=entries,
+                )
+            )
+        unreachable -= matched
+        self._account_tasks(tasks)
+        self.metrics.counter("documents_published").add()
+        return DisseminationPlan(
+            document=document,
+            matched_filter_ids=matched,
+            tasks=tasks,
+            unreachable_filter_ids=unreachable,
+            routing_messages=len(grouped),
+        )
+
+    def _choose_ingest(self) -> str:
+        """Documents enter at a random live node (a client connection)."""
+        if self._ingest_rng is None:
+            import random
+
+            self._ingest_rng = random.Random(
+                (self.config.seed or 0) + 0x1A
+            )
+        live = self.cluster.live_node_ids()
+        if not live:
+            raise RuntimeError("no live nodes to ingest documents")
+        return self._ingest_rng.choice(live)
+
+    def _unregister(self, profile: Filter) -> None:
+        """Remove the filter from every home node that indexed it."""
+        storage_load = self.metrics.load("storage_replicas")
+        for term in profile.terms:
+            node_id = self.home_of(term)
+            index = self.index_of(node_id)
+            if profile.filter_id in index:
+                index.remove_filter(profile.filter_id)
+                storage_load.add(node_id, 0.0)
+            node = self.cluster.node(node_id)
+            node.filter_store.delete(profile.filter_id)
+
+    # -- elasticity -----------------------------------------------------------
+
+    def rebalance(self) -> int:
+        """Move term postings whose home changed (ring membership).
+
+        After a node joins (or permanently leaves) the ring, some terms
+        map to new home nodes; their posting lists are handed off so
+        the home-node invariant — every term's filters live on its
+        current home — is restored.  Returns the number of filter
+        replicas moved.
+        """
+        moved = 0
+        for node_id, index in list(self._indexes.items()):
+            for term in list(index.terms()):
+                new_home = self.home_of(term)
+                if new_home == node_id:
+                    continue
+                filters = index.remove_term(term)
+                target_index = self.index_of(new_home)
+                target_node = self.cluster.node(new_home)
+                storage_load = self.metrics.load("storage_replicas")
+                for profile in filters:
+                    target_node.filter_store.put(
+                        profile.filter_id,
+                        "terms",
+                        profile.sorted_terms(),
+                    )
+                    target_index.add_filter(
+                        profile, indexed_terms=[term]
+                    )
+                    storage_load.add(new_home, 1.0)
+                    moved += 1
+        return moved
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def storage_distribution(self) -> Dict[str, float]:
+        """Filter replicas per node (Figure 9a's raw data)."""
+        return {
+            node_id: float(index.stored_replica_count())
+            for node_id, index in self._indexes.items()
+        }

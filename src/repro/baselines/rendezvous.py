@@ -1,0 +1,172 @@
+"""RS — the distributed rendezvous (flooding) baseline.
+
+The Google-cluster search architecture [5] with the ROAR [16]
+partition-level extension, adapted to content matching as the paper's
+evaluation does (Section VI-A):
+
+- the hash of a filter's unique name maps it to a partition, so filters
+  are evenly distributed over the cluster;
+- the cluster's ``N`` nodes are arranged into ``partition_level``
+  partitions of ``N / partition_level`` replica nodes; every replica of
+  a partition stores that partition's full filter share (this is where
+  "the partition mechanism leads to more redundant filters on each
+  node" comes from);
+- RS has no distributed inverted list, so each node indexes its local
+  filters under *all* their terms and matches each received document
+  with the centralized SIFT algorithm — retrieving the posting lists of
+  all ``|d|`` document terms;
+- a published document is forwarded to one (randomly chosen) replica of
+  *every* partition: blind flooding — every partition is visited whether
+  or not it stores matching filters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from ..cluster.cluster import Cluster
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..matching.inverted_index import InvertedIndex
+from ..matching.sift import SiftMatcher
+from ..model import Document, Filter
+from ..sim.randomness import stable_hash64
+from .base import DisseminationPlan, DisseminationSystem, NodeTask
+
+
+class RendezvousSystem(DisseminationSystem):
+    """Flooding with ROAR-style partition levels and SIFT matching."""
+
+    name = "RS"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[SystemConfig] = None,
+        partition_level: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> None:
+        super().__init__(config, threshold=threshold)
+        self.cluster = cluster
+        node_ids = cluster.node_ids()
+        if not node_ids:
+            raise ConfigurationError("cluster has no nodes")
+        replica_target = self.config.cluster.replica_count
+        if partition_level is None:
+            # Default: enough partitions that each filter lands on
+            # ~replica_count nodes (the paper's "three folds of
+            # replicas" comparison point).
+            partition_level = max(1, len(node_ids) // replica_target)
+        if not 1 <= partition_level <= len(node_ids):
+            raise ConfigurationError(
+                f"partition_level must be in [1, {len(node_ids)}], "
+                f"got {partition_level}"
+            )
+        self.partition_level = partition_level
+        # Round-robin nodes into partitions: partition p gets nodes
+        # p, p + L, p + 2L, ... — every partition has >= 1 replica.
+        self._partitions: List[List[str]] = [
+            node_ids[p :: partition_level] for p in range(partition_level)
+        ]
+        self._indexes: Dict[str, InvertedIndex] = {
+            node_id: InvertedIndex() for node_id in node_ids
+        }
+        self._matchers: Dict[str, SiftMatcher] = {
+            node_id: SiftMatcher(index)
+            for node_id, index in self._indexes.items()
+        }
+        self._rng = random.Random((self.config.seed or 0) + 0x25)
+
+    # -- registration ----------------------------------------------------
+
+    def partition_of(self, filter_id: str) -> int:
+        return stable_hash64(filter_id) % self.partition_level
+
+    def _register(self, profile: Filter) -> None:
+        partition = self._partitions[self.partition_of(profile.filter_id)]
+        storage_load = self.metrics.load("storage_replicas")
+        for node_id in partition:
+            node = self.cluster.node(node_id)
+            node.filter_store.put(
+                profile.filter_id, "terms", profile.sorted_terms()
+            )
+            # Full local inverted list: indexed under every term.
+            self._indexes[node_id].add_filter(profile)
+            storage_load.add(node_id, 1.0)
+
+    def _unregister(self, profile: Filter) -> None:
+        """Remove the filter from every replica of its partition."""
+        partition = self._partitions[self.partition_of(profile.filter_id)]
+        for node_id in partition:
+            self._indexes[node_id].remove_filter(profile.filter_id)
+            self.cluster.node(node_id).filter_store.delete(
+                profile.filter_id
+            )
+
+    # -- dissemination --------------------------------------------------------
+
+    def publish(self, document: Document) -> DisseminationPlan:
+        ingest = self._choose_ingest()
+        matched: Set[str] = set()
+        unreachable: Set[str] = set()
+        tasks: List[NodeTask] = []
+        for partition in self._partitions:
+            live = [
+                node_id
+                for node_id in partition
+                if self.cluster.node(node_id).alive
+            ]
+            if not live:
+                # Whole partition down: its filter share is unreachable.
+                sample_index = self._indexes[partition[0]]
+                filters, _ = sample_index.match_document_all_terms(
+                    document
+                )
+                unreachable.update(f.filter_id for f in filters)
+                continue
+            node_id = self._rng.choice(live)
+            filters, cost = self._matchers[node_id].match(document)
+            matched.update(
+                f.filter_id
+                for f in self._apply_semantics(document, filters)
+            )
+            tasks.append(
+                NodeTask(
+                    node_id=node_id,
+                    path=(ingest, node_id),
+                    posting_lists=cost.posting_lists,
+                    posting_entries=cost.posting_entries,
+                )
+            )
+        unreachable -= matched
+        self._account_tasks(tasks)
+        self.metrics.counter("documents_published").add()
+        return DisseminationPlan(
+            document=document,
+            matched_filter_ids=matched,
+            tasks=tasks,
+            unreachable_filter_ids=unreachable,
+            routing_messages=self.partition_level,
+        )
+
+    def _choose_ingest(self) -> str:
+        live = self.cluster.live_node_ids()
+        if not live:
+            raise RuntimeError("no live nodes to ingest documents")
+        return self._rng.choice(live)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def storage_distribution(self) -> Dict[str, float]:
+        """Distinct filters stored per node.
+
+        RS indexes each local filter under all of its terms, so the
+        capacity-relevant count is the number of filters, not posting
+        entries (IL/MOVE home copies are indexed under exactly one term
+        each, where the two counts coincide).
+        """
+        return {
+            node_id: float(len(index))
+            for node_id, index in self._indexes.items()
+        }

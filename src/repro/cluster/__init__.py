@@ -1,0 +1,54 @@
+"""A from-scratch Cassandra/Dynamo-model key/value cluster substrate.
+
+The paper deploys MOVE on Apache Cassandra 0.87 (an open-source Dynamo
+implementation with a BigTable data model).  This package rebuilds the
+pieces the paper relies on:
+
+- :mod:`repro.cluster.partitioner` — MD5 random partitioner (tokens),
+- :mod:`repro.cluster.ring` — consistent-hash ring with virtual nodes,
+  home-node lookup and ring successors,
+- :mod:`repro.cluster.topology` — rack/datacenter layout,
+- :mod:`repro.cluster.membership` — gossip dissemination of membership
+  state with heartbeat-based failure detection,
+- :mod:`repro.cluster.replication` — SimpleStrategy (ring successors)
+  and rack-aware replica placement,
+- :mod:`repro.cluster.storage` — memtable/SSTable column-family store,
+- :mod:`repro.cluster.node` — a cluster node binding storage + queues,
+- :mod:`repro.cluster.cluster` — cluster orchestration and failure
+  injection,
+- :mod:`repro.cluster.client` — the put/get client of Section II.
+"""
+
+from .antientropy import HashTree, replica_divergence, synchronize
+from .client import KeyValueClient
+from .cluster import Cluster
+from .membership import GossipMembership, NodeState
+from .node import ClusterNode
+from .partitioner import RandomPartitioner
+from .replication import (
+    RackAwareStrategy,
+    ReplicationStrategy,
+    SimpleStrategy,
+)
+from .ring import ConsistentHashRing
+from .storage import ColumnFamilyStore, StorageEngine
+from .topology import Topology
+
+__all__ = [
+    "HashTree",
+    "synchronize",
+    "replica_divergence",
+    "RandomPartitioner",
+    "ConsistentHashRing",
+    "Topology",
+    "GossipMembership",
+    "NodeState",
+    "ReplicationStrategy",
+    "SimpleStrategy",
+    "RackAwareStrategy",
+    "StorageEngine",
+    "ColumnFamilyStore",
+    "ClusterNode",
+    "Cluster",
+    "KeyValueClient",
+]

@@ -1,0 +1,191 @@
+"""The key/value client: ``put``/``get`` against the home node.
+
+Section II: "the put function is used to store the object, and the get
+function to lookup an object associated with an input key."  The client
+routes by the ring (O(1)-hop, since every node knows the full ring via
+gossip) and replicates writes along the configured strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import NodeDownError
+from .cluster import Cluster
+from .replication import ReplicationStrategy
+
+
+class KeyValueClient:
+    """Client-side routing for a :class:`~repro.cluster.Cluster`.
+
+    Values live in a dedicated ``kv`` column family on each replica.
+    Reads try replicas in preference order and return the first answer
+    from a live node (Dynamo's sloppy read path without read repair —
+    sufficient for the filter-store usage in the paper).
+    """
+
+    COLUMN_FAMILY = "kv"
+    HINT_FAMILY = "kv_hints"
+    COLUMN = "value"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        strategy: Optional[ReplicationStrategy] = None,
+        replica_count: Optional[int] = None,
+        hinted_handoff: bool = False,
+    ) -> None:
+        """``hinted_handoff`` enables Dynamo's availability mechanism:
+        a write whose replica is down lands on the next live node of
+        the preference list as a *hint*, and :meth:`deliver_hints`
+        replays the hints once the replica recovers."""
+        self.cluster = cluster
+        self.strategy = strategy or cluster.simple_strategy
+        self.replica_count = (
+            replica_count
+            if replica_count is not None
+            else cluster.config.replica_count
+        )
+        self.hinted_handoff = hinted_handoff
+        #: Client-side logical clock versioning every write, enabling
+        #: read repair (newest version wins; stale replicas are
+        #: rewritten during reads).
+        self._clock = 0
+        for node in cluster.nodes.values():
+            node.storage.create_column_family(self.COLUMN_FAMILY)
+            node.storage.create_column_family(self.HINT_FAMILY)
+
+    def replicas_for(self, key: str) -> List[str]:
+        return self.strategy.replicas(key, self.replica_count)
+
+    def put(self, key: str, value: Any) -> List[str]:
+        """Store ``value`` on all live replicas of ``key``.
+
+        Returns the node ids written.  With hinted handoff enabled, a
+        dead replica's share is written to the next live non-replica
+        node on the preference list, tagged with the intended target.
+        Raises :class:`~repro.errors.NodeDownError` when *no* replica
+        is alive (write completely lost).
+        """
+        replicas = self.replicas_for(key)
+        self._clock += 1
+        versioned = (self._clock, value)
+        written: List[str] = []
+        dead_targets: List[str] = []
+        for node_id in replicas:
+            node = self.cluster.node(node_id)
+            if not node.alive:
+                dead_targets.append(node_id)
+                continue
+            store = node.storage.create_column_family(self.COLUMN_FAMILY)
+            store.put(key, self.COLUMN, versioned)
+            written.append(node_id)
+        if not written:
+            raise NodeDownError(
+                ",".join(replicas), operation=f"put({key})"
+            )
+        if self.hinted_handoff and dead_targets:
+            self._store_hints(key, versioned, replicas, dead_targets)
+        return written
+
+    def _store_hints(
+        self,
+        key: str,
+        value: Any,
+        replicas: List[str],
+        dead_targets: List[str],
+    ) -> None:
+        """Park one hint per dead replica on a live stand-in node."""
+        preference = self.cluster.ring.preference_list(
+            key, len(self.cluster)
+        )
+        stand_ins = [
+            node_id
+            for node_id in preference
+            if node_id not in replicas
+            and self.cluster.node(node_id).alive
+        ]
+        for target, stand_in in zip(dead_targets, stand_ins):
+            hints = self.cluster.node(stand_in).storage.create_column_family(
+                self.HINT_FAMILY
+            )
+            hints.put(f"{target}:{key}", self.COLUMN, value)
+
+    def deliver_hints(self) -> int:
+        """Replay parked hints whose intended replicas are back up.
+
+        Returns the number of hints delivered.  Called after recovery
+        (real Dynamo runs this continuously in the background).
+        """
+        delivered = 0
+        for node in self.cluster.nodes.values():
+            if not node.alive:
+                continue
+            hints = node.storage.create_column_family(self.HINT_FAMILY)
+            for hint_key in list(hints.row_keys()):
+                target_id, _, key = hint_key.partition(":")
+                target = self.cluster.nodes.get(target_id)
+                if target is None or not target.alive:
+                    continue
+                value = hints.get(hint_key, self.COLUMN)
+                store = target.storage.create_column_family(
+                    self.COLUMN_FAMILY
+                )
+                store.put(key, self.COLUMN, value)
+                hints.delete(hint_key)
+                delivered += 1
+        return delivered
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read ``key`` with read repair.
+
+        All live replicas are consulted; the newest version wins, and
+        any live replica holding a stale (or missing) copy is rewritten
+        with it — so a recovered node converges on the next read even
+        without hint delivery (Dynamo's read-repair path).
+        """
+        missing = object()
+        responses: List = []  # (node_id, version or None, value)
+        for node_id in self.replicas_for(key):
+            node = self.cluster.node(node_id)
+            if not node.alive:
+                continue
+            store = node.storage.create_column_family(self.COLUMN_FAMILY)
+            versioned = store.get(key, self.COLUMN, missing)
+            if versioned is missing:
+                responses.append((node_id, None, None))
+            else:
+                version, value = versioned
+                responses.append((node_id, version, value))
+        versions = [v for _n, v, _val in responses if v is not None]
+        if not versions:
+            return default
+        newest_version = max(versions)
+        newest = next(
+            value
+            for _n, version, value in responses
+            if version == newest_version
+        )
+        # Read repair: bring stale live replicas up to the newest
+        # version observed.
+        for node_id, version, _value in responses:
+            if version == newest_version:
+                continue
+            store = self.cluster.node(node_id).storage.create_column_family(
+                self.COLUMN_FAMILY
+            )
+            store.put(key, self.COLUMN, (newest_version, newest))
+        return newest
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` from all live replicas."""
+        for node_id in self.replicas_for(key):
+            node = self.cluster.node(node_id)
+            if not node.alive:
+                continue
+            store = node.storage.create_column_family(self.COLUMN_FAMILY)
+            store.delete(key)
+
+    def multi_get(self, keys: List[str]) -> Dict[str, Any]:
+        """Batch read; keys that resolve to None are included as None."""
+        return {key: self.get(key) for key in keys}

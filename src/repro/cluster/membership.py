@@ -1,0 +1,208 @@
+"""Gossip-based membership with heartbeat failure detection.
+
+Dynamo-style clusters disseminate membership through an anti-entropy
+gossip protocol: each round, every node picks a random peer and the two
+merge their views (taking the higher heartbeat version per node).  A
+node whose heartbeat has not advanced within ``suspect_timeout`` rounds
+of gossip is marked DOWN in the local view.
+
+The implementation is round-synchronous (driven by the simulator or by
+explicit :meth:`tick` calls) and deterministic under a seeded RNG,
+which is what the membership-convergence property tests rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import UnknownNodeError
+
+
+class NodeState(enum.Enum):
+    """Liveness as seen by a local view."""
+
+    UP = "up"
+    DOWN = "down"
+
+
+@dataclass
+class HeartbeatRecord:
+    """One node's entry in a gossip view."""
+
+    heartbeat: int = 0
+    #: Local round at which the heartbeat last advanced.
+    last_advance: int = 0
+    state: NodeState = NodeState.UP
+
+
+class GossipView:
+    """One node's view of the whole membership."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self.records: Dict[str, HeartbeatRecord] = {
+            owner: HeartbeatRecord()
+        }
+
+    def known_nodes(self) -> Set[str]:
+        return set(self.records)
+
+    def live_nodes(self) -> Set[str]:
+        return {
+            node
+            for node, record in self.records.items()
+            if record.state is NodeState.UP
+        }
+
+    def merge_from(self, other: "GossipView", local_round: int) -> None:
+        """Anti-entropy merge: keep the higher heartbeat per node."""
+        for node, remote in other.records.items():
+            local = self.records.get(node)
+            if local is None:
+                self.records[node] = HeartbeatRecord(
+                    heartbeat=remote.heartbeat,
+                    last_advance=local_round,
+                    state=remote.state,
+                )
+            elif remote.heartbeat > local.heartbeat:
+                local.heartbeat = remote.heartbeat
+                local.last_advance = local_round
+                local.state = NodeState.UP
+
+
+class GossipMembership:
+    """Cluster-wide gossip driver.
+
+    Owns one :class:`GossipView` per member and advances them in
+    rounds.  Crashed nodes (registered via :meth:`mark_crashed`) stop
+    beating and stop gossiping; live nodes eventually mark them DOWN.
+    """
+
+    def __init__(
+        self,
+        node_ids: Iterable[str],
+        suspect_timeout: int = 5,
+        fanout: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if suspect_timeout < 1:
+            raise ValueError("suspect_timeout must be >= 1")
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.suspect_timeout = suspect_timeout
+        self.fanout = fanout
+        self._rng = random.Random(seed)
+        self._round = 0
+        self._crashed: Set[str] = set()
+        self.views: Dict[str, GossipView] = {}
+        ids = list(node_ids)
+        for node_id in ids:
+            self.views[node_id] = GossipView(node_id)
+        # Seed contact: every node initially knows the full static
+        # member list (Cassandra's seed-node bootstrap), with
+        # zero heartbeats that must be refreshed by gossip.
+        for view in self.views.values():
+            for node_id in ids:
+                view.records.setdefault(node_id, HeartbeatRecord())
+
+    @property
+    def round_number(self) -> int:
+        return self._round
+
+    def add_node(self, node_id: str) -> None:
+        """A joining node knows only itself; gossip spreads the rest."""
+        if node_id in self.views:
+            return
+        view = GossipView(node_id)
+        self.views[node_id] = view
+        # It contacts one live seed immediately (bootstrap).
+        live = [
+            other
+            for other in self.views
+            if other != node_id and other not in self._crashed
+        ]
+        if live:
+            seed_node = self._rng.choice(sorted(live))
+            view.merge_from(self.views[seed_node], self._round)
+            self.views[seed_node].merge_from(view, self._round)
+
+    def mark_crashed(self, node_id: str) -> None:
+        if node_id not in self.views:
+            raise UnknownNodeError(node_id)
+        self._crashed.add(node_id)
+
+    def mark_recovered(self, node_id: str) -> None:
+        if node_id not in self.views:
+            raise UnknownNodeError(node_id)
+        self._crashed.discard(node_id)
+        view = self.views[node_id]
+        record = view.records[node_id]
+        record.state = NodeState.UP
+        record.last_advance = self._round
+
+    def is_crashed(self, node_id: str) -> bool:
+        return node_id in self._crashed
+
+    def tick(self, rounds: int = 1) -> None:
+        """Advance gossip by ``rounds`` synchronous rounds."""
+        for _ in range(rounds):
+            self._round += 1
+            live_members = [
+                node for node in sorted(self.views) if node not in self._crashed
+            ]
+            # 1. Every live node beats its own heart.
+            for node in live_members:
+                record = self.views[node].records[node]
+                record.heartbeat += 1
+                record.last_advance = self._round
+            # 2. Every live node gossips with `fanout` random peers.
+            for node in live_members:
+                peers = [peer for peer in live_members if peer != node]
+                if not peers:
+                    continue
+                contacts = self._rng.sample(
+                    peers, k=min(self.fanout, len(peers))
+                )
+                for peer in contacts:
+                    self.views[node].merge_from(self.views[peer], self._round)
+                    self.views[peer].merge_from(self.views[node], self._round)
+            # 3. Failure detection: stale heartbeat → DOWN.  Fresh
+            # heartbeats disseminate epidemically in O(log n) rounds,
+            # so the staleness threshold scales with membership size —
+            # a fixed threshold would falsely suspect live nodes
+            # whenever the random gossip graph leaves a view un-updated
+            # for a few rounds.
+            dissemination_slack = max(
+                1, math.ceil(math.log2(max(len(live_members), 2)))
+            )
+            threshold = self.suspect_timeout + dissemination_slack
+            for node in live_members:
+                view = self.views[node]
+                for other, record in view.records.items():
+                    if other == node:
+                        continue
+                    stale_for = self._round - record.last_advance
+                    if stale_for > threshold:
+                        record.state = NodeState.DOWN
+
+    def view_of(self, node_id: str) -> GossipView:
+        view = self.views.get(node_id)
+        if view is None:
+            raise UnknownNodeError(node_id)
+        return view
+
+    def converged(self) -> bool:
+        """True when all live views agree on the live-node set."""
+        live_views = [
+            view
+            for node, view in self.views.items()
+            if node not in self._crashed
+        ]
+        if not live_views:
+            return True
+        reference = live_views[0].live_nodes()
+        return all(view.live_nodes() == reference for view in live_views)

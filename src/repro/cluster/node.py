@@ -1,0 +1,74 @@
+"""A cluster node: storage engine + disk-bound service queue.
+
+This is the unit the paper's per-node analysis reasons about.  The
+node owns the three MOVE data stores (filter store, local inverted
+list, meta-data store — Section V, Figure 3) as column families, plus a
+:class:`~repro.sim.server.FifoServer` modelling its disk-bound match
+service.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import NodeDownError
+from ..sim.engine import Simulator
+from ..sim.server import FifoServer
+from .storage import ColumnFamilyStore, StorageEngine
+
+#: Column family names used by the MOVE stores (Figure 3).
+CF_FILTER_STORE = "filter_store"
+CF_INVERTED_LIST = "inverted_list"
+CF_META_DATA = "meta_data"
+
+
+class ClusterNode:
+    """One simulated commodity machine."""
+
+    def __init__(
+        self,
+        node_id: str,
+        sim: Optional[Simulator] = None,
+        rack: str = "rack0",
+    ) -> None:
+        self.node_id = node_id
+        self.rack = rack
+        self.sim = sim or Simulator()
+        self.storage = StorageEngine(node_id)
+        self.server = FifoServer(self.sim, name=f"{node_id}/disk")
+        self.alive = True
+        # Pre-create the three MOVE stores so every subsystem finds them.
+        self.filter_store = self.storage.create_column_family(
+            CF_FILTER_STORE
+        )
+        self.inverted_list_store = self.storage.create_column_family(
+            CF_INVERTED_LIST
+        )
+        self.meta_store = self.storage.create_column_family(CF_META_DATA)
+
+    def crash(self) -> None:
+        """Fail-stop: reject new work, pause the service queue."""
+        self.alive = False
+        self.server.pause()
+
+    def recover(self) -> None:
+        """Bring the node back with its durable state intact."""
+        self.alive = True
+        self.server.resume()
+
+    def require_alive(self, operation: str = "") -> None:
+        if not self.alive:
+            raise NodeDownError(self.node_id, operation)
+
+    def submit_work(
+        self,
+        service_time: float,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Enqueue a disk-bound job (raises when the node is down)."""
+        self.require_alive("submit_work")
+        self.server.submit(service_time, on_complete)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"ClusterNode({self.node_id}, rack={self.rack}, {state})"

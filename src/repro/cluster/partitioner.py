@@ -1,0 +1,34 @@
+"""MD5 random partitioner — the key→token mapping of Cassandra/Dynamo.
+
+Keys are hashed into a fixed 128-bit token space; the ring maps token
+ranges to nodes.  MD5 gives uniform spread (the "balanced storage"
+property the paper's baseline relies on) and is stable across
+processes, unlike Python's salted builtin ``hash``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class RandomPartitioner:
+    """Maps string keys to tokens in ``[0, 2**128)``."""
+
+    #: Exclusive upper bound of the token space.
+    TOKEN_SPACE = 2**128
+
+    def token(self, key: str) -> int:
+        """Token of ``key`` (deterministic across processes)."""
+        digest = hashlib.md5(key.encode("utf-8")).digest()
+        return int.from_bytes(digest, "big")
+
+    def token_fraction(self, key: str) -> float:
+        """Token normalized to ``[0, 1)`` — handy for stratified tests."""
+        return self.token(key) / self.TOKEN_SPACE
+
+    def describe_owner_range(self, start: int, end: int) -> float:
+        """Fraction of the token space in the wrapped range (start, end]."""
+        if start == end:
+            return 1.0
+        span = (end - start) % self.TOKEN_SPACE
+        return span / self.TOKEN_SPACE

@@ -1,0 +1,70 @@
+"""Replica placement strategies.
+
+Cassandra offers SimpleStrategy (walk the ring) and topology-aware
+strategies (spread replicas across racks).  Both are reproduced because
+the paper's placement of *allocated filters* (Section V) is built from
+the same two primitives: ring successors and rack peers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from .ring import ConsistentHashRing
+from .topology import Topology
+
+
+class ReplicationStrategy(ABC):
+    """Chooses the replica set for a key."""
+
+    @abstractmethod
+    def replicas(self, key: str, count: int) -> List[str]:
+        """Distinct node ids storing ``key``; primary (home node) first."""
+
+
+class SimpleStrategy(ReplicationStrategy):
+    """Dynamo/Cassandra SimpleStrategy: the preference list."""
+
+    def __init__(self, ring: ConsistentHashRing) -> None:
+        self.ring = ring
+
+    def replicas(self, key: str, count: int) -> List[str]:
+        return self.ring.preference_list(key, count)
+
+
+class RackAwareStrategy(ReplicationStrategy):
+    """Rack-aware placement.
+
+    The home node comes first; subsequent replicas prefer nodes in
+    *other* racks (one per rack while possible) so a whole-rack failure
+    cannot take out every replica.  Falls back to same-rack nodes when
+    racks run out, matching Cassandra's old RackAwareStrategy.
+    """
+
+    def __init__(self, ring: ConsistentHashRing, topology: Topology) -> None:
+        self.ring = ring
+        self.topology = topology
+
+    def replicas(self, key: str, count: int) -> List[str]:
+        preference = self.ring.preference_list(key, len(self.ring))
+        if not preference or count <= 0:
+            return []
+        primary = preference[0]
+        chosen = [primary]
+        used_racks = {self.topology.rack_of(primary)}
+        # First pass: one replica per distinct rack, in ring order.
+        for candidate in preference[1:]:
+            if len(chosen) >= count:
+                return chosen
+            rack = self.topology.rack_of(candidate)
+            if rack not in used_racks:
+                used_racks.add(rack)
+                chosen.append(candidate)
+        # Second pass: fill remaining slots in ring order.
+        for candidate in preference[1:]:
+            if len(chosen) >= count:
+                break
+            if candidate not in chosen:
+                chosen.append(candidate)
+        return chosen

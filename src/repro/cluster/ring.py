@@ -1,0 +1,163 @@
+"""Consistent-hash ring with virtual nodes.
+
+Provides the two primitives the paper uses from the key/value layer:
+
+- *home node* of a key — the node owning the first token at or after the
+  key's token, wrapping around (O(1)-hop DHT routing: every node knows
+  the full ring via gossip, as in Dynamo);
+- *ring successors* of a node — the distinct nodes following it on the
+  ring, used both for SimpleStrategy replication and for MOVE's
+  successor-based placement of allocated filters (Section V).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import RingEmptyError, UnknownNodeError
+from .partitioner import RandomPartitioner
+
+
+class ConsistentHashRing:
+    """Token ring mapping keys to node ids.
+
+    Each node contributes ``vnodes`` tokens derived from its id, which
+    smooths ownership imbalance (classic consistent hashing result).
+    Removal (node failure/decommission) reassigns ranges implicitly.
+    """
+
+    def __init__(
+        self,
+        partitioner: Optional[RandomPartitioner] = None,
+        vnodes: int = 32,
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.partitioner = partitioner or RandomPartitioner()
+        self.vnodes = vnodes
+        self._tokens: List[int] = []
+        self._token_owner: Dict[int, str] = {}
+        self._members: Set[str] = set()
+
+    # -- membership -----------------------------------------------------
+
+    def add_node(self, node_id: str) -> None:
+        """Insert ``node_id`` with its virtual tokens."""
+        if node_id in self._members:
+            return
+        self._members.add(node_id)
+        for vnode_index in range(self.vnodes):
+            token = self.partitioner.token(f"{node_id}#vnode{vnode_index}")
+            # MD5 collisions across distinct vnode labels are not a
+            # realistic concern, but keep ownership deterministic anyway.
+            if token in self._token_owner:
+                continue
+            bisect.insort(self._tokens, token)
+            self._token_owner[token] = node_id
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove ``node_id`` and all of its virtual tokens."""
+        if node_id not in self._members:
+            raise UnknownNodeError(node_id)
+        self._members.discard(node_id)
+        self._tokens = [
+            token
+            for token in self._tokens
+            if self._token_owner[token] != node_id
+        ]
+        self._token_owner = {
+            token: owner
+            for token, owner in self._token_owner.items()
+            if owner != node_id
+        }
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> Set[str]:
+        return set(self._members)
+
+    # -- lookups ----------------------------------------------------------
+
+    def home_node(self, key: str) -> str:
+        """The node owning ``key`` (first token at/after key's token)."""
+        if not self._tokens:
+            raise RingEmptyError("ring has no members")
+        token = self.partitioner.token(key)
+        index = bisect.bisect_left(self._tokens, token)
+        if index == len(self._tokens):
+            index = 0
+        return self._token_owner[self._tokens[index]]
+
+    def successors(
+        self, node_id: str, count: int, include_self: bool = False
+    ) -> List[str]:
+        """Up to ``count`` distinct nodes following ``node_id``'s first
+        token on the ring, in ring order.
+
+        This is the walk Cassandra's SimpleStrategy performs and the
+        paper's "ring-based successors" placement option.
+        """
+        if node_id not in self._members:
+            raise UnknownNodeError(node_id)
+        if count <= 0:
+            return []
+        anchor = self.partitioner.token(f"{node_id}#vnode0")
+        start = bisect.bisect_right(self._tokens, anchor)
+        found: List[str] = []
+        seen: Set[str] = set() if include_self else {node_id}
+        for offset in range(len(self._tokens)):
+            token = self._tokens[(start + offset) % len(self._tokens)]
+            owner = self._token_owner[token]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            found.append(owner)
+            if len(found) >= count:
+                break
+        return found
+
+    def preference_list(self, key: str, count: int) -> List[str]:
+        """The ``count`` distinct nodes walking the ring from ``key``.
+
+        Dynamo's preference list: home node first, then successors.
+        """
+        if not self._tokens:
+            raise RingEmptyError("ring has no members")
+        if count <= 0:
+            return []
+        token = self.partitioner.token(key)
+        start = bisect.bisect_left(self._tokens, token)
+        found: List[str] = []
+        seen: Set[str] = set()
+        for offset in range(len(self._tokens)):
+            ring_token = self._tokens[(start + offset) % len(self._tokens)]
+            owner = self._token_owner[ring_token]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            found.append(owner)
+            if len(found) >= count:
+                break
+        return found
+
+    # -- diagnostics --------------------------------------------------------
+
+    def ownership_fractions(self) -> Dict[str, float]:
+        """Fraction of the token space owned by each member."""
+        if not self._tokens:
+            return {}
+        fractions: Dict[str, float] = {node: 0.0 for node in self._members}
+        space = self.partitioner.TOKEN_SPACE
+        for index, token in enumerate(self._tokens):
+            previous = self._tokens[index - 1]
+            span = (token - previous) % space
+            if span == 0 and len(self._tokens) == 1:
+                span = space
+            fractions[self._token_owner[token]] += span / space
+        return fractions

@@ -1,0 +1,77 @@
+"""Rack/datacenter topology of the simulated cluster.
+
+The paper's placement discussion (Section V) distinguishes ring-based
+successors from rack-aware nodes and notes that losing a whole rack
+loses all filters placed rack-aware; the topology object is what makes
+those statements testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import UnknownNodeError
+
+
+class Topology:
+    """Assignment of nodes to racks (one datacenter)."""
+
+    def __init__(self) -> None:
+        self._rack_of: Dict[str, str] = {}
+        self._racks: Dict[str, List[str]] = {}
+
+    @classmethod
+    def round_robin(
+        cls, node_ids: Sequence[str], num_racks: int
+    ) -> "Topology":
+        """Spread ``node_ids`` over ``num_racks`` racks round-robin."""
+        if num_racks < 1:
+            raise ValueError(f"num_racks must be >= 1, got {num_racks}")
+        topology = cls()
+        for index, node_id in enumerate(node_ids):
+            topology.assign(node_id, f"rack{index % num_racks}")
+        return topology
+
+    def assign(self, node_id: str, rack: str) -> None:
+        """Place ``node_id`` in ``rack`` (moving it if already placed)."""
+        previous = self._rack_of.get(node_id)
+        if previous is not None:
+            self._racks[previous].remove(node_id)
+            if not self._racks[previous]:
+                del self._racks[previous]
+        self._rack_of[node_id] = rack
+        self._racks.setdefault(rack, []).append(node_id)
+
+    def remove(self, node_id: str) -> None:
+        rack = self._rack_of.pop(node_id, None)
+        if rack is None:
+            raise UnknownNodeError(node_id)
+        self._racks[rack].remove(node_id)
+        if not self._racks[rack]:
+            del self._racks[rack]
+
+    def rack_of(self, node_id: str) -> str:
+        rack = self._rack_of.get(node_id)
+        if rack is None:
+            raise UnknownNodeError(node_id)
+        return rack
+
+    def nodes_in_rack(self, rack: str) -> List[str]:
+        return list(self._racks.get(rack, []))
+
+    def rack_peers(self, node_id: str) -> List[str]:
+        """Other nodes sharing ``node_id``'s rack."""
+        rack = self.rack_of(node_id)
+        return [peer for peer in self._racks[rack] if peer != node_id]
+
+    def racks(self) -> List[str]:
+        return sorted(self._racks)
+
+    def same_rack(self, a: str, b: str) -> bool:
+        return self.rack_of(a) == self.rack_of(b)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._rack_of
+
+    def __len__(self) -> int:
+        return len(self._rack_of)

@@ -1,0 +1,153 @@
+"""Allocation ratio and the partition/subset grid (Section IV-B).
+
+Given ``n_i`` nodes for the filters of one home node, the allocation
+ratio ``r_i ∈ [1/n_i, 1]`` shapes the grid: the nodes are divided into
+``1/r_i`` partitions (rows) of ``r_i * n_i`` nodes (columns); the
+filters are separated into ``r_i * n_i`` subsets (one per column), and
+each subset is replicated once per row.
+
+- ``r_i = 1/n_i`` → pure replication: one column, ``n_i`` rows; every
+  node holds all filters; each document goes to one node.
+- ``r_i = 1``   → pure separation: one row of ``n_i`` columns; each
+  node holds ``1/n_i`` of the filters; each document goes to all nodes.
+
+The deployed ratio is the smallest value (most replication, most
+document-side parallelism — Section IV-B2 shows smaller ``r_i`` is
+better) that still fits the per-node capacity::
+
+    stored_per_node = S_i / (n_i * r_i) <= C
+    →  r_i >= S_i / (n_i * C)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import AllocationError
+from ..sim.randomness import stable_hash64
+
+
+def required_ratio(
+    stored_replicas: int, n: int, capacity: int
+) -> float:
+    """Smallest feasible allocation ratio ``r_i`` (Section IV-B2).
+
+    Starts from the replication-maximal ``1/n`` and tunes upward until
+    each allocated node's share ``S_i / (n * r)`` fits capacity ``C``.
+    Values are clamped to 1.0: when even pure separation overflows the
+    capacity, the allocation stores ``S_i / n`` per node and the
+    overflow is the caller's signal to raise ``n`` (the optimizer's
+    constraint normally prevents this).
+    """
+    if n < 1:
+        raise AllocationError(f"n must be >= 1, got {n}")
+    if capacity < 1:
+        raise AllocationError(f"capacity must be >= 1, got {capacity}")
+    if stored_replicas < 0:
+        raise AllocationError("stored_replicas must be non-negative")
+    minimum = 1.0 / n
+    needed = stored_replicas / (n * capacity)
+    return min(1.0, max(minimum, needed))
+
+
+@dataclass(frozen=True)
+class AllocationGrid:
+    """The concrete partition grid for one home node's filters.
+
+    ``rows[j][c]`` is the node holding subset ``c``'s copy in partition
+    ``j``.  All grid nodes are distinct across the grid (a node holds at
+    most one subset copy), matching Figure 2.
+    """
+
+    home_node: str
+    ratio: float
+    rows: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.rows or not self.rows[0]:
+            raise AllocationError(
+                f"grid for {self.home_node!r} must have >= 1 row and column"
+            )
+        width = len(self.rows[0])
+        if any(len(row) != width for row in self.rows):
+            raise AllocationError(
+                f"grid for {self.home_node!r} has ragged rows"
+            )
+        flat = [node for row in self.rows for node in row]
+        if len(set(flat)) != len(flat):
+            raise AllocationError(
+                f"grid for {self.home_node!r} repeats a node"
+            )
+
+    @property
+    def partition_count(self) -> int:
+        """``1/r_i`` — number of replica rows."""
+        return len(self.rows)
+
+    @property
+    def subset_count(self) -> int:
+        """``r_i * n_i`` — number of separated filter subsets."""
+        return len(self.rows[0])
+
+    @property
+    def node_count(self) -> int:
+        return self.partition_count * self.subset_count
+
+    def all_nodes(self) -> List[str]:
+        return [node for row in self.rows for node in row]
+
+    def subset_of(self, filter_id: str) -> int:
+        """Deterministic subset assignment of a filter."""
+        return stable_hash64(filter_id) % self.subset_count
+
+    def holders_of_subset(self, subset: int) -> List[str]:
+        """All nodes holding copies of ``subset`` (one per row)."""
+        if not 0 <= subset < self.subset_count:
+            raise AllocationError(
+                f"subset {subset} out of range 0..{self.subset_count - 1}"
+            )
+        return [row[subset] for row in self.rows]
+
+    def partition(self, row_index: int) -> Tuple[str, ...]:
+        return self.rows[row_index]
+
+
+def build_grid(
+    home_node: str,
+    candidate_nodes: Sequence[str],
+    n: int,
+    ratio: float,
+) -> AllocationGrid:
+    """Arrange up to ``n`` of ``candidate_nodes`` into the ratio's grid.
+
+    Column count is ``round(ratio * n)`` (at least 1); row count fills
+    the remaining budget (``n // columns``, at least 1).  Uses the first
+    ``rows * columns`` distinct candidates, which the placement
+    selector has already ordered by preference.
+    """
+    if n < 1:
+        raise AllocationError(f"n must be >= 1, got {n}")
+    if not 0.0 < ratio <= 1.0:
+        raise AllocationError(f"ratio must be in (0, 1], got {ratio}")
+    distinct: List[str] = []
+    seen = set()
+    for node in candidate_nodes:
+        if node not in seen and node != home_node:
+            seen.add(node)
+            distinct.append(node)
+    if not distinct:
+        raise AllocationError(
+            f"no candidate nodes available for {home_node!r}"
+        )
+    n = min(n, len(distinct))
+    columns = max(1, int(round(ratio * n)))
+    columns = min(columns, n)
+    rows = max(1, n // columns)
+    used = distinct[: rows * columns]
+    grid_rows = tuple(
+        tuple(used[row * columns : (row + 1) * columns])
+        for row in range(rows)
+    )
+    return AllocationGrid(home_node=home_node, ratio=ratio, rows=grid_rows)

@@ -1,0 +1,224 @@
+"""The dedicated coordinator node (Section V).
+
+"We use a dedicated node in the cluster [that] collects the statistics
+such as the node popularity p'_i and node frequency q'_i from all nodes
+m_i to compute the result n'_i for m_i" — similar to the Hadoop master,
+with standby redundancy for resilience.
+
+The coordinator turns :class:`~repro.stats.term_stats.TermStatistics`
+into per-home-node :class:`~repro.core.optimizer.NodeDemand` values
+(or per-term demands when node aggregation is disabled), runs the
+:class:`~repro.core.optimizer.MoveOptimizer`, and emits an allocation
+plan: a grid + forwarding table per home node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..config import AllocationConfig, CostModelConfig
+from ..errors import AllocationError
+from ..stats.node_stats import NodeStatistics
+from ..stats.term_stats import TermStatistics
+from .allocation import AllocationGrid, build_grid, required_ratio
+from .forwarding import ForwardingTable
+from .optimizer import AllocationFactors, MoveOptimizer, NodeDemand
+from .placement import PlacementSelector
+
+
+@dataclass
+class AllocationPlan:
+    """Cluster-wide output of one coordinator run."""
+
+    #: Per home-node forwarding tables (only nodes that were allocated).
+    tables: Dict[str, ForwardingTable] = field(default_factory=dict)
+    #: The optimizer factors for every home node (allocated or not).
+    factors: Dict[str, AllocationFactors] = field(default_factory=dict)
+    #: Demands the factors were computed from (diagnostics).
+    demands: List[NodeDemand] = field(default_factory=list)
+
+    def grid_for(self, home_node: str) -> Optional[AllocationGrid]:
+        table = self.tables.get(home_node)
+        return table.grid if table is not None else None
+
+
+class Coordinator:
+    """Plans filter allocation for the whole cluster."""
+
+    def __init__(
+        self,
+        placement: PlacementSelector,
+        config: Optional[AllocationConfig] = None,
+        cost_model: Optional[CostModelConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or AllocationConfig()
+        self.placement = placement
+        self._rng = random.Random(seed)
+        self.optimizer = MoveOptimizer(
+            config=self.config,
+            cost_model=cost_model,
+            rng=random.Random(seed + 1),
+        )
+        self.plans_computed = 0
+
+    # -- demand collection -------------------------------------------------
+
+    def collect_demands(
+        self,
+        stats: TermStatistics,
+        home_node_of: Callable[[str], str],
+    ) -> List[NodeDemand]:
+        """Aggregate the term statistics per home node (Section V)."""
+        aggregator = NodeStatistics(home_node_of)
+        node_stats = aggregator.aggregate(stats)
+        return [
+            NodeDemand(
+                key=ns.node_id,
+                popularity=ns.popularity,
+                frequency=ns.frequency,
+                stored_replicas=ns.filter_replicas,
+            )
+            for ns in sorted(node_stats.values(), key=lambda s: s.node_id)
+        ]
+
+    # -- planning ---------------------------------------------------------
+
+    def plan(
+        self,
+        demands: Sequence[NodeDemand],
+        num_nodes: int,
+        total_filters: int,
+        home_node_of_key: Optional[Callable[[str], str]] = None,
+    ) -> AllocationPlan:
+        """Run the optimizer and materialize grids for every home node
+        that earned more than one node (``n_i >= 2``).
+
+        Grid nodes are drawn from the placement preference pool but
+        assigned greedily by predicted load: home nodes are processed
+        in descending per-slot traffic order and each takes the
+        least-loaded ``n_i`` candidates from its pool.  Without this,
+        the grids of several hot home nodes pile onto the same
+        successors and recreate exactly the hot spot the allocation is
+        meant to remove ("balance the number of processed documents",
+        Section IV-A).
+
+        ``home_node_of_key`` maps a demand key to the cluster node that
+        anchors its placement: the identity for node-aggregated demands
+        (Section V's default), or a term→home-node lookup when
+        per-term allocation is configured.
+        """
+        resolve_home = home_node_of_key or (lambda key: key)
+        factors = self.optimizer.solve(demands, num_nodes, total_filters)
+        plan = AllocationPlan(factors=factors, demands=list(demands))
+        capacity = float(self.config.node_capacity)
+        predicted_load: Dict[str, float] = {}
+        predicted_storage: Dict[str, float] = {}
+
+        def slot_load(demand: NodeDemand, n: int) -> float:
+            # Each grid slot serves ~q'/rows of the documents, each
+            # costing ~S/columns entries: q' * S / n per slot.
+            return demand.frequency * demand.stored_replicas / max(n, 1)
+
+        # Home nodes that will keep matching locally (n < 2) retain
+        # their resident replicas; pre-charge that storage so grids
+        # avoid piling copies onto already-full homes.
+        for demand in demands:
+            if factors[demand.key].n < 2:
+                home = resolve_home(demand.key)
+                predicted_storage[home] = (
+                    predicted_storage.get(home, 0.0)
+                    + demand.stored_replicas
+                )
+
+        ordered = sorted(
+            demands,
+            key=lambda d: slot_load(d, factors[d.key].n),
+            reverse=True,
+        )
+        for demand in ordered:
+            factor = factors[demand.key]
+            if factor.n < 2 or demand.stored_replicas == 0:
+                continue  # home node handles its own matching
+            home = resolve_home(demand.key)
+            pool_size = min(num_nodes - 1, max(2 * factor.n, factor.n + 4))
+            pool = self.placement.candidates(home, pool_size)
+            if not pool:
+                continue
+            n = min(factor.n, len(pool))
+            ratio = required_ratio(
+                demand.stored_replicas, n, self.config.node_capacity
+            )
+            columns = max(1, int(round(ratio * n)))
+            slot_storage = demand.stored_replicas / min(columns, n)
+            # Candidates ranked by: capacity-overflow first (zero when
+            # the slot fits), then predicted traffic, then preference.
+            chosen = sorted(
+                range(len(pool)),
+                key=lambda i: (
+                    max(
+                        0.0,
+                        predicted_storage.get(pool[i], 0.0)
+                        + slot_storage
+                        - capacity,
+                    ),
+                    predicted_load.get(pool[i], 0.0),
+                    i,
+                ),
+            )[:n]
+            candidates = [pool[i] for i in sorted(chosen)]
+            grid = build_grid(home, candidates, n, ratio)
+            plan.tables[demand.key] = ForwardingTable(grid)
+            load = slot_load(demand, n)
+            per_node_storage = demand.stored_replicas / grid.subset_count
+            for node_id in grid.all_nodes():
+                predicted_load[node_id] = (
+                    predicted_load.get(node_id, 0.0) + load
+                )
+                predicted_storage[node_id] = (
+                    predicted_storage.get(node_id, 0.0) + per_node_storage
+                )
+        self.plans_computed += 1
+        return plan
+
+    def plan_from_stats(
+        self,
+        stats: TermStatistics,
+        home_node_of: Callable[[str], str],
+        num_nodes: int,
+    ) -> AllocationPlan:
+        """Convenience: collect demands then plan.
+
+        With ``aggregate_per_node`` disabled in the config, demands are
+        one per *term* instead of one per home node — the forwarding
+        state the paper's Section V rejects as too costly to maintain
+        at millions of terms, kept here for the ablation that
+        quantifies exactly that trade-off.
+        """
+        total_filters = stats.popularity.total_filters
+        if self.config.aggregate_per_node:
+            demands = self.collect_demands(stats, home_node_of)
+            return self.plan(demands, num_nodes, total_filters)
+        demands = self.collect_term_demands(stats)
+        return self.plan(
+            demands,
+            num_nodes,
+            total_filters,
+            home_node_of_key=home_node_of,
+        )
+
+    def collect_term_demands(
+        self, stats: TermStatistics
+    ) -> List[NodeDemand]:
+        """One demand per term appearing in any registered filter."""
+        return [
+            NodeDemand(
+                key=term,
+                popularity=stats.p(term),
+                frequency=stats.q(term),
+                stored_replicas=stats.popularity.count(term),
+            )
+            for term in sorted(stats.popularity.terms())
+        ]

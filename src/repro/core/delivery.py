@@ -1,0 +1,112 @@
+"""Delivery layer: per-user inboxes over the dissemination plans.
+
+The systems' ``publish`` returns matched *filter ids*; real users see
+*notifications*.  The delivery service resolves filters to owners,
+deduplicates (a user with several matching filters receives one copy
+of a document), and keeps bounded per-user inboxes — the
+"disseminate d to those matching filters" last hop of Section III-B.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Set
+
+from ..baselines.base import DisseminationPlan, DisseminationSystem
+from ..model import Document
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One document delivered to one user."""
+
+    doc_id: str
+    owner: str
+    matched_filter_ids: frozenset
+
+    def __str__(self) -> str:
+        filters = ", ".join(sorted(self.matched_filter_ids))
+        return f"{self.owner} <- {self.doc_id} (via {filters})"
+
+
+class Inbox:
+    """Bounded FIFO of notifications for one user."""
+
+    def __init__(self, owner: str, capacity: int = 1_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.owner = owner
+        self.capacity = capacity
+        self._items: Deque[Notification] = deque(maxlen=capacity)
+        self.total_received = 0
+        self.dropped = 0
+
+    def push(self, notification: Notification) -> None:
+        if len(self._items) == self.capacity:
+            self.dropped += 1
+        self._items.append(notification)
+        self.total_received += 1
+
+    def drain(self) -> List[Notification]:
+        """Remove and return everything currently queued."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def peek(self) -> List[Notification]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class DeliveryService:
+    """Routes dissemination plans into per-user inboxes."""
+
+    def __init__(
+        self,
+        system: DisseminationSystem,
+        inbox_capacity: int = 1_000,
+    ) -> None:
+        self.system = system
+        self.inbox_capacity = inbox_capacity
+        self._inboxes: Dict[str, Inbox] = {}
+        self.documents_delivered = 0
+        self.notifications_sent = 0
+
+    def inbox(self, owner: str) -> Inbox:
+        box = self._inboxes.get(owner)
+        if box is None:
+            box = Inbox(owner, capacity=self.inbox_capacity)
+            self._inboxes[owner] = box
+        return box
+
+    def deliver(self, plan: DisseminationPlan) -> List[Notification]:
+        """Resolve a plan to user notifications (one per owner)."""
+        registered = self.system.registered_filters
+        by_owner: Dict[str, Set[str]] = {}
+        for filter_id in plan.matched_filter_ids:
+            profile = registered.get(filter_id)
+            if profile is None:
+                continue
+            by_owner.setdefault(profile.owner, set()).add(filter_id)
+        notifications = []
+        for owner in sorted(by_owner):
+            notification = Notification(
+                doc_id=plan.document.doc_id,
+                owner=owner,
+                matched_filter_ids=frozenset(by_owner[owner]),
+            )
+            self.inbox(owner).push(notification)
+            notifications.append(notification)
+        self.documents_delivered += 1
+        self.notifications_sent += len(notifications)
+        return notifications
+
+    def publish(self, document: Document) -> List[Notification]:
+        """Publish through the underlying system and deliver."""
+        return self.deliver(self.system.publish(document))
+
+    def owners(self) -> List[str]:
+        return sorted(self._inboxes)

@@ -1,0 +1,91 @@
+"""The forwarding engine's table (Section V, Figure 3).
+
+Each home node keeps a main-memory forwarding table mapping its filter
+set to the two-dimensional allocation grid: ``1/r_i`` rows (partitions)
+by ``n_i * r_i`` columns (subsets).  With node-level aggregation
+(Section V) a node maintains exactly one grid for all of its terms,
+instead of one per term.
+
+The table also answers the failure-time questions of the Figure 9
+experiments: which live node can serve a subset when the chosen
+partition has casualties, and whether a subset is reachable at all.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AllocationError
+from .allocation import AllocationGrid
+
+
+class ForwardingTable:
+    """One home node's routing state for its allocated filters."""
+
+    def __init__(self, grid: AllocationGrid) -> None:
+        self.grid = grid
+
+    @property
+    def home_node(self) -> str:
+        return self.grid.home_node
+
+    def choose_partition(self, rng: random.Random) -> int:
+        """Uniformly random partition (row) index (Section IV-B)."""
+        return rng.randrange(self.grid.partition_count)
+
+    def route(
+        self,
+        rng: random.Random,
+        is_alive: Optional[Callable[[str], bool]] = None,
+    ) -> Dict[int, Optional[str]]:
+        """Destination node per subset for one document.
+
+        A random partition is selected and the document is forwarded in
+        parallel to all of its nodes.  When a node of the chosen
+        partition is down, the subset falls back to a live copy in
+        another partition (the forwarding table knows every copy); when
+        no copy is alive the subset maps to None and its filters are
+        unreachable for this document (the availability loss Figure
+        9(d) measures).
+        """
+        alive = is_alive or (lambda _node: True)
+        row_index = self.choose_partition(rng)
+        row = self.grid.partition(row_index)
+        routing: Dict[int, Optional[str]] = {}
+        for subset, node in enumerate(row):
+            if alive(node):
+                routing[subset] = node
+                continue
+            fallback = [
+                candidate
+                for candidate in self.grid.holders_of_subset(subset)
+                if candidate != node and alive(candidate)
+            ]
+            routing[subset] = (
+                rng.choice(fallback) if fallback else None
+            )
+        return routing
+
+    def live_subset_fraction(
+        self, is_alive: Callable[[str], bool]
+    ) -> float:
+        """Fraction of subsets with at least one live copy."""
+        live = sum(
+            1
+            for subset in range(self.grid.subset_count)
+            if any(
+                is_alive(node)
+                for node in self.grid.holders_of_subset(subset)
+            )
+        )
+        return live / self.grid.subset_count
+
+    def describe(self) -> str:
+        """Human-readable summary (used by examples/diagnostics)."""
+        return (
+            f"ForwardingTable(home={self.home_node}, "
+            f"partitions={self.grid.partition_count}, "
+            f"subsets={self.grid.subset_count}, "
+            f"ratio={self.grid.ratio:.3f})"
+        )

@@ -1,0 +1,95 @@
+"""Subscription leases: TTL-based filter expiry.
+
+Long-running alert services garbage-collect abandoned subscriptions by
+leasing them: a registration is valid for a TTL and must be renewed;
+a periodic sweep unregisters expired filters.  Built on the systems'
+``unregister`` support, driven by any monotonic clock (the simulator's
+virtual clock in experiments, ``time.monotonic`` in live use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..baselines.base import DisseminationSystem
+from ..model import Filter
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One filter's lease state."""
+
+    filter_id: str
+    expires_at: float
+
+
+class SubscriptionManager:
+    """Lease bookkeeping over a dissemination system."""
+
+    def __init__(
+        self,
+        system: DisseminationSystem,
+        clock: Callable[[], float],
+        default_ttl: float = 3600.0,
+    ) -> None:
+        if default_ttl <= 0:
+            raise ValueError(f"default_ttl must be positive, got {default_ttl}")
+        self.system = system
+        self.clock = clock
+        self.default_ttl = default_ttl
+        self._expiry: Dict[str, float] = {}
+        self.expired_total = 0
+
+    def subscribe(
+        self, profile: Filter, ttl: Optional[float] = None
+    ) -> Lease:
+        """Register ``profile`` with a lease."""
+        ttl = self.default_ttl if ttl is None else ttl
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.system.register(profile)
+        expires_at = self.clock() + ttl
+        self._expiry[profile.filter_id] = expires_at
+        return Lease(filter_id=profile.filter_id, expires_at=expires_at)
+
+    def renew(
+        self, filter_id: str, ttl: Optional[float] = None
+    ) -> Lease:
+        """Extend an existing lease from *now*."""
+        if filter_id not in self._expiry:
+            raise KeyError(f"no lease for filter {filter_id!r}")
+        ttl = self.default_ttl if ttl is None else ttl
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        expires_at = self.clock() + ttl
+        self._expiry[filter_id] = expires_at
+        return Lease(filter_id=filter_id, expires_at=expires_at)
+
+    def cancel(self, filter_id: str) -> None:
+        """Explicitly end a lease and unregister the filter."""
+        self._expiry.pop(filter_id, None)
+        self.system.unregister(filter_id)
+
+    def lease_of(self, filter_id: str) -> Optional[Lease]:
+        expires_at = self._expiry.get(filter_id)
+        if expires_at is None:
+            return None
+        return Lease(filter_id=filter_id, expires_at=expires_at)
+
+    def active_count(self) -> int:
+        return len(self._expiry)
+
+    def sweep(self) -> List[str]:
+        """Unregister every expired lease; returns the expired ids."""
+        now = self.clock()
+        expired = [
+            filter_id
+            for filter_id, expires_at in self._expiry.items()
+            if expires_at <= now
+        ]
+        for filter_id in expired:
+            del self._expiry[filter_id]
+            self.system.unregister(filter_id)
+        self.expired_total += len(expired)
+        return expired

@@ -1,0 +1,555 @@
+"""The MOVE dissemination system (Sections IV–V).
+
+MOVE is the IL baseline *plus* adaptive filter allocation:
+
+1. **Registration** is identical to IL — a filter is stored on the home
+   node of each of its terms, indexed under that term only (the
+   distributed inverted list).
+2. **Allocation** (``finalize_registration`` / ``reallocate``): the
+   coordinator aggregates per-node statistics, computes ``n_i`` by the
+   configured sqrt rule under the ``N * C`` storage budget, picks
+   allocated nodes (hybrid ring/rack placement), and materializes
+   grids: home-node filters are separated into subsets and replicated
+   across partitions; each allocated node receives its subset's filters
+   indexed under the origin home node's terms.
+3. **Dissemination**: a document is routed (bloom-pruned) to the home
+   nodes of its terms; a home node *with* a forwarding table picks a
+   random partition and forwards the document in parallel to all nodes
+   of that partition, which match against their (small) subsets; a home
+   node *without* a table matches locally exactly as IL does.
+
+Failures: subsets fall back to live copies in other partitions, then to
+the home node itself (which retains the full filter set per Section V);
+filters with no live holder are recorded as unreachable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cluster.cluster import Cluster
+from ..config import SystemConfig
+from ..matching.bloom import BloomFilter
+from ..matching.inverted_index import InvertedIndex
+from ..model import Document, Filter
+from ..stats.term_stats import TermStatistics
+from .coordinator import AllocationPlan, Coordinator
+from .placement import PlacementSelector
+from ..baselines.base import (
+    DisseminationPlan,
+    DisseminationSystem,
+    NodeTask,
+)
+
+
+class MoveSystem(DisseminationSystem):
+    """The paper's proposed scheme."""
+
+    name = "Move"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[SystemConfig] = None,
+        threshold: Optional[float] = None,
+    ) -> None:
+        super().__init__(config, threshold=threshold)
+        self.cluster = cluster
+        self.stats = TermStatistics()
+        #: Home-node indexes (the distributed inverted list), as in IL.
+        self._home_indexes: Dict[str, InvertedIndex] = {
+            node_id: InvertedIndex() for node_id in cluster.node_ids()
+        }
+        #: Allocated-subset indexes: receiving node -> origin home node
+        #: -> index of the subset filters (indexed under origin terms).
+        self._allocated_indexes: Dict[str, Dict[str, InvertedIndex]] = (
+            defaultdict(dict)
+        )
+        self._bloom = (
+            BloomFilter(
+                self.config.expected_filter_terms,
+                self.config.bloom_fp_rate,
+            )
+            if self.config.use_bloom_filter
+            else None
+        )
+        placement = PlacementSelector(
+            cluster.ring,
+            cluster.topology,
+            mode=self.config.allocation.placement,
+        )
+        self.coordinator = Coordinator(
+            placement,
+            config=self.config.allocation,
+            cost_model=self.config.cost_model,
+            seed=(self.config.seed or 0) + 0x40,
+        )
+        self.plan: Optional[AllocationPlan] = None
+        self._rng = random.Random((self.config.seed or 0) + 0x41)
+
+    # -- registration (identical to IL) ---------------------------------
+
+    def home_of(self, term: str) -> str:
+        return self.cluster.ring.home_node(term)
+
+    def _register(self, profile: Filter) -> None:
+        self.stats.register_filter(profile)
+        storage_load = self.metrics.load("storage_replicas")
+        for term in profile.terms:
+            node_id = self.home_of(term)
+            node = self.cluster.node(node_id)
+            node.filter_store.put(
+                profile.filter_id, "terms", profile.sorted_terms()
+            )
+            self._home_indexes[node_id].add_filter(
+                profile, indexed_terms=[term]
+            )
+            storage_load.add(node_id, 1.0)
+            if self._bloom is not None:
+                self._bloom.add(term)
+            self._write_through_allocation(profile, node_id, term)
+
+    def _write_through_allocation(
+        self, profile: Filter, home_id: str, term: str
+    ) -> None:
+        """Keep live grids complete for filters registered after an
+        allocation: the home node writes the new filter to every holder
+        of its subset, so documents routed to the grid (instead of the
+        home) still find it before the next reallocation."""
+        if self.plan is None:
+            return
+        origin_key = (
+            home_id
+            if self.config.allocation.aggregate_per_node
+            else term
+        )
+        table = self.plan.tables.get(origin_key)
+        if table is None:
+            return
+        subset = table.grid.subset_of(profile.filter_id)
+        for holder in table.grid.holders_of_subset(subset):
+            per_origin = self._allocated_indexes[holder]
+            index = per_origin.get(origin_key)
+            if index is None:
+                index = InvertedIndex()
+                per_origin[origin_key] = index
+            index.add_filter(profile, indexed_terms=[term])
+
+    def _unregister(self, profile: Filter) -> None:
+        """Remove the filter from home indexes and live grid copies."""
+        self.stats.popularity.unregister(profile)
+        aggregate = self.config.allocation.aggregate_per_node
+        for term in profile.terms:
+            home_id = self.home_of(term)
+            index = self._home_indexes[home_id]
+            if profile.filter_id in index:
+                index.remove_filter(profile.filter_id)
+            self.cluster.node(home_id).filter_store.delete(
+                profile.filter_id
+            )
+            if self.plan is None:
+                continue
+            origin_key = home_id if aggregate else term
+            table = self.plan.tables.get(origin_key)
+            if table is None:
+                continue
+            subset = table.grid.subset_of(profile.filter_id)
+            for holder in table.grid.holders_of_subset(subset):
+                allocated = self._allocated_indexes[holder].get(
+                    origin_key
+                )
+                if allocated is not None:
+                    allocated.remove_filter(profile.filter_id)
+
+    # -- statistics & allocation ------------------------------------------
+
+    def seed_frequencies(self, corpus) -> None:
+        """Bootstrap ``q_i`` from an offline corpus (proactive policy)."""
+        self.stats.frequency.seed_from_corpus(corpus)
+
+    def observe_document(self, document: Document) -> None:
+        """Feed the frequency tracker (renewed on ``reallocate``)."""
+        self.stats.observe_document(document)
+
+    def finalize_registration(self) -> None:
+        """Compute and apply the allocation plan.
+
+        Requires frequency statistics: call :meth:`seed_frequencies`
+        (proactive) or publish a learning batch then
+        :meth:`reallocate` (passive) first.  With no frequency signal
+        at all, MOVE degenerates gracefully to IL (every ``n_i = 1``).
+        """
+        self.reallocate()
+
+    def reallocate(self) -> None:
+        """Renew statistics and re-run the coordinator (the 10-minute
+        refresh of Section VI-A)."""
+        self.stats.frequency.renew()
+        plan = self.coordinator.plan_from_stats(
+            self.stats, self.home_of, num_nodes=len(self.cluster)
+        )
+        self._apply_plan(plan)
+
+    def _apply_plan(self, plan: AllocationPlan) -> None:
+        """Copy subset filters to their allocated nodes.
+
+        Table keys are home-node ids in the aggregated mode (Section
+        V's deployment) or terms in the per-term ablation mode; in
+        either case the allocated node indexes its subset under the
+        terms the origin home node serves.
+        """
+        self.plan = plan
+        self._allocated_indexes = defaultdict(dict)
+        aggregate = self.config.allocation.aggregate_per_node
+        storage_load = self.metrics.load("storage_replicas_allocated")
+        for key, table in plan.tables.items():
+            grid = table.grid
+            home_index = self._home_indexes[grid.home_node]
+            subset_indexes: Dict[str, InvertedIndex] = {}
+            for row in grid.rows:
+                for node_id in row:
+                    subset_indexes[node_id] = InvertedIndex()
+            if aggregate:
+                origin_filters = home_index.all_filters()
+                origin_terms = set(home_index.terms())
+            else:
+                origin_filters, _ = home_index.filters_for_term(key)
+                origin_terms = {key}
+            for profile in origin_filters:
+                subset = grid.subset_of(profile.filter_id)
+                indexed_terms = profile.terms & origin_terms
+                if not indexed_terms:
+                    continue
+                for holder in grid.holders_of_subset(subset):
+                    subset_indexes[holder].add_filter(
+                        profile, indexed_terms=indexed_terms
+                    )
+            for node_id, index in subset_indexes.items():
+                self._allocated_indexes[node_id][key] = index
+                storage_load.add(
+                    node_id, float(index.stored_replica_count())
+                )
+
+    # -- dissemination -----------------------------------------------------
+
+    def _terms_by_home(self, document: Document) -> Dict[str, List[str]]:
+        grouped: Dict[str, List[str]] = defaultdict(list)
+        for term in document.terms:
+            if self._bloom is not None and term not in self._bloom:
+                continue
+            grouped[self.home_of(term)].append(term)
+        return grouped
+
+    def publish(self, document: Document) -> DisseminationPlan:
+        self.stats.observe_document(document)
+        ingest = self._choose_ingest()
+        matched: Set[str] = set()
+        unreachable: Set[str] = set()
+        grouped = self._terms_by_home(document)
+        routing_messages = len(grouped)
+        # Per-destination accumulated work: a node serving several home
+        # nodes' subsets still receives the document payload once.
+        work: Dict[str, List] = {}  # node -> [lists, entries, path]
+
+        aggregate = self.config.allocation.aggregate_per_node
+        for home_id, terms in grouped.items():
+            if self.plan is None:
+                self._match_at_home(
+                    document, home_id, terms, ingest,
+                    matched, unreachable, work,
+                )
+                continue
+            if aggregate:
+                table = self.plan.tables.get(home_id)
+                if table is None:
+                    self._match_at_home(
+                        document, home_id, terms, ingest,
+                        matched, unreachable, work,
+                    )
+                else:
+                    routing_messages += self._match_allocated(
+                        document, home_id, terms, ingest, table,
+                        matched, unreachable, work, origin_key=home_id,
+                    )
+                continue
+            # Per-term mode: each term routes through its own table.
+            local_terms: List[str] = []
+            for term in terms:
+                table = self.plan.tables.get(term)
+                if table is None:
+                    local_terms.append(term)
+                else:
+                    routing_messages += self._match_allocated(
+                        document, home_id, [term], ingest, table,
+                        matched, unreachable, work, origin_key=term,
+                    )
+            if local_terms:
+                self._match_at_home(
+                    document, home_id, local_terms, ingest,
+                    matched, unreachable, work,
+                )
+
+        tasks = [
+            NodeTask(
+                node_id=node_id,
+                path=tuple(path),
+                posting_lists=lists,
+                posting_entries=entries,
+            )
+            for node_id, (lists, entries, path) in work.items()
+        ]
+        unreachable -= matched
+        self._account_tasks(tasks)
+        self.metrics.counter("documents_published").add()
+        return DisseminationPlan(
+            document=document,
+            matched_filter_ids=matched,
+            tasks=tasks,
+            unreachable_filter_ids=unreachable,
+            routing_messages=routing_messages,
+        )
+
+    @staticmethod
+    def _add_work(
+        work: Dict[str, List],
+        node_id: str,
+        lists: int,
+        entries: int,
+        path: Tuple[str, ...],
+    ) -> None:
+        entry = work.get(node_id)
+        if entry is None:
+            work[node_id] = [lists, entries, path]
+        else:
+            entry[0] += lists
+            entry[1] += entries
+            if len(path) < len(entry[2]):
+                entry[2] = path  # keep the shortest payload route
+
+    def _match_at_home(
+        self,
+        document: Document,
+        home_id: str,
+        terms: List[str],
+        ingest: str,
+        matched: Set[str],
+        unreachable: Set[str],
+        work: Dict[str, List],
+    ) -> None:
+        """IL-style local matching on an unallocated home node."""
+        node = self.cluster.node(home_id)
+        index = self._home_indexes[home_id]
+        if not node.alive:
+            for term in terms:
+                filters, _ = index.filters_for_term(term)
+                unreachable.update(f.filter_id for f in filters)
+            return
+        lists = 0
+        entries = 0
+        for term in terms:
+            filters, cost = index.match_document_single_term(
+                document, term
+            )
+            lists += cost.posting_lists
+            entries += cost.posting_entries
+            matched.update(
+                f.filter_id
+                for f in self._apply_semantics(document, filters)
+            )
+        self._add_work(work, home_id, lists, entries, (ingest, home_id))
+
+    def _match_allocated(
+        self,
+        document: Document,
+        home_id: str,
+        terms: List[str],
+        ingest: str,
+        table,
+        matched: Set[str],
+        unreachable: Set[str],
+        work: Dict[str, List],
+        origin_key: str,
+    ) -> int:
+        """Partition-parallel matching through the forwarding table.
+
+        Returns the number of forwarding messages issued.  The home
+        node acts as the router (its forwarding table is in main
+        memory); if the home node itself is down, the ingest node
+        routes directly from a gossip-replicated copy of the table —
+        per the paper the table contents derive from the coordinator,
+        so any node can reconstruct them.
+        """
+        home_alive = self.cluster.node(home_id).alive
+        router = home_id if home_alive else ingest
+
+        def alive(node_id: str) -> bool:
+            return self.cluster.node(node_id).alive
+
+        routing = table.route(self._rng, is_alive=alive)
+        grid = table.grid
+        home_index = self._home_indexes[home_id]
+
+        # Group subsets by destination node so a node receives the
+        # document once even when it serves several subsets.
+        by_node: Dict[str, List[int]] = defaultdict(list)
+        lost_subsets: List[int] = []
+        for subset, node_id in routing.items():
+            if node_id is None:
+                if home_alive:
+                    # Home node retains the full filter set: fall back.
+                    by_node[home_id].append(subset)
+                else:
+                    lost_subsets.append(subset)
+            else:
+                by_node[node_id].append(subset)
+
+        messages = 0
+        for node_id, subsets in by_node.items():
+            if node_id == home_id:
+                index = home_index
+                restrict_subsets = set(subsets)
+            else:
+                index = self._allocated_indexes[node_id][origin_key]
+                restrict_subsets = None  # node only holds its subsets
+            lists = 0
+            entries = 0
+            for term in terms:
+                filters, cost = index.filters_for_term(term)
+                lists += cost.posting_lists
+                entries += cost.posting_entries
+                candidates = []
+                for profile in filters:
+                    if restrict_subsets is not None and (
+                        grid.subset_of(profile.filter_id)
+                        not in restrict_subsets
+                    ):
+                        continue
+                    candidates.append(profile)
+                matched.update(
+                    profile.filter_id
+                    for profile in self._apply_semantics(
+                        document, candidates
+                    )
+                )
+            path = (
+                (ingest, node_id)
+                if router == node_id
+                else (ingest, router, node_id)
+            )
+            self._add_work(work, node_id, lists, entries, path)
+            messages += 1
+
+        for subset in lost_subsets:
+            for term in terms:
+                filters, _ = home_index.filters_for_term(term)
+                unreachable.update(
+                    profile.filter_id
+                    for profile in filters
+                    if grid.subset_of(profile.filter_id) == subset
+                )
+        return messages
+
+    def _choose_ingest(self) -> str:
+        live = self.cluster.live_node_ids()
+        if not live:
+            raise RuntimeError("no live nodes to ingest documents")
+        return self._rng.choice(live)
+
+    # -- elasticity ------------------------------------------------------------
+
+    def rebalance(self) -> int:
+        """Restore the home-node invariant after ring changes, then
+        re-run the allocation.
+
+        When nodes join the ring, some terms acquire new home nodes;
+        their postings are handed off exactly as in IL, new nodes get
+        empty home indexes, and the coordinator recomputes the grids
+        over the new membership.  Returns filter replicas moved.
+        """
+        for node_id in self.cluster.node_ids():
+            self._home_indexes.setdefault(node_id, InvertedIndex())
+        moved = 0
+        for node_id, index in list(self._home_indexes.items()):
+            for term in list(index.terms()):
+                new_home = self.home_of(term)
+                if new_home == node_id:
+                    continue
+                filters = index.remove_term(term)
+                target_index = self._home_indexes[new_home]
+                target_node = self.cluster.node(new_home)
+                for profile in filters:
+                    target_node.filter_store.put(
+                        profile.filter_id,
+                        "terms",
+                        profile.sorted_terms(),
+                    )
+                    target_index.add_filter(
+                        profile, indexed_terms=[term]
+                    )
+                    moved += 1
+        self.reallocate()
+        return moved
+
+    # -- diagnostics --------------------------------------------------------
+
+    def storage_distribution(self) -> Dict[str, float]:
+        """Total filter replicas per node: home + allocated copies.
+
+        The home-resident replicas only count where the node still
+        performs matching itself (no forwarding table); a routed home
+        node's own copy is cold storage and the paper's Figure 9(a)
+        measures serving replicas.
+        """
+        totals: Dict[str, float] = {
+            node_id: 0.0 for node_id in self.cluster.node_ids()
+        }
+        for node_id, index in self._home_indexes.items():
+            allocated = (
+                self.plan is not None and node_id in self.plan.tables
+            )
+            if not allocated:
+                totals[node_id] += len(index)
+        for node_id, per_home in self._allocated_indexes.items():
+            for index in per_home.values():
+                totals[node_id] += len(index)
+        return totals
+
+    def allocation_movement(self) -> List[Tuple[str, str, int]]:
+        """Filter copies moved by the allocation: (origin home node,
+        receiving node, filter count) triples.
+
+        The paper's Section V notes this movement is the ring
+        placement's downside ("the successor-based option might cause
+        network traffic"); the throughput harness charges the receiving
+        node for it.
+        """
+        moves: List[Tuple[str, str, int]] = []
+        for node_id, per_origin in self._allocated_indexes.items():
+            for origin_key, index in per_origin.items():
+                if not len(index):
+                    continue
+                table = (
+                    self.plan.tables.get(origin_key)
+                    if self.plan is not None
+                    else None
+                )
+                # Resolve the origin key (home node id, or term in the
+                # per-term mode) to the physical home node.
+                home_id = (
+                    table.grid.home_node
+                    if table is not None
+                    else origin_key
+                )
+                moves.append((home_id, node_id, len(index)))
+        return moves
+
+    def allocation_summary(self) -> List[str]:
+        """One line per forwarding table (examples/diagnostics)."""
+        if self.plan is None:
+            return []
+        return [
+            table.describe()
+            for _, table in sorted(self.plan.tables.items())
+        ]

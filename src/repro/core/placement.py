@@ -1,0 +1,85 @@
+"""Selection of allocated nodes (Section V).
+
+Two base options, each with a downside the paper calls out:
+
+- **ring** — successors of the home node along the Cassandra ring.
+  Spreads copies across racks (good availability under rack failure)
+  but moves filters across the cluster, causing cross-rack traffic.
+- **rack** — nodes inside the home node's rack.  Cheap intra-rack
+  transfers (good throughput) but a whole-rack failure loses every
+  copy.
+
+MOVE therefore uses a **hybrid**: one half of the ``n_i`` nodes from
+the ring successors and one half from the rack peers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..cluster.ring import ConsistentHashRing
+from ..cluster.topology import Topology
+from ..errors import AllocationError
+
+
+class PlacementSelector:
+    """Produces ordered candidate-node lists for allocation grids."""
+
+    def __init__(
+        self,
+        ring: ConsistentHashRing,
+        topology: Topology,
+        mode: str = "hybrid",
+    ) -> None:
+        if mode not in ("ring", "rack", "hybrid"):
+            raise AllocationError(f"unknown placement mode {mode!r}")
+        self.ring = ring
+        self.topology = topology
+        self.mode = mode
+
+    def candidates(self, home_node: str, count: int) -> List[str]:
+        """Up to ``count`` distinct nodes (home excluded), ordered by
+        preference.  Short lists are legal — the grid builder shrinks
+        ``n`` to what is available."""
+        if count < 1:
+            return []
+        if self.mode == "ring":
+            return self._ring_candidates(home_node, count)
+        if self.mode == "rack":
+            return self._rack_candidates(home_node, count)
+        return self._hybrid_candidates(home_node, count)
+
+    def _ring_candidates(self, home_node: str, count: int) -> List[str]:
+        return self.ring.successors(home_node, count)
+
+    def _rack_candidates(self, home_node: str, count: int) -> List[str]:
+        """Rack peers only — strictly in-rack.
+
+        A short list is intentional: the rack bounds how many nodes the
+        pure rack policy can use, which is exactly the trade-off the
+        paper's Figure 9(c/d) explores (cheap intra-rack transfers, but
+        a whole-rack failure loses every copy).
+        """
+        peers = self.topology.rack_peers(home_node)
+        return peers[:count]
+
+    def _hybrid_candidates(self, home_node: str, count: int) -> List[str]:
+        """Half successors, half rack peers, interleaved.
+
+        Interleaving (instead of concatenating halves) keeps both
+        flavours present even when the grid builder truncates the list.
+        """
+        ring_half = self._ring_candidates(home_node, count)
+        rack_half = self._rack_candidates(home_node, count)
+        merged: List[str] = []
+        seen = set()
+        for pair in zip(rack_half, ring_half):
+            for node in pair:
+                if node not in seen:
+                    seen.add(node)
+                    merged.append(node)
+        for node in rack_half + ring_half:
+            if node not in seen:
+                seen.add(node)
+                merged.append(node)
+        return merged[:count]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still distinguishing subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object failed validation."""
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-substrate errors."""
+
+
+class NodeDownError(ClusterError):
+    """An operation was routed to a node that is not alive."""
+
+    def __init__(self, node_id: str, operation: str = "") -> None:
+        self.node_id = node_id
+        self.operation = operation
+        detail = f" during {operation}" if operation else ""
+        super().__init__(f"node {node_id!r} is down{detail}")
+
+
+class UnknownNodeError(ClusterError):
+    """A node id was referenced that is not part of the cluster."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        super().__init__(f"unknown node {node_id!r}")
+
+
+class RingEmptyError(ClusterError):
+    """A lookup was attempted on a hash ring with no live members."""
+
+
+class StorageError(ReproError):
+    """Base class for column-family storage errors."""
+
+
+class UnknownColumnFamilyError(StorageError):
+    """A read or write referenced a column family that was never created."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown column family {name!r}")
+
+
+class AllocationError(ReproError):
+    """A filter-allocation plan could not be constructed or is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received unsatisfiable parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven incorrectly."""
+
+
+class MatchingError(ReproError):
+    """A matching engine was misused (e.g. unregistered filter id)."""

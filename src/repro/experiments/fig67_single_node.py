@@ -1,0 +1,143 @@
+"""Figures 6 and 7 — single-node throughput at fixed ``R = P * Q``.
+
+On one node, the paper fixes the product ``R`` of filter count ``P``
+and document count ``Q`` and sweeps ``Q``: throughput rises as ``Q``
+shrinks (fewer large documents, more short filters), except at very
+large ``P`` where the working set spills and disk IO becomes the
+bottleneck — with ``R = 1e7``, ``Q = 2`` (``P = 5e6``) is slightly
+*slower* than ``Q = 10`` (``P = 1e6``).
+
+Figure 6 uses TREC AP documents (huge articles), Figure 7 TREC WT
+(small web pages); the paper finds WT throughput ~81.84x higher at
+``R = 1e6, Q = 100``, roughly tracking the document-length ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.centralized import CentralizedSift
+from ..config import CostModelConfig
+from ..sim.costs import MatchCostModel
+from ..workloads import (
+    CorpusGenerator,
+    CorpusProfile,
+    FilterTraceGenerator,
+    SharedVocabulary,
+    TREC_AP_PROFILE,
+    TREC_WT_PROFILE,
+)
+from .harness import ExperimentSeries, format_multi_series
+
+
+@dataclass
+class SingleNodeSweep:
+    """One corpus's family of fixed-R curves."""
+
+    corpus: str
+    series: List[ExperimentSeries]
+
+    def format_report(self) -> str:
+        return format_multi_series(
+            f"Figures 6/7: single node throughput ({self.corpus})",
+            self.series,
+        )
+
+    def throughput_at(self, r_value: float, q: int) -> float:
+        for s in self.series:
+            if s.label == f"P*Q = {r_value:g}":
+                for x, y in s.rows():
+                    if int(x) == q:
+                        return y
+        raise KeyError(f"no point R={r_value}, Q={q}")
+
+
+def run_single_node(
+    profile: CorpusProfile,
+    r_values: Sequence[float] = (1e4, 1e5, 1e6),
+    q_values: Sequence[int] = (2, 10, 50, 100, 200, 1000),
+    vocabulary_size: int = 10_000,
+    mean_doc_terms: Optional[float] = None,
+    memory_capacity: int = 300_000,
+    disk_pressure_slope: float = 0.5,
+    seed: int = 11,
+) -> SingleNodeSweep:
+    """Sweep ``Q`` at each fixed ``R`` on a single SIFT node.
+
+    ``R`` values are scaled from the paper's 1e5–1e7 by the same
+    ~1/10 factor per axis as the cluster experiments;
+    ``memory_capacity`` scales the paper's ~5e6-filter disk knee
+    accordingly (Q=2 at the largest R exceeds it and dips below Q=10,
+    reproducing Figure 6's exception).  The cost model's ``y_p`` is
+    raised relative to the seek cost so the paper's 8.92x fixed-R fold
+    is matched (see EXPERIMENTS.md for the calibration).
+    """
+    if mean_doc_terms is None:
+        mean_doc_terms = (
+            600.0 if profile is TREC_AP_PROFILE else 64.8
+        )
+    cost_model = MatchCostModel(
+        CostModelConfig(y_p=2e-5, y_d=1e-4, y_seek=5e-5)
+    )
+    vocabulary = SharedVocabulary(
+        size=vocabulary_size,
+        overlap_fraction=profile.query_overlap,
+        seed=seed,
+    )
+    filter_gen = FilterTraceGenerator(vocabulary, seed=seed + 1)
+    corpus_gen = CorpusGenerator(
+        vocabulary,
+        profile,
+        seed=seed + 2,
+        mean_terms_override=mean_doc_terms,
+    )
+    all_series: List[ExperimentSeries] = []
+    for r_value in r_values:
+        series = ExperimentSeries(
+            label=f"P*Q = {r_value:g}",
+            x_label="Q: num docs",
+            y_label="throughput (match work/s)",
+        )
+        for q in q_values:
+            p = max(1, int(round(r_value / q)))
+            node = CentralizedSift(
+                cost_model=cost_model,
+                memory_capacity=memory_capacity,
+                disk_pressure_slope=disk_pressure_slope,
+            )
+            node.register_all(filter_gen.iter_generate(p, prefix=f"f{q}_"))
+            documents = corpus_gen.generate(q, prefix=f"d{q}_")
+            result = node.run_batch(documents)
+            series.add(float(q), result.pair_throughput)
+        all_series.append(series)
+    return SingleNodeSweep(corpus=profile.name, series=all_series)
+
+
+def run_fig6(**kwargs) -> SingleNodeSweep:
+    """Figure 6: TREC AP documents."""
+    return run_single_node(TREC_AP_PROFILE, **kwargs)
+
+
+def run_fig7(**kwargs) -> SingleNodeSweep:
+    """Figure 7: TREC WT documents."""
+    return run_single_node(TREC_WT_PROFILE, **kwargs)
+
+
+def wt_over_ap_ratio(
+    r_value: float = 1e5,
+    q: int = 100,
+    **kwargs,
+) -> float:
+    """The Figure 6-vs-7 headline: WT throughput over AP throughput.
+
+    The paper reports ~81.84x at R = 1e6, Q = 100 (paper scale),
+    roughly the ratio of mean document lengths (6054.9 / 64.8 ≈ 93).
+    """
+    ap = run_fig6(r_values=(r_value,), q_values=(q,), **kwargs)
+    wt = run_fig7(r_values=(r_value,), q_values=(q,), **kwargs)
+    ap_tput = ap.throughput_at(r_value, q)
+    wt_tput = wt.throughput_at(r_value, q)
+    if ap_tput == 0:
+        return float("inf")
+    return wt_tput / ap_tput

@@ -1,0 +1,227 @@
+"""Figure 9 — maintenance: load distribution and fault tolerance.
+
+- (a) ranked per-node **storage cost**, each node's load divided by the
+  RS scheme's cluster-wide mean: RS is the most even (consistent
+  hashing of filter ids), Move is balanced by allocation, IL is the
+  most skewed (term popularity ``p_i``).
+- (b) ranked per-node **matching cost** (documents received): IL is
+  the most skewed (term frequency ``q_i``); Move is *more even than
+  RS* because documents are spread over the ``1/r_i`` partitions.
+- (c) throughput under node failure (rates 0 and 0.3) for the three
+  placement policies: rack-aware placement is fastest (intra-rack
+  transfers), ring placement slowest, Move's hybrid in between.
+- (d) filter availability under (rack-correlated) failure: rack-aware
+  is the least available (a dead rack takes every copy), ring the most,
+  Move's hybrid close to ring — the reason MOVE combines both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import random
+
+from ..core import MoveSystem
+from .harness import (
+    ExperimentSeries,
+    ScaledWorkload,
+    ThroughputResult,
+    build_cluster,
+    make_system,
+    run_scheme_once,
+)
+from .fig8_cluster import SCHEMES
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 (a)/(b): load distributions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LoadDistributionResult:
+    """Ranked normalized per-node loads for all three schemes."""
+
+    metric: str  # "storage" or "matching"
+    #: scheme -> loads ranked descending, normalized by the RS mean.
+    ranked: Dict[str, List[float]]
+
+    def imbalance(self, scheme: str) -> float:
+        """Max over mean of the scheme's own distribution."""
+        loads = self.ranked[scheme]
+        if not loads:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+    def format_report(self) -> str:
+        lines = [f"# Figure 9({'a' if self.metric == 'storage' else 'b'}): "
+                 f"{self.metric} cost distribution (normalized to RS mean)"]
+        header = f"{'rank':>6s}" + "".join(
+            f"  {scheme:>10s}" for scheme in SCHEMES
+        )
+        lines.append(header)
+        length = max(len(v) for v in self.ranked.values())
+        for i in range(length):
+            row = [f"{i + 1:6d}"]
+            for scheme in SCHEMES:
+                loads = self.ranked[scheme]
+                row.append(
+                    f"  {loads[i]:10.3f}" if i < len(loads) else " " * 12
+                )
+            lines.append("".join(row))
+        lines.append(
+            "imbalance (max/mean): "
+            + ", ".join(
+                f"{scheme}={self.imbalance(scheme):.2f}"
+                for scheme in SCHEMES
+            )
+        )
+        return "\n".join(lines)
+
+
+def _build_and_run(
+    scheme: str, bundle, seed: int = 0
+) -> Tuple[object, object]:
+    """Register, allocate, publish the full stream; return (system,
+    cluster) with metrics populated."""
+    workload = bundle.workload
+    cluster, config = build_cluster(
+        workload.num_nodes, workload.node_capacity, seed=seed
+    )
+    system = make_system(scheme, cluster, config)
+    system.register_all(bundle.filters)
+    if isinstance(system, MoveSystem):
+        system.seed_frequencies(bundle.offline_corpus())
+    system.finalize_registration()
+    for document in bundle.documents:
+        system.publish(document)
+    return system, cluster
+
+
+def run_fig9a(
+    base: Optional[ScaledWorkload] = None, seed: int = 0
+) -> LoadDistributionResult:
+    """Ranked storage cost per node, normalized to the RS mean."""
+    base = base or ScaledWorkload()
+    bundle = base.build()
+    distributions: Dict[str, Dict[str, float]] = {}
+    for scheme in SCHEMES:
+        system, _cluster = _build_and_run(scheme, bundle, seed=seed)
+        distributions[scheme] = system.storage_distribution()
+    rs_values = list(distributions["RS"].values())
+    rs_mean = sum(rs_values) / len(rs_values) if rs_values else 1.0
+    ranked = {
+        scheme: sorted(
+            (value / rs_mean for value in dist.values()), reverse=True
+        )
+        for scheme, dist in distributions.items()
+    }
+    return LoadDistributionResult(metric="storage", ranked=ranked)
+
+
+def run_fig9b(
+    base: Optional[ScaledWorkload] = None, seed: int = 0
+) -> LoadDistributionResult:
+    """Ranked matching cost (documents received) per node."""
+    base = base or ScaledWorkload()
+    bundle = base.build()
+    distributions: Dict[str, Dict[str, float]] = {}
+    for scheme in SCHEMES:
+        system, cluster = _build_and_run(scheme, bundle, seed=seed)
+        received = system.metrics.load("documents_received").as_dict()
+        # Nodes that received nothing still count in the distribution.
+        for node_id in cluster.node_ids():
+            received.setdefault(node_id, 0.0)
+        distributions[scheme] = received
+    rs_values = list(distributions["RS"].values())
+    rs_mean = sum(rs_values) / len(rs_values) if rs_values else 1.0
+    ranked = {
+        scheme: sorted(
+            (value / rs_mean for value in dist.values()), reverse=True
+        )
+        for scheme, dist in distributions.items()
+    }
+    return LoadDistributionResult(metric="matching", ranked=ranked)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 (c)/(d): node failure
+# ---------------------------------------------------------------------------
+
+PLACEMENTS = ("move", "ring", "rack")
+
+
+@dataclass
+class FailureResult:
+    """Throughput and availability per placement and failure rate."""
+
+    #: (placement, failure_rate) -> throughput (docs/s).
+    throughput: Dict[Tuple[str, float], float] = field(
+        default_factory=dict
+    )
+    #: (placement, failure_rate) -> matched / expected match ratio.
+    availability: Dict[Tuple[str, float], float] = field(
+        default_factory=dict
+    )
+
+    def format_report(self) -> str:
+        lines = ["# Figure 9(c/d): node failure"]
+        rates = sorted({rate for _p, rate in self.throughput})
+        header = f"{'placement':>10s}" + "".join(
+            f"  tput@{rate:g}  avail@{rate:g}" for rate in rates
+        )
+        lines.append(header)
+        for placement in PLACEMENTS:
+            row = [f"{placement:>10s}"]
+            for rate in rates:
+                tput = self.throughput.get((placement, rate), float("nan"))
+                avail = self.availability.get(
+                    (placement, rate), float("nan")
+                )
+                row.append(f"  {tput:8.1f}  {avail:9.3f}")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def run_fig9cd(
+    failure_rates: Sequence[float] = (0.0, 0.3),
+    base: Optional[ScaledWorkload] = None,
+    rack_correlated: bool = True,
+    seed: int = 0,
+) -> FailureResult:
+    """Run MOVE under each placement policy and failure rate.
+
+    ``placement='move'`` is the paper's hybrid.  Availability is the
+    fraction of should-have-matched filter deliveries that were still
+    reachable, relative to the failure-free run (the paper's "rate of
+    still available filters under failure against the case without
+    failure").
+    """
+    base = base or ScaledWorkload()
+    bundle = base.build()
+    result = FailureResult()
+    placement_mode = {"move": "hybrid", "ring": "ring", "rack": "rack"}
+    baseline_matches: Dict[str, int] = {}
+    for placement in PLACEMENTS:
+        for rate in failure_rates:
+            run = run_scheme_once(
+                "Move",
+                bundle,
+                placement=placement_mode[placement],
+                fail_fraction=rate,
+                fail_whole_racks=rack_correlated,
+                seed=seed,
+            )
+            result.throughput[(placement, rate)] = run.throughput
+            if rate == 0.0:
+                baseline_matches[placement] = run.total_matches
+                result.availability[(placement, rate)] = 1.0
+            else:
+                reference = baseline_matches.get(placement)
+                result.availability[(placement, rate)] = (
+                    run.total_matches / reference
+                    if reference
+                    else float("nan")
+                )
+    return result

@@ -1,0 +1,119 @@
+"""Terminal plotting: render experiment series as ASCII charts.
+
+The paper's figures are log–log or semi-log curves; these helpers give
+the text-mode equivalent so ``python -m repro experiments`` output can
+be eyeballed for shape without leaving the terminal.  No plotting
+dependencies — just character grids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .harness import ExperimentSeries
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> List[float]:
+    if not log:
+        return list(values)
+    return [math.log10(v) if v > 0 else float("-inf") for v in values]
+
+
+def ascii_plot(
+    series_list: Sequence[ExperimentSeries],
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more series on a shared character grid.
+
+    Each series gets a marker from :data:`MARKERS`; a legend and axis
+    ranges are appended.  Points with non-positive coordinates are
+    dropped from log-scaled axes.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4 characters")
+    populated = [s for s in series_list if s.xs]
+    if not populated:
+        return f"# {title or 'plot'}\n(no data)"
+
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for series in populated:
+        xs = _transform(series.xs, log_x)
+        ys = _transform(series.ys, log_y)
+        for x, y in zip(xs, ys):
+            if math.isfinite(x) and math.isfinite(y):
+                all_x.append(x)
+                all_y.append(y)
+    if not all_x:
+        return f"# {title or 'plot'}\n(no finite points)"
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(populated):
+        marker = MARKERS[index % len(MARKERS)]
+        xs = _transform(series.xs, log_x)
+        ys = _transform(series.ys, log_y)
+        for x, y in zip(xs, ys):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            column = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(f"# {title}")
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+
+    def axis_label(lo: float, hi: float, log: bool) -> str:
+        if log:
+            return f"1e{lo:.2g} .. 1e{hi:.2g}"
+        return f"{lo:.4g} .. {hi:.4g}"
+
+    lines.append(
+        f"x: {populated[0].x_label} [{axis_label(x_lo, x_hi, log_x)}]"
+        f"{' (log)' if log_x else ''}"
+    )
+    lines.append(
+        f"y: {populated[0].y_label} [{axis_label(y_lo, y_hi, log_y)}]"
+        f"{' (log)' if log_y else ''}"
+    )
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={s.label}"
+        for i, s in enumerate(populated)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """One-line trend summary using block characters."""
+    blocks = " .:-=+*#%@"
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    return "".join(
+        blocks[int((v - lo) / span * (len(blocks) - 1))]
+        if math.isfinite(v)
+        else "?"
+        for v in sampled
+    )

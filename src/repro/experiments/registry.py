@@ -1,0 +1,158 @@
+"""Registry mapping experiment ids to their runners.
+
+``python -m repro.experiments.registry`` (or the ``run_experiment``
+function) regenerates any table or figure of the paper by id; the
+benchmark suite drives the same registry so there is exactly one
+definition of each experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .fig4_term_popularity import run_fig4
+from .fig5_doc_frequency import run_fig5
+from .fig67_single_node import run_fig6, run_fig7
+from .fig8_cluster import run_fig8a, run_fig8b, run_fig8c
+from .density_study import run_density_study
+from .fig9_maintenance import run_fig9a, run_fig9b, run_fig9cd
+from .summary import run_summary
+
+
+def run_calibration():
+    """Verify the default workload's statistics against the published
+    targets (tbl-msn / corpus statistics)."""
+    from ..workloads import (
+        CorpusGenerator,
+        FilterTraceGenerator,
+        SharedVocabulary,
+        TREC_WT_PROFILE,
+    )
+    from ..workloads.calibration import (
+        CalibrationReport,
+        verify_corpus,
+        verify_filter_trace,
+    )
+
+    vocabulary = SharedVocabulary(
+        size=10_000, overlap_fraction=0.313, seed=7
+    )
+    filters = FilterTraceGenerator(vocabulary, seed=8).generate(10_000)
+    documents = CorpusGenerator(
+        vocabulary, TREC_WT_PROFILE, seed=9
+    ).generate(1_000)
+    combined = CalibrationReport()
+    combined.checks.extend(verify_filter_trace(filters).checks)
+    combined.checks.extend(
+        verify_corpus(documents, target_mean_terms=64.8).checks
+    )
+    return combined
+
+#: Experiment id -> zero-argument runner returning a reportable result.
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "summary": run_summary,
+    "density": run_density_study,
+    "calibration": run_calibration,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8a": run_fig8a,
+    "fig8b": run_fig8b,
+    "fig8c": run_fig8c,
+    "fig9a": run_fig9a,
+    "fig9b": run_fig9b,
+    "fig9cd": run_fig9cd,
+}
+
+
+def experiment_ids() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str):
+    """Run one experiment by id; raises ``KeyError`` on unknown ids."""
+    runner = EXPERIMENTS.get(experiment_id)
+    if runner is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(experiment_ids())}"
+        )
+    return runner()
+
+
+def format_result(result: object) -> str:
+    """Best-effort human-readable rendering of a runner's result."""
+    formatter = getattr(result, "format_report", None)
+    if formatter is not None:
+        return formatter()
+    return repr(result)
+
+
+def _collect_series(result: object):
+    """Find every ExperimentSeries reachable from a runner's result."""
+    from .harness import ExperimentSeries
+
+    found = []
+    if isinstance(result, ExperimentSeries):
+        found.append(result)
+        return found
+    candidates = []
+    if hasattr(result, "__dict__"):
+        candidates.extend(vars(result).values())
+    for value in candidates:
+        if isinstance(value, ExperimentSeries):
+            found.append(value)
+        elif isinstance(value, dict):
+            found.extend(
+                v for v in value.values()
+                if isinstance(v, ExperimentSeries)
+            )
+        elif isinstance(value, (list, tuple)):
+            found.extend(
+                v for v in value if isinstance(v, ExperimentSeries)
+            )
+        elif hasattr(value, "__dict__"):
+            found.extend(
+                v
+                for v in vars(value).values()
+                if isinstance(v, ExperimentSeries)
+            )
+    return found
+
+
+def export_csv(experiment_id: str, result: object, directory):
+    """Write every series of ``result`` as CSV files in ``directory``.
+
+    Returns the list of paths written.  File names are derived from the
+    experiment id and a slug of the series label.
+    """
+    import os
+    import re
+
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for index, series in enumerate(_collect_series(result)):
+        slug = re.sub(r"[^a-z0-9]+", "-", series.label.lower()).strip(
+            "-"
+        ) or f"series{index}"
+        path = os.path.join(directory, f"{experiment_id}_{slug}.csv")
+        series.write_csv(path)
+        written.append(path)
+    return written
+
+
+def main(argv: List[str]) -> int:
+    """CLI: run the named experiments (or all) and print reports."""
+    targets = argv or experiment_ids()
+    for experiment_id in targets:
+        print(f"=== {experiment_id} ===")
+        print(format_result(run_experiment(experiment_id)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(main(sys.argv[1:]))

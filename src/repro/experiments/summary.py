@@ -1,0 +1,65 @@
+"""Headline summary — the abstract's claim in one table.
+
+"The experiment with real datasets shows that our approach can achieve
+around folds of better throughput than two counterpart
+state-of-the-arts solutions."  This experiment runs all three schemes
+at the default (scaled) operating point and reports the Move/RS and
+Move/IL throughput folds alongside the paper's Figure 8(a) anchor
+(Move 93 / RS 70 / IL 42 at P = 1e7, i.e. 1.33x and 2.21x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .harness import ScaledWorkload, run_scheme_once
+
+#: The paper's Figure 8(a) anchor point (P = 1e7).
+PAPER_THROUGHPUT = {"Move": 93.0, "RS": 70.0, "IL": 42.0}
+
+
+@dataclass
+class SummaryResult:
+    """Throughput per scheme and the derived folds."""
+
+    throughput: Dict[str, float]
+
+    def fold(self, over: str) -> float:
+        base = self.throughput.get(over, 0.0)
+        if not base:
+            return float("inf")
+        return self.throughput["Move"] / base
+
+    def format_report(self) -> str:
+        paper_rs_fold = PAPER_THROUGHPUT["Move"] / PAPER_THROUGHPUT["RS"]
+        paper_il_fold = PAPER_THROUGHPUT["Move"] / PAPER_THROUGHPUT["IL"]
+        lines = [
+            "# Headline: Move's throughput folds over the baselines",
+            f"{'scheme':>8s} {'measured':>12s} {'paper@P=1e7':>12s}",
+        ]
+        for scheme in ("Move", "RS", "IL"):
+            lines.append(
+                f"{scheme:>8s} {self.throughput[scheme]:12.1f} "
+                f"{PAPER_THROUGHPUT[scheme]:12.1f}"
+            )
+        lines.append(
+            f"Move/RS fold: {self.fold('RS'):.2f}x "
+            f"(paper {paper_rs_fold:.2f}x);  "
+            f"Move/IL fold: {self.fold('IL'):.2f}x "
+            f"(paper {paper_il_fold:.2f}x)"
+        )
+        return "\n".join(lines)
+
+
+def run_summary(
+    base: Optional[ScaledWorkload] = None, seed: int = 0
+) -> SummaryResult:
+    """Measure all three schemes at the default operating point."""
+    base = base or ScaledWorkload()
+    bundle = base.build()
+    throughput = {
+        scheme: run_scheme_once(scheme, bundle, seed=seed).throughput
+        for scheme in ("Move", "IL", "RS")
+    }
+    return SummaryResult(throughput=throughput)

@@ -1,0 +1,45 @@
+"""Matching engines: inverted lists, Bloom filters, SIFT, VSM.
+
+The paper's matching machinery in one place:
+
+- :mod:`repro.matching.postings` — posting lists (the unit of disk IO
+  in the cost model),
+- :mod:`repro.matching.inverted_index` — a local inverted index over
+  registered filters,
+- :mod:`repro.matching.bloom` — the Bloom filter used to prune
+  document forwarding (Section V),
+- :mod:`repro.matching.sift` — the SIFT centralized matcher used by the
+  rendezvous baseline (retrieves all ``|d|`` posting lists),
+- :mod:`repro.matching.home_node` — the home-node matcher of the
+  baseline/MOVE (retrieves only the home term's posting list),
+- :mod:`repro.matching.vsm` — tf–idf / cosine scoring for the
+  similarity-threshold extension.
+"""
+
+from .bloom import BloomFilter
+from .home_node import HomeNodeMatcher
+from .inverted_index import InvertedIndex
+from .postings import PostingList
+from .query import (
+    QueryEngine,
+    QueryError,
+    QuerySubscription,
+    compile_subscription,
+    parse_query,
+)
+from .sift import SiftMatcher
+from .vsm import VsmScorer
+
+__all__ = [
+    "PostingList",
+    "InvertedIndex",
+    "BloomFilter",
+    "SiftMatcher",
+    "HomeNodeMatcher",
+    "VsmScorer",
+    "QueryEngine",
+    "QueryError",
+    "QuerySubscription",
+    "parse_query",
+    "compile_subscription",
+]

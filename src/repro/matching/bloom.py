@@ -1,0 +1,83 @@
+"""Bloom filter used to prune document forwarding (Section V).
+
+"When a document d comes, we can simply forward d to the home nodes of
+all terms t_i in d and t_i in BF, where BF is the bloom filter
+summarizing all terms in registered filters."  Terms a document shares
+with no registered filter never leave the ingest node.
+
+Classic fixed-size Bloom filter with double hashing (Kirsch–Mitzenmacher):
+``h_i(x) = h1(x) + i * h2(x)``, which preserves the asymptotic
+false-positive rate while needing only two base hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Tuple
+
+
+class BloomFilter:
+    """Set-membership sketch with no false negatives."""
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
+        if expected_items < 1:
+            raise ValueError(
+                f"expected_items must be >= 1, got {expected_items}"
+            )
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        self.expected_items = expected_items
+        self.fp_rate = fp_rate
+        # Optimal parameters: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+        self.num_bits = max(
+            8,
+            int(
+                math.ceil(
+                    -expected_items * math.log(fp_rate) / (math.log(2) ** 2)
+                )
+            ),
+        )
+        self.num_hashes = max(
+            1, int(round(self.num_bits / expected_items * math.log(2)))
+        )
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.items_added = 0
+
+    def _base_hashes(self, item: str) -> Tuple[int, int]:
+        digest = hashlib.sha256(item.encode("utf-8")).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1  # odd → full period
+        return h1, h2
+
+    def _positions(self, item: str) -> Iterable[int]:
+        h1, h2 = self._base_hashes(item)
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, item: str) -> None:
+        for position in self._positions(item):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self.items_added += 1
+
+    def update(self, items: Iterable[str]) -> None:
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: str) -> bool:
+        return all(
+            self._bits[position >> 3] & (1 << (position & 7))
+            for position in self._positions(item)
+        )
+
+    def estimated_fp_rate(self) -> float:
+        """FP probability given the actual number of insertions."""
+        if self.items_added == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.items_added / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (diagnostic)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits

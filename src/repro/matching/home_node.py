@@ -1,0 +1,50 @@
+"""Home-node matcher — the centralized matching algorithm of §III-B.
+
+On the home node of term ``t_i``, only the posting list of ``t_i`` is
+retrieved, even though other terms' lists may exist: the home node of
+any other term ``t_j`` covers those filters itself.  This single-list
+retrieval is the latency win the baseline (and MOVE on top of it)
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..model import Document, Filter
+from .inverted_index import InvertedIndex, RetrievalCost
+from .vsm import VsmScorer
+
+
+class HomeNodeMatcher:
+    """Single-term retrieval matcher bound to one local index."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        scorer: Optional[VsmScorer] = None,
+        threshold: Optional[float] = None,
+    ) -> None:
+        if (scorer is None) != (threshold is None):
+            raise ValueError(
+                "scorer and threshold must be supplied together"
+            )
+        self.index = index
+        self.scorer = scorer
+        self.threshold = threshold
+
+    def match(
+        self, document: Document, home_term: str
+    ) -> Tuple[List[Filter], RetrievalCost]:
+        """Filters matching ``document`` via the home term's list only."""
+        filters, cost = self.index.match_document_single_term(
+            document, home_term
+        )
+        if self.scorer is None:
+            return filters, cost
+        matched = [
+            profile
+            for profile in filters
+            if self.scorer.similarity(document, profile) >= self.threshold
+        ]
+        return matched, cost

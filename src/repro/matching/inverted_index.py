@@ -1,0 +1,209 @@
+"""Local inverted index over registered filters.
+
+Every node indexes its locally stored filters with an inverted list
+(Section III-B / Figure 3).  The index supports two retrieval modes:
+
+- *home-node mode* — retrieve only the posting list of one term (the
+  baseline/MOVE home-node matcher), and
+- *full mode* — retrieve the lists of all document terms (SIFT).
+
+Retrieval reports how many lists and entries were touched so the cost
+model can charge the matching latency the paper's equations describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import MatchingError
+from ..model import Document, Filter
+from .postings import PostingList
+
+
+@dataclass(frozen=True)
+class RetrievalCost:
+    """Disk work performed by one index retrieval."""
+
+    posting_lists: int
+    posting_entries: int
+
+    def __add__(self, other: "RetrievalCost") -> "RetrievalCost":
+        return RetrievalCost(
+            self.posting_lists + other.posting_lists,
+            self.posting_entries + other.posting_entries,
+        )
+
+
+class InvertedIndex:
+    """Term → posting-list index of :class:`~repro.model.Filter`s.
+
+    ``indexed_terms`` restricts which of a filter's terms get posting
+    lists: the distributed-inverted-list design (Section III-B) indexes
+    only the home term on each node, while the rendezvous baseline
+    indexes every term of every local filter.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, PostingList] = {}
+        self._filters: Dict[int, Filter] = {}
+        self._next_local_id = 0
+        self._local_id_by_filter_id: Dict[str, int] = {}
+        #: Terms each local filter is indexed under *on this node*
+        #: (needed to drop a filter when its last local term moves).
+        self._indexed_terms: Dict[int, Set[str]] = {}
+
+    def __len__(self) -> int:
+        """Number of distinct filters indexed."""
+        return len(self._filters)
+
+    def __contains__(self, filter_id: str) -> bool:
+        return filter_id in self._local_id_by_filter_id
+
+    @property
+    def distinct_terms(self) -> int:
+        return len(self._postings)
+
+    def stored_replica_count(self) -> int:
+        """Total posting entries = stored filter replicas on this node.
+
+        One filter indexed under k terms counts k times — this is the
+        storage-cost metric of Figure 9(a).
+        """
+        return sum(len(plist) for plist in self._postings.values())
+
+    # -- registration -----------------------------------------------------
+
+    def add_filter(
+        self,
+        profile: Filter,
+        indexed_terms: Optional[Iterable[str]] = None,
+    ) -> int:
+        """Index ``profile`` under ``indexed_terms`` (default: all its
+        terms).  Re-adding an existing filter extends its indexed terms.
+        Returns the local integer id."""
+        local_id = self._local_id_by_filter_id.get(profile.filter_id)
+        if local_id is None:
+            local_id = self._next_local_id
+            self._next_local_id += 1
+            self._local_id_by_filter_id[profile.filter_id] = local_id
+            self._filters[local_id] = profile
+        terms = (
+            profile.terms
+            if indexed_terms is None
+            else set(indexed_terms) & profile.terms
+        )
+        if indexed_terms is not None and not terms:
+            raise MatchingError(
+                f"filter {profile.filter_id!r} indexed under none of its "
+                f"terms"
+            )
+        local_terms = self._indexed_terms.setdefault(local_id, set())
+        for term in terms:
+            plist = self._postings.get(term)
+            if plist is None:
+                plist = PostingList(term)
+                self._postings[term] = plist
+            plist.add(local_id)
+            local_terms.add(term)
+        return local_id
+
+    def remove_filter(self, filter_id: str) -> bool:
+        """Unregister a filter everywhere it is indexed."""
+        local_id = self._local_id_by_filter_id.pop(filter_id, None)
+        if local_id is None:
+            return False
+        profile = self._filters.pop(local_id)
+        self._indexed_terms.pop(local_id, None)
+        for term in profile.terms:
+            plist = self._postings.get(term)
+            if plist is None:
+                continue
+            plist.remove(local_id)
+            if not plist:
+                del self._postings[term]
+        return True
+
+    def remove_term(self, term: str) -> List[Filter]:
+        """Drop the posting list of ``term`` and return its filters.
+
+        Filters indexed only under ``term`` on this node are fully
+        unregistered locally; filters also indexed under other local
+        terms stay.  This is the primitive a home-node hand-off uses
+        when ring membership changes move a term's ownership.
+        """
+        plist = self._postings.pop(term, None)
+        if plist is None:
+            return []
+        moved: List[Filter] = []
+        for local_id in plist:
+            profile = self._filters[local_id]
+            moved.append(profile)
+            local_terms = self._indexed_terms.get(local_id)
+            if local_terms is not None:
+                local_terms.discard(term)
+                if local_terms:
+                    continue  # still indexed under another local term
+            del self._filters[local_id]
+            del self._local_id_by_filter_id[profile.filter_id]
+            self._indexed_terms.pop(local_id, None)
+        return moved
+
+    # -- retrieval ----------------------------------------------------------
+
+    def posting_list(self, term: str) -> Optional[PostingList]:
+        return self._postings.get(term)
+
+    def filters_for_term(
+        self, term: str
+    ) -> Tuple[List[Filter], RetrievalCost]:
+        """Home-node retrieval: one posting list, its filters."""
+        plist = self._postings.get(term)
+        if plist is None:
+            return [], RetrievalCost(0, 0)
+        filters = [self._filters[local_id] for local_id in plist]
+        return filters, RetrievalCost(1, len(plist))
+
+    def match_document_single_term(
+        self, document: Document, term: str
+    ) -> Tuple[List[Filter], RetrievalCost]:
+        """Baseline/MOVE home-node matcher (Section III-B).
+
+        Retrieves only the posting list of ``term``; every filter on
+        that list shares ``term`` with the document, so under boolean
+        any-term semantics all of them match.
+        """
+        if term not in document.terms:
+            raise MatchingError(
+                f"document {document.doc_id!r} does not contain the home "
+                f"term {term!r}"
+            )
+        return self.filters_for_term(term)
+
+    def match_document_all_terms(
+        self, document: Document
+    ) -> Tuple[List[Filter], RetrievalCost]:
+        """SIFT-style full retrieval over all ``|d|`` document terms.
+
+        Returns the de-duplicated matching filters and the total disk
+        work (each present term costs one list retrieval).
+        """
+        matched: Dict[int, Filter] = {}
+        lists = 0
+        entries = 0
+        for term in document.terms:
+            plist = self._postings.get(term)
+            if plist is None:
+                continue
+            lists += 1
+            entries += len(plist)
+            for local_id in plist:
+                if local_id not in matched:
+                    matched[local_id] = self._filters[local_id]
+        return list(matched.values()), RetrievalCost(lists, entries)
+
+    def all_filters(self) -> List[Filter]:
+        return list(self._filters.values())
+
+    def terms(self) -> List[str]:
+        return sorted(self._postings)

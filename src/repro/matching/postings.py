@@ -1,0 +1,173 @@
+"""Posting lists — the unit of storage and disk IO in the cost model.
+
+A posting list maps one term to the ids of all filters containing it.
+The cost model charges one seek per list retrieved plus ``y_p`` per
+entry scanned, so the list also reports its length cheaply.
+
+Entries are kept sorted and delta-encodable; :meth:`encode` /
+:meth:`decode` provide a compact varint byte representation (what an
+SSTable would hold) used by the storage round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    """Append LEB128 varint encoding of ``value`` to ``out``."""
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _decode_varints(data: bytes) -> Iterator[int]:
+    """Yield all varints in ``data``."""
+    value = 0
+    shift = 0
+    for byte in data:
+        value |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+        else:
+            yield value
+            value = 0
+            shift = 0
+    if shift:
+        raise ValueError("truncated varint stream")
+
+
+class PostingList:
+    """Sorted list of integer filter ids for one term."""
+
+    __slots__ = ("term", "_ids")
+
+    def __init__(
+        self, term: str, ids: Optional[Iterable[int]] = None
+    ) -> None:
+        self.term = term
+        self._ids: List[int] = sorted(set(ids)) if ids else []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def __contains__(self, filter_id: int) -> bool:
+        lo, hi = 0, len(self._ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._ids[mid] < filter_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(self._ids) and self._ids[lo] == filter_id
+
+    def add(self, filter_id: int) -> bool:
+        """Insert ``filter_id``; returns False when already present."""
+        lo, hi = 0, len(self._ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._ids[mid] < filter_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self._ids) and self._ids[lo] == filter_id:
+            return False
+        self._ids.insert(lo, filter_id)
+        return True
+
+    def remove(self, filter_id: int) -> bool:
+        """Remove ``filter_id``; returns False when absent."""
+        lo, hi = 0, len(self._ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._ids[mid] < filter_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self._ids) and self._ids[lo] == filter_id:
+            del self._ids[lo]
+            return True
+        return False
+
+    def ids(self) -> Tuple[int, ...]:
+        """Immutable snapshot of the posting ids."""
+        return tuple(self._ids)
+
+    def union(self, other: "PostingList") -> List[int]:
+        """Sorted merge of two lists (no duplicates)."""
+        merged: List[int] = []
+        a, b = self._ids, other._ids
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i] < b[j]:
+                merged.append(a[i])
+                i += 1
+            elif a[i] > b[j]:
+                merged.append(b[j])
+                j += 1
+            else:
+                merged.append(a[i])
+                i += 1
+                j += 1
+        merged.extend(a[i:])
+        merged.extend(b[j:])
+        return merged
+
+    def intersect(self, other: "PostingList") -> List[int]:
+        """Sorted intersection (used by conjunctive semantics)."""
+        result: List[int] = []
+        a, b = self._ids, other._ids
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i] < b[j]:
+                i += 1
+            elif a[i] > b[j]:
+                j += 1
+            else:
+                result.append(a[i])
+                i += 1
+                j += 1
+        return result
+
+    # -- serialization ----------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Delta + varint encoding (count, then gaps)."""
+        out = bytearray()
+        _encode_varint(len(self._ids), out)
+        previous = 0
+        for filter_id in self._ids:
+            _encode_varint(filter_id - previous, out)
+            previous = filter_id
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, term: str, data: bytes) -> "PostingList":
+        """Inverse of :meth:`encode`."""
+        values = list(_decode_varints(data))
+        if not values:
+            raise ValueError("empty posting encoding")
+        count, gaps = values[0], values[1:]
+        if len(gaps) != count:
+            raise ValueError(
+                f"posting encoding declares {count} entries, "
+                f"found {len(gaps)}"
+            )
+        ids: List[int] = []
+        current = 0
+        for gap in gaps:
+            current += gap
+            ids.append(current)
+        posting = cls(term)
+        posting._ids = ids
+        return posting

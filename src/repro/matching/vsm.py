@@ -1,0 +1,81 @@
+"""Vector space model scoring (tf–idf, cosine).
+
+Section III-A: "a boolean model or vector space model (VSM) can check
+whether a content item matches a filter or not."  The VSM scorer backs
+the similarity-threshold extension of the matching semantics and is
+shared by the SIFT and home-node matchers.
+
+Weights: document terms get ``(1 + log tf) * idf``; filter terms are
+unweighted (a short keyword query is a uniform unit vector).  IDF comes
+from a corpus-statistics object that can be updated online as documents
+flow through the system.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..model import Document, Filter
+
+
+class CorpusStatistics:
+    """Online document-frequency statistics for IDF computation."""
+
+    def __init__(self) -> None:
+        self.documents_seen = 0
+        self._doc_frequency: Dict[str, int] = {}
+
+    def observe(self, document: Document) -> None:
+        """Account one document's terms."""
+        self.documents_seen += 1
+        for term in document.terms:
+            self._doc_frequency[term] = (
+                self._doc_frequency.get(term, 0) + 1
+            )
+
+    def document_frequency(self, term: str) -> int:
+        return self._doc_frequency.get(term, 0)
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency."""
+        df = self._doc_frequency.get(term, 0)
+        return math.log((1 + self.documents_seen) / (1 + df)) + 1.0
+
+
+class VsmScorer:
+    """Cosine similarity between a document and a keyword filter."""
+
+    def __init__(
+        self, statistics: Optional[CorpusStatistics] = None
+    ) -> None:
+        self.statistics = statistics or CorpusStatistics()
+
+    def document_weights(self, document: Document) -> Dict[str, float]:
+        """tf–idf weight of each document term."""
+        weights: Dict[str, float] = {}
+        for term in document.terms:
+            tf = 1.0 + math.log(max(document.term_frequency(term), 1))
+            weights[term] = tf * self.statistics.idf(term)
+        return weights
+
+    def similarity(self, document: Document, profile: Filter) -> float:
+        """Cosine of the document vector and the filter's unit vector."""
+        weights = self.document_weights(document)
+        doc_norm = math.sqrt(sum(w * w for w in weights.values()))
+        if doc_norm == 0.0:
+            return 0.0
+        filter_norm = math.sqrt(len(profile.terms))
+        dot = sum(weights.get(term, 0.0) for term in profile.terms)
+        return dot / (doc_norm * filter_norm)
+
+    def rank(
+        self, document: Document, profiles: Iterable[Filter]
+    ) -> list:
+        """Profiles sorted by descending similarity to ``document``."""
+        scored = [
+            (self.similarity(document, profile), profile)
+            for profile in profiles
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1].filter_id))
+        return scored

@@ -1,0 +1,19 @@
+"""Data model: documents, filters and match semantics (Section III-A)."""
+
+from .document import Document
+from .filter import Filter
+from .match import (
+    BooleanAnyTermSemantics,
+    MatchSemantics,
+    ThresholdSemantics,
+    brute_force_match,
+)
+
+__all__ = [
+    "Document",
+    "Filter",
+    "MatchSemantics",
+    "BooleanAnyTermSemantics",
+    "ThresholdSemantics",
+    "brute_force_match",
+]

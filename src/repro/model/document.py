@@ -1,0 +1,79 @@
+"""The :class:`Document` value object.
+
+The paper (Section III-A) represents a fresh document ``d`` by the set
+of its ``|d|`` terms; we additionally keep per-term counts so the VSM
+similarity-threshold extension can compute tf–idf weights.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable published content item.
+
+    ``terms`` is the de-duplicated term set (the ``d`` of the paper);
+    ``term_counts`` preserves multiplicities for weighted semantics.
+    """
+
+    doc_id: str
+    terms: FrozenSet[str]
+    term_counts: Mapping[str, int] = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.term_counts is None:
+            object.__setattr__(
+                self, "term_counts", {term: 1 for term in self.terms}
+            )
+        missing = self.terms - set(self.term_counts)
+        if missing:
+            raise ValueError(
+                f"document {self.doc_id!r}: terms without counts: "
+                f"{sorted(missing)[:5]}"
+            )
+
+    @classmethod
+    def from_terms(
+        cls, doc_id: str, terms: Iterable[str]
+    ) -> "Document":
+        """Build a document from a (possibly repeating) term sequence."""
+        counts = Counter(terms)
+        return cls(
+            doc_id=doc_id,
+            terms=frozenset(counts),
+            term_counts=dict(counts),
+        )
+
+    @classmethod
+    def from_text(
+        cls, doc_id: str, text: str, tokenizer=None
+    ) -> "Document":
+        """Build a document by running ``text`` through the pipeline."""
+        from ..text import tokenize
+
+        terms = tokenizer(text) if tokenizer is not None else tokenize(text)
+        return cls.from_terms(doc_id, terms)
+
+    def __len__(self) -> int:
+        """Number of distinct terms (the paper's ``|d|``)."""
+        return len(self.terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.terms
+
+    @property
+    def total_term_occurrences(self) -> int:
+        """Sum of term counts (document length before de-duplication)."""
+        return sum(self.term_counts.values())
+
+    def sorted_terms(self) -> Tuple[str, ...]:
+        """Terms in lexicographic order (stable iteration helper)."""
+        return tuple(sorted(self.terms))
+
+    def term_frequency(self, term: str) -> int:
+        """Occurrences of ``term`` in the document (0 if absent)."""
+        return self.term_counts.get(term, 0)

@@ -1,0 +1,65 @@
+"""The :class:`Filter` value object (a user's keyword profile).
+
+A filter ``f`` is the set of its ``|f|`` query terms (Section III-A).
+Real traces show filters are short — on average 2–3 terms — which is
+the asymmetry MOVE's allocation exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class Filter:
+    """An immutable registered profile filter.
+
+    ``owner`` identifies the subscribing user so dissemination can be
+    attributed; it defaults to the filter id for single-filter users.
+    """
+
+    filter_id: str
+    terms: FrozenSet[str]
+    owner: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError(
+                f"filter {self.filter_id!r} must contain at least one term"
+            )
+        if not self.owner:
+            object.__setattr__(self, "owner", self.filter_id)
+
+    @classmethod
+    def from_terms(
+        cls, filter_id: str, terms: Iterable[str], owner: str = ""
+    ) -> "Filter":
+        return cls(
+            filter_id=filter_id, terms=frozenset(terms), owner=owner
+        )
+
+    @classmethod
+    def from_text(
+        cls, filter_id: str, text: str, owner: str = "", tokenizer=None
+    ) -> "Filter":
+        """Build a filter by running query ``text`` through the pipeline."""
+        from ..text import tokenize
+
+        terms = tokenizer(text) if tokenizer is not None else tokenize(text)
+        if not terms:
+            raise ValueError(
+                f"filter {filter_id!r}: no terms survive pre-processing "
+                f"of {text!r}"
+            )
+        return cls.from_terms(filter_id, terms, owner=owner)
+
+    def __len__(self) -> int:
+        """Number of query terms (the paper's ``|f|``)."""
+        return len(self.terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.terms
+
+    def sorted_terms(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.terms))

@@ -1,0 +1,112 @@
+"""Match semantics between documents and filters.
+
+The paper's base semantics (Section III-A): a document ``d`` matches a
+filter ``f`` when some term appears in both — boolean "any term"
+matching.  Section III-A also notes the solution extends to similarity
+threshold-based semantics in the SIFT / STAIRS style; we provide a
+VSM-cosine threshold semantics as that extension.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .document import Document
+from .filter import Filter
+
+
+class MatchSemantics(ABC):
+    """Strategy deciding whether a document satisfies a filter."""
+
+    @abstractmethod
+    def matches(self, document: Document, profile: Filter) -> bool:
+        """True when ``document`` should be disseminated to ``profile``."""
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class BooleanAnyTermSemantics(MatchSemantics):
+    """Paper default: match when ``d ∩ f`` is non-empty."""
+
+    def matches(self, document: Document, profile: Filter) -> bool:
+        smaller, larger = (
+            (profile.terms, document.terms)
+            if len(profile.terms) <= len(document.terms)
+            else (document.terms, profile.terms)
+        )
+        return any(term in larger for term in smaller)
+
+
+class BooleanAllTermsSemantics(MatchSemantics):
+    """Conjunctive variant: every filter term must appear in ``d``.
+
+    Not used by the paper's evaluation but a common production
+    semantics; included because the allocation machinery is agnostic to
+    the local semantics (home nodes only need one shared term).
+    """
+
+    def matches(self, document: Document, profile: Filter) -> bool:
+        return profile.terms <= document.terms
+
+
+class ThresholdSemantics(MatchSemantics):
+    """VSM similarity threshold semantics (the SIFT-style extension).
+
+    A filter matches when the cosine similarity between the document's
+    tf–idf vector (restricted to the filter terms) and the filter's
+    uniform unit vector reaches ``threshold``.  Inverse document
+    frequencies come from a corpus-statistics mapping supplied by the
+    caller; unknown terms fall back to ``default_idf``.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        idf: Optional[Mapping[str, float]] = None,
+        default_idf: float = 1.0,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        self.threshold = threshold
+        self.idf: Mapping[str, float] = idf or {}
+        self.default_idf = default_idf
+
+    def similarity(self, document: Document, profile: Filter) -> float:
+        """Cosine similarity restricted to the filter's terms."""
+        doc_weights: Dict[str, float] = {}
+        for term in document.terms:
+            tf = 1.0 + math.log(max(document.term_frequency(term), 1))
+            doc_weights[term] = tf * self.idf.get(term, self.default_idf)
+        doc_norm = math.sqrt(sum(w * w for w in doc_weights.values()))
+        if doc_norm == 0.0:
+            return 0.0
+        filter_norm = math.sqrt(len(profile.terms))
+        dot = sum(doc_weights.get(term, 0.0) for term in profile.terms)
+        return dot / (doc_norm * filter_norm)
+
+    def matches(self, document: Document, profile: Filter) -> bool:
+        return self.similarity(document, profile) >= self.threshold
+
+
+def brute_force_match(
+    document: Document,
+    filters: Iterable[Filter],
+    semantics: Optional[MatchSemantics] = None,
+) -> List[Filter]:
+    """Oracle matcher: test ``document`` against every filter.
+
+    Used by tests as ground truth for the distributed systems'
+    completeness invariant, and by the single-node experiments as the
+    trivially correct (but slow) reference.
+    """
+    semantics = semantics or BooleanAnyTermSemantics()
+    return [
+        profile
+        for profile in filters
+        if semantics.matches(document, profile)
+    ]

@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation ran on ~100 physical machines; this package
+replaces the hardware with a deterministic discrete-event simulation.
+Throughput is measured in the same units the paper's cost model uses
+(Eq. 1–3: ``y_p`` per document/filter match, ``y_d`` per document
+transfer), so the relative shapes of the curves are preserved.
+
+- :mod:`repro.sim.engine` — event loop (priority queue of timestamped
+  callbacks),
+- :mod:`repro.sim.server` — single-server FIFO queues (the disk-bound
+  node model),
+- :mod:`repro.sim.network` — link latency model,
+- :mod:`repro.sim.costs` — the paper's latency cost model,
+- :mod:`repro.sim.metrics` — counters, per-node load, series recording,
+- :mod:`repro.sim.randomness` — seeded stream splitting.
+"""
+
+from .costs import MatchCostModel
+from .engine import Event, Simulator
+from .metrics import Counter, LoadTracker, MetricsRegistry, ThroughputMeter
+from .network import NetworkModel
+from .randomness import RandomSource
+from .server import FifoServer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "FifoServer",
+    "NetworkModel",
+    "MatchCostModel",
+    "MetricsRegistry",
+    "Counter",
+    "LoadTracker",
+    "ThroughputMeter",
+    "RandomSource",
+]

@@ -1,0 +1,101 @@
+"""The paper's latency cost model (Section IV-B, Eq. 1–3).
+
+On a node, filters are indexed by a local inverted list and the latency
+to match a document is dominated by retrieving posting lists from disk
+(the paper cites EC2 measurements showing disk IO is the bottleneck).
+We model the service time of matching one document on one node as::
+
+    service = y_seek * (#posting lists retrieved)
+            + y_p    * (#posting entries scanned)
+
+and the cost of shipping a document to a node as ``y_d``.  For the
+baseline/Move home-node matcher, one posting list is retrieved per
+shared term; for the SIFT/rendezvous matcher, all ``|d|`` lists are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..config import CostModelConfig
+
+
+@dataclass
+class MatchCostModel:
+    """Computes service and transfer times from the cost config."""
+
+    config: CostModelConfig
+
+    @classmethod
+    def default(cls) -> "MatchCostModel":
+        return cls(CostModelConfig())
+
+    def transfer_time(self, fanout: int = 1) -> float:
+        """Time to ship one document to ``fanout`` nodes.
+
+        Transfers to the nodes of a partition happen in parallel
+        (Section IV-A), so the latency contribution per node is one
+        ``y_d`` regardless of fanout; the *work* is ``fanout * y_d``.
+        This returns the per-node latency; callers that account work
+        multiply by fanout themselves.
+        """
+        if fanout < 0:
+            raise ValueError(f"fanout must be non-negative, got {fanout}")
+        return self.config.y_d if fanout else 0.0
+
+    def match_time(
+        self, posting_lists: int, posting_entries: int
+    ) -> float:
+        """Service time of one local match operation."""
+        if posting_lists < 0 or posting_entries < 0:
+            raise ValueError(
+                "posting_lists and posting_entries must be non-negative"
+            )
+        return (
+            self.config.y_seek * posting_lists
+            + self.config.y_p * posting_entries
+        )
+
+    def match_time_from_lengths(self, lengths: Iterable[int]) -> float:
+        """Service time when retrieving lists of the given lengths."""
+        lists = 0
+        entries = 0
+        for length in lengths:
+            lists += 1
+            entries += length
+        return self.match_time(lists, entries)
+
+    def theoretical_latency_eq1(
+        self, p_i: float, q_i: float, total_filters: int,
+        total_documents: int, n_i: int,
+    ) -> float:
+        """Equation 1: ``Y_i = y_p * p_i*P * q_i*Q / n_i``.
+
+        The paper's closed form for the latency of matching the ``Q_i``
+        documents with the ``P_i`` filters under an allocation onto
+        ``n_i`` nodes; notably independent of the allocation ratio.
+        """
+        if n_i < 1:
+            raise ValueError(f"n_i must be >= 1, got {n_i}")
+        return (
+            self.config.y_p
+            * (p_i * total_filters)
+            * (q_i * total_documents)
+            / n_i
+        )
+
+    def theoretical_latency_eq2(
+        self, p_i: float, q_i: float, total_filters: int,
+        total_documents: int, n_i: int, ratio: float,
+    ) -> float:
+        """Equation 2: transfer + match latency under ratio ``ratio``."""
+        if n_i < 1:
+            raise ValueError(f"n_i must be >= 1, got {n_i}")
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        received = q_i * total_documents
+        return received * (
+            self.config.y_d * ratio
+            + self.config.y_p * p_i * total_filters / n_i
+        )

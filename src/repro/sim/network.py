@@ -1,0 +1,74 @@
+"""Network latency model for the simulated cluster.
+
+Models a flat datacenter fabric with optional rack locality: messages
+between nodes in the same rack see ``intra_rack_latency``; cross-rack
+messages see ``inter_rack_latency``.  Document-payload transfers add
+the cost model's per-document ``y_d`` on top (handled by callers so
+control messages stay cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .engine import Simulator
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Latency parameters of the simulated fabric (seconds)."""
+
+    intra_rack_latency: float = 5e-5
+    inter_rack_latency: float = 2e-4
+
+    def __post_init__(self) -> None:
+        if self.intra_rack_latency < 0 or self.inter_rack_latency < 0:
+            raise ValueError("link latencies must be non-negative")
+
+
+class NetworkModel:
+    """Delivers callbacks after the appropriate link latency.
+
+    ``rack_of`` maps a node id to its rack name; when omitted, every
+    pair of distinct nodes is treated as cross-rack and self-delivery
+    is instantaneous.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: Optional[LinkSpec] = None,
+        rack_of: Optional[Callable[[str], str]] = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec or LinkSpec()
+        self._rack_of = rack_of
+        self.messages_sent = 0
+        self.bytes_like_cost = 0.0
+
+    def latency(self, source: str, destination: str) -> float:
+        """One-way latency between two nodes."""
+        if source == destination:
+            return 0.0
+        if self._rack_of is not None:
+            if self._rack_of(source) == self._rack_of(destination):
+                return self.spec.intra_rack_latency
+        return self.spec.inter_rack_latency
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        deliver: Callable[[], None],
+        payload_cost: float = 0.0,
+    ) -> None:
+        """Deliver ``deliver()`` at the destination after latency.
+
+        ``payload_cost`` adds serialized-transfer time (the paper's
+        ``y_d`` for document payloads).
+        """
+        self.messages_sent += 1
+        self.bytes_like_cost += payload_cost
+        delay = self.latency(source, destination) + payload_cost
+        self.sim.schedule(delay, deliver)

@@ -1,0 +1,126 @@
+"""Single-server FIFO queue — the disk-bound node service model.
+
+Each simulated cluster node owns one :class:`FifoServer`.  Jobs arrive
+with a precomputed service time (from :class:`~repro.sim.costs.
+MatchCostModel`); the server works them one at a time in arrival order,
+which is how a disk-bound matcher behaves and what makes hot-spot nodes
+the throughput bottleneck in the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from ..errors import SimulationError
+from .engine import Simulator
+
+
+@dataclass
+class _Job:
+    service_time: float
+    on_complete: Optional[Callable[[], None]]
+    enqueued_at: float
+
+
+@dataclass
+class ServerStats:
+    """Aggregate statistics of one server."""
+
+    jobs_completed: int = 0
+    busy_time: float = 0.0
+    total_wait: float = 0.0
+    total_sojourn: float = 0.0
+    max_queue_length: int = 0
+
+    @property
+    def mean_wait(self) -> float:
+        if not self.jobs_completed:
+            return 0.0
+        return self.total_wait / self.jobs_completed
+
+    @property
+    def mean_sojourn(self) -> float:
+        if not self.jobs_completed:
+            return 0.0
+        return self.total_sojourn / self.jobs_completed
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy_time / elapsed, 1.0)
+
+
+class FifoServer:
+    """A work-conserving single server bound to a simulator."""
+
+    def __init__(self, sim: Simulator, name: str = "server") -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = ServerStats()
+        self._queue: Deque[_Job] = deque()
+        self._busy = False
+        self._paused = False
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def queued_work(self) -> float:
+        """Total service seconds waiting in the queue."""
+        return sum(job.service_time for job in self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def submit(
+        self,
+        service_time: float,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Enqueue a job taking ``service_time`` simulated seconds."""
+        if service_time < 0:
+            raise SimulationError(
+                f"service_time must be non-negative, got {service_time}"
+            )
+        job = _Job(service_time, on_complete, self.sim.now)
+        self._queue.append(job)
+        self.stats.max_queue_length = max(
+            self.stats.max_queue_length, len(self._queue)
+        )
+        self._maybe_start()
+
+    def pause(self) -> None:
+        """Stop taking new work (models a crashed node).
+
+        The job currently in service still completes (its disk write
+        was already issued); queued jobs stay queued until `resume`.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._busy or self._paused or not self._queue:
+            return
+        job = self._queue.popleft()
+        self._busy = True
+        self.stats.total_wait += self.sim.now - job.enqueued_at
+        started = self.sim.now
+
+        def finish() -> None:
+            self._busy = False
+            self.stats.jobs_completed += 1
+            self.stats.busy_time += self.sim.now - started
+            self.stats.total_sojourn += self.sim.now - job.enqueued_at
+            if job.on_complete is not None:
+                job.on_complete()
+            self._maybe_start()
+
+        self.sim.schedule(job.service_time, finish)

@@ -1,0 +1,30 @@
+"""Statistics substrate: term popularity/frequency and entropy.
+
+MOVE's allocation decisions are driven entirely by two skewed
+distributions (Section III-C):
+
+- popularity ``p_i`` — fraction of registered filters containing term
+  ``t_i``,
+- frequency ``q_i`` — fraction of published documents containing
+  ``t_i``.
+
+:mod:`repro.stats.term_stats` tracks both (with the windowed renewal of
+Section VI-A), :mod:`repro.stats.node_stats` aggregates them per home
+node (the ``p'_i``/``q'_i`` of Section V) and
+:mod:`repro.stats.entropy` computes the distribution-skew diagnostics
+used in Figure 5.
+"""
+
+from .entropy import distribution_entropy, normalized_entropy
+from .node_stats import NodeStatistics, NodeStats
+from .term_stats import FrequencyTracker, PopularityTracker, TermStatistics
+
+__all__ = [
+    "PopularityTracker",
+    "FrequencyTracker",
+    "TermStatistics",
+    "NodeStats",
+    "NodeStatistics",
+    "distribution_entropy",
+    "normalized_entropy",
+]

@@ -1,0 +1,40 @@
+"""Entropy of term-frequency distributions (Figure 5 diagnostics).
+
+The paper characterizes the skew of the TREC traces by the Shannon
+entropy of their ranked frequency rates: 9.4473 for TREC AP versus
+6.7593 for TREC WT, "verifying the frequency rates of the TREC WT is
+skewer than the TREC AP" — lower entropy means a more concentrated
+(skewer) distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def distribution_entropy(weights: Iterable[float]) -> float:
+    """Shannon entropy (nats→bits: base 2) of a non-negative weight
+    vector, normalizing to a probability distribution first.
+
+    Zero weights contribute nothing (``0 log 0 := 0``).
+    """
+    values = [w for w in weights if w > 0]
+    total = sum(values)
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for weight in values:
+        p = weight / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def normalized_entropy(weights: Sequence[float]) -> float:
+    """Entropy divided by ``log2(n)`` — 1.0 means uniform, →0 means
+    maximally skewed.  Comparable across vocabularies of different
+    sizes, which raw entropy is not."""
+    values = [w for w in weights if w > 0]
+    if len(values) <= 1:
+        return 0.0
+    return distribution_entropy(values) / math.log2(len(values))

@@ -1,0 +1,70 @@
+"""Per-node statistic aggregation (the ``p'_i`` / ``q'_i`` of §V).
+
+With millions of terms mapped onto hundreds of nodes, keeping one
+forwarding array per term is too expensive.  The paper's fix: for all
+terms maintained on node ``m_i``, sum their ``p_i`` and ``q_i`` into a
+node popularity ``p'_i`` and node frequency ``q'_i``, treat the node's
+filters as a single set ``P'_i``, and compute one allocation factor
+``n'_i`` per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+
+from .term_stats import TermStatistics
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Aggregated statistics for one home node."""
+
+    node_id: str
+    popularity: float  # p'_i — summed p over the node's terms
+    frequency: float   # q'_i — summed q over the node's terms
+    term_count: int
+    filter_replicas: int  # posting entries registered on the node
+
+
+class NodeStatistics:
+    """Aggregates term statistics by home node."""
+
+    def __init__(
+        self, home_node_of: Callable[[str], str]
+    ) -> None:
+        self._home_node_of = home_node_of
+
+    def aggregate(
+        self, stats: TermStatistics
+    ) -> Dict[str, NodeStats]:
+        """Fold every tracked term into its home node's totals."""
+        popularity: Dict[str, float] = {}
+        frequency: Dict[str, float] = {}
+        term_counts: Dict[str, int] = {}
+        replicas: Dict[str, int] = {}
+
+        for term in stats.popularity.terms():
+            node = self._home_node_of(term)
+            popularity[node] = popularity.get(node, 0.0) + stats.p(term)
+            term_counts[node] = term_counts.get(node, 0) + 1
+            replicas[node] = (
+                replicas.get(node, 0) + stats.popularity.count(term)
+            )
+        for term in stats.frequency.terms():
+            node = self._home_node_of(term)
+            frequency[node] = frequency.get(node, 0.0) + stats.q(term)
+            if node not in term_counts:
+                term_counts[node] = 0
+
+        nodes = set(popularity) | set(frequency)
+        return {
+            node: NodeStats(
+                node_id=node,
+                popularity=popularity.get(node, 0.0),
+                frequency=frequency.get(node, 0.0),
+                term_count=term_counts.get(node, 0),
+                filter_replicas=replicas.get(node, 0),
+            )
+            for node in nodes
+        }

@@ -1,0 +1,73 @@
+"""Statistics snapshots: persist and restore coordinator inputs.
+
+A standby coordinator needs the same statistics the primary saw to
+compute the identical plan (tested in the failover suite).  This
+module serializes a :class:`~repro.stats.term_stats.TermStatistics`
+to a JSON document and restores it — small (per-term aggregates, not
+raw traffic) and stable across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import ReproError
+from .term_stats import TermStatistics
+
+PathLike = Union[str, Path]
+
+#: Format marker so future layout changes can be detected.
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """A statistics snapshot could not be read."""
+
+
+def dump_statistics(stats: TermStatistics, path: PathLike) -> None:
+    """Write a JSON snapshot of ``stats`` to ``path``."""
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "total_filters": stats.popularity.total_filters,
+        "term_counts": {
+            term: stats.popularity.count(term)
+            for term in stats.popularity.terms()
+        },
+        "frequencies": dict(stats.frequency.as_mapping()),
+        "smoothing": stats.frequency.smoothing,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+
+
+def load_statistics(path: PathLike) -> TermStatistics:
+    """Restore a snapshot written by :func:`dump_statistics`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    version = payload.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has version {version!r}, "
+            f"expected {SNAPSHOT_VERSION}"
+        )
+    try:
+        stats = TermStatistics(
+            smoothing=float(payload.get("smoothing", 1.0))
+        )
+        stats.popularity._total_filters = int(payload["total_filters"])
+        for term, count in payload["term_counts"].items():
+            stats.popularity._filters_with_term[str(term)] = int(count)
+        stats.frequency._estimate = {
+            str(term): float(value)
+            for term, value in payload["frequencies"].items()
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"snapshot {path} is malformed: {exc}"
+        ) from exc
+    return stats

@@ -1,0 +1,27 @@
+"""Text pre-processing substrate.
+
+The paper pre-processes the TREC corpora "with the Porter algorithm"
+and removes "common stop words such as 'the', 'and'" (Section VI-A).
+This package provides that pipeline from scratch:
+
+- :mod:`repro.text.porter` — the Porter stemming algorithm,
+- :mod:`repro.text.stopwords` — a classic English stop-word list,
+- :mod:`repro.text.tokenizer` — normalization + tokenization pipeline,
+- :mod:`repro.text.vocabulary` — term interning to dense integer ids.
+"""
+
+from .porter import PorterStemmer, stem
+from .stopwords import STOP_WORDS, is_stop_word
+from .tokenizer import Tokenizer, TokenizerConfig, tokenize
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "PorterStemmer",
+    "stem",
+    "STOP_WORDS",
+    "is_stop_word",
+    "Tokenizer",
+    "TokenizerConfig",
+    "tokenize",
+    "Vocabulary",
+]

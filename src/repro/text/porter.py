@@ -1,0 +1,281 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+The algorithm reduces English words to stems through five rule phases.
+Words are viewed as sequences of consonant/vowel runs ``[C](VC)^m[V]``;
+the *measure* ``m`` counts the ``VC`` repetitions and gates most rules.
+
+This implementation follows the original paper's rule tables and the
+standard reference behaviour (e.g. words of length <= 2 are returned
+unchanged).  It is deliberately dependency-free: the paper's evaluation
+pre-processes every corpus with Porter stemming, so the stemmer is a
+substrate of the reproduction rather than an external import.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer.
+
+    Instances are cheap and reusable; :func:`stem` offers a module-level
+    convenience wrapper around a shared instance.
+
+    >>> PorterStemmer().stem_word("relational")
+    'relat'
+    >>> PorterStemmer().stem_word("caresses")
+    'caress'
+    """
+
+    # -- consonant/vowel structure ------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, index: int) -> bool:
+        ch = word[index]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            if index == 0:
+                return True
+            return not PorterStemmer._is_consonant(word, index - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem_part: str) -> int:
+        """Compute the measure ``m`` of ``stem_part``."""
+        m = 0
+        previous_was_vowel = False
+        for i in range(len(stem_part)):
+            consonant = cls._is_consonant(stem_part, i)
+            if consonant and previous_was_vowel:
+                m += 1
+            previous_was_vowel = not consonant
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem_part: str) -> bool:
+        return any(
+            not cls._is_consonant(stem_part, i) for i in range(len(stem_part))
+        )
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        if len(word) < 2 or word[-1] != word[-2]:
+            return False
+        return cls._is_consonant(word, len(word) - 1)
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """True if word ends consonant-vowel-consonant, last not w/x/y."""
+        if len(word) < 3:
+            return False
+        third, second, last = len(word) - 3, len(word) - 2, len(word) - 1
+        return (
+            cls._is_consonant(word, third)
+            and not cls._is_consonant(word, second)
+            and cls._is_consonant(word, last)
+            and word[last] not in "wxy"
+        )
+
+    # -- rule application helpers -------------------------------------
+
+    @classmethod
+    def _replace_if_measure(
+        cls, word: str, suffix: str, replacement: str, min_measure: int
+    ) -> Tuple[str, bool]:
+        """Replace ``suffix`` by ``replacement`` when the remaining stem
+        has measure > ``min_measure``.  Returns (word, rule_fired)."""
+        if not word.endswith(suffix):
+            return word, False
+        stem_part = word[: len(word) - len(suffix)]
+        if cls._measure(stem_part) > min_measure:
+            return stem_part + replacement, True
+        return word, True  # suffix matched; rule consumed even if no-op
+
+    # -- the five steps -----------------------------------------------
+
+    @classmethod
+    def _step1a(cls, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    @classmethod
+    def _step1b(cls, word: str) -> str:
+        if word.endswith("eed"):
+            stem_part = word[:-3]
+            if cls._measure(stem_part) > 0:
+                return word[:-1]
+            return word
+        fired = False
+        if word.endswith("ed"):
+            stem_part = word[:-2]
+            if cls._contains_vowel(stem_part):
+                word = stem_part
+                fired = True
+        elif word.endswith("ing"):
+            stem_part = word[:-3]
+            if cls._contains_vowel(stem_part):
+                word = stem_part
+                fired = True
+        if not fired:
+            return word
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if cls._ends_double_consonant(word) and not word.endswith(
+            ("l", "s", "z")
+        ):
+            return word[:-1]
+        if cls._measure(word) == 1 and cls._ends_cvc(word):
+            return word + "e"
+        return word
+
+    @classmethod
+    def _step1c(cls, word: str) -> str:
+        if word.endswith("y") and cls._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES: Tuple[Tuple[str, str], ...] = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    _STEP3_RULES: Tuple[Tuple[str, str], ...] = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    _STEP4_SUFFIXES: Tuple[str, ...] = (
+        "al",
+        "ance",
+        "ence",
+        "er",
+        "ic",
+        "able",
+        "ible",
+        "ant",
+        "ement",
+        "ment",
+        "ent",
+        "ion",
+        "ou",
+        "ism",
+        "ate",
+        "iti",
+        "ous",
+        "ive",
+        "ize",
+    )
+
+    @classmethod
+    def _apply_rule_table(
+        cls, word: str, rules: Iterable[Tuple[str, str]]
+    ) -> str:
+        for suffix, replacement in rules:
+            if word.endswith(suffix):
+                new_word, _ = cls._replace_if_measure(
+                    word, suffix, replacement, 0
+                )
+                return new_word
+        return word
+
+    @classmethod
+    def _step4(cls, word: str) -> str:
+        for suffix in cls._STEP4_SUFFIXES:
+            if not word.endswith(suffix):
+                continue
+            stem_part = word[: len(word) - len(suffix)]
+            if suffix == "ion" and (
+                not stem_part or stem_part[-1] not in "st"
+            ):
+                return word
+            if cls._measure(stem_part) > 1:
+                return stem_part
+            return word
+        return word
+
+    @classmethod
+    def _step5a(cls, word: str) -> str:
+        if not word.endswith("e"):
+            return word
+        stem_part = word[:-1]
+        m = cls._measure(stem_part)
+        if m > 1:
+            return stem_part
+        if m == 1 and not cls._ends_cvc(stem_part):
+            return stem_part
+        return word
+
+    @classmethod
+    def _step5b(cls, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and cls._measure(word[:-1]) > 1
+        ):
+            return word[:-1]
+        return word
+
+    # -- public API -----------------------------------------------------
+
+    def stem_word(self, word: str) -> str:
+        """Stem a single lowercase word.
+
+        Words shorter than three characters are returned unchanged, per
+        the reference implementation.
+        """
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._apply_rule_table(word, self._STEP2_RULES)
+        word = self._apply_rule_table(word, self._STEP3_RULES)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    def stem_words(self, words: Iterable[str]) -> List[str]:
+        """Stem every word in ``words``, preserving order."""
+        return [self.stem_word(word) for word in words]
+
+
+_SHARED = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem ``word`` with a shared :class:`PorterStemmer` instance."""
+    return _SHARED.stem_word(word)

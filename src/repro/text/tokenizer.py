@@ -1,0 +1,111 @@
+"""Normalization and tokenization pipeline.
+
+Mirrors the paper's corpus pre-processing (Section VI-A): lowercase,
+split on non-alphanumerics, drop stop words, Porter-stem the remainder.
+Both documents and filters are passed through the same pipeline so a
+user query for "distributed systems" matches a document containing
+"distribute system".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .porter import PorterStemmer
+from .stopwords import STOP_WORDS
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """Pipeline switches.
+
+    ``min_token_length`` drops one-character noise tokens; the classic
+    IR convention (and the one the TREC pre-processing used) keeps
+    tokens of two or more characters.
+
+    ``ngram_size > 1`` additionally emits word n-grams (joined with
+    ``_``) built from the processed unigrams — phrase-ish filters like
+    "machine_learning" become matchable terms, at the cost of a larger
+    term space (everything downstream, including the home-node
+    mapping, treats an n-gram as just another term).
+    """
+
+    lowercase: bool = True
+    remove_stop_words: bool = True
+    apply_stemming: bool = True
+    min_token_length: int = 2
+    drop_pure_numbers: bool = False
+    ngram_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ngram_size < 1:
+            raise ValueError(
+                f"ngram_size must be >= 1, got {self.ngram_size}"
+            )
+
+
+class Tokenizer:
+    """Callable text-to-terms pipeline.
+
+    >>> Tokenizer()("The distributed systems are distributing!")
+    ['distribut', 'system', 'distribut']
+    """
+
+    def __init__(self, config: TokenizerConfig | None = None) -> None:
+        self.config = config or TokenizerConfig()
+        self._stemmer = PorterStemmer()
+
+    def __call__(self, text: str) -> List[str]:
+        return list(self.iter_terms(text))
+
+    def iter_terms(self, text: str) -> Iterator[str]:
+        """Yield pipeline-processed terms of ``text`` in order.
+
+        With ``ngram_size > 1``, each unigram is followed by the
+        n-grams (sizes 2..ngram_size) ending at it, joined with ``_``.
+        """
+        cfg = self.config
+        if cfg.lowercase:
+            text = text.lower()
+        window: List[str] = []
+        for match in _TOKEN_RE.finditer(text):
+            token = match.group()
+            if len(token) < cfg.min_token_length:
+                continue
+            if cfg.drop_pure_numbers and token.isdigit():
+                continue
+            if cfg.remove_stop_words and token in STOP_WORDS:
+                continue
+            if cfg.apply_stemming:
+                token = self._stemmer.stem_word(token)
+            if len(token) < cfg.min_token_length:
+                continue
+            yield token
+            if cfg.ngram_size > 1:
+                window.append(token)
+                if len(window) > cfg.ngram_size:
+                    window.pop(0)
+                for size in range(2, len(window) + 1):
+                    yield "_".join(window[-size:])
+
+    def unique_terms(self, text: str) -> List[str]:
+        """Pipeline-processed terms, de-duplicated, first-seen order."""
+        seen = set()
+        ordered = []
+        for term in self.iter_terms(text):
+            if term not in seen:
+                seen.add(term)
+                ordered.append(term)
+        return ordered
+
+
+_SHARED = Tokenizer()
+
+
+def tokenize(text: str) -> List[str]:
+    """Tokenize with a shared default-configured :class:`Tokenizer`."""
+    return _SHARED(text)

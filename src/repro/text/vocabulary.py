@@ -1,0 +1,73 @@
+"""Term interning: bidirectional mapping between terms and dense ids.
+
+Workload generators and statistics trackers operate on integer term
+ids; the vocabulary is the single place strings are held.  Interning
+keeps posting lists and statistic arrays compact (NumPy-friendly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Vocabulary:
+    """Append-only term dictionary.
+
+    Ids are assigned densely in first-seen order, so a vocabulary built
+    from a generator replays identically under the same seed.
+
+    >>> vocab = Vocabulary()
+    >>> vocab.intern("cloud")
+    0
+    >>> vocab.intern("storm"), vocab.intern("cloud")
+    (1, 0)
+    >>> vocab.term(1)
+    'storm'
+    """
+
+    def __init__(self, terms: Optional[Iterable[str]] = None) -> None:
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: List[str] = []
+        if terms is not None:
+            for term in terms:
+                self.intern(term)
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    def intern(self, term: str) -> int:
+        """Return the id for ``term``, assigning a new one if unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        term_id = len(self._id_to_term)
+        self._term_to_id[term] = term_id
+        self._id_to_term.append(term)
+        return term_id
+
+    def intern_all(self, terms: Iterable[str]) -> List[int]:
+        """Intern every term in ``terms``, preserving order."""
+        return [self.intern(term) for term in terms]
+
+    def lookup(self, term: str) -> Optional[int]:
+        """Id of ``term`` or None if it was never interned."""
+        return self._term_to_id.get(term)
+
+    def term(self, term_id: int) -> str:
+        """Term string for ``term_id``.
+
+        Raises ``IndexError`` for ids that were never assigned.
+        """
+        if term_id < 0:
+            raise IndexError(f"term ids are non-negative, got {term_id}")
+        return self._id_to_term[term_id]
+
+    def terms(self, term_ids: Iterable[int]) -> List[str]:
+        """Term strings for each id in ``term_ids``."""
+        return [self.term(term_id) for term_id in term_ids]

@@ -1,0 +1,51 @@
+"""Workload generators calibrated to the paper's datasets.
+
+The paper evaluates on three traces we do not have: the MSN query log
+(filters), TREC WT10G and TREC AP (documents).  Per the reproduction's
+substitution rule, this package synthesizes statistically equivalent
+workloads:
+
+- :mod:`repro.workloads.zipf` — Zipf/Mandelbrot samplers,
+- :mod:`repro.workloads.terms` — vocabularies with controlled overlap
+  between query terms and document terms,
+- :mod:`repro.workloads.queries` — MSN-like filter traces (avg 2.843
+  terms; ≤1/2/3-term cumulative shares 31.33/67.75/85.31 %),
+- :mod:`repro.workloads.corpus` — TREC AP-like and WT-like corpora
+  (doc counts, mean lengths, relative skew),
+- :mod:`repro.workloads.arrivals` — document arrival processes.
+"""
+
+from .arrivals import PoissonArrivals, UniformArrivals
+from .corpus import CorpusProfile, CorpusGenerator, TREC_AP_PROFILE, TREC_WT_PROFILE
+from .queries import FilterTraceGenerator, MsnTraceProfile, MSN_PROFILE
+from .terms import SharedVocabulary
+from .trace import (
+    dump_documents,
+    dump_filters,
+    iter_documents,
+    iter_filters,
+    load_documents,
+    load_filters,
+)
+from .zipf import ZipfSampler, zipf_weights
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_weights",
+    "SharedVocabulary",
+    "MsnTraceProfile",
+    "MSN_PROFILE",
+    "FilterTraceGenerator",
+    "CorpusProfile",
+    "CorpusGenerator",
+    "TREC_AP_PROFILE",
+    "TREC_WT_PROFILE",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "dump_filters",
+    "iter_filters",
+    "load_filters",
+    "dump_documents",
+    "iter_documents",
+    "load_documents",
+]

@@ -1,0 +1,58 @@
+"""Document arrival processes for the cluster experiments.
+
+Section VI-A: "Each client injects 1000 documents per second.  By using
+more clients, we can increase the rate of injecting documents."  We
+model client injection either as a deterministic uniform stream (one
+document every ``1/rate`` seconds — the paper's fixed-rate clients) or
+as a Poisson process (for the queueing-sensitivity ablation).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+from ..errors import WorkloadError
+
+
+class ArrivalProcess(ABC):
+    """Yields inter-arrival times in seconds."""
+
+    @abstractmethod
+    def inter_arrival(self) -> float:
+        """Seconds until the next arrival."""
+
+    def times(self, count: int, start: float = 0.0) -> Iterator[float]:
+        """Absolute arrival times of the next ``count`` documents."""
+        now = start
+        for _ in range(count):
+            now += self.inter_arrival()
+            yield now
+
+
+class UniformArrivals(ArrivalProcess):
+    """Deterministic fixed-rate injection (the paper's clients)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"rate must be positive, got {rate}")
+        self.rate = rate
+
+    def inter_arrival(self) -> float:
+        return 1.0 / self.rate
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless injection at the same average rate."""
+
+    def __init__(
+        self, rate: float, rng: Optional[random.Random] = None
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self._rng = rng or random.Random(0)
+
+    def inter_arrival(self) -> float:
+        return self._rng.expovariate(self.rate)

@@ -1,0 +1,147 @@
+"""Calibration verification: measure a workload against its targets.
+
+The synthetic traces are only useful if they actually reproduce the
+published statistics.  This module measures a generated workload and
+reports each statistic against its target with a pass/fail verdict —
+the experiment harness and CI use it to catch calibration drift when
+generators change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..model import Document, Filter
+from ..stats.term_stats import FrequencyTracker, PopularityTracker
+from .queries import MSN_PROFILE, MsnTraceProfile
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One measured statistic against its target."""
+
+    name: str
+    target: float
+    measured: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        return abs(self.measured - self.target) <= self.tolerance
+
+    def __str__(self) -> str:
+        verdict = "ok " if self.passed else "FAIL"
+        return (
+            f"[{verdict}] {self.name}: measured {self.measured:.4f}, "
+            f"target {self.target:.4f} ± {self.tolerance:.4f}"
+        )
+
+
+@dataclass
+class CalibrationReport:
+    """All checks for one workload."""
+
+    checks: List[CalibrationCheck] = field(default_factory=list)
+
+    def add(
+        self, name: str, target: float, measured: float, tolerance: float
+    ) -> None:
+        self.checks.append(
+            CalibrationCheck(name, target, measured, tolerance)
+        )
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def format_report(self) -> str:
+        lines = ["# Workload calibration"]
+        lines.extend(str(check) for check in self.checks)
+        lines.append(
+            "calibration " + ("PASSED" if self.passed else "FAILED")
+        )
+        return "\n".join(lines)
+
+
+def verify_filter_trace(
+    filters: Sequence[Filter],
+    profile: MsnTraceProfile = MSN_PROFILE,
+    length_tolerance: float = 0.15,
+    share_tolerance: float = 0.03,
+) -> CalibrationReport:
+    """Check a filter trace against the MSN profile statistics."""
+    report = CalibrationReport()
+    if not filters:
+        report.add("non-empty trace", 1.0, 0.0, 0.0)
+        return report
+    total = len(filters)
+    mean_terms = sum(len(f) for f in filters) / total
+    report.add(
+        "mean terms/query",
+        profile.mean_terms_per_query,
+        mean_terms,
+        length_tolerance,
+    )
+    for k, target in zip((1, 2, 3), profile.cumulative_length_shares):
+        share = sum(1 for f in filters if len(f) <= k) / total
+        report.add(
+            f"cumulative share <= {k} terms",
+            target,
+            share,
+            share_tolerance,
+        )
+    # Popularity concentration: top fraction's share of draws.
+    tracker = PopularityTracker()
+    for profile_filter in filters:
+        tracker.register(profile_filter)
+    distinct = len(tracker.terms())
+    top_k = max(1, round(distinct * 1000 / 757_996))
+    mass_fraction = (
+        tracker.top_mass(top_k) / mean_terms if mean_terms else 0.0
+    )
+    report.add(
+        f"top-{top_k} draw share",
+        profile.top_1000_popularity_mass
+        / profile.mean_terms_per_query,
+        mass_fraction,
+        0.05,
+    )
+    return report
+
+
+def verify_corpus(
+    documents: Sequence[Document],
+    target_mean_terms: float,
+    mean_tolerance_fraction: float = 0.15,
+) -> CalibrationReport:
+    """Check a document corpus's length statistics."""
+    report = CalibrationReport()
+    if not documents:
+        report.add("non-empty corpus", 1.0, 0.0, 0.0)
+        return report
+    mean_terms = sum(len(d) for d in documents) / len(documents)
+    report.add(
+        "mean terms/document",
+        target_mean_terms,
+        mean_terms,
+        target_mean_terms * mean_tolerance_fraction,
+    )
+    # Skew sanity: the hottest term must appear in far more documents
+    # than the median term (heavy tail present).
+    tracker = FrequencyTracker()
+    for document in documents:
+        tracker.observe(document)
+    tracker.renew()
+    ranked = tracker.ranked()
+    if len(ranked) >= 10:
+        top = ranked[0][1]
+        median = ranked[len(ranked) // 2][1]
+        ratio = top / median if median else float("inf")
+        report.add(
+            "heavy tail present (top/median freq ratio >= 3)",
+            1.0,
+            1.0 if ratio >= 3.0 else 0.0,
+            0.0,
+        )
+    return report

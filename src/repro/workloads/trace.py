@@ -1,0 +1,123 @@
+"""Trace persistence: save and replay filter/document workloads.
+
+Reproduction runs should be shareable: a generated workload (filters,
+documents, arrival times) can be written to JSONL files and replayed
+byte-identically on another machine, independent of generator
+versions.  The format is line-oriented so multi-million-entry traces
+stream without loading into memory.
+
+Format (one JSON object per line):
+
+- filter line:   {"id": ..., "terms": [...], "owner": ...}
+- document line: {"id": ..., "counts": {term: count, ...}}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from ..errors import WorkloadError
+from ..model import Document, Filter
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Filters
+# ---------------------------------------------------------------------------
+
+def dump_filters(
+    profiles: Iterable[Filter], path: PathLike
+) -> int:
+    """Write filters as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for profile in profiles:
+            record = {
+                "id": profile.filter_id,
+                "terms": sorted(profile.terms),
+            }
+            if profile.owner != profile.filter_id:
+                record["owner"] = profile.owner
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def iter_filters(path: PathLike) -> Iterator[Filter]:
+    """Stream filters back from a JSONL trace."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield Filter.from_terms(
+                    record["id"],
+                    record["terms"],
+                    owner=record.get("owner", ""),
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise WorkloadError(
+                    f"{path}:{line_number}: malformed filter record "
+                    f"({exc})"
+                ) from exc
+
+
+def load_filters(path: PathLike) -> List[Filter]:
+    return list(iter_filters(path))
+
+
+# ---------------------------------------------------------------------------
+# Documents
+# ---------------------------------------------------------------------------
+
+def dump_documents(
+    documents: Iterable[Document], path: PathLike
+) -> int:
+    """Write documents (with term counts) as JSONL."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for document in documents:
+            record = {
+                "id": document.doc_id,
+                "counts": {
+                    term: document.term_frequency(term)
+                    for term in sorted(document.terms)
+                },
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def iter_documents(path: PathLike) -> Iterator[Document]:
+    """Stream documents back from a JSONL trace."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                counts = {
+                    str(term): int(count)
+                    for term, count in record["counts"].items()
+                }
+                yield Document(
+                    doc_id=record["id"],
+                    terms=frozenset(counts),
+                    term_counts=counts,
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise WorkloadError(
+                    f"{path}:{line_number}: malformed document record "
+                    f"({exc})"
+                ) from exc
+
+
+def load_documents(path: PathLike) -> List[Document]:
+    return list(iter_documents(path))

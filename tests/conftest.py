@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import (
+    AllocationConfig,
+    ClusterConfig,
+    CostModelConfig,
+    SystemConfig,
+)
+from repro.model import Document, Filter
+from repro.workloads import (
+    CorpusGenerator,
+    FilterTraceGenerator,
+    SharedVocabulary,
+    TREC_WT_PROFILE,
+)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """An 8-node, 2-rack cluster for fast tests."""
+    return Cluster(ClusterConfig(num_nodes=8, num_racks=2, seed=1))
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    return SystemConfig(
+        cluster=ClusterConfig(num_nodes=8, num_racks=2, seed=1),
+        cost_model=CostModelConfig(),
+        allocation=AllocationConfig(node_capacity=500),
+        expected_filter_terms=5_000,
+        seed=1,
+    )
+
+
+@pytest.fixture
+def tiny_vocabulary() -> SharedVocabulary:
+    return SharedVocabulary(size=200, overlap_fraction=0.3, seed=3)
+
+
+@pytest.fixture
+def tiny_workload(tiny_vocabulary):
+    """(filters, documents) small enough for brute-force oracles."""
+    filter_gen = FilterTraceGenerator(tiny_vocabulary, seed=5)
+    corpus_gen = CorpusGenerator(
+        tiny_vocabulary,
+        TREC_WT_PROFILE,
+        seed=6,
+        mean_terms_override=12,
+    )
+    filters = filter_gen.generate(120)
+    documents = corpus_gen.generate(40)
+    return filters, documents
+
+
+@pytest.fixture
+def sample_documents():
+    return [
+        Document.from_terms("d1", ["storm", "cloud", "rain"]),
+        Document.from_terms("d2", ["sun", "sand", "sea"]),
+        Document.from_terms("d3", ["cloud", "compute", "cluster"]),
+    ]
+
+
+@pytest.fixture
+def sample_filters():
+    return [
+        Filter.from_terms("f1", ["cloud"]),
+        Filter.from_terms("f2", ["sea", "storm"]),
+        Filter.from_terms("f3", ["compute", "cluster"]),
+        Filter.from_terms("f4", ["snow"]),
+    ]

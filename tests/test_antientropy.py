@@ -1,0 +1,142 @@
+"""Tests for anti-entropy hash trees and replica synchronization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ColumnFamilyStore
+from repro.cluster.antientropy import (
+    HashTree,
+    replica_divergence,
+    synchronize,
+)
+
+
+def _store_with(rows):
+    store = ColumnFamilyStore("cf")
+    for row_key, columns in rows.items():
+        store.put_row(row_key, dict(columns))
+    return store
+
+
+class TestHashTree:
+    def test_identical_stores_identical_roots(self):
+        rows = {f"r{i}": {"c": i} for i in range(50)}
+        a = HashTree.build(_store_with(rows))
+        b = HashTree.build(_store_with(rows))
+        assert a.root == b.root
+        assert a.diverging_buckets(b) == []
+
+    def test_divergence_detected(self):
+        rows = {f"r{i}": {"c": i} for i in range(50)}
+        a = HashTree.build(_store_with(rows))
+        changed = dict(rows)
+        changed["r7"] = {"c": 999}
+        b = HashTree.build(_store_with(changed))
+        assert a.root != b.root
+        assert len(a.diverging_buckets(b)) >= 1
+
+    def test_insertion_order_irrelevant(self):
+        store_a = ColumnFamilyStore("cf")
+        store_b = ColumnFamilyStore("cf")
+        for i in range(20):
+            store_a.put(f"r{i}", "c", i)
+        for i in reversed(range(20)):
+            store_b.put(f"r{i}", "c", i)
+        assert (
+            HashTree.build(store_a).root == HashTree.build(store_b).root
+        )
+
+    def test_flush_state_irrelevant(self):
+        rows = {f"r{i}": {"c": i} for i in range(30)}
+        flushed = _store_with(rows)
+        flushed.flush()
+        assert (
+            HashTree.build(flushed).root
+            == HashTree.build(_store_with(rows)).root
+        )
+
+    def test_mismatched_bucket_counts_rejected(self):
+        store = _store_with({"r": {"c": 1}})
+        with pytest.raises(ValueError):
+            HashTree.build(store, 8).diverging_buckets(
+                HashTree.build(store, 16)
+            )
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            HashTree.build(_store_with({}), 0)
+
+
+class TestSynchronize:
+    def test_missing_rows_copied(self):
+        source = _store_with({f"r{i}": {"c": i} for i in range(20)})
+        target = _store_with({f"r{i}": {"c": i} for i in range(10)})
+        copied = synchronize(source, target)
+        assert copied == 10
+        for i in range(20):
+            assert target.get(f"r{i}", "c") == i
+
+    def test_stale_rows_overwritten(self):
+        source = _store_with({"r": {"c": "fresh"}})
+        target = _store_with({"r": {"c": "stale"}})
+        assert synchronize(source, target) == 1
+        assert target.get("r", "c") == "fresh"
+
+    def test_converged_stores_noop(self):
+        rows = {f"r{i}": {"c": i} for i in range(15)}
+        source = _store_with(rows)
+        target = _store_with(rows)
+        assert synchronize(source, target) == 0
+
+    def test_only_divergent_buckets_touched(self):
+        rows = {f"r{i}": {"c": i} for i in range(200)}
+        source = _store_with(rows)
+        target_rows = dict(rows)
+        del target_rows["r50"]
+        target = _store_with(target_rows)
+        copied = synchronize(source, target, bucket_count=64)
+        # Only the rows sharing r50's bucket get re-copied: far fewer
+        # than the full store.
+        assert 1 <= copied <= 10
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=5),
+            st.integers(),
+            max_size=30,
+        ),
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=5),
+            st.integers(),
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sync_reaches_superset(self, source_rows, target_rows):
+        source = _store_with(
+            {k: {"c": v} for k, v in source_rows.items()}
+        )
+        target = _store_with(
+            {k: {"c": v} for k, v in target_rows.items()}
+        )
+        synchronize(source, target)
+        for key, value in source_rows.items():
+            assert target.get(key, "c") == value
+
+
+class TestReplicaDivergence:
+    def test_all_converged(self):
+        rows = {f"r{i}": {"c": i} for i in range(10)}
+        stores = [_store_with(rows) for _ in range(3)]
+        assert replica_divergence(stores) == 0.0
+
+    def test_partial_divergence(self):
+        rows = {f"r{i}": {"c": i} for i in range(10)}
+        stores = [_store_with(rows) for _ in range(2)]
+        stores.append(_store_with({"other": {"c": 1}}))
+        assert 0.0 < replica_divergence(stores) <= 1.0
+
+    def test_single_store(self):
+        assert replica_divergence([_store_with({})]) == 0.0

@@ -1,0 +1,101 @@
+"""Tests for the calibration-verification utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Document, Filter
+from repro.workloads import (
+    CorpusGenerator,
+    FilterTraceGenerator,
+    SharedVocabulary,
+    TREC_WT_PROFILE,
+)
+from repro.workloads.calibration import (
+    CalibrationCheck,
+    verify_corpus,
+    verify_filter_trace,
+)
+
+
+class TestCalibrationCheck:
+    def test_pass_within_tolerance(self):
+        check = CalibrationCheck("x", 1.0, 1.05, 0.1)
+        assert check.passed
+        assert "ok" in str(check)
+
+    def test_fail_outside_tolerance(self):
+        check = CalibrationCheck("x", 1.0, 1.5, 0.1)
+        assert not check.passed
+        assert "FAIL" in str(check)
+
+
+class TestVerifyFilterTrace:
+    def test_generated_trace_passes(self):
+        vocabulary = SharedVocabulary(
+            size=10_000, overlap_fraction=0.3, seed=1
+        )
+        generator = FilterTraceGenerator(vocabulary, seed=2)
+        report = verify_filter_trace(generator.generate(5_000))
+        assert report.passed, report.format_report()
+
+    def test_uncalibrated_trace_fails(self):
+        # Uniform 5-term filters: wrong length distribution.
+        filters = [
+            Filter.from_terms(f"f{i}", [f"t{i + j}" for j in range(5)])
+            for i in range(300)
+        ]
+        report = verify_filter_trace(filters)
+        assert not report.passed
+
+    def test_empty_trace_fails(self):
+        assert not verify_filter_trace([]).passed
+
+    def test_report_renders(self):
+        vocabulary = SharedVocabulary(
+            size=2_000, overlap_fraction=0.3, seed=1
+        )
+        generator = FilterTraceGenerator(vocabulary, seed=2)
+        text = verify_filter_trace(
+            generator.generate(1_000)
+        ).format_report()
+        assert "mean terms/query" in text
+        assert "calibration" in text
+
+
+class TestVerifyCorpus:
+    def test_generated_corpus_passes(self):
+        vocabulary = SharedVocabulary(
+            size=4_000, overlap_fraction=0.3, seed=1
+        )
+        generator = CorpusGenerator(
+            vocabulary, TREC_WT_PROFILE, seed=2
+        )
+        report = verify_corpus(
+            generator.generate(500), target_mean_terms=64.8
+        )
+        assert report.passed, report.format_report()
+
+    def test_wrong_length_fails(self):
+        documents = [
+            Document.from_terms(f"d{i}", ["a", "b"]) for i in range(50)
+        ]
+        report = verify_corpus(documents, target_mean_terms=64.8)
+        assert not report.passed
+
+    def test_uniform_corpus_fails_skew_check(self):
+        # Every term equally frequent: no heavy tail.
+        documents = [
+            Document.from_terms(f"d{i}", [f"t{(i * 7 + j) % 100}" for j in range(10)])
+            for i in range(200)
+        ]
+        report = verify_corpus(documents, target_mean_terms=10)
+        skew_checks = [
+            check
+            for check in report.checks
+            if "heavy tail" in check.name
+        ]
+        assert skew_checks and not skew_checks[0].passed
+
+    def test_empty_corpus_fails(self):
+        assert not verify_corpus([], target_mean_terms=10).passed

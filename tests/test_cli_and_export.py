@@ -1,0 +1,96 @@
+"""Tests for the CLI entry point and the CSV series export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.experiments.harness import ExperimentSeries
+
+
+class TestCli:
+    def test_list_prints_experiment_ids(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig4" in output
+        assert "fig9cd" in output
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "alice" in output
+        assert "matched filters" in output
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_experiments_subcommand_runs_one(self, capsys):
+        assert main(["experiments", "fig4"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+
+    def test_parser_has_subcommands(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for command in ("list", "experiments", "demo"):
+            assert command in help_text
+
+
+class TestCsvExport:
+    def _series(self):
+        series = ExperimentSeries("curve", "x axis", "y axis")
+        series.add(1.0, 10.0)
+        series.add(2.5, 20.25)
+        return series
+
+    def test_to_csv_header_and_rows(self):
+        csv_text = self._series().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "x axis,y axis"
+        assert lines[1] == "1,10"
+        assert lines[2] == "2.5,20.25"
+
+    def test_quoting(self):
+        series = ExperimentSeries("c", 'x,"label"', "y")
+        series.add(1, 2)
+        header = series.to_csv().splitlines()[0]
+        assert header.startswith('"x,""label"""')
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        series = self._series()
+        series.write_csv(path)
+        assert path.read_text() == series.to_csv()
+
+
+class TestRegistryCsvExport:
+    def test_export_collects_nested_series(self, tmp_path):
+        from repro.experiments.registry import export_csv
+        from repro.experiments.harness import ExperimentSeries
+
+        class FakeResult:
+            def __init__(self):
+                self.series = {
+                    "Move": ExperimentSeries("Move", "x", "y"),
+                    "IL": ExperimentSeries("IL", "x", "y"),
+                }
+
+        result = FakeResult()
+        for s in result.series.values():
+            s.add(1, 2)
+        written = export_csv("figX", result, tmp_path)
+        assert len(written) == 2
+        names = {p.split("/")[-1] for p in map(str, written)}
+        assert names == {"figX_move.csv", "figX_il.csv"}
+
+    def test_cli_csv_dir_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert (
+            main(["experiments", "fig4", "--csv-dir", str(tmp_path)])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "wrote" in output
+        assert list(tmp_path.glob("fig4_*.csv"))

@@ -1,0 +1,179 @@
+"""Tests for replica placement strategies, cluster orchestration and
+the key/value client."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    KeyValueClient,
+    RackAwareStrategy,
+    SimpleStrategy,
+)
+from repro.config import ClusterConfig
+from repro.errors import NodeDownError, UnknownNodeError
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterConfig(num_nodes=9, num_racks=3, seed=2))
+
+
+class TestSimpleStrategy:
+    def test_primary_is_home_node(self, cluster):
+        strategy = SimpleStrategy(cluster.ring)
+        replicas = strategy.replicas("key", 3)
+        assert replicas[0] == cluster.ring.home_node("key")
+
+    def test_distinct_replicas(self, cluster):
+        replicas = SimpleStrategy(cluster.ring).replicas("key", 3)
+        assert len(set(replicas)) == 3
+
+
+class TestRackAwareStrategy:
+    def test_replicas_span_racks(self, cluster):
+        strategy = RackAwareStrategy(cluster.ring, cluster.topology)
+        replicas = strategy.replicas("key", 3)
+        racks = {cluster.topology.rack_of(node) for node in replicas}
+        assert len(racks) == 3
+
+    def test_primary_preserved(self, cluster):
+        strategy = RackAwareStrategy(cluster.ring, cluster.topology)
+        assert (
+            strategy.replicas("key", 3)[0]
+            == cluster.ring.home_node("key")
+        )
+
+    def test_falls_back_when_more_replicas_than_racks(self, cluster):
+        strategy = RackAwareStrategy(cluster.ring, cluster.topology)
+        replicas = strategy.replicas("key", 5)
+        assert len(replicas) == 5
+        assert len(set(replicas)) == 5
+
+    def test_zero_count(self, cluster):
+        strategy = RackAwareStrategy(cluster.ring, cluster.topology)
+        assert strategy.replicas("key", 0) == []
+
+
+class TestCluster:
+    def test_nodes_created_with_racks(self, cluster):
+        assert len(cluster) == 9
+        racks = {node.rack for node in cluster.nodes.values()}
+        assert len(racks) == 3
+
+    def test_home_node_lookup(self, cluster):
+        node = cluster.home_node("term")
+        assert node.node_id in cluster.nodes
+
+    def test_unknown_node_raises(self, cluster):
+        with pytest.raises(UnknownNodeError):
+            cluster.node("ghost")
+
+    def test_fail_and_recover(self, cluster):
+        cluster.fail_node("node000")
+        assert not cluster.node("node000").alive
+        assert "node000" not in cluster.live_node_ids()
+        assert cluster.membership.is_crashed("node000")
+        cluster.recover_node("node000")
+        assert cluster.node("node000").alive
+
+    def test_fail_idempotent(self, cluster):
+        cluster.fail_node("node000")
+        cluster.fail_node("node000")
+        assert len(cluster.live_node_ids()) == 8
+
+    def test_fail_fraction(self, cluster):
+        victims = cluster.fail_fraction(0.33, random.Random(1))
+        assert len(victims) == 3
+        assert len(cluster.live_node_ids()) == 6
+
+    def test_fail_fraction_excludes(self, cluster):
+        victims = cluster.fail_fraction(
+            1.0, random.Random(1), exclude=["node000"]
+        )
+        assert "node000" not in victims
+        assert cluster.node("node000").alive
+
+    def test_fail_rack(self, cluster):
+        rack = cluster.topology.rack_of("node000")
+        victims = cluster.fail_rack(rack)
+        assert len(victims) == 3
+        for node_id in victims:
+            assert not cluster.node(node_id).alive
+
+    def test_invalid_fraction(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.fail_fraction(1.5, random.Random(1))
+
+    def test_add_node_joins_everything(self, cluster):
+        node = cluster.add_node()
+        assert node.node_id in cluster.nodes
+        assert node.node_id in cluster.ring
+        assert node.node_id in cluster.topology
+        assert node.node_id in cluster.membership.views
+
+
+class TestKeyValueClient:
+    def test_put_get_roundtrip(self, cluster):
+        client = KeyValueClient(cluster)
+        client.put("user:1", {"name": "ada"})
+        assert client.get("user:1") == {"name": "ada"}
+
+    def test_get_missing_default(self, cluster):
+        client = KeyValueClient(cluster)
+        assert client.get("missing", default="d") == "d"
+
+    def test_put_replicates(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        written = client.put("key", "value")
+        assert len(written) == 3
+
+    def test_read_survives_primary_failure(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        replicas = client.put("key", "value")
+        cluster.fail_node(replicas[0])
+        assert client.get("key") == "value"
+
+    def test_write_skips_dead_replicas(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        primary = client.replicas_for("key")[0]
+        cluster.fail_node(primary)
+        written = client.put("key", "value")
+        assert primary not in written
+        assert len(written) == 2
+
+    def test_put_fails_when_all_replicas_down(self, cluster):
+        client = KeyValueClient(cluster, replica_count=2)
+        for node_id in client.replicas_for("key"):
+            cluster.fail_node(node_id)
+        with pytest.raises(NodeDownError):
+            client.put("key", "value")
+
+    def test_delete(self, cluster):
+        client = KeyValueClient(cluster)
+        client.put("key", "value")
+        client.delete("key")
+        assert client.get("key") is None
+
+    def test_multi_get(self, cluster):
+        client = KeyValueClient(cluster)
+        client.put("a", 1)
+        client.put("b", 2)
+        assert client.multi_get(["a", "b", "c"]) == {
+            "a": 1,
+            "b": 2,
+            "c": None,
+        }
+
+    def test_rack_aware_client(self, cluster):
+        client = KeyValueClient(
+            cluster, strategy=cluster.rack_strategy, replica_count=3
+        )
+        client.put("key", "value")
+        rack = cluster.topology.rack_of(client.replicas_for("key")[0])
+        cluster.fail_rack(rack)
+        # Rack-aware placement spreads replicas: value survives.
+        assert client.get("key") == "value"

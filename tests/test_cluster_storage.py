@@ -1,0 +1,172 @@
+"""Tests for the memtable/SSTable column-family storage engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ColumnFamilyStore, StorageEngine
+from repro.errors import StorageError, UnknownColumnFamilyError
+
+
+class TestColumnFamilyStore:
+    def test_read_your_writes(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "col", 42)
+        assert store.get("row", "col") == 42
+
+    def test_missing_returns_default(self):
+        store = ColumnFamilyStore("cf")
+        assert store.get("row", "col") is None
+        assert store.get("row", "col", default=7) == 7
+
+    def test_stored_none_distinct_from_missing(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "col", None)
+        assert store.get("row", "col", default="sentinel") is None
+
+    def test_overwrite_wins(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "col", 1)
+        store.put("row", "col", 2)
+        assert store.get("row", "col") == 2
+
+    def test_flush_preserves_reads(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "col", "value")
+        store.flush()
+        assert store.get("row", "col") == "value"
+        assert store.sstable_count == 1
+
+    def test_memtable_overwrites_sstable(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "col", "old")
+        store.flush()
+        store.put("row", "col", "new")
+        assert store.get("row", "col") == "new"
+
+    def test_newest_sstable_wins(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "col", "v1")
+        store.flush()
+        store.put("row", "col", "v2")
+        store.flush()
+        assert store.get("row", "col") == "v2"
+
+    def test_auto_flush_at_threshold(self):
+        store = ColumnFamilyStore("cf", memtable_flush_threshold=3)
+        for i in range(3):
+            store.put(f"row{i}", "col", i)
+        assert store.flushes == 1
+        assert store.get("row0", "col") == 0
+
+    def test_delete_column_tombstone_shadows_sstable(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "col", "value")
+        store.flush()
+        store.delete("row", "col")
+        assert store.get("row", "col") is None
+        store.flush()
+        assert store.get("row", "col") is None
+
+    def test_delete_row(self):
+        store = ColumnFamilyStore("cf")
+        store.put_row("row", {"a": 1, "b": 2})
+        store.flush()
+        store.delete("row")
+        assert store.get_row("row") == {}
+        assert not store.contains_row("row")
+
+    def test_write_after_row_delete(self):
+        store = ColumnFamilyStore("cf")
+        store.put_row("row", {"a": 1, "b": 2})
+        store.delete("row")
+        store.put("row", "c", 3)
+        assert store.get_row("row") == {"c": 3}
+
+    def test_compact_merges_and_drops_tombstones(self):
+        store = ColumnFamilyStore("cf")
+        store.put("keep", "col", 1)
+        store.flush()
+        store.put("drop", "col", 2)
+        store.flush()
+        store.delete("drop")
+        store.flush()
+        store.compact()
+        assert store.sstable_count == 1
+        assert store.get("keep", "col") == 1
+        assert store.get("drop", "col") is None
+
+    def test_row_keys_live_only(self):
+        store = ColumnFamilyStore("cf")
+        store.put("a", "c", 1)
+        store.put("b", "c", 2)
+        store.flush()
+        store.delete("b")
+        assert sorted(store.row_keys()) == ["a"]
+
+    def test_get_row_merges_columns_across_runs(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "a", 1)
+        store.flush()
+        store.put("row", "b", 2)
+        assert store.get_row("row") == {"a": 1, "b": 2}
+
+    def test_counts(self):
+        store = ColumnFamilyStore("cf")
+        store.put("row", "a", 1)
+        store.get("row", "a")
+        assert store.writes == 1
+        assert store.reads == 1
+        assert store.approximate_row_count() == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(StorageError):
+            ColumnFamilyStore("cf", memtable_flush_threshold=0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["r1", "r2", "r3"]),
+                st.sampled_from(["c1", "c2"]),
+                st.integers(),
+            ),
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_model(self, operations, threshold):
+        """LSM store behaves exactly like a plain dict-of-dicts."""
+        store = ColumnFamilyStore("cf", memtable_flush_threshold=threshold)
+        model = {}
+        for row, col, value in operations:
+            store.put(row, col, value)
+            model.setdefault(row, {})[col] = value
+        for row, columns in model.items():
+            for col, value in columns.items():
+                assert store.get(row, col) == value
+
+
+class TestStorageEngine:
+    def test_create_and_fetch(self):
+        engine = StorageEngine("node0")
+        created = engine.create_column_family("cf")
+        assert engine.column_family("cf") is created
+
+    def test_create_idempotent(self):
+        engine = StorageEngine("node0")
+        a = engine.create_column_family("cf")
+        b = engine.create_column_family("cf")
+        assert a is b
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(UnknownColumnFamilyError):
+            StorageEngine("node0").column_family("ghost")
+
+    def test_families_listing(self):
+        engine = StorageEngine("node0")
+        engine.create_column_family("b")
+        engine.create_column_family("a")
+        assert engine.families() == ["a", "b"]
+        assert "a" in engine

@@ -1,0 +1,145 @@
+"""Tests for rack topology and gossip membership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import GossipMembership, NodeState, Topology
+from repro.errors import UnknownNodeError
+
+
+class TestTopology:
+    def test_round_robin_assignment(self):
+        topo = Topology.round_robin(["a", "b", "c", "d"], 2)
+        assert topo.rack_of("a") == "rack0"
+        assert topo.rack_of("b") == "rack1"
+        assert topo.rack_of("c") == "rack0"
+        assert sorted(topo.nodes_in_rack("rack0")) == ["a", "c"]
+
+    def test_rack_peers_exclude_self(self):
+        topo = Topology.round_robin(["a", "b", "c", "d"], 2)
+        assert topo.rack_peers("a") == ["c"]
+
+    def test_same_rack(self):
+        topo = Topology.round_robin(["a", "b", "c", "d"], 2)
+        assert topo.same_rack("a", "c")
+        assert not topo.same_rack("a", "b")
+
+    def test_reassignment_moves_node(self):
+        topo = Topology()
+        topo.assign("a", "rack0")
+        topo.assign("a", "rack1")
+        assert topo.rack_of("a") == "rack1"
+        assert topo.nodes_in_rack("rack0") == []
+
+    def test_remove(self):
+        topo = Topology()
+        topo.assign("a", "rack0")
+        topo.remove("a")
+        assert "a" not in topo
+        with pytest.raises(UnknownNodeError):
+            topo.rack_of("a")
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownNodeError):
+            Topology().remove("ghost")
+
+    def test_racks_sorted(self):
+        topo = Topology.round_robin(["a", "b", "c"], 3)
+        assert topo.racks() == ["rack0", "rack1", "rack2"]
+
+    def test_invalid_rack_count(self):
+        with pytest.raises(ValueError):
+            Topology.round_robin(["a"], 0)
+
+    def test_len(self):
+        assert len(Topology.round_robin(list("abc"), 2)) == 3
+
+
+class TestGossipMembership:
+    def _members(self, count=6, **kwargs):
+        return GossipMembership(
+            [f"n{i}" for i in range(count)], seed=7, **kwargs
+        )
+
+    def test_initial_views_know_everyone(self):
+        gossip = self._members(4)
+        for view in gossip.views.values():
+            assert len(view.known_nodes()) == 4
+
+    def test_all_up_initially(self):
+        gossip = self._members(4)
+        assert gossip.converged()
+        assert gossip.views["n0"].live_nodes() == {f"n{i}" for i in range(4)}
+
+    def test_heartbeats_advance(self):
+        gossip = self._members(3)
+        gossip.tick(3)
+        record = gossip.views["n0"].records["n0"]
+        assert record.heartbeat == 3
+
+    def test_crashed_node_detected_down(self):
+        gossip = self._members(5, suspect_timeout=3)
+        gossip.mark_crashed("n2")
+        gossip.tick(10)
+        for node, view in gossip.views.items():
+            if node == "n2":
+                continue
+            assert view.records["n2"].state is NodeState.DOWN
+
+    def test_live_nodes_never_marked_down(self):
+        gossip = self._members(5, suspect_timeout=3)
+        gossip.tick(20)
+        for view in gossip.views.values():
+            assert view.live_nodes() == {f"n{i}" for i in range(5)}
+
+    def test_convergence_after_failure(self):
+        gossip = self._members(6, suspect_timeout=2)
+        gossip.mark_crashed("n0")
+        gossip.tick(15)
+        live_sets = [
+            gossip.views[f"n{i}"].live_nodes() for i in range(1, 6)
+        ]
+        assert all(s == live_sets[0] for s in live_sets)
+        assert "n0" not in live_sets[0]
+
+    def test_recovery_rejoins(self):
+        gossip = self._members(4, suspect_timeout=2)
+        gossip.mark_crashed("n1")
+        gossip.tick(8)
+        gossip.mark_recovered("n1")
+        gossip.tick(8)
+        for node in ("n0", "n2", "n3"):
+            assert gossip.views[node].records["n1"].state is NodeState.UP
+
+    def test_join_spreads(self):
+        gossip = self._members(3)
+        gossip.tick(2)
+        gossip.add_node("n9")
+        gossip.tick(6)
+        for node in ("n0", "n1", "n2"):
+            assert "n9" in gossip.views[node].known_nodes()
+
+    def test_add_existing_is_noop(self):
+        gossip = self._members(2)
+        gossip.add_node("n0")
+        assert len(gossip.views) == 2
+
+    def test_mark_unknown_raises(self):
+        with pytest.raises(UnknownNodeError):
+            self._members(2).mark_crashed("ghost")
+
+    def test_deterministic_under_seed(self):
+        a = GossipMembership(["x", "y", "z"], seed=5)
+        b = GossipMembership(["x", "y", "z"], seed=5)
+        a.tick(5)
+        b.tick(5)
+        assert {
+            n: v.records[n].heartbeat for n, v in a.views.items()
+        } == {n: v.records[n].heartbeat for n, v in b.views.items()}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GossipMembership(["a"], suspect_timeout=0)
+        with pytest.raises(ValueError):
+            GossipMembership(["a"], fanout=0)

@@ -1,0 +1,103 @@
+"""Tests for configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AllocationConfig,
+    ClusterConfig,
+    CostModelConfig,
+    SystemConfig,
+    PAPER_DEFAULT_CAPACITY,
+    PAPER_DEFAULT_FILTERS,
+    PAPER_DEFAULT_NODES,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCostModelConfig:
+    def test_defaults_positive(self):
+        config = CostModelConfig()
+        assert config.y_p > 0
+        assert config.y_d > 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            CostModelConfig(y_p=0)
+        with pytest.raises(ConfigurationError):
+            CostModelConfig(y_d=-1)
+        with pytest.raises(ConfigurationError):
+            CostModelConfig(y_seek=-0.5)
+
+    def test_beta(self):
+        config = CostModelConfig(y_p=1e-6, y_d=1e-3)
+        assert config.beta(1_000) == pytest.approx(1e-6 * 1_000 / 1e-3)
+        with pytest.raises(ConfigurationError):
+            config.beta(-1)
+
+
+class TestClusterConfig:
+    def test_paper_defaults(self):
+        config = ClusterConfig()
+        assert config.num_nodes == PAPER_DEFAULT_NODES
+        assert config.replica_count == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(num_racks=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(num_nodes=2, num_racks=3)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(vnodes_per_node=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(replica_count=0)
+
+
+class TestAllocationConfig:
+    def test_paper_capacity_default(self):
+        assert AllocationConfig().node_capacity == PAPER_DEFAULT_CAPACITY
+
+    def test_rule_validation(self):
+        for rule in ("sqrt_q", "sqrt_beta_q", "sqrt_pq", "uniform"):
+            assert AllocationConfig(rule=rule).rule == rule
+        with pytest.raises(ConfigurationError):
+            AllocationConfig(rule="magic")
+
+    def test_placement_validation(self):
+        for placement in ("ring", "rack", "hybrid"):
+            assert (
+                AllocationConfig(placement=placement).placement
+                == placement
+            )
+        with pytest.raises(ConfigurationError):
+            AllocationConfig(placement="moon")
+
+    def test_other_validation(self):
+        with pytest.raises(ConfigurationError):
+            AllocationConfig(node_capacity=0)
+        with pytest.raises(ConfigurationError):
+            AllocationConfig(refresh_interval=0)
+
+    def test_paper_refresh_interval_is_ten_minutes(self):
+        assert AllocationConfig().refresh_interval == 600.0
+
+
+class TestSystemConfig:
+    def test_nested_defaults(self):
+        config = SystemConfig()
+        assert config.cluster.num_nodes == PAPER_DEFAULT_NODES
+        assert config.use_bloom_filter
+
+    def test_bloom_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(expected_filter_terms=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(bloom_fp_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(bloom_fp_rate=1.0)
+
+    def test_paper_scale_constants(self):
+        assert PAPER_DEFAULT_FILTERS == 4_000_000

@@ -1,0 +1,140 @@
+"""Tests for the allocation ratio and the partition/subset grid."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AllocationGrid, build_grid, required_ratio
+from repro.errors import AllocationError
+
+
+class TestRequiredRatio:
+    def test_unconstrained_is_pure_replication(self):
+        # Plenty of capacity: r = 1/n (most replication, Section IV-B2).
+        assert required_ratio(100, 4, 1_000) == pytest.approx(0.25)
+
+    def test_capacity_pushes_ratio_up(self):
+        # Each node can hold 50; S=400 over n=4 needs r >= 400/(4*50)=2
+        # clamped to 1 (pure separation).
+        assert required_ratio(400, 4, 50) == 1.0
+
+    def test_intermediate_ratio(self):
+        # S=600, n=4, C=300: r >= 0.5.
+        assert required_ratio(600, 4, 300) == pytest.approx(0.5)
+
+    def test_bounds(self):
+        ratio = required_ratio(10, 8, 1_000)
+        assert 1.0 / 8 <= ratio <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AllocationError):
+            required_ratio(10, 0, 100)
+        with pytest.raises(AllocationError):
+            required_ratio(10, 1, 0)
+        with pytest.raises(AllocationError):
+            required_ratio(-1, 1, 100)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_respected(self, stored, n, capacity):
+        ratio = required_ratio(stored, n, capacity)
+        assert 1.0 / n <= ratio <= 1.0
+        if ratio < 1.0:
+            # Whenever the ratio is not clamped at 1, the per-node
+            # share fits the capacity.
+            assert stored / (n * ratio) <= capacity + 1e-6
+
+
+class TestBuildGrid:
+    NODES = [f"m{i}" for i in range(12)]
+
+    def test_pure_replication_shape(self):
+        # r = 1/n -> single column, n rows (Figure 2's left extreme).
+        grid = build_grid("home", self.NODES, n=4, ratio=0.25)
+        assert grid.subset_count == 1
+        assert grid.partition_count == 4
+
+    def test_pure_separation_shape(self):
+        grid = build_grid("home", self.NODES, n=4, ratio=1.0)
+        assert grid.subset_count == 4
+        assert grid.partition_count == 1
+
+    def test_paper_figure2_shape(self):
+        # Figure 2: n=12, r=1/3 -> 3 partitions x 4 subsets.
+        grid = build_grid("home", self.NODES, n=12, ratio=1.0 / 3)
+        assert grid.partition_count == 3
+        assert grid.subset_count == 4
+        assert grid.node_count == 12
+
+    def test_nodes_distinct(self):
+        grid = build_grid("home", self.NODES, n=12, ratio=0.5)
+        nodes = grid.all_nodes()
+        assert len(nodes) == len(set(nodes))
+
+    def test_home_excluded(self):
+        grid = build_grid("m0", self.NODES, n=4, ratio=0.5)
+        assert "m0" not in grid.all_nodes()
+
+    def test_candidates_shrink_n(self):
+        grid = build_grid("home", ["a", "b"], n=8, ratio=0.25)
+        assert grid.node_count <= 2
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(AllocationError):
+            build_grid("home", ["home"], n=2, ratio=0.5)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(AllocationError):
+            build_grid("home", self.NODES, n=2, ratio=0.0)
+        with pytest.raises(AllocationError):
+            build_grid("home", self.NODES, n=2, ratio=1.5)
+
+    def test_subset_assignment_deterministic_and_in_range(self):
+        grid = build_grid("home", self.NODES, n=12, ratio=1.0 / 3)
+        for i in range(50):
+            subset = grid.subset_of(f"filter{i}")
+            assert 0 <= subset < grid.subset_count
+            assert subset == grid.subset_of(f"filter{i}")
+
+    def test_holders_of_subset_one_per_partition(self):
+        grid = build_grid("home", self.NODES, n=12, ratio=1.0 / 3)
+        holders = grid.holders_of_subset(2)
+        assert len(holders) == grid.partition_count
+        for row_index, holder in enumerate(holders):
+            assert grid.partition(row_index)[2] == holder
+
+    def test_holders_out_of_range(self):
+        grid = build_grid("home", self.NODES, n=4, ratio=1.0)
+        with pytest.raises(AllocationError):
+            grid.holders_of_subset(9)
+
+    def test_grid_validation_rejects_duplicates(self):
+        with pytest.raises(AllocationError):
+            AllocationGrid(
+                home_node="h", ratio=0.5, rows=(("a", "b"), ("a", "c"))
+            )
+
+    def test_grid_validation_rejects_ragged(self):
+        with pytest.raises(AllocationError):
+            AllocationGrid(
+                home_node="h", ratio=0.5, rows=(("a", "b"), ("c",))
+            )
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_partition_covers_all_subsets(self, n, ratio):
+        ratio = max(ratio, 1.0 / n)
+        grid = build_grid("home", self.NODES, n=n, ratio=ratio)
+        # Coverage invariant: forwarding to all nodes of any single
+        # partition reaches every subset exactly once.
+        for row in grid.rows:
+            assert len(row) == grid.subset_count
+        assert grid.node_count <= n

@@ -1,0 +1,151 @@
+"""Tests for the coordinator's planning (demand collection, grids,
+capacity-aware greedy placement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import AllocationConfig, ClusterConfig
+from repro.core import Coordinator, MoveOptimizer, NodeDemand, PlacementSelector
+from repro.model import Document, Filter
+from repro.stats import TermStatistics
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterConfig(num_nodes=10, num_racks=2, seed=3))
+
+
+@pytest.fixture
+def coordinator(cluster):
+    placement = PlacementSelector(
+        cluster.ring, cluster.topology, mode="hybrid"
+    )
+    return Coordinator(
+        placement,
+        config=AllocationConfig(
+            node_capacity=100, randomized_rounding=False
+        ),
+        seed=1,
+    )
+
+
+def _demand(key, p, q, s):
+    return NodeDemand(
+        key=key, popularity=p, frequency=q, stored_replicas=s
+    )
+
+
+class TestCollectDemands:
+    def test_aggregates_per_home_node(self, cluster, coordinator):
+        stats = TermStatistics()
+        stats.register_filter(Filter.from_terms("f1", ["alpha", "beta"]))
+        stats.register_filter(Filter.from_terms("f2", ["alpha"]))
+        stats.observe_document(Document.from_terms("d", ["alpha"]))
+        stats.frequency.renew()
+        demands = coordinator.collect_demands(
+            stats, cluster.ring.home_node
+        )
+        total_replicas = sum(d.stored_replicas for d in demands)
+        assert total_replicas == 3  # alpha twice + beta once
+        total_popularity = sum(d.popularity for d in demands)
+        assert total_popularity == pytest.approx(1.5)
+
+    def test_demands_sorted_by_key(self, cluster, coordinator):
+        stats = TermStatistics()
+        for i in range(20):
+            stats.register_filter(Filter.from_terms(f"f{i}", [f"t{i}"]))
+        demands = coordinator.collect_demands(
+            stats, cluster.ring.home_node
+        )
+        keys = [d.key for d in demands]
+        assert keys == sorted(keys)
+
+
+class TestPlan:
+    def test_hot_nodes_get_tables(self, cluster, coordinator):
+        demands = [
+            _demand("node000", 0.6, 0.8, 80),
+            _demand("node001", 0.01, 0.01, 5),
+        ]
+        plan = coordinator.plan(demands, num_nodes=10, total_filters=100)
+        assert "node000" in plan.tables
+        factor = plan.factors["node000"]
+        assert factor.n >= 2
+
+    def test_single_node_demand_keeps_local(self, cluster, coordinator):
+        # A cold node with trivial traffic may stay unallocated.
+        demands = [
+            _demand("node000", 0.9, 0.9, 99),
+            _demand("node001", 1e-6, 1e-6, 1),
+        ]
+        plan = coordinator.plan(demands, num_nodes=10, total_filters=100)
+        assert plan.factors["node001"].n <= plan.factors["node000"].n
+
+    def test_zero_replica_demand_never_allocated(self, coordinator):
+        demands = [_demand("node000", 0.5, 0.5, 0)]
+        plan = coordinator.plan(demands, num_nodes=10, total_filters=10)
+        assert "node000" not in plan.tables
+
+    def test_grid_nodes_exclude_home(self, cluster, coordinator):
+        demands = [_demand("node000", 0.6, 0.8, 80)]
+        plan = coordinator.plan(demands, num_nodes=10, total_filters=100)
+        grid = plan.grid_for("node000")
+        assert grid is not None
+        assert "node000" not in grid.all_nodes()
+
+    def test_greedy_respects_capacity(self, cluster, coordinator):
+        # Several hot homes with big filter sets: no grid slot should
+        # push a node's predicted storage far past capacity when room
+        # exists elsewhere.
+        demands = [
+            _demand(f"node00{i}", 0.3, 0.5, 90) for i in range(5)
+        ]
+        plan = coordinator.plan(demands, num_nodes=10, total_filters=500)
+        storage = {}
+        for home, table in plan.tables.items():
+            per_node = 90 / table.grid.subset_count
+            for node in table.grid.all_nodes():
+                storage[node] = storage.get(node, 0.0) + per_node
+        # Capacity is 100; the greedy keeps the worst node bounded.
+        assert max(storage.values()) <= 300
+
+    def test_grid_spreads_load(self, cluster, coordinator):
+        demands = [
+            _demand(f"node00{i}", 0.2, 0.5, 50) for i in range(8)
+        ]
+        plan = coordinator.plan(demands, num_nodes=10, total_filters=400)
+        membership = {}
+        for table in plan.tables.values():
+            for node in table.grid.all_nodes():
+                membership[node] = membership.get(node, 0) + 1
+        if membership:
+            assert max(membership.values()) - min(
+                membership.values()
+            ) <= 4
+
+    def test_plans_counted(self, cluster, coordinator):
+        coordinator.plan([], num_nodes=10, total_filters=0)
+        coordinator.plan([], num_nodes=10, total_filters=0)
+        assert coordinator.plans_computed == 2
+
+    def test_plan_from_stats_end_to_end(self, cluster, coordinator):
+        stats = TermStatistics()
+        for i in range(200):
+            stats.register_filter(
+                Filter.from_terms(f"f{i}", [f"term{i % 20}"])
+            )
+        for i in range(50):
+            stats.observe_document(
+                Document.from_terms(f"d{i}", ["term0", f"term{i % 20}"])
+            )
+        stats.frequency.renew()
+        plan = coordinator.plan_from_stats(
+            stats, cluster.ring.home_node, num_nodes=10
+        )
+        assert plan.factors
+        # term0 appears in every document; its home node is hot and
+        # must receive a forwarding table.
+        hot_home = cluster.ring.home_node("term0")
+        assert hot_home in plan.tables

@@ -1,0 +1,180 @@
+"""Tests for the MOVE optimizer (Theorems 1–2, rounding, constraint)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import AllocationConfig, CostModelConfig
+from repro.core import MoveOptimizer, NodeDemand
+from repro.errors import AllocationError
+
+
+def make_optimizer(rule="sqrt_pq", capacity=1_000, randomized=False):
+    return MoveOptimizer(
+        config=AllocationConfig(
+            node_capacity=capacity,
+            rule=rule,
+            randomized_rounding=randomized,
+        ),
+        cost_model=CostModelConfig(),
+        rng=random.Random(0),
+    )
+
+
+def demands_from(pairs):
+    return [
+        NodeDemand(
+            key=f"n{i}",
+            popularity=p,
+            frequency=q,
+            stored_replicas=s,
+        )
+        for i, (p, q, s) in enumerate(pairs)
+    ]
+
+
+class TestSolve:
+    def test_empty_demands(self):
+        assert make_optimizer().solve([], 10, 100) == {}
+
+    def test_every_demand_gets_at_least_one_node(self):
+        demands = demands_from([(0.1, 0.0, 50), (0.0, 0.0, 0)])
+        factors = make_optimizer().solve(demands, 10, 100)
+        assert all(f.n >= 1 for f in factors.values())
+
+    def test_n_capped_at_cluster_size(self):
+        demands = demands_from([(0.9, 0.9, 10)])
+        factors = make_optimizer(capacity=10_000).solve(demands, 5, 100)
+        assert factors["n0"].n <= 5
+
+    def test_sqrt_q_rule_proportionality(self):
+        # Theorem 1: continuous n_i proportional to sqrt(q_i) when
+        # storage coefficients are equal.
+        demands = demands_from([(0.5, 0.64, 100), (0.5, 0.16, 100)])
+        factors = make_optimizer(rule="sqrt_q").solve(demands, 10, 200)
+        ratio = (
+            factors["n0"].continuous_n / factors["n1"].continuous_n
+        )
+        assert ratio == pytest.approx(math.sqrt(0.64 / 0.16))
+
+    def test_sqrt_pq_rule_proportionality(self):
+        demands = demands_from([(0.4, 0.9, 100), (0.1, 0.9, 100)])
+        factors = make_optimizer(rule="sqrt_pq").solve(demands, 10, 200)
+        ratio = (
+            factors["n0"].continuous_n / factors["n1"].continuous_n
+        )
+        assert ratio == pytest.approx(math.sqrt(0.4 / 0.1))
+
+    def test_uniform_rule_equal_continuous(self):
+        demands = demands_from([(0.5, 0.9, 100), (0.1, 0.1, 100)])
+        factors = make_optimizer(rule="uniform").solve(demands, 10, 200)
+        assert factors["n0"].continuous_n == pytest.approx(
+            factors["n1"].continuous_n
+        )
+
+    def test_sqrt_beta_q_reduces_to_sqrt_q_for_large_beta(self):
+        # With beta >> 1, sqrt(1 + beta*q) ~ sqrt(beta*q) so the ratio
+        # of weights approaches sqrt(q0/q1) (Theorem 2 -> Theorem 1).
+        demands = demands_from([(0.5, 0.8, 100), (0.5, 0.2, 100)])
+        factors = make_optimizer(rule="sqrt_beta_q").solve(
+            demands, 10, 10_000_000
+        )
+        ratio = factors["n0"].weight / factors["n1"].weight
+        assert ratio == pytest.approx(math.sqrt(0.8 / 0.2), rel=0.01)
+
+    def test_constraint_satisfied_by_continuous_solution(self):
+        demands = demands_from(
+            [(0.3, 0.5, 300), (0.2, 0.1, 200), (0.1, 0.9, 100)]
+        )
+        optimizer = make_optimizer(capacity=500)
+        factors = optimizer.solve(demands, 4, 600)
+        budget = 4 * 500
+        continuous_storage = sum(
+            d.stored_replicas * factors[d.key].continuous_n
+            for d in demands
+        )
+        assert continuous_storage == pytest.approx(budget, rel=1e-6)
+
+    def test_integral_storage_near_budget(self):
+        demands = demands_from(
+            [(0.3, 0.5, 300), (0.2, 0.1, 200), (0.1, 0.9, 100)]
+        )
+        optimizer = make_optimizer(capacity=500)
+        factors = optimizer.solve(demands, 4, 600)
+        used = MoveOptimizer.storage_used(demands, factors)
+        assert used <= 2 * 4 * 500  # within rounding slack
+
+    def test_sqrt_rule_beats_uniform_on_skew(self):
+        # Theorem 1's optimality: on skewed demands the sqrt rule's
+        # predicted Eq.1 latency is no worse than uniform's.
+        demands = demands_from(
+            [(0.4, 0.7, 400), (0.05, 0.05, 50), (0.05, 0.02, 50)]
+        )
+        sqrt_factors = make_optimizer(rule="sqrt_q").solve(
+            demands, 10, 500
+        )
+        uniform_factors = make_optimizer(rule="uniform").solve(
+            demands, 10, 500
+        )
+
+        def latency(factors):
+            return MoveOptimizer.predicted_latency(
+                demands, factors, total_documents=1_000, y_p=1e-6
+            )
+
+        # Compare at the continuous solutions to avoid rounding noise.
+        class Cont:
+            def __init__(self, f):
+                self.n = max(f.continuous_n, 1e-9)
+
+        sqrt_cont = {k: Cont(v) for k, v in sqrt_factors.items()}
+        uni_cont = {k: Cont(v) for k, v in uniform_factors.items()}
+        assert latency(sqrt_cont) <= latency(uni_cont) * 1.0001
+
+    def test_randomized_rounding_close_to_continuous(self):
+        demands = demands_from([(0.2, 0.5, 100)] * 5)
+        optimizer = make_optimizer(randomized=True)
+        factors = optimizer.solve(demands, 8, 500)
+        for demand in demands:
+            factor = factors[demand.key]
+            assert (
+                abs(factor.n - factor.continuous_n) <= 1
+                or factor.n in (1, 8)
+            )
+
+    def test_invalid_num_nodes(self):
+        with pytest.raises(AllocationError):
+            make_optimizer().solve(demands_from([(0.1, 0.1, 1)]), 0, 10)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(AllocationError):
+            NodeDemand(key="x", popularity=-0.1, frequency=0.1,
+                       stored_replicas=1)
+        with pytest.raises(AllocationError):
+            NodeDemand(key="x", popularity=0.1, frequency=0.1,
+                       stored_replicas=-1)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=1.0),
+                st.integers(min_value=0, max_value=1_000),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_solution_always_valid(self, pairs, num_nodes):
+        demands = demands_from(pairs)
+        factors = make_optimizer().solve(demands, num_nodes, 1_000)
+        assert set(factors) == {d.key for d in demands}
+        for factor in factors.values():
+            assert 1 <= factor.n <= num_nodes
+            assert factor.continuous_n >= 0

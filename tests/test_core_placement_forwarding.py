@@ -1,0 +1,149 @@
+"""Tests for placement selection and the forwarding table."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core import ForwardingTable, PlacementSelector, build_grid
+from repro.errors import AllocationError
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterConfig(num_nodes=12, num_racks=3, seed=4))
+
+
+class TestPlacementSelector:
+    def test_ring_candidates_are_successors(self, cluster):
+        selector = PlacementSelector(
+            cluster.ring, cluster.topology, mode="ring"
+        )
+        assert selector.candidates("node000", 4) == (
+            cluster.ring.successors("node000", 4)
+        )
+
+    def test_rack_candidates_strictly_in_rack(self, cluster):
+        selector = PlacementSelector(
+            cluster.ring, cluster.topology, mode="rack"
+        )
+        home_rack = cluster.topology.rack_of("node000")
+        for node in selector.candidates("node000", 10):
+            assert cluster.topology.rack_of(node) == home_rack
+
+    def test_rack_candidates_bounded_by_rack_size(self, cluster):
+        selector = PlacementSelector(
+            cluster.ring, cluster.topology, mode="rack"
+        )
+        peers = cluster.topology.rack_peers("node000")
+        assert len(selector.candidates("node000", 50)) == len(peers)
+
+    def test_hybrid_mixes_flavours(self, cluster):
+        selector = PlacementSelector(
+            cluster.ring, cluster.topology, mode="hybrid"
+        )
+        candidates = selector.candidates("node000", 8)
+        home_rack = cluster.topology.rack_of("node000")
+        racks = {cluster.topology.rack_of(node) for node in candidates}
+        # Hybrid placement includes in-rack peers and other racks.
+        assert home_rack in racks
+        assert len(racks) > 1
+
+    def test_candidates_exclude_home(self, cluster):
+        for mode in ("ring", "rack", "hybrid"):
+            selector = PlacementSelector(
+                cluster.ring, cluster.topology, mode=mode
+            )
+            assert "node000" not in selector.candidates("node000", 8)
+
+    def test_candidates_distinct(self, cluster):
+        selector = PlacementSelector(
+            cluster.ring, cluster.topology, mode="hybrid"
+        )
+        candidates = selector.candidates("node000", 10)
+        assert len(candidates) == len(set(candidates))
+
+    def test_zero_count(self, cluster):
+        selector = PlacementSelector(
+            cluster.ring, cluster.topology, mode="ring"
+        )
+        assert selector.candidates("node000", 0) == []
+
+    def test_unknown_mode(self, cluster):
+        with pytest.raises(AllocationError):
+            PlacementSelector(cluster.ring, cluster.topology, mode="x")
+
+
+class TestForwardingTable:
+    def _table(self):
+        nodes = [f"m{i}" for i in range(12)]
+        grid = build_grid("home", nodes, n=12, ratio=1.0 / 3)
+        return ForwardingTable(grid)
+
+    def test_choose_partition_in_range(self):
+        table = self._table()
+        rng = random.Random(1)
+        for _ in range(20):
+            assert (
+                0
+                <= table.choose_partition(rng)
+                < table.grid.partition_count
+            )
+
+    def test_route_covers_all_subsets(self):
+        table = self._table()
+        routing = table.route(random.Random(2))
+        assert set(routing) == set(range(table.grid.subset_count))
+        assert all(node is not None for node in routing.values())
+
+    def test_route_uses_one_partition_when_all_alive(self):
+        table = self._table()
+        routing = table.route(random.Random(3))
+        routed = set(routing.values())
+        assert any(
+            routed == set(row) for row in table.grid.rows
+        )
+
+    def test_route_falls_back_for_dead_node(self):
+        table = self._table()
+        dead = table.grid.rows[0][0]
+
+        def alive(node):
+            return node != dead
+
+        for seed in range(10):
+            routing = table.route(random.Random(seed), is_alive=alive)
+            assert dead not in routing.values()
+            assert all(node is not None for node in routing.values())
+
+    def test_route_none_when_all_copies_dead(self):
+        table = self._table()
+        dead = set(table.grid.holders_of_subset(0))
+
+        def alive(node):
+            return node not in dead
+
+        routing = table.route(random.Random(5), is_alive=alive)
+        assert routing[0] is None
+        assert all(
+            routing[s] is not None
+            for s in range(1, table.grid.subset_count)
+        )
+
+    def test_live_subset_fraction(self):
+        table = self._table()
+        assert table.live_subset_fraction(lambda n: True) == 1.0
+        dead = set(table.grid.holders_of_subset(1))
+        fraction = table.live_subset_fraction(lambda n: n not in dead)
+        expected = (
+            (table.grid.subset_count - 1) / table.grid.subset_count
+        )
+        assert fraction == pytest.approx(expected)
+
+    def test_describe_mentions_shape(self):
+        description = self._table().describe()
+        assert "partitions=3" in description
+        assert "subsets=4" in description

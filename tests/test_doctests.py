@@ -1,0 +1,34 @@
+"""Run the doctest examples embedded in the library's docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.matching.postings
+import repro.sim.engine
+import repro.sim.randomness
+import repro.text.porter
+import repro.text.tokenizer
+import repro.text.vocabulary
+import repro.workloads.zipf
+
+MODULES = [
+    repro.text.porter,
+    repro.text.tokenizer,
+    repro.text.vocabulary,
+    repro.sim.engine,
+    repro.sim.randomness,
+    repro.workloads.zipf,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )

@@ -1,0 +1,263 @@
+"""Shape tests for the figure experiments (scaled-down, fast settings).
+
+These assert the *qualitative* reproduction targets — who wins, which
+distribution is skewer, where the knee falls — at miniature scale so
+the suite stays fast; the benchmark harness runs the full scaled
+settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4_term_popularity import run_fig4
+from repro.experiments.fig5_doc_frequency import run_fig5
+from repro.experiments.fig67_single_node import (
+    run_fig6,
+    run_fig7,
+    wt_over_ap_ratio,
+)
+from repro.experiments.fig8_cluster import (
+    degradation_folds,
+    run_fig8a,
+    run_fig8b,
+    run_fig8c,
+)
+from repro.experiments.fig9_maintenance import run_fig9a, run_fig9b, run_fig9cd
+from repro.experiments.harness import ScaledWorkload
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    format_result,
+    run_experiment,
+)
+
+FAST = ScaledWorkload(
+    num_filters=800,
+    num_documents=120,
+    num_nodes=10,
+    node_capacity=800,
+    vocabulary_size=2_000,
+    mean_doc_terms=30,
+)
+
+#: The ordering-sensitive figures need realistic density: the default
+#: vocabulary/filter scale at a reduced document count.  (At miniature
+#: scale RS can win — the Move advantage comes from skew + routing
+#: selectivity, which need a sparse vocabulary to show.)
+REALISTIC = ScaledWorkload(num_filters=2_000, num_documents=200)
+
+
+class TestFig4:
+    def test_statistics_near_msn(self):
+        result = run_fig4(num_filters=4_000, vocabulary_size=5_000)
+        assert result.mean_terms_per_query == pytest.approx(2.843, abs=0.1)
+        c1, c2, c3 = result.cumulative_length_shares
+        assert c1 == pytest.approx(0.3133, abs=0.03)
+        assert c2 == pytest.approx(0.6775, abs=0.03)
+        assert c3 == pytest.approx(0.8531, abs=0.03)
+
+    def test_popularity_curve_is_decreasing(self):
+        result = run_fig4(num_filters=2_000, vocabulary_size=2_000)
+        ys = result.series.ys
+        assert all(ys[i] >= ys[i + 1] for i in range(len(ys) - 1))
+
+    def test_report_mentions_paper_values(self):
+        result = run_fig4(num_filters=1_000, vocabulary_size=2_000)
+        report = result.format_report()
+        assert "2.843" in report
+        assert "0.3133" in report
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(num_documents=600, vocabulary_size=4_000)
+
+    def test_wt_skewer_than_ap(self, result):
+        assert (
+            result.wt.normalized_entropy < result.ap.normalized_entropy
+        )
+
+    def test_overlaps_match_paper(self, result):
+        assert result.ap.top_k_overlap == pytest.approx(0.269, abs=0.02)
+        assert result.wt.top_k_overlap == pytest.approx(0.313, abs=0.02)
+
+    def test_ap_docs_much_longer(self, result):
+        assert result.ap.mean_terms > 5 * result.wt.mean_terms
+
+    def test_frequency_curves_decreasing(self, result):
+        for skew in (result.ap, result.wt):
+            ys = skew.series.ys
+            assert all(ys[i] >= ys[i + 1] for i in range(len(ys) - 1))
+
+    def test_report_names_wt_as_skewer(self, result):
+        assert "skewer corpus: WT" in result.format_report()
+
+
+class TestFig67:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_fig6(
+            r_values=(1e4, 1e5),
+            q_values=(2, 10, 100, 500),
+            vocabulary_size=3_000,
+        )
+
+    def test_throughput_declines_with_q(self, sweep):
+        # The dominant trend: larger Q (smaller P) -> lower throughput.
+        for series in sweep.series:
+            assert series.ys[1] > series.ys[-1]
+
+    def test_larger_r_more_total_time(self):
+        # Paper: processing time for R=1e7 ~6.7x that of R=1e5 at
+        # fixed Q; here just require more work at larger R.
+        sweep = run_fig6(
+            r_values=(1e4, 1e5), q_values=(100,), vocabulary_size=3_000
+        )
+        small_r = sweep.series[0].ys[0]
+        large_r = sweep.series[1].ys[0]
+        # Pair throughput grows with R (same docs, 10x filters), but
+        # sub-linearly: the per-document seek floor is shared.
+        assert large_r > small_r
+        assert large_r < 10 * small_r
+
+    def test_disk_knee_at_tiny_q(self):
+        # Needs the default (sparse) vocabulary: at Q=2 the filter set
+        # P = 5e5 overflows the 3e5-filter working-set knee and dips
+        # below Q=10, reproducing Figure 6's exception.
+        sweep = run_fig6(r_values=(1e6,), q_values=(2, 10))
+        ys = sweep.series[0].ys
+        assert ys[0] < ys[1]
+
+    def test_wt_faster_than_ap(self):
+        ratio = wt_over_ap_ratio(
+            r_value=1e4, q=50, vocabulary_size=3_000
+        )
+        assert ratio > 3.0
+
+    def test_throughput_at_unknown_point_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.throughput_at(9e9, 77)
+
+
+class TestFig8:
+    def test_fig8a_declines_and_move_beats_il(self):
+        sweep = run_fig8a(
+            filter_counts=(200, 800), base=FAST, seed=0
+        )
+        for scheme in ("Move", "IL", "RS"):
+            ys = sweep.series[scheme].ys
+            assert ys[0] > ys[-1]  # more filters -> lower throughput
+        move_ys = sweep.series["Move"].ys
+        il_ys = sweep.series["IL"].ys
+        assert all(m > i for m, i in zip(move_ys, il_ys))
+
+    def test_fig8a_full_ordering_at_realistic_scale(self):
+        # The paper's headline: Move > RS > IL (93/70/42 at P=1e7).
+        sweep = run_fig8a(
+            filter_counts=(4_000,), base=REALISTIC, seed=0
+        )
+        assert sweep.final_ordering() == ["Move", "RS", "IL"]
+
+    def test_fig8b_il_degrades_most(self):
+        sweep = run_fig8b(
+            injection_rates=(10, 1_000, 100_000), base=FAST, seed=0
+        )
+        folds = degradation_folds(sweep)
+        assert folds["IL"] >= folds["Move"]
+
+    def test_fig8c_more_nodes_help_all(self):
+        sweep = run_fig8c(node_counts=(6, 16), base=FAST, seed=0)
+        for scheme in ("Move", "IL", "RS"):
+            ys = sweep.series[scheme].ys
+            assert ys[-1] > ys[0]
+
+    def test_reports_render(self):
+        sweep = run_fig8a(filter_counts=(200,), base=FAST, seed=0)
+        report = sweep.format_report()
+        assert "Move" in report and "RS" in report
+
+
+class TestFig9:
+    def test_fig9a_storage_skew_ordering(self):
+        result = run_fig9a(base=FAST, seed=0)
+        # IL most skewed; RS and Move balanced (paper Figure 9a).
+        assert result.imbalance("IL") > result.imbalance("RS")
+        assert result.imbalance("IL") > result.imbalance("Move")
+
+    def test_fig9b_matching_skew_ordering(self):
+        result = run_fig9b(base=REALISTIC, seed=0)
+        assert result.imbalance("IL") > result.imbalance("Move")
+
+    def test_fig9cd_rack_trades_availability_for_throughput(self):
+        result = run_fig9cd(
+            failure_rates=(0.0, 0.3), base=REALISTIC, seed=0
+        )
+        # Rack placement: highest throughput, lowest availability
+        # under rack-correlated failures (paper Figure 9c/d).
+        assert (
+            result.throughput[("rack", 0.0)]
+            >= result.throughput[("ring", 0.0)]
+        )
+        assert (
+            result.availability[("rack", 0.3)]
+            <= result.availability[("ring", 0.3)]
+        )
+        assert (
+            result.availability[("move", 0.3)]
+            >= result.availability[("rack", 0.3)]
+        )
+
+    def test_reports_render(self):
+        result = run_fig9a(base=FAST, seed=0)
+        assert "storage" in result.format_report()
+
+
+class TestRegistry:
+    def test_calibration_experiment_passes(self):
+        from repro.experiments.registry import run_calibration
+
+        report = run_calibration()
+        assert report.passed, report.format_report()
+
+    def test_density_study_runs_small(self):
+        from repro.experiments.density_study import run_density_study
+
+        result = run_density_study(
+            vocabulary_sizes=(500, 2_000),
+            num_filters=500,
+            num_documents=60,
+        )
+        assert len(result.densities) == 2
+        # Density falls as the vocabulary grows.
+        assert result.densities[0] > result.densities[1]
+        assert "Sensitivity" in result.format_report()
+
+    def test_all_figures_registered(self):
+        for experiment_id in (
+            "summary",
+            "density",
+            "calibration",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8a",
+            "fig8b",
+            "fig8c",
+            "fig9a",
+            "fig9b",
+            "fig9cd",
+        ):
+            assert experiment_id in EXPERIMENTS
+
+    def test_ids_sorted(self):
+        assert experiment_ids() == sorted(experiment_ids())
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_format_result_fallback(self):
+        assert format_result(42) == "42"

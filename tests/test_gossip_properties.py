@@ -1,0 +1,80 @@
+"""Property-based tests for gossip membership convergence.
+
+Invariants under arbitrary crash patterns:
+
+- crashed nodes are eventually marked DOWN by every live node,
+- live nodes are never marked DOWN in any live view,
+- all live views converge to the same live-node set.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import GossipMembership, NodeState
+
+
+@st.composite
+def crash_scenarios(draw):
+    node_count = draw(st.integers(min_value=3, max_value=12))
+    crash_count = draw(st.integers(min_value=0, max_value=node_count - 2))
+    crashed = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=node_count - 1),
+            min_size=crash_count,
+            max_size=crash_count,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=1_000))
+    return node_count, crashed, seed
+
+
+@given(crash_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_convergence_under_any_crash_pattern(scenario):
+    node_count, crashed_indices, seed = scenario
+    node_ids = [f"n{i}" for i in range(node_count)]
+    gossip = GossipMembership(node_ids, suspect_timeout=3, seed=seed)
+    crashed = {f"n{i}" for i in crashed_indices}
+    for node_id in crashed:
+        gossip.mark_crashed(node_id)
+    # Enough rounds for dissemination plus the suspect timeout.
+    gossip.tick(3 + 3 * node_count)
+
+    live = [nid for nid in node_ids if nid not in crashed]
+    expected_live = set(live)
+    for node_id in live:
+        view = gossip.view_of(node_id)
+        assert view.live_nodes() == expected_live
+        for dead in crashed:
+            assert view.records[dead].state is NodeState.DOWN
+
+
+@given(
+    st.integers(min_value=2, max_value=15),
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_healthy_cluster_never_suspects(node_count, rounds, seed):
+    node_ids = [f"n{i}" for i in range(node_count)]
+    gossip = GossipMembership(node_ids, suspect_timeout=3, seed=seed)
+    gossip.tick(rounds)
+    for view in gossip.views.values():
+        assert view.live_nodes() == set(node_ids)
+
+
+@given(
+    st.integers(min_value=3, max_value=10),
+    st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=20, deadline=None)
+def test_crash_then_recover_rejoins(node_count, seed):
+    node_ids = [f"n{i}" for i in range(node_count)]
+    gossip = GossipMembership(node_ids, suspect_timeout=2, seed=seed)
+    gossip.mark_crashed("n0")
+    gossip.tick(3 * node_count)
+    gossip.mark_recovered("n0")
+    gossip.tick(3 * node_count)
+    for view in gossip.views.values():
+        assert view.live_nodes() == set(node_ids)

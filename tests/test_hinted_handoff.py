@@ -1,0 +1,112 @@
+"""Tests for hinted handoff in the key/value client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, KeyValueClient
+from repro.config import ClusterConfig
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterConfig(num_nodes=8, num_racks=2, seed=2))
+
+
+def _client(cluster, **kwargs):
+    return KeyValueClient(
+        cluster, replica_count=3, hinted_handoff=True, **kwargs
+    )
+
+
+class TestHintedHandoff:
+    def test_hint_stored_for_dead_replica(self, cluster):
+        client = _client(cluster)
+        victim = client.replicas_for("key")[1]
+        cluster.fail_node(victim)
+        client.put("key", "value")
+        # Some live node holds a hint addressed to the victim.
+        hint_count = sum(
+            sum(
+                1
+                for row in node.storage.create_column_family(
+                    KeyValueClient.HINT_FAMILY
+                ).row_keys()
+                if row.startswith(f"{victim}:")
+            )
+            for node in cluster.nodes.values()
+            if node.alive
+        )
+        assert hint_count == 1
+
+    def test_hints_replayed_on_recovery(self, cluster):
+        client = _client(cluster)
+        victim = client.replicas_for("key")[0]
+        cluster.fail_node(victim)
+        client.put("key", "value")
+        victim_store = cluster.node(victim).storage.create_column_family(
+            KeyValueClient.COLUMN_FAMILY
+        )
+        assert victim_store.get("key", KeyValueClient.COLUMN) is None
+        cluster.recover_node(victim)
+        delivered = client.deliver_hints()
+        assert delivered == 1
+        # Raw storage holds (version, value) pairs.
+        _version, value = victim_store.get("key", KeyValueClient.COLUMN)
+        assert value == "value"
+
+    def test_deliver_waits_for_recovery(self, cluster):
+        client = _client(cluster)
+        victim = client.replicas_for("key")[0]
+        cluster.fail_node(victim)
+        client.put("key", "value")
+        # Victim still down: nothing delivered, hint retained.
+        assert client.deliver_hints() == 0
+        cluster.recover_node(victim)
+        assert client.deliver_hints() == 1
+        # Hints drain exactly once.
+        assert client.deliver_hints() == 0
+
+    def test_no_hints_when_disabled(self, cluster):
+        client = KeyValueClient(
+            cluster, replica_count=3, hinted_handoff=False
+        )
+        victim = client.replicas_for("key")[1]
+        cluster.fail_node(victim)
+        client.put("key", "value")
+        total_hints = sum(
+            node.storage.create_column_family(
+                KeyValueClient.HINT_FAMILY
+            ).approximate_row_count()
+            for node in cluster.nodes.values()
+        )
+        assert total_hints == 0
+
+    def test_multiple_dead_replicas_multiple_hints(self, cluster):
+        client = _client(cluster)
+        victims = client.replicas_for("key")[:2]
+        for victim in victims:
+            cluster.fail_node(victim)
+        client.put("key", "value")
+        for victim in victims:
+            cluster.recover_node(victim)
+        assert client.deliver_hints() == 2
+        for victim in victims:
+            store = cluster.node(victim).storage.create_column_family(
+                KeyValueClient.COLUMN_FAMILY
+            )
+            _version, value = store.get("key", KeyValueClient.COLUMN)
+            assert value == "value"
+
+    def test_reads_work_throughout(self, cluster):
+        client = _client(cluster)
+        replicas = client.replicas_for("key")
+        cluster.fail_node(replicas[0])
+        client.put("key", "value")
+        assert client.get("key") == "value"
+        cluster.recover_node(replicas[0])
+        client.deliver_hints()
+        # Primary now answers too.
+        cluster.fail_node(replicas[1])
+        cluster.fail_node(replicas[2])
+        assert client.get("key") == "value"

@@ -1,0 +1,141 @@
+"""Tests for subscription leases (TTL expiry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InvertedListSystem
+from repro.cluster import Cluster
+from repro.config import ClusterConfig, SystemConfig
+from repro.core.leases import SubscriptionManager
+from repro.model import Document, Filter
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def manager():
+    config = SystemConfig(
+        cluster=ClusterConfig(num_nodes=4, num_racks=2, seed=1),
+        expected_filter_terms=100,
+        seed=1,
+    )
+    system = InvertedListSystem(Cluster(config.cluster), config)
+    clock = FakeClock()
+    return SubscriptionManager(system, clock, default_ttl=60.0), clock
+
+
+class TestSubscribe:
+    def test_lease_created(self, manager):
+        mgr, clock = manager
+        lease = mgr.subscribe(Filter.from_terms("f", ["x"]))
+        assert lease.expires_at == 60.0
+        assert mgr.active_count() == 1
+        assert mgr.lease_of("f") == lease
+
+    def test_custom_ttl(self, manager):
+        mgr, clock = manager
+        lease = mgr.subscribe(Filter.from_terms("f", ["x"]), ttl=10.0)
+        assert lease.expires_at == 10.0
+
+    def test_invalid_ttl(self, manager):
+        mgr, _clock = manager
+        with pytest.raises(ValueError):
+            mgr.subscribe(Filter.from_terms("f", ["x"]), ttl=0.0)
+
+    def test_invalid_default_ttl(self, manager):
+        mgr, clock = manager
+        with pytest.raises(ValueError):
+            SubscriptionManager(mgr.system, clock, default_ttl=-1.0)
+
+
+class TestSweep:
+    def test_expired_filters_unregistered(self, manager):
+        mgr, clock = manager
+        mgr.subscribe(Filter.from_terms("short", ["x"]), ttl=10.0)
+        mgr.subscribe(Filter.from_terms("long", ["x"]), ttl=100.0)
+        clock.advance(30.0)
+        expired = mgr.sweep()
+        assert expired == ["short"]
+        assert mgr.active_count() == 1
+        assert mgr.expired_total == 1
+        # Matching reflects the expiry.
+        plan = mgr.system.publish(Document.from_terms("d", ["x"]))
+        assert plan.matched_filter_ids == {"long"}
+
+    def test_sweep_idempotent(self, manager):
+        mgr, clock = manager
+        mgr.subscribe(Filter.from_terms("f", ["x"]), ttl=5.0)
+        clock.advance(10.0)
+        assert mgr.sweep() == ["f"]
+        assert mgr.sweep() == []
+
+    def test_nothing_expired(self, manager):
+        mgr, clock = manager
+        mgr.subscribe(Filter.from_terms("f", ["x"]))
+        clock.advance(1.0)
+        assert mgr.sweep() == []
+        assert mgr.active_count() == 1
+
+
+class TestRenew:
+    def test_renewal_extends(self, manager):
+        mgr, clock = manager
+        mgr.subscribe(Filter.from_terms("f", ["x"]), ttl=10.0)
+        clock.advance(8.0)
+        mgr.renew("f", ttl=10.0)
+        clock.advance(8.0)  # would have expired without the renewal
+        assert mgr.sweep() == []
+        clock.advance(5.0)
+        assert mgr.sweep() == ["f"]
+
+    def test_renew_unknown_raises(self, manager):
+        mgr, _clock = manager
+        with pytest.raises(KeyError):
+            mgr.renew("ghost")
+
+    def test_renew_invalid_ttl(self, manager):
+        mgr, _clock = manager
+        mgr.subscribe(Filter.from_terms("f", ["x"]))
+        with pytest.raises(ValueError):
+            mgr.renew("f", ttl=-5.0)
+
+
+class TestCancel:
+    def test_cancel_unregisters(self, manager):
+        mgr, _clock = manager
+        mgr.subscribe(Filter.from_terms("f", ["x"]))
+        mgr.cancel("f")
+        assert mgr.active_count() == 0
+        plan = mgr.system.publish(Document.from_terms("d", ["x"]))
+        assert plan.matched_filter_ids == set()
+
+
+class TestWithSimulatorClock:
+    def test_leases_on_virtual_time(self):
+        from repro.sim import Simulator
+
+        config = SystemConfig(
+            cluster=ClusterConfig(num_nodes=4, num_racks=2, seed=1),
+            expected_filter_terms=100,
+            seed=1,
+        )
+        cluster = Cluster(config.cluster)
+        system = InvertedListSystem(cluster, config)
+        sim = cluster.sim
+        mgr = SubscriptionManager(
+            system, lambda: sim.now, default_ttl=5.0
+        )
+        mgr.subscribe(Filter.from_terms("f", ["x"]))
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert mgr.sweep() == ["f"]

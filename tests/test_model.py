@@ -1,0 +1,175 @@
+"""Tests for the Document/Filter data model and match semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import (
+    BooleanAnyTermSemantics,
+    Document,
+    Filter,
+    ThresholdSemantics,
+    brute_force_match,
+)
+from repro.model.match import BooleanAllTermsSemantics
+
+terms_strategy = st.sets(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestDocument:
+    def test_from_terms_counts_multiplicity(self):
+        doc = Document.from_terms("d", ["a", "b", "a"])
+        assert doc.terms == {"a", "b"}
+        assert doc.term_frequency("a") == 2
+        assert doc.term_frequency("b") == 1
+        assert doc.total_term_occurrences == 3
+
+    def test_len_is_distinct_terms(self):
+        doc = Document.from_terms("d", ["a", "a", "b"])
+        assert len(doc) == 2
+
+    def test_contains(self):
+        doc = Document.from_terms("d", ["x"])
+        assert "x" in doc
+        assert "y" not in doc
+
+    def test_from_text_runs_pipeline(self):
+        doc = Document.from_text("d", "The distributed systems")
+        assert doc.terms == {"distribut", "system"}
+
+    def test_default_counts_are_ones(self):
+        doc = Document(doc_id="d", terms=frozenset({"a", "b"}))
+        assert doc.term_frequency("a") == 1
+
+    def test_counts_must_cover_terms(self):
+        with pytest.raises(ValueError):
+            Document(
+                doc_id="d",
+                terms=frozenset({"a", "b"}),
+                term_counts={"a": 1},
+            )
+
+    def test_sorted_terms_stable(self):
+        doc = Document.from_terms("d", ["c", "a", "b"])
+        assert doc.sorted_terms() == ("a", "b", "c")
+
+    def test_missing_term_frequency_zero(self):
+        doc = Document.from_terms("d", ["a"])
+        assert doc.term_frequency("zz") == 0
+
+
+class TestFilter:
+    def test_requires_terms(self):
+        with pytest.raises(ValueError):
+            Filter(filter_id="f", terms=frozenset())
+
+    def test_owner_defaults_to_filter_id(self):
+        profile = Filter.from_terms("f9", ["a"])
+        assert profile.owner == "f9"
+
+    def test_explicit_owner_kept(self):
+        profile = Filter.from_terms("f", ["a"], owner="alice")
+        assert profile.owner == "alice"
+
+    def test_from_text_pipeline(self):
+        profile = Filter.from_text("f", "Distributed Systems")
+        assert profile.terms == {"distribut", "system"}
+
+    def test_from_text_all_stopwords_raises(self):
+        with pytest.raises(ValueError):
+            Filter.from_text("f", "the and of")
+
+    def test_len_and_contains(self):
+        profile = Filter.from_terms("f", ["a", "b"])
+        assert len(profile) == 2
+        assert "a" in profile
+
+
+class TestBooleanAnyTerm:
+    def test_shared_term_matches(self):
+        sem = BooleanAnyTermSemantics()
+        doc = Document.from_terms("d", ["a", "b"])
+        assert sem.matches(doc, Filter.from_terms("f", ["b", "z"]))
+
+    def test_disjoint_does_not_match(self):
+        sem = BooleanAnyTermSemantics()
+        doc = Document.from_terms("d", ["a"])
+        assert not sem.matches(doc, Filter.from_terms("f", ["z"]))
+
+    @given(doc_terms=terms_strategy, filter_terms=terms_strategy)
+    def test_equivalent_to_set_intersection(self, doc_terms, filter_terms):
+        sem = BooleanAnyTermSemantics()
+        doc = Document.from_terms("d", doc_terms)
+        profile = Filter.from_terms("f", filter_terms)
+        assert sem.matches(doc, profile) == bool(doc_terms & filter_terms)
+
+
+class TestBooleanAllTerms:
+    def test_subset_required(self):
+        sem = BooleanAllTermsSemantics()
+        doc = Document.from_terms("d", ["a", "b", "c"])
+        assert sem.matches(doc, Filter.from_terms("f", ["a", "c"]))
+        assert not sem.matches(doc, Filter.from_terms("f", ["a", "z"]))
+
+
+class TestThresholdSemantics:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdSemantics(threshold=0.0)
+        with pytest.raises(ValueError):
+            ThresholdSemantics(threshold=1.5)
+
+    def test_full_overlap_scores_high(self):
+        sem = ThresholdSemantics(threshold=0.9)
+        doc = Document.from_terms("d", ["a"])
+        profile = Filter.from_terms("f", ["a"])
+        assert sem.similarity(doc, profile) == pytest.approx(1.0)
+        assert sem.matches(doc, profile)
+
+    def test_no_overlap_scores_zero(self):
+        sem = ThresholdSemantics(threshold=0.1)
+        doc = Document.from_terms("d", ["a"])
+        profile = Filter.from_terms("f", ["z"])
+        assert sem.similarity(doc, profile) == 0.0
+        assert not sem.matches(doc, profile)
+
+    def test_partial_overlap_between(self):
+        sem = ThresholdSemantics(threshold=0.5)
+        doc = Document.from_terms("d", ["a", "b"])
+        profile = Filter.from_terms("f", ["a", "z"])
+        similarity = sem.similarity(doc, profile)
+        assert 0.0 < similarity < 1.0
+
+    def test_idf_weights_change_score(self):
+        doc = Document.from_terms("d", ["rare", "common"])
+        profile = Filter.from_terms("f", ["rare"])
+        flat = ThresholdSemantics(threshold=0.5)
+        weighted = ThresholdSemantics(
+            threshold=0.5, idf={"rare": 5.0, "common": 0.1}
+        )
+        assert weighted.similarity(doc, profile) > flat.similarity(
+            doc, profile
+        )
+
+
+class TestBruteForce:
+    def test_oracle_matches_expected(self, sample_documents, sample_filters):
+        matched = brute_force_match(sample_documents[0], sample_filters)
+        ids = {f.filter_id for f in matched}
+        assert ids == {"f1", "f2"}
+
+    def test_oracle_with_custom_semantics(self):
+        doc = Document.from_terms("d", ["a", "b"])
+        filters = [
+            Filter.from_terms("f1", ["a", "b"]),
+            Filter.from_terms("f2", ["a", "z"]),
+        ]
+        matched = brute_force_match(
+            doc, filters, semantics=BooleanAllTermsSemantics()
+        )
+        assert [f.filter_id for f in matched] == ["f1"]

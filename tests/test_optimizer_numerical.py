@@ -1,0 +1,137 @@
+"""Numerical validation of the optimizer against scipy.
+
+The Lagrange closed form in THEORY.md claims to minimize
+``Y = sum_i a_i / n_i`` subject to ``sum_i s_i n_i = B``.  These tests
+solve the same program numerically (scipy SLSQP) and check the closed
+form's continuous solution matches within solver tolerance — an
+independent verification of the derivation the system relies on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.config import AllocationConfig
+from repro.core import MoveOptimizer, NodeDemand
+
+
+def _closed_form(demands, budget, weights):
+    """n_i = B * w_i / sum_j (s_j * w_j) — the implementation's form."""
+    denominator = sum(
+        demand.stored_replicas * weight
+        for demand, weight in zip(demands, weights)
+    )
+    return [
+        budget * weight / denominator for weight in weights
+    ]
+
+
+def _numeric_solution(a_coefficients, s_coefficients, budget):
+    """Minimize sum(a_i / n_i) s.t. sum(s_i n_i) = B, n_i > 0."""
+    count = len(a_coefficients)
+    a = np.asarray(a_coefficients, dtype=float)
+    s = np.asarray(s_coefficients, dtype=float)
+
+    def objective(n):
+        return float(np.sum(a / n))
+
+    constraint = {
+        "type": "eq",
+        "fun": lambda n: float(np.dot(s, n) - budget),
+    }
+    initial = np.full(count, budget / np.sum(s))
+    result = optimize.minimize(
+        objective,
+        initial,
+        method="SLSQP",
+        bounds=[(1e-6, None)] * count,
+        constraints=[constraint],
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    assert result.success, result.message
+    return result.x
+
+
+class TestClosedFormAgainstScipy:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_theorem1_program(self, seed):
+        rng = random.Random(seed)
+        demands = [
+            NodeDemand(
+                key=f"n{i}",
+                popularity=rng.uniform(0.05, 0.5),
+                frequency=rng.uniform(0.05, 0.9),
+                stored_replicas=rng.randint(50, 500),
+            )
+            for i in range(6)
+        ]
+        budget = 3 * sum(d.stored_replicas for d in demands)
+        # Theorem 1's objective coefficients: a_i = s_i * q_i.
+        a = [d.stored_replicas * d.frequency for d in demands]
+        s = [d.stored_replicas for d in demands]
+        numeric = _numeric_solution(a, s, budget)
+        weights = [math.sqrt(d.frequency) for d in demands]
+        closed = _closed_form(demands, budget, weights)
+        for n_numeric, n_closed in zip(numeric, closed):
+            assert n_numeric == pytest.approx(n_closed, rel=1e-3)
+
+    def test_optimizer_matches_numeric_optimum(self):
+        rng = random.Random(9)
+        demands = [
+            NodeDemand(
+                key=f"n{i}",
+                popularity=rng.uniform(0.05, 0.5),
+                frequency=rng.uniform(0.05, 0.9),
+                stored_replicas=rng.randint(50, 500),
+            )
+            for i in range(5)
+        ]
+        capacity = 2 * sum(d.stored_replicas for d in demands) // 5
+        optimizer = MoveOptimizer(
+            config=AllocationConfig(
+                node_capacity=capacity,
+                rule="sqrt_q",
+                randomized_rounding=False,
+            )
+        )
+        factors = optimizer.solve(demands, num_nodes=5, total_filters=1_000)
+        budget = 5 * capacity
+        a = [d.stored_replicas * d.frequency for d in demands]
+        s = [d.stored_replicas for d in demands]
+        numeric = _numeric_solution(a, s, budget)
+        for demand, n_numeric in zip(demands, numeric):
+            continuous = factors[demand.key].continuous_n
+            assert continuous == pytest.approx(n_numeric, rel=1e-3)
+
+    def test_objective_value_at_optimum_not_beaten(self):
+        # Perturbing the closed-form solution along the constraint
+        # surface never lowers the objective (local optimality).
+        demands = [
+            NodeDemand("a", 0.3, 0.8, 200),
+            NodeDemand("b", 0.2, 0.2, 300),
+            NodeDemand("c", 0.1, 0.5, 100),
+        ]
+        budget = 3 * 600
+        weights = [math.sqrt(d.frequency) for d in demands]
+        optimum = _closed_form(demands, budget, weights)
+        a = [d.stored_replicas * d.frequency for d in demands]
+        s = [d.stored_replicas for d in demands]
+
+        def objective(n):
+            return sum(ai / ni for ai, ni in zip(a, n))
+
+        base = objective(optimum)
+        # Move mass between pairs while preserving the constraint.
+        for i, j in ((0, 1), (1, 2), (0, 2)):
+            for epsilon in (0.05, -0.05):
+                perturbed = list(optimum)
+                perturbed[i] += epsilon
+                perturbed[j] -= epsilon * s[i] / s[j]
+                if min(perturbed) <= 0:
+                    continue
+                assert objective(perturbed) >= base - 1e-9

@@ -1,0 +1,79 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentSeries
+from repro.experiments.plotting import MARKERS, ascii_plot, sparkline
+
+
+def _series(label="s", points=((1, 10), (2, 20), (3, 15))):
+    series = ExperimentSeries(label, "x", "y")
+    for x, y in points:
+        series.add(x, y)
+    return series
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        plot = ascii_plot([_series("alpha")], title="demo")
+        assert "# demo" in plot
+        assert "o" in plot
+        assert "legend: o=alpha" in plot
+
+    def test_multiple_series_distinct_markers(self):
+        plot = ascii_plot([_series("a"), _series("b")])
+        assert f"{MARKERS[0]}=a" in plot
+        assert f"{MARKERS[1]}=b" in plot
+
+    def test_log_axes_annotated(self):
+        plot = ascii_plot(
+            [_series(points=((1, 10), (100, 1000)))],
+            log_x=True,
+            log_y=True,
+        )
+        assert "(log)" in plot
+
+    def test_nonpositive_points_dropped_on_log(self):
+        series = _series(points=((0, 5), (10, 50)))
+        plot = ascii_plot([series], log_x=True)
+        assert "x:" in plot  # still renders from the finite point
+
+    def test_empty_series(self):
+        empty = ExperimentSeries("e", "x", "y")
+        assert "(no data)" in ascii_plot([empty])
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([_series()], width=5)
+
+    def test_grid_dimensions(self):
+        plot = ascii_plot([_series()], width=30, height=8)
+        rows = [
+            line for line in plot.splitlines() if line.startswith("|")
+        ]
+        assert len(rows) == 8
+        assert all(len(row) == 32 for row in rows)
+
+    def test_single_point(self):
+        plot = ascii_plot([_series(points=((5, 5),))])
+        assert "o" in plot
+
+
+class TestSparkline:
+    def test_monotone_trend(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_flat_series(self):
+        line = sparkline([3, 3, 3])
+        assert len(line) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_width_cap(self):
+        line = sparkline(list(range(400)), width=40)
+        assert len(line) <= 40

@@ -1,0 +1,69 @@
+"""Public-API surface tests: exports resolve and stay importable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_root_all_resolvable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.baselines",
+        "repro.cluster",
+        "repro.core",
+        "repro.experiments",
+        "repro.matching",
+        "repro.model",
+        "repro.sim",
+        "repro.stats",
+        "repro.text",
+        "repro.workloads",
+    ],
+)
+def test_subpackage_all_resolvable(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_every_public_item_documented():
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        item = getattr(repro, name)
+        if callable(item) or isinstance(item, type):
+            assert item.__doc__, f"{name} lacks a docstring"
+
+
+def test_module_docstrings_everywhere():
+    import pathlib
+
+    src = pathlib.Path(repro.__file__).parent
+    for path in sorted(src.rglob("*.py")):
+        module_name = (
+            "repro"
+            + str(path.relative_to(src))[:-3]
+            .replace("/", ".")
+            .replace("\\", ".")
+            .removesuffix(".__init__")
+        )
+        if module_name.endswith("."):
+            continue
+        source = path.read_text(encoding="utf-8")
+        stripped = source.lstrip()
+        assert stripped.startswith(('"""', '"', "'''")), (
+            f"{path} lacks a module docstring"
+        )

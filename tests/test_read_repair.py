@@ -1,0 +1,91 @@
+"""Tests for versioned writes and read repair in the KV client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, KeyValueClient
+from repro.config import ClusterConfig
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterConfig(num_nodes=8, num_racks=2, seed=2))
+
+
+def _raw(cluster, node_id, key):
+    store = cluster.node(node_id).storage.create_column_family(
+        KeyValueClient.COLUMN_FAMILY
+    )
+    return store.get(key, KeyValueClient.COLUMN)
+
+
+class TestVersionedWrites:
+    def test_versions_increase(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        client.put("key", "v1")
+        client.put("key", "v2")
+        primary = client.replicas_for("key")[0]
+        version, value = _raw(cluster, primary, "key")
+        assert value == "v2"
+        assert version == 2
+
+    def test_get_unwraps_version(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        client.put("key", {"payload": 1})
+        assert client.get("key") == {"payload": 1}
+
+
+class TestReadRepair:
+    def test_recovered_replica_repaired_on_read(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        replicas = client.replicas_for("key")
+        client.put("key", "old")
+        cluster.fail_node(replicas[0])
+        client.put("key", "new")  # primary missed this write
+        cluster.recover_node(replicas[0])
+        # Before the read, the primary is stale.
+        assert _raw(cluster, replicas[0], "key") == (1, "old")
+        assert client.get("key") == "new"
+        # After the read, the stale replica was repaired.
+        assert _raw(cluster, replicas[0], "key") == (2, "new")
+
+    def test_newest_wins_even_if_primary_stale(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        replicas = client.replicas_for("key")
+        client.put("key", "old")
+        cluster.fail_node(replicas[0])
+        client.put("key", "new")
+        cluster.recover_node(replicas[0])
+        # The stale primary answers first in preference order, but the
+        # read still returns the newest version.
+        assert client.get("key") == "new"
+
+    def test_missing_replica_backfilled(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        replicas = client.replicas_for("key")
+        cluster.fail_node(replicas[1])
+        client.put("key", "value")
+        cluster.recover_node(replicas[1])
+        assert _raw(cluster, replicas[1], "key") is None
+        client.get("key")
+        version, value = _raw(cluster, replicas[1], "key")
+        assert value == "value"
+
+    def test_get_missing_key_returns_default(self, cluster):
+        client = KeyValueClient(cluster, replica_count=3)
+        assert client.get("ghost", default=42) == 42
+
+    def test_repair_combines_with_hints(self, cluster):
+        client = KeyValueClient(
+            cluster, replica_count=3, hinted_handoff=True
+        )
+        replicas = client.replicas_for("key")
+        cluster.fail_node(replicas[0])
+        client.put("key", "value")
+        cluster.recover_node(replicas[0])
+        # Either path (hints or read repair) converges the replica.
+        client.get("key")
+        client.deliver_hints()
+        version, value = _raw(cluster, replicas[0], "key")
+        assert value == "value"

@@ -1,0 +1,53 @@
+"""Scale smoke tests: the library at its default experiment scale.
+
+These run one notch above the unit-test workloads (thousands of
+filters, the default 20-node cluster) to catch problems that only
+appear with realistic posting-list lengths and grid shapes —
+quadratic blowups, memory churn, allocation pathologies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ScaledWorkload, run_scheme_once
+
+
+@pytest.fixture(scope="module")
+def default_bundle():
+    return ScaledWorkload(num_documents=200).build()
+
+
+@pytest.mark.parametrize("scheme", ["Move", "IL", "RS"])
+def test_default_scale_runs_clean(default_bundle, scheme):
+    result = run_scheme_once(scheme, default_bundle)
+    assert result.completed == len(default_bundle.documents)
+    assert result.throughput > 0
+    assert result.unreachable == 0
+
+
+def test_move_beats_il_at_default_scale(default_bundle):
+    move = run_scheme_once("Move", default_bundle)
+    il = run_scheme_once("IL", default_bundle)
+    assert move.throughput > il.throughput
+
+
+def test_ten_thousand_filters_register_quickly(default_bundle):
+    # Registration is the bulk operation real deployments hammer;
+    # guard against accidental quadratic behaviour.
+    import time
+
+    workload = ScaledWorkload(num_filters=10_000, num_documents=10)
+    bundle = workload.build()
+    start = time.perf_counter()
+    result = run_scheme_once("Move", bundle)
+    elapsed = time.perf_counter() - start
+    assert result.completed == 10
+    assert elapsed < 120  # generous bound; typical is a few seconds
+
+
+def test_hundred_node_cluster(default_bundle):
+    result = run_scheme_once("Move", default_bundle, num_nodes=100)
+    assert result.completed == len(default_bundle.documents)
+    small = run_scheme_once("Move", default_bundle, num_nodes=20)
+    assert result.throughput > small.throughput

@@ -1,0 +1,124 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in "abc":
+        sim.schedule(1.0, lambda label=label: fired.append(label))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(("first", sim.now))
+        sim.schedule(1.0, lambda: fired.append(("second", sim.now)))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == [("first", 1.0), ("second", 2.0)]
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=3.0)
+    assert fired == [1]
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    count = sim.run(max_events=2)
+    assert count == 2
+    assert fired == [0, 1]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_cancelled_event_skipped():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("cancelled"))
+    sim.schedule(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_pending_events_counts_queue():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_zero_delay_fires_at_current_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.0]

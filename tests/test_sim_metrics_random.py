@@ -1,0 +1,133 @@
+"""Tests for metrics collection and seeded randomness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    Counter,
+    LoadTracker,
+    MetricsRegistry,
+    RandomSource,
+    ThroughputMeter,
+)
+from repro.sim.randomness import stable_hash64
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+
+class TestLoadTracker:
+    def test_accumulate_and_total(self):
+        tracker = LoadTracker("load")
+        tracker.add("a", 2.0)
+        tracker.add("a", 1.0)
+        tracker.add("b", 1.0)
+        assert tracker.get("a") == 3.0
+        assert tracker.total() == 4.0
+        assert tracker.mean() == 2.0
+
+    def test_ranked_descending(self):
+        tracker = LoadTracker("load")
+        tracker.add("a", 1.0)
+        tracker.add("b", 5.0)
+        assert tracker.ranked() == [("b", 5.0), ("a", 1.0)]
+
+    def test_normalized_ranked_by_reference_mean(self):
+        tracker = LoadTracker("load")
+        tracker.add("a", 4.0)
+        tracker.add("b", 2.0)
+        assert tracker.normalized_ranked(reference_mean=2.0) == [2.0, 1.0]
+
+    def test_imbalance(self):
+        tracker = LoadTracker("load")
+        tracker.add("a", 3.0)
+        tracker.add("b", 1.0)
+        assert tracker.imbalance() == pytest.approx(1.5)
+
+    def test_empty_tracker_defaults(self):
+        tracker = LoadTracker("load")
+        assert tracker.mean() == 0.0
+        assert tracker.imbalance() == 1.0
+        assert tracker.normalized_ranked() == []
+
+    def test_set_overwrites(self):
+        tracker = LoadTracker("load")
+        tracker.add("a", 5.0)
+        tracker.set("a", 1.0)
+        assert tracker.get("a") == 1.0
+
+
+class TestThroughputMeter:
+    def test_counts_completions(self):
+        meter = ThroughputMeter()
+        meter.start()
+        meter.complete(1.0)
+        meter.complete(3.0)
+        assert meter.completed == 2
+        assert meter.throughput(2.0) == 1.0
+        assert meter.completion_span == 2.0
+
+    def test_zero_elapsed(self):
+        assert ThroughputMeter().throughput(0.0) == 0.0
+
+
+class TestMetricsRegistry:
+    def test_counter_and_load_created_once(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add()
+        registry.counter("c").add()
+        assert registry.counter("c").value == 2
+        registry.load("l").add("n", 1.0)
+        assert registry.load("l").get("n") == 1.0
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("docs").add(3)
+        registry.meter.complete(1.0)
+        snap = registry.snapshot()
+        assert snap["docs"] == 3
+        assert snap["documents_completed"] == 1.0
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(1).stream("x").random()
+        b = RandomSource(1).stream("x").random()
+        assert a == b
+
+    def test_different_names_independent(self):
+        src = RandomSource(1)
+        assert src.stream("x").random() != src.stream("y").random()
+
+    def test_stream_is_cached(self):
+        src = RandomSource(1)
+        assert src.stream("x") is src.stream("x")
+
+    def test_fork_derives_new_source(self):
+        src = RandomSource(1)
+        fork_a = src.fork("child")
+        fork_b = RandomSource(1).fork("child")
+        assert fork_a.seed == fork_b.seed
+        assert fork_a.seed != src.seed
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64("term") == stable_hash64("term")
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash64("a") != stable_hash64("b")
+
+    def test_64_bit_range(self):
+        value = stable_hash64("anything")
+        assert 0 <= value < 2**64

@@ -1,0 +1,109 @@
+"""Tests for the network latency model and the match cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CostModelConfig
+from repro.sim import MatchCostModel, NetworkModel, Simulator
+from repro.sim.network import LinkSpec
+
+
+def _rack_of(node: str) -> str:
+    return "rackA" if node.endswith(("1", "2")) else "rackB"
+
+
+class TestNetworkModel:
+    def test_self_delivery_instant(self):
+        net = NetworkModel(Simulator())
+        assert net.latency("n1", "n1") == 0.0
+
+    def test_intra_vs_inter_rack(self):
+        net = NetworkModel(Simulator(), rack_of=_rack_of)
+        assert net.latency("n1", "n2") == net.spec.intra_rack_latency
+        assert net.latency("n1", "n3") == net.spec.inter_rack_latency
+        assert net.spec.intra_rack_latency < net.spec.inter_rack_latency
+
+    def test_no_topology_means_inter_rack(self):
+        net = NetworkModel(Simulator())
+        assert net.latency("n1", "n2") == net.spec.inter_rack_latency
+
+    def test_send_delivers_after_latency(self):
+        sim = Simulator()
+        net = NetworkModel(sim, rack_of=_rack_of)
+        delivered = []
+        net.send("n1", "n3", lambda: delivered.append(sim.now))
+        sim.run()
+        assert delivered == [net.spec.inter_rack_latency]
+
+    def test_payload_cost_adds_delay(self):
+        sim = Simulator()
+        net = NetworkModel(sim, rack_of=_rack_of)
+        delivered = []
+        net.send(
+            "n1", "n3", lambda: delivered.append(sim.now), payload_cost=0.5
+        )
+        sim.run()
+        assert delivered[0] == pytest.approx(
+            net.spec.inter_rack_latency + 0.5
+        )
+
+    def test_messages_counted(self):
+        net = NetworkModel(Simulator())
+        net.send("a", "b", lambda: None)
+        net.send("a", "c", lambda: None)
+        assert net.messages_sent == 2
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(intra_rack_latency=-1.0)
+
+
+class TestMatchCostModel:
+    def test_match_time_linear(self):
+        model = MatchCostModel(CostModelConfig(y_p=2.0, y_seek=10.0))
+        assert model.match_time(1, 5) == pytest.approx(10.0 + 10.0)
+        assert model.match_time(0, 0) == 0.0
+
+    def test_match_time_rejects_negative(self):
+        model = MatchCostModel.default()
+        with pytest.raises(ValueError):
+            model.match_time(-1, 0)
+
+    def test_match_time_from_lengths(self):
+        model = MatchCostModel(CostModelConfig(y_p=1.0, y_seek=2.0))
+        assert model.match_time_from_lengths([3, 4]) == pytest.approx(
+            2 * 2.0 + 7 * 1.0
+        )
+
+    def test_transfer_time(self):
+        model = MatchCostModel(CostModelConfig(y_d=0.25))
+        assert model.transfer_time(3) == 0.25  # parallel forwarding
+        assert model.transfer_time(0) == 0.0
+        with pytest.raises(ValueError):
+            model.transfer_time(-1)
+
+    def test_eq1_independent_of_ratio_and_scales(self):
+        model = MatchCostModel(CostModelConfig(y_p=1e-6))
+        y1 = model.theoretical_latency_eq1(0.1, 0.2, 1000, 500, 1)
+        y4 = model.theoretical_latency_eq1(0.1, 0.2, 1000, 500, 4)
+        assert y1 == pytest.approx(4 * y4)
+
+    def test_eq2_ratio_sensitivity(self):
+        model = MatchCostModel(CostModelConfig(y_p=1e-6, y_d=1e-3))
+        # Smaller ratio -> lower latency (more parallel partitions).
+        hi = model.theoretical_latency_eq2(0.1, 0.2, 1000, 500, 4, 1.0)
+        lo = model.theoretical_latency_eq2(0.1, 0.2, 1000, 500, 4, 0.25)
+        assert lo < hi
+
+    def test_eq_validation(self):
+        model = MatchCostModel.default()
+        with pytest.raises(ValueError):
+            model.theoretical_latency_eq1(0.1, 0.1, 10, 10, 0)
+        with pytest.raises(ValueError):
+            model.theoretical_latency_eq2(0.1, 0.1, 10, 10, 1, 0.0)
+
+    def test_beta_definition(self):
+        config = CostModelConfig(y_p=1e-6, y_d=1e-4)
+        # beta = y_p * P / y_d = 1e-6 * 1e6 / 1e-4 = 1e4.
+        assert config.beta(1_000_000) == pytest.approx(10_000.0)

@@ -1,0 +1,124 @@
+"""Tests for the FIFO disk-service queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FifoServer, Simulator
+
+
+def test_single_job_completes_after_service_time():
+    sim = Simulator()
+    server = FifoServer(sim)
+    done = []
+    server.submit(2.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [2.0]
+
+
+def test_jobs_serve_fifo_one_at_a_time():
+    sim = Simulator()
+    server = FifoServer(sim)
+    done = []
+    server.submit(1.0, lambda: done.append(("a", sim.now)))
+    server.submit(2.0, lambda: done.append(("b", sim.now)))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 3.0)]
+
+
+def test_queue_length_excludes_in_service():
+    sim = Simulator()
+    server = FifoServer(sim)
+    server.submit(1.0)
+    server.submit(1.0)
+    server.submit(1.0)
+    # First job started immediately; two wait.
+    assert server.busy
+    assert server.queue_length == 2
+
+
+def test_queued_work_sums_waiting_service():
+    sim = Simulator()
+    server = FifoServer(sim)
+    server.submit(1.0)
+    server.submit(2.0)
+    server.submit(3.0)
+    assert server.queued_work == pytest.approx(5.0)
+
+
+def test_stats_track_wait_and_busy():
+    sim = Simulator()
+    server = FifoServer(sim)
+    server.submit(1.0)
+    server.submit(1.0)
+    sim.run()
+    assert server.stats.jobs_completed == 2
+    assert server.stats.busy_time == pytest.approx(2.0)
+    # Second job waited one second.
+    assert server.stats.total_wait == pytest.approx(1.0)
+    assert server.stats.mean_wait == pytest.approx(0.5)
+    assert server.stats.mean_sojourn == pytest.approx(1.5)
+
+
+def test_utilization():
+    sim = Simulator()
+    server = FifoServer(sim)
+    server.submit(1.0)
+    sim.run()
+    sim.schedule(1.0, lambda: None)  # idle second
+    sim.run()
+    assert server.stats.utilization(sim.now) == pytest.approx(0.5)
+
+
+def test_pause_defers_queued_jobs():
+    sim = Simulator()
+    server = FifoServer(sim)
+    done = []
+    server.submit(1.0, lambda: done.append("a"))
+    server.submit(1.0, lambda: done.append("b"))
+    server.pause()
+    sim.run()
+    # In-service job finishes; queued job stays.
+    assert done == ["a"]
+    server.resume()
+    sim.run()
+    assert done == ["a", "b"]
+
+
+def test_zero_service_time_allowed():
+    sim = Simulator()
+    server = FifoServer(sim)
+    done = []
+    server.submit(0.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_negative_service_time_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        FifoServer(sim).submit(-1.0)
+
+
+def test_max_queue_length_recorded():
+    sim = Simulator()
+    server = FifoServer(sim)
+    for _ in range(4):
+        server.submit(1.0)
+    sim.run()
+    assert server.stats.max_queue_length == 3
+
+
+def test_work_conserving_after_idle():
+    sim = Simulator()
+    server = FifoServer(sim)
+    done = []
+    server.submit(1.0, lambda: done.append(sim.now))
+    sim.run()
+    # New work after the queue drained starts immediately: the clock
+    # sits at 1.0 after the first run, so the submit fires at 6.0 and
+    # the job completes one service second later.
+    sim.schedule(5.0, lambda: server.submit(1.0, lambda: done.append(sim.now)))
+    sim.run()
+    assert done == [1.0, 7.0]

@@ -1,0 +1,185 @@
+"""Tests for term statistics, node aggregation and entropy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import Document, Filter
+from repro.stats import (
+    FrequencyTracker,
+    NodeStatistics,
+    PopularityTracker,
+    TermStatistics,
+    distribution_entropy,
+    normalized_entropy,
+)
+from repro.stats.term_stats import top_k_overlap
+
+
+class TestPopularityTracker:
+    def test_popularity_fraction_of_filters(self):
+        tracker = PopularityTracker()
+        tracker.register(Filter.from_terms("f1", ["a", "b"]))
+        tracker.register(Filter.from_terms("f2", ["a"]))
+        assert tracker.popularity("a") == pytest.approx(1.0)
+        assert tracker.popularity("b") == pytest.approx(0.5)
+        assert tracker.popularity("zz") == 0.0
+
+    def test_counts(self):
+        tracker = PopularityTracker()
+        tracker.register(Filter.from_terms("f1", ["a"]))
+        assert tracker.count("a") == 1
+        assert tracker.total_filters == 1
+
+    def test_unregister_restores(self):
+        tracker = PopularityTracker()
+        profile = Filter.from_terms("f1", ["a"])
+        tracker.register(profile)
+        tracker.unregister(profile)
+        assert tracker.total_filters == 0
+        assert tracker.popularity("a") == 0.0
+
+    def test_unregister_without_register_raises(self):
+        with pytest.raises(ValueError):
+            PopularityTracker().unregister(Filter.from_terms("f", ["a"]))
+
+    def test_ranked_descending(self):
+        tracker = PopularityTracker()
+        tracker.register(Filter.from_terms("f1", ["a", "b"]))
+        tracker.register(Filter.from_terms("f2", ["a"]))
+        ranked = tracker.ranked()
+        assert ranked[0][0] == "a"
+        assert ranked[0][1] >= ranked[1][1]
+
+    def test_top_mass(self):
+        tracker = PopularityTracker()
+        tracker.register(Filter.from_terms("f1", ["a", "b"]))
+        assert tracker.top_mass(1) == pytest.approx(1.0)
+        assert tracker.top_mass(2) == pytest.approx(2.0)
+
+    def test_empty_tracker(self):
+        tracker = PopularityTracker()
+        assert tracker.popularity("x") == 0.0
+        assert tracker.ranked() == []
+
+
+class TestFrequencyTracker:
+    def test_window_renewal(self):
+        tracker = FrequencyTracker()
+        tracker.observe(Document.from_terms("d1", ["a", "b"]))
+        tracker.observe(Document.from_terms("d2", ["a"]))
+        assert tracker.frequency("a") == 0.0  # window not promoted yet
+        tracker.renew()
+        assert tracker.frequency("a") == pytest.approx(1.0)
+        assert tracker.frequency("b") == pytest.approx(0.5)
+
+    def test_full_replacement_smoothing(self):
+        tracker = FrequencyTracker(smoothing=1.0)
+        tracker.observe(Document.from_terms("d1", ["a"]))
+        tracker.renew()
+        tracker.observe(Document.from_terms("d2", ["b"]))
+        tracker.renew()
+        assert tracker.frequency("a") == 0.0
+        assert tracker.frequency("b") == pytest.approx(1.0)
+
+    def test_ema_smoothing(self):
+        tracker = FrequencyTracker(smoothing=0.5)
+        tracker.observe(Document.from_terms("d1", ["a"]))
+        tracker.renew()
+        tracker.observe(Document.from_terms("d2", ["b"]))
+        tracker.renew()
+        # EMA: a = (1 - 0.5) * 1.0 + 0.5 * 0.0; b = 0.5 * 1.0.
+        assert tracker.frequency("a") == pytest.approx(0.5)
+        assert tracker.frequency("b") == pytest.approx(0.5)
+
+    def test_empty_window_renew_keeps_estimate(self):
+        tracker = FrequencyTracker()
+        tracker.observe(Document.from_terms("d", ["a"]))
+        tracker.renew()
+        tracker.renew()  # nothing observed since
+        assert tracker.frequency("a") == pytest.approx(1.0)
+        assert tracker.windows_renewed == 1
+
+    def test_seed_from_corpus(self):
+        tracker = FrequencyTracker()
+        tracker.seed_from_corpus(
+            [Document.from_terms(f"d{i}", ["hot"]) for i in range(5)]
+        )
+        assert tracker.frequency("hot") == pytest.approx(1.0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            FrequencyTracker(smoothing=0.0)
+
+
+class TestNodeStatistics:
+    def test_aggregation_sums_per_home(self):
+        stats = TermStatistics()
+        stats.register_filter(Filter.from_terms("f1", ["a", "b"]))
+        stats.register_filter(Filter.from_terms("f2", ["c"]))
+        stats.observe_document(Document.from_terms("d", ["a", "c"]))
+        stats.frequency.renew()
+
+        home = {"a": "n1", "b": "n1", "c": "n2"}
+        aggregated = NodeStatistics(home.get).aggregate(stats)
+        assert aggregated["n1"].popularity == pytest.approx(1.0)
+        assert aggregated["n1"].term_count == 2
+        assert aggregated["n1"].filter_replicas == 2
+        assert aggregated["n2"].popularity == pytest.approx(0.5)
+        assert aggregated["n1"].frequency == pytest.approx(1.0)
+        assert aggregated["n2"].frequency == pytest.approx(1.0)
+
+    def test_hot_terms(self):
+        stats = TermStatistics()
+        stats.register_filter(Filter.from_terms("f1", ["a"]))
+        stats.observe_document(Document.from_terms("d", ["b"]))
+        stats.frequency.renew()
+        hot = stats.hot_terms(1)
+        assert "a" in hot and "b" in hot
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        assert distribution_entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_degenerate_is_zero(self):
+        assert distribution_entropy([1.0]) == 0.0
+        assert distribution_entropy([]) == 0.0
+        assert distribution_entropy([0.0, 5.0]) == 0.0
+
+    def test_skewed_below_uniform(self):
+        skewed = distribution_entropy([100, 1, 1, 1])
+        assert skewed < 2.0
+
+    def test_normalized_in_unit_interval(self):
+        assert normalized_entropy([1, 1, 1, 1]) == pytest.approx(1.0)
+        assert 0.0 < normalized_entropy([10, 1, 1]) < 1.0
+        assert normalized_entropy([5.0]) == 0.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100), min_size=2, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_entropy_bounds(self, weights):
+        entropy = distribution_entropy(weights)
+        assert 0.0 <= entropy <= math.log2(len(weights)) + 1e-9
+
+
+class TestTopKOverlap:
+    def test_overlap_fraction(self):
+        a = [("x", 1.0), ("y", 0.5), ("z", 0.1)]
+        b = [("x", 0.9), ("w", 0.4), ("z", 0.2)]
+        assert top_k_overlap(a, b, 2) == pytest.approx(0.5)
+
+    def test_identical_rankings(self):
+        a = [("x", 1.0), ("y", 0.5)]
+        assert top_k_overlap(a, a, 2) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_overlap([], [], 0)

@@ -1,0 +1,106 @@
+"""Tests for statistics snapshot persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Document, Filter
+from repro.stats import TermStatistics
+from repro.stats.snapshot import (
+    SnapshotError,
+    dump_statistics,
+    load_statistics,
+)
+
+
+def _populated_stats():
+    stats = TermStatistics()
+    for i in range(50):
+        stats.register_filter(
+            Filter.from_terms(f"f{i}", [f"t{i % 10}", f"u{i % 7}"])
+        )
+    for i in range(30):
+        stats.observe_document(
+            Document.from_terms(f"d{i}", ["t0", f"t{i % 10}"])
+        )
+    stats.frequency.renew()
+    return stats
+
+
+class TestRoundtrip:
+    def test_popularity_preserved(self, tmp_path):
+        stats = _populated_stats()
+        path = tmp_path / "stats.json"
+        dump_statistics(stats, path)
+        restored = load_statistics(path)
+        assert (
+            restored.popularity.total_filters
+            == stats.popularity.total_filters
+        )
+        for term in stats.popularity.terms():
+            assert restored.p(term) == pytest.approx(stats.p(term))
+
+    def test_frequency_preserved(self, tmp_path):
+        stats = _populated_stats()
+        path = tmp_path / "stats.json"
+        dump_statistics(stats, path)
+        restored = load_statistics(path)
+        for term in stats.frequency.terms():
+            assert restored.q(term) == pytest.approx(stats.q(term))
+
+    def test_standby_plans_identically_from_snapshot(self, tmp_path):
+        from repro.cluster import Cluster
+        from repro.config import AllocationConfig, ClusterConfig
+        from repro.core import Coordinator, PlacementSelector
+
+        stats = _populated_stats()
+        path = tmp_path / "stats.json"
+        dump_statistics(stats, path)
+        restored = load_statistics(path)
+
+        cluster = Cluster(ClusterConfig(num_nodes=8, num_racks=2, seed=1))
+
+        def coordinator():
+            return Coordinator(
+                PlacementSelector(
+                    cluster.ring, cluster.topology, mode="hybrid"
+                ),
+                config=AllocationConfig(
+                    node_capacity=100, randomized_rounding=False
+                ),
+                seed=3,
+            )
+
+        primary_plan = coordinator().plan_from_stats(
+            stats, cluster.ring.home_node, num_nodes=8
+        )
+        standby_plan = coordinator().plan_from_stats(
+            restored, cluster.ring.home_node, num_nodes=8
+        )
+        assert {
+            k: t.grid.rows for k, t in primary_plan.tables.items()
+        } == {k: t.grid.rows for k, t in standby_plan.tables.items()}
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_statistics(tmp_path / "missing.json")
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "stats.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(SnapshotError):
+            load_statistics(path)
+
+    def test_malformed_payload(self, tmp_path):
+        path = tmp_path / "stats.json"
+        path.write_text('{"version": 1, "total_filters": "many"}')
+        with pytest.raises(SnapshotError):
+            load_statistics(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "stats.json"
+        path.write_text("not json")
+        with pytest.raises(SnapshotError):
+            load_statistics(path)

@@ -1,0 +1,59 @@
+"""Tests for the SSTable Bloom filter on the storage read path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ColumnFamilyStore
+
+
+def test_bloom_skips_absent_keys():
+    store = ColumnFamilyStore("cf")
+    for i in range(100):
+        store.put(f"row{i}", "col", i)
+    store.flush()
+    sstable = store._sstables[0]
+    # Present keys always pass (no false negatives).
+    for i in range(100):
+        assert sstable.maybe_contains(f"row{i}")
+    # Most absent keys are filtered out before touching the run.
+    misses = sum(
+        1
+        for i in range(1_000, 2_000)
+        if not sstable.maybe_contains(f"row{i}")
+    )
+    assert misses > 950
+
+
+def test_reads_correct_after_bloom():
+    store = ColumnFamilyStore("cf")
+    store.put("present", "col", "value")
+    store.flush()
+    assert store.get("present", "col") == "value"
+    assert store.get("absent", "col") is None
+
+
+def test_bloom_rebuilt_per_flush():
+    store = ColumnFamilyStore("cf")
+    store.put("a", "col", 1)
+    store.flush()
+    store.put("b", "col", 2)
+    store.flush()
+    first, second = store._sstables
+    assert first.maybe_contains("a")
+    assert second.maybe_contains("b")
+    # Generational separation: the second run need not admit "a".
+    assert store.get("a", "col") == 1
+    assert store.get("b", "col") == 2
+
+
+def test_compaction_rebuilds_bloom():
+    store = ColumnFamilyStore("cf")
+    for i in range(50):
+        store.put(f"k{i}", "col", i)
+        if i % 10 == 9:
+            store.flush()
+    store.compact()
+    assert store.sstable_count == 1
+    for i in range(50):
+        assert store.get(f"k{i}", "col") == i

@@ -1,0 +1,63 @@
+"""Tests for the headline-summary experiment module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ScaledWorkload
+from repro.experiments.summary import (
+    PAPER_THROUGHPUT,
+    SummaryResult,
+    run_summary,
+)
+
+SMALL = ScaledWorkload(
+    num_filters=600,
+    num_documents=80,
+    num_nodes=8,
+    node_capacity=600,
+    vocabulary_size=3_000,
+    mean_doc_terms=20,
+)
+
+
+class TestSummaryResult:
+    def test_fold_computation(self):
+        result = SummaryResult(
+            throughput={"Move": 100.0, "RS": 50.0, "IL": 25.0}
+        )
+        assert result.fold("RS") == 2.0
+        assert result.fold("IL") == 4.0
+
+    def test_fold_zero_base(self):
+        result = SummaryResult(
+            throughput={"Move": 100.0, "RS": 0.0, "IL": 25.0}
+        )
+        assert result.fold("RS") == float("inf")
+
+    def test_report_includes_paper_anchor(self):
+        result = SummaryResult(
+            throughput={"Move": 100.0, "RS": 50.0, "IL": 25.0}
+        )
+        report = result.format_report()
+        for value in ("93.0", "70.0", "42.0"):
+            assert value in report
+        assert "fold" in report
+
+    def test_paper_anchor_values(self):
+        assert PAPER_THROUGHPUT == {
+            "Move": 93.0,
+            "RS": 70.0,
+            "IL": 42.0,
+        }
+
+
+class TestRunSummary:
+    def test_runs_all_schemes(self):
+        result = run_summary(base=SMALL)
+        assert set(result.throughput) == {"Move", "IL", "RS"}
+        assert all(v > 0 for v in result.throughput.values())
+
+    def test_move_beats_il_even_at_small_scale(self):
+        result = run_summary(base=SMALL)
+        assert result.fold("IL") > 1.0

@@ -1,0 +1,144 @@
+"""Tests for the Porter stemmer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.porter import PorterStemmer, stem
+
+# Reference vectors from the original Porter (1980) rule examples.
+REFERENCE_VECTORS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    # Full-pipeline outputs (step 4 strips the "ic" left by step 3,
+    # matching reference implementations of the complete algorithm).
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", REFERENCE_VECTORS)
+def test_reference_vectors(word, expected):
+    assert PorterStemmer().stem_word(word) == expected
+
+
+def test_short_words_unchanged():
+    stemmer = PorterStemmer()
+    for word in ("a", "be", "is", "on", "it"):
+        assert stemmer.stem_word(word) == word
+
+
+def test_module_level_stem_matches_instance():
+    assert stem("relational") == PorterStemmer().stem_word("relational")
+
+
+def test_stem_words_preserves_order():
+    stemmer = PorterStemmer()
+    words = ["caresses", "ponies", "cats"]
+    assert stemmer.stem_words(words) == ["caress", "poni", "cat"]
+
+
+def test_measure_examples():
+    # m counts VC sequences: tree=0, trouble=1, troubles=2 (from the
+    # original paper's examples).
+    assert PorterStemmer._measure("tr") == 0
+    assert PorterStemmer._measure("tree") == 0
+    assert PorterStemmer._measure("trouble") == 1
+    assert PorterStemmer._measure("oats") == 1
+    assert PorterStemmer._measure("troubles") == 2
+    assert PorterStemmer._measure("private") == 2
+
+
+def test_y_consonant_rules():
+    # Leading y is a consonant; y after a consonant is a vowel.
+    assert PorterStemmer._is_consonant("yellow", 0)
+    assert not PorterStemmer._is_consonant("sky", 2)
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+def test_stem_never_longer_than_input(word):
+    assert len(stem(word)) <= len(word)
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=20))
+def test_stem_is_nonempty_lowercase(word):
+    result = stem(word)
+    assert result
+    assert result == result.lower()
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+def test_stem_deterministic(word):
+    assert stem(word) == stem(word)

@@ -1,0 +1,156 @@
+"""Tests for the tokenization pipeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import (
+    STOP_WORDS,
+    Tokenizer,
+    TokenizerConfig,
+    is_stop_word,
+    tokenize,
+)
+
+
+def test_lowercases_and_stems():
+    assert tokenize("Distributed SYSTEMS") == ["distribut", "system"]
+
+
+def test_stop_words_removed():
+    assert tokenize("the cat and the hat") == ["cat", "hat"]
+
+
+def test_punctuation_split():
+    assert tokenize("cloud-based, real-time!") == [
+        "cloud",
+        "base",
+        "real",
+        "time",
+    ]
+
+
+def test_min_token_length_drops_single_chars():
+    assert tokenize("a b c cluster") == ["cluster"]
+
+
+def test_empty_text_gives_no_terms():
+    assert tokenize("") == []
+    assert tokenize("   \n\t ") == []
+
+
+def test_numbers_kept_by_default():
+    assert "42" in tokenize("the 42 clusters")
+
+
+def test_drop_pure_numbers_option():
+    tok = Tokenizer(TokenizerConfig(drop_pure_numbers=True))
+    assert tok("the 42 clusters") == ["cluster"]
+
+
+def test_no_stemming_option():
+    tok = Tokenizer(TokenizerConfig(apply_stemming=False))
+    assert tok("distributed systems") == ["distributed", "systems"]
+
+
+def test_keep_stop_words_option():
+    tok = Tokenizer(TokenizerConfig(remove_stop_words=False))
+    assert "the" in tok("the cluster")
+
+
+def test_unique_terms_deduplicates_in_order():
+    tok = Tokenizer()
+    assert tok.unique_terms("cloud cloud storm cloud") == [
+        "cloud",
+        "storm",
+    ]
+
+
+def test_filter_and_document_share_pipeline():
+    # The same text must yield the same terms whichever side it enters.
+    text = "Running distributed systems"
+    assert tokenize(text) == tokenize(text)
+
+
+def test_is_stop_word_case_insensitive():
+    assert is_stop_word("The")
+    assert is_stop_word("AND")
+    assert not is_stop_word("cluster")
+
+
+def test_stop_words_include_classics():
+    for word in ("the", "and", "of", "is", "a"):
+        assert word in STOP_WORDS
+
+
+class TestNgrams:
+    def test_bigrams_emitted(self):
+        tok = Tokenizer(TokenizerConfig(ngram_size=2))
+        terms = tok("machine learning systems")
+        assert "machin_learn" in terms
+        assert "learn_system" in terms
+        # Unigrams still present.
+        assert "machin" in terms
+
+    def test_trigrams(self):
+        tok = Tokenizer(TokenizerConfig(ngram_size=3))
+        terms = tok("deep neural network training")
+        assert "deep_neural_network" in terms
+        assert "neural_network_train" in terms
+
+    def test_ngram_phrases_match_across_pipeline(self):
+        from repro.model import Document, Filter, brute_force_match
+
+        tok = Tokenizer(TokenizerConfig(ngram_size=2))
+        profile = Filter.from_text("f", "machine learning", tokenizer=tok)
+        relevant = Document.from_text(
+            "d1", "new machine learning results", tokenizer=tok
+        )
+        # "machine" and "learning" in separate places: no bigram.
+        scattered = Document.from_text(
+            "d2", "the machine room and distance learning",
+            tokenizer=tok,
+        )
+        assert "machin_learn" in profile.terms
+        assert any(
+            f.filter_id == "f"
+            for f in brute_force_match(relevant, [profile])
+        )
+        assert "machin_learn" not in scattered.terms
+
+    def test_stop_words_break_ngrams(self):
+        tok = Tokenizer(TokenizerConfig(ngram_size=2))
+        # The stop word is removed before n-gram windowing, so the
+        # bigram spans it (standard shingling over filtered tokens).
+        terms = tok("cats and dogs")
+        assert "cat_dog" in terms
+
+    def test_invalid_ngram_size(self):
+        with pytest.raises(ValueError):
+            TokenizerConfig(ngram_size=0)
+
+    def test_default_no_ngrams(self):
+        assert all("_" not in t for t in tokenize("machine learning"))
+
+
+@given(st.text(max_size=200))
+def test_tokenize_never_raises(text):
+    terms = tokenize(text)
+    assert all(isinstance(term, str) for term in terms)
+
+
+@given(st.text(max_size=200))
+def test_tokens_are_lowercase_alphanumeric(text):
+    for term in tokenize(text):
+        assert term == term.lower()
+        assert term.isalnum()
+
+
+@given(st.text(max_size=200))
+def test_unique_terms_subset_of_tokens(text):
+    tok = Tokenizer()
+    unique = tok.unique_terms(text)
+    full = set(tok(text))
+    assert set(unique) == full
+    assert len(unique) == len(set(unique))

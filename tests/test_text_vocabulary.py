@@ -1,0 +1,68 @@
+"""Tests for term interning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import Vocabulary
+
+
+def test_ids_dense_first_seen_order():
+    vocab = Vocabulary()
+    assert vocab.intern("alpha") == 0
+    assert vocab.intern("beta") == 1
+    assert vocab.intern("alpha") == 0
+    assert len(vocab) == 2
+
+
+def test_constructor_interns_iterable():
+    vocab = Vocabulary(["x", "y", "x"])
+    assert len(vocab) == 2
+    assert vocab.lookup("y") == 1
+
+
+def test_term_roundtrip():
+    vocab = Vocabulary()
+    term_id = vocab.intern("gamma")
+    assert vocab.term(term_id) == "gamma"
+
+
+def test_lookup_missing_returns_none():
+    assert Vocabulary().lookup("nope") is None
+
+
+def test_term_negative_id_raises():
+    with pytest.raises(IndexError):
+        Vocabulary(["a"]).term(-1)
+
+
+def test_term_unknown_id_raises():
+    with pytest.raises(IndexError):
+        Vocabulary(["a"]).term(5)
+
+
+def test_contains_and_iter():
+    vocab = Vocabulary(["a", "b"])
+    assert "a" in vocab
+    assert "c" not in vocab
+    assert list(vocab) == ["a", "b"]
+
+
+def test_intern_all_preserves_order():
+    vocab = Vocabulary()
+    assert vocab.intern_all(["c", "a", "c"]) == [0, 1, 0]
+
+
+def test_terms_batch_lookup():
+    vocab = Vocabulary(["p", "q", "r"])
+    assert vocab.terms([2, 0]) == ["r", "p"]
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), max_size=50))
+def test_roundtrip_property(terms):
+    vocab = Vocabulary()
+    ids = vocab.intern_all(terms)
+    assert [vocab.term(i) for i in ids] == terms
+    # Dense ids: exactly as many ids as distinct terms.
+    assert len(vocab) == len(set(terms))

@@ -1,0 +1,270 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    CorpusGenerator,
+    FilterTraceGenerator,
+    MSN_PROFILE,
+    PoissonArrivals,
+    SharedVocabulary,
+    TREC_AP_PROFILE,
+    TREC_WT_PROFILE,
+    UniformArrivals,
+    ZipfSampler,
+    zipf_weights,
+)
+from repro.workloads.queries import calibrate_popularity_exponent
+from repro.workloads.zipf import AliasTable, fit_exponent_for_entropy
+
+
+class TestZipf:
+    def test_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(99))
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert weights[0] == pytest.approx(weights[-1])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(WorkloadError):
+            zipf_weights(10, -1.0)
+
+    def test_alias_table_matches_weights(self):
+        rng = random.Random(1)
+        table = AliasTable([0.7, 0.2, 0.1])
+        counts = [0, 0, 0]
+        for _ in range(20_000):
+            counts[table.sample(rng)] += 1
+        assert counts[0] / 20_000 == pytest.approx(0.7, abs=0.02)
+        assert counts[2] / 20_000 == pytest.approx(0.1, abs=0.02)
+
+    def test_alias_table_rejects_bad_weights(self):
+        with pytest.raises(WorkloadError):
+            AliasTable([])
+        with pytest.raises(WorkloadError):
+            AliasTable([0.0, 0.0])
+        with pytest.raises(WorkloadError):
+            AliasTable([-1.0, 2.0])
+
+    def test_sampler_range_and_determinism(self):
+        a = ZipfSampler(50, 1.2, rng=random.Random(3)).sample_many(20)
+        b = ZipfSampler(50, 1.2, rng=random.Random(3)).sample_many(20)
+        assert a == b
+        assert all(0 <= rank < 50 for rank in a)
+
+    def test_sample_distinct(self):
+        sampler = ZipfSampler(30, 2.0, rng=random.Random(4))
+        ranks = sampler.sample_distinct(10)
+        assert len(ranks) == len(set(ranks)) == 10
+
+    def test_sample_distinct_full_vocabulary(self):
+        sampler = ZipfSampler(5, 3.0, rng=random.Random(4))
+        assert sorted(sampler.sample_distinct(5)) == [0, 1, 2, 3, 4]
+
+    def test_sample_distinct_too_many(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(5, 1.0).sample_distinct(6)
+
+    def test_fit_exponent_for_entropy(self):
+        target = 8.0
+        exponent = fit_exponent_for_entropy(2_000, target, tolerance=0.05)
+        weights = zipf_weights(2_000, exponent)
+        entropy = float(-(weights * (weights > 0) * 0).sum())  # placeholder
+        sampler = ZipfSampler(2_000, exponent)
+        assert sampler.entropy_bits() == pytest.approx(target, abs=0.1)
+
+    def test_fit_entropy_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            fit_exponent_for_entropy(16, 10.0)  # log2(16)=4 < 10
+
+    def test_higher_exponent_lower_entropy(self):
+        flat = ZipfSampler(500, 0.5).entropy_bits()
+        steep = ZipfSampler(500, 2.0).entropy_bits()
+        assert steep < flat
+
+
+class TestSharedVocabulary:
+    def test_overlap_matches_target(self):
+        vocab = SharedVocabulary(
+            size=5_000, overlap_fraction=0.3, overlap_k=500, seed=1
+        )
+        assert vocab.measured_overlap() == pytest.approx(0.3, abs=0.01)
+
+    def test_both_rankings_are_permutations(self):
+        vocab = SharedVocabulary(size=300, overlap_fraction=0.5, seed=2)
+        assert sorted(vocab.query_rank_terms) == sorted(
+            vocab.doc_rank_terms
+        )
+        assert len(set(vocab.query_rank_terms)) == 300
+
+    def test_zero_and_full_overlap(self):
+        zero = SharedVocabulary(
+            size=1_000, overlap_fraction=0.0, overlap_k=100, seed=3
+        )
+        assert zero.measured_overlap() == 0.0
+        full = SharedVocabulary(
+            size=1_000, overlap_fraction=1.0, overlap_k=100, seed=3
+        )
+        assert full.measured_overlap() == 1.0
+
+    def test_custom_terms(self):
+        terms = [f"word{i}" for i in range(100)]
+        vocab = SharedVocabulary(
+            size=100, overlap_fraction=0.5, overlap_k=10, terms=terms
+        )
+        assert set(vocab.query_rank_terms) == set(terms)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            SharedVocabulary(size=1, overlap_fraction=0.5)
+        with pytest.raises(WorkloadError):
+            SharedVocabulary(size=100, overlap_fraction=1.5)
+
+    def test_deterministic(self):
+        a = SharedVocabulary(size=100, overlap_fraction=0.3, seed=9)
+        b = SharedVocabulary(size=100, overlap_fraction=0.3, seed=9)
+        assert a.doc_rank_terms == b.doc_rank_terms
+
+
+class TestFilterTraceGenerator:
+    @pytest.fixture
+    def generator(self):
+        vocab = SharedVocabulary(size=2_000, overlap_fraction=0.3, seed=1)
+        return FilterTraceGenerator(vocab, seed=2)
+
+    def test_mean_terms_matches_msn(self, generator):
+        filters = generator.generate(4_000)
+        mean = sum(len(f) for f in filters) / len(filters)
+        assert mean == pytest.approx(
+            MSN_PROFILE.mean_terms_per_query, abs=0.15
+        )
+
+    def test_length_cdf_matches_msn(self, generator):
+        filters = generator.generate(4_000)
+        shares = [
+            sum(1 for f in filters if len(f) <= k) / len(filters)
+            for k in (1, 2, 3)
+        ]
+        for measured, published in zip(
+            shares, MSN_PROFILE.cumulative_length_shares
+        ):
+            assert measured == pytest.approx(published, abs=0.03)
+
+    def test_unique_ids(self, generator):
+        filters = generator.generate(100)
+        assert len({f.filter_id for f in filters}) == 100
+
+    def test_length_distribution_mean(self):
+        distribution = MSN_PROFILE.length_distribution()
+        assert sum(distribution) == pytest.approx(1.0)
+        mean = sum((i + 1) * p for i, p in enumerate(distribution))
+        assert mean == pytest.approx(
+            MSN_PROFILE.mean_terms_per_query, abs=0.01
+        )
+
+    def test_popularity_skew_present(self, generator):
+        from collections import Counter
+
+        counts = Counter()
+        for profile in generator.iter_generate(2_000):
+            counts.update(profile.terms)
+        top = counts.most_common(20)
+        # The hottest term appears in far more filters than rank 20.
+        assert top[0][1] > 3 * top[-1][1]
+
+    def test_negative_count_rejected(self, generator):
+        with pytest.raises(WorkloadError):
+            generator.generate(-1)
+
+    def test_calibration_hits_target(self):
+        exponent = calibrate_popularity_exponent(10_000)
+        weights = zipf_weights(10_000, exponent)
+        top_k = max(1, round(10_000 * 1000 / 757_996))
+        assert float(weights[:top_k].sum()) == pytest.approx(
+            0.437 / 2.843, abs=0.01
+        )
+
+
+class TestCorpusGenerator:
+    def test_wt_mean_length(self):
+        vocab = SharedVocabulary(size=2_000, overlap_fraction=0.3, seed=1)
+        generator = CorpusGenerator(vocab, TREC_WT_PROFILE, seed=2)
+        docs = generator.generate(400)
+        mean = sum(len(d) for d in docs) / len(docs)
+        assert mean == pytest.approx(64.8, rel=0.1)
+
+    def test_mean_override(self):
+        vocab = SharedVocabulary(size=500, overlap_fraction=0.3, seed=1)
+        generator = CorpusGenerator(
+            vocab, TREC_AP_PROFILE, seed=2, mean_terms_override=30
+        )
+        docs = generator.generate(300)
+        mean = sum(len(d) for d in docs) / len(docs)
+        assert mean == pytest.approx(30, rel=0.15)
+
+    def test_mean_larger_than_vocab_rejected(self):
+        vocab = SharedVocabulary(size=100, overlap_fraction=0.3, seed=1)
+        with pytest.raises(WorkloadError):
+            CorpusGenerator(vocab, TREC_AP_PROFILE, seed=2)
+
+    def test_wt_skewer_than_ap(self):
+        vocab = SharedVocabulary(size=2_000, overlap_fraction=0.3, seed=1)
+        wt = CorpusGenerator(
+            vocab, TREC_WT_PROFILE, seed=2, mean_terms_override=50
+        )
+        ap = CorpusGenerator(
+            vocab, TREC_AP_PROFILE, seed=2, mean_terms_override=50
+        )
+        assert wt.frequency_exponent > ap.frequency_exponent
+
+    def test_document_ids_unique(self):
+        vocab = SharedVocabulary(size=500, overlap_fraction=0.3, seed=1)
+        generator = CorpusGenerator(
+            vocab, TREC_WT_PROFILE, seed=2, mean_terms_override=10
+        )
+        docs = generator.generate(50)
+        assert len({d.doc_id for d in docs}) == 50
+
+    def test_profiles_record_paper_statistics(self):
+        assert TREC_AP_PROFILE.total_documents == 1_050
+        assert TREC_AP_PROFILE.mean_terms_per_document == 6054.9
+        assert TREC_WT_PROFILE.total_documents == 1_690_000
+        assert TREC_WT_PROFILE.mean_terms_per_document == 64.8
+        assert (
+            TREC_WT_PROFILE.frequency_entropy
+            < TREC_AP_PROFILE.frequency_entropy
+        )
+
+
+class TestArrivals:
+    def test_uniform_rate(self):
+        arrivals = UniformArrivals(10.0)
+        times = list(arrivals.times(5))
+        assert times == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_poisson_mean_rate(self):
+        arrivals = PoissonArrivals(100.0, rng=random.Random(1))
+        gaps = [arrivals.inter_arrival() for _ in range(5_000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.01, rel=0.1)
+
+    def test_invalid_rate(self):
+        with pytest.raises(WorkloadError):
+            UniformArrivals(0.0)
+        with pytest.raises(WorkloadError):
+            PoissonArrivals(-1.0)
+
+    def test_times_start_offset(self):
+        arrivals = UniformArrivals(1.0)
+        assert list(arrivals.times(2, start=10.0)) == [11.0, 12.0]

@@ -1,0 +1,108 @@
+"""Tests for trace persistence (JSONL save/replay)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.model import Document, Filter
+from repro.workloads import (
+    dump_documents,
+    dump_filters,
+    load_documents,
+    load_filters,
+)
+
+
+class TestFilterTrace:
+    def test_roundtrip(self, tmp_path):
+        filters = [
+            Filter.from_terms("f1", ["a", "b"]),
+            Filter.from_terms("f2", ["c"], owner="alice"),
+        ]
+        path = tmp_path / "filters.jsonl"
+        assert dump_filters(filters, path) == 2
+        loaded = load_filters(path)
+        assert [f.filter_id for f in loaded] == ["f1", "f2"]
+        assert loaded[0].terms == {"a", "b"}
+        assert loaded[1].owner == "alice"
+
+    def test_default_owner_roundtrips(self, tmp_path):
+        path = tmp_path / "filters.jsonl"
+        dump_filters([Filter.from_terms("f", ["x"])], path)
+        (loaded,) = load_filters(path)
+        assert loaded.owner == "f"
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "f1"}\n')
+        with pytest.raises(WorkloadError):
+            load_filters(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "filters.jsonl"
+        path.write_text('\n{"id": "f1", "terms": ["a"]}\n\n')
+        assert len(load_filters(path)) == 1
+
+    @given(
+        st.lists(
+            st.sets(
+                st.text(alphabet="abcdef", min_size=1, max_size=4),
+                min_size=1,
+                max_size=5,
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, term_sets):
+        import os
+        import tempfile
+
+        filters = [
+            Filter.from_terms(f"f{i}", terms)
+            for i, terms in enumerate(term_sets)
+        ]
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        try:
+            dump_filters(filters, path)
+            loaded = load_filters(path)
+        finally:
+            os.unlink(path)
+        assert [(f.filter_id, f.terms) for f in loaded] == [
+            (f.filter_id, f.terms) for f in filters
+        ]
+
+
+class TestDocumentTrace:
+    def test_roundtrip_with_counts(self, tmp_path):
+        documents = [
+            Document.from_terms("d1", ["x", "x", "y"]),
+            Document.from_terms("d2", ["z"]),
+        ]
+        path = tmp_path / "docs.jsonl"
+        assert dump_documents(documents, path) == 2
+        loaded = load_documents(path)
+        assert loaded[0].term_frequency("x") == 2
+        assert loaded[0].terms == {"x", "y"}
+        assert loaded[1].doc_id == "d2"
+
+    def test_malformed_counts_raise(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "d", "counts": {"x": "many"}}\n')
+        with pytest.raises(WorkloadError):
+            load_documents(path)
+
+    def test_replay_produces_same_matches(self, tmp_path):
+        from repro.model import brute_force_match
+
+        filters = [Filter.from_terms("f", ["shared"])]
+        original = Document.from_terms("d", ["shared", "other"])
+        path = tmp_path / "docs.jsonl"
+        dump_documents([original], path)
+        (replayed,) = load_documents(path)
+        assert [f.filter_id for f in brute_force_match(replayed, filters)] == [
+            f.filter_id for f in brute_force_match(original, filters)
+        ]
