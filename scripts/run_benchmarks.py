@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Tier-1 suite + hot-path benchmark runner with a regression gate.
+
+Usage (from the repository root)::
+
+    python scripts/run_benchmarks.py                # tests + bench + gate
+    python scripts/run_benchmarks.py --skip-tests   # bench + gate only
+    python scripts/run_benchmarks.py --profile      # cProfile the loops
+    python scripts/run_benchmarks.py --update-baseline
+
+The gate compares the fresh hot-path numbers against the committed
+``BENCH_hot_path.json`` baseline and exits non-zero when batched
+throughput (``docs_per_second_batched``) of any benchmark regresses by
+more than ``--tolerance`` (default 20%).  ``--update-baseline``
+rewrites the baseline instead — run it on the reference machine after
+an intentional perf change and commit the result so the next PR
+inherits the trajectory.
+
+Benchmark noise note: numbers are only comparable on the same
+hardware; the committed baseline tracks the *trajectory* across PRs on
+the CI reference machine, not an absolute claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_hot_path.json"
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_hot_path.py"
+
+#: The headline metric the gate tracks, per benchmark name.
+GATED_METRIC = "docs_per_second_batched"
+
+
+def _env_with_src() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def run_tier1_tests() -> int:
+    """The repository's tier-1 verify (ROADMAP.md)."""
+    print("== tier-1 test suite ==", flush=True)
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=REPO_ROOT,
+        env=_env_with_src(),
+    )
+
+
+def run_hot_path_bench(json_out: Path, profile: bool) -> int:
+    """pytest-benchmark over the hot-path bench, JSON to ``json_out``."""
+    print("== hot-path benchmark ==", flush=True)
+    env = _env_with_src()
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_PATH),
+        "--benchmark-only",
+        f"--benchmark-json={json_out}",
+        "-q",
+    ]
+    if profile:
+        env["REPRO_BENCH_PROFILE"] = "1"
+        # Disable pytest's stdout capture so the cProfile breakdowns
+        # of passing benchmarks reach the terminal.
+        command.append("-s")
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def extract_metrics(payload: dict) -> dict:
+    """benchmark name -> gated metric value."""
+    metrics = {}
+    for bench in payload.get("benchmarks", []):
+        value = bench.get("extra_info", {}).get(GATED_METRIC)
+        if value is not None:
+            metrics[bench["name"]] = float(value)
+    return metrics
+
+
+def check_regression(fresh: dict, tolerance: float) -> int:
+    """Compare fresh metrics against the committed baseline."""
+    if not BASELINE_PATH.exists():
+        print(
+            f"no baseline at {BASELINE_PATH}; run with --update-baseline "
+            f"to create one"
+        )
+        return 1
+    baseline = extract_metrics(json.loads(BASELINE_PATH.read_text()))
+    fresh_metrics = extract_metrics(fresh)
+    failures = 0
+    for name, old_value in sorted(baseline.items()):
+        new_value = fresh_metrics.get(name)
+        if new_value is None:
+            print(f"REGRESSION {name}: benchmark missing from fresh run")
+            failures += 1
+            continue
+        floor = old_value * (1.0 - tolerance)
+        status = "ok" if new_value >= floor else "REGRESSION"
+        print(
+            f"{status:>10s} {name}: {GATED_METRIC} "
+            f"{new_value:,.0f} vs baseline {old_value:,.0f} "
+            f"(floor {floor:,.0f})"
+        )
+        if new_value < floor:
+            failures += 1
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="skip the tier-1 suite, run only the benchmark + gate",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="set REPRO_BENCH_PROFILE=1 (cProfile the timed loops)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional throughput drop (default 0.20)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"rewrite {BASELINE_PATH.name} instead of gating against it",
+    )
+    args = parser.parse_args()
+
+    if not args.skip_tests:
+        code = run_tier1_tests()
+        if code != 0:
+            print("tier-1 tests failed; aborting before benchmarks")
+            return code
+
+    with tempfile.TemporaryDirectory() as tmp:
+        json_out = Path(tmp) / "bench_hot_path.json"
+        code = run_hot_path_bench(json_out, profile=args.profile)
+        if code != 0:
+            print("hot-path benchmark failed")
+            return code
+        payload = json.loads(json_out.read_text())
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        for name, value in sorted(extract_metrics(payload).items()):
+            print(f"  {name}: {GATED_METRIC} {value:,.0f}")
+        return 0
+
+    return check_regression(payload, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -181,6 +181,21 @@ class DisseminationSystem(ABC):
     ) -> List[DisseminationPlan]:
         return [self.publish(document) for document in documents]
 
+    def publish_batch(
+        self, documents: Sequence[Document]
+    ) -> List[DisseminationPlan]:
+        """Publish ``documents`` as one batch, in order.
+
+        The default implementation is the per-document loop.  Systems
+        with a batched fast path override this to share per-term work
+        (routing decisions, posting-list retrievals) across the batch;
+        an override MUST return plans bit-identical to the
+        per-document loop under the same seed — equal matched sets,
+        tasks, costs, and RNG consumption — which holds as long as
+        registration and cluster membership do not change mid-batch.
+        """
+        return [self.publish(document) for document in documents]
+
     # -- shared accounting ---------------------------------------------------
 
     def _account_tasks(self, tasks: Sequence[NodeTask]) -> None:

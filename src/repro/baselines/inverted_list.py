@@ -18,14 +18,19 @@ throughput the MOVE scheme exists to fix.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cluster.cluster import Cluster
 from ..config import SystemConfig
 from ..matching.bloom import BloomFilter
 from ..matching.inverted_index import InvertedIndex
 from ..model import Document, Filter
+from ..text.interning import DEFAULT_INTERNER
 from .base import DisseminationPlan, DisseminationSystem, NodeTask
+
+#: Sentinel distinguishing "never routed" from "bloom-rejected" in the
+#: per-batch route memo.
+_UNROUTED = object()
 
 
 class InvertedListSystem(DisseminationSystem):
@@ -120,6 +125,128 @@ class InvertedListSystem(DisseminationSystem):
                     f.filter_id
                     for f in self._apply_semantics(document, filters)
                 )
+            tasks.append(
+                NodeTask(
+                    node_id=node_id,
+                    path=(ingest, node_id),
+                    posting_lists=lists,
+                    posting_entries=entries,
+                )
+            )
+        unreachable -= matched
+        self._account_tasks(tasks)
+        self.metrics.counter("documents_published").add()
+        return DisseminationPlan(
+            document=document,
+            matched_filter_ids=matched,
+            tasks=tasks,
+            unreachable_filter_ids=unreachable,
+            routing_messages=len(grouped),
+        )
+
+    # -- batched fast path ---------------------------------------------------
+
+    def publish_batch(
+        self, documents: Sequence[Document]
+    ) -> List[DisseminationPlan]:
+        """Integer-keyed batched dissemination (the hot path).
+
+        Per-term work that cannot change mid-batch is computed once and
+        memoized by dense term id: the Bloom membership + home-node
+        routing decision, and the home node's posting-list retrieval
+        (filters, their ids, and the :class:`RetrievalCost` numbers).
+        Every document then runs the same routing/matching/accounting
+        logic as :meth:`publish` — including per-document ingest RNG
+        draws — so the returned plans are bit-identical to the
+        per-document loop.  :meth:`publish` itself stays the slow
+        reference implementation the equivalence tests diff against.
+        """
+        route: Dict[int, Optional[str]] = {}
+        retrieval: Dict[
+            int, Tuple[List[Filter], Tuple[str, ...], int, int]
+        ] = {}
+        return [
+            self._publish_fast(document, route, retrieval)
+            for document in documents
+        ]
+
+    def _retrieve_cached(
+        self,
+        retrieval: Dict[int, Tuple[List[Filter], Tuple[str, ...], int, int]],
+        node_id: str,
+        term_id: int,
+    ) -> Tuple[List[Filter], Tuple[str, ...], int, int]:
+        """Posting retrieval for one home term, memoized per batch."""
+        entry = retrieval.get(term_id)
+        if entry is None:
+            term = DEFAULT_INTERNER.term(term_id)
+            filters, cost = self.index_of(node_id).filters_for_term(term)
+            entry = (
+                filters,
+                tuple(profile.filter_id for profile in filters),
+                cost.posting_lists,
+                cost.posting_entries,
+            )
+            retrieval[term_id] = entry
+        return entry
+
+    def _publish_fast(
+        self,
+        document: Document,
+        route: Dict[int, Optional[str]],
+        retrieval: Dict[
+            int, Tuple[List[Filter], Tuple[str, ...], int, int]
+        ],
+    ) -> DisseminationPlan:
+        ingest = self._choose_ingest()
+        matched: Set[str] = set()
+        unreachable: Set[str] = set()
+        tasks: List[NodeTask] = []
+        bloom = self._bloom
+        # Group surviving terms by home node, memoizing the per-term
+        # bloom + ring decision under the dense term id.
+        grouped: Dict[str, List[int]] = {}
+        for term, term_id in zip(document.terms, document.term_ids):
+            home = route.get(term_id, _UNROUTED)
+            if home is _UNROUTED:
+                if bloom is not None and term not in bloom:
+                    home = None
+                else:
+                    home = self.home_of(term)
+                route[term_id] = home
+            if home is None:
+                continue
+            bucket = grouped.get(home)
+            if bucket is None:
+                grouped[home] = bucket = []
+            bucket.append(term_id)
+        plain_boolean = self._scorer is None
+        for node_id, term_ids in grouped.items():
+            node = self.cluster.node(node_id)
+            if not node.alive:
+                for term_id in term_ids:
+                    _, filter_ids, _, _ = self._retrieve_cached(
+                        retrieval, node_id, term_id
+                    )
+                    unreachable.update(filter_ids)
+                continue
+            lists = 0
+            entries = 0
+            for term_id in term_ids:
+                filters, filter_ids, n_lists, n_entries = (
+                    self._retrieve_cached(retrieval, node_id, term_id)
+                )
+                lists += n_lists
+                entries += n_entries
+                if plain_boolean:
+                    matched.update(filter_ids)
+                else:
+                    matched.update(
+                        profile.filter_id
+                        for profile in self._apply_semantics(
+                            document, filters
+                        )
+                    )
             tasks.append(
                 NodeTask(
                     node_id=node_id,

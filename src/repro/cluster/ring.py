@@ -27,6 +27,11 @@ class ConsistentHashRing:
     Removal (node failure/decommission) reassigns ranges implicitly.
     """
 
+    #: Safety valve for the home-node memo: adversarially unbounded key
+    #: streams cannot grow the cache past this (real vocabularies stay
+    #: far below it).
+    HOME_CACHE_MAX = 1 << 20
+
     def __init__(
         self,
         partitioner: Optional[RandomPartitioner] = None,
@@ -39,6 +44,17 @@ class ConsistentHashRing:
         self._tokens: List[int] = []
         self._token_owner: Dict[int, str] = {}
         self._members: Set[str] = set()
+        #: key -> owning node memo; correct as long as membership is
+        #: unchanged, so any token mutation clears it.
+        self._home_cache: Dict[str, str] = {}
+        #: Disabled, every lookup hashes + bisects as the seed
+        #: implementation did — the slow oracle the benchmarks and
+        #: equivalence tests compare the cached path against.
+        self.cache_enabled = True
+
+    def _invalidate_home_cache(self) -> None:
+        if self._home_cache:
+            self._home_cache.clear()
 
     # -- membership -----------------------------------------------------
 
@@ -55,22 +71,27 @@ class ConsistentHashRing:
                 continue
             bisect.insort(self._tokens, token)
             self._token_owner[token] = node_id
+        self._invalidate_home_cache()
 
     def remove_node(self, node_id: str) -> None:
-        """Remove ``node_id`` and all of its virtual tokens."""
+        """Remove ``node_id`` and all of its virtual tokens.
+
+        Token cleanup happens first and membership is discarded last,
+        so a failure partway through never leaves a member whose tokens
+        are gone; one pass over ``_tokens`` rebuilds the sorted list
+        and prunes ``_token_owner`` in place.
+        """
         if node_id not in self._members:
             raise UnknownNodeError(node_id)
+        kept: List[int] = []
+        for token in self._tokens:
+            if self._token_owner[token] == node_id:
+                del self._token_owner[token]
+            else:
+                kept.append(token)
+        self._tokens = kept
         self._members.discard(node_id)
-        self._tokens = [
-            token
-            for token in self._tokens
-            if self._token_owner[token] != node_id
-        ]
-        self._token_owner = {
-            token: owner
-            for token, owner in self._token_owner.items()
-            if owner != node_id
-        }
+        self._invalidate_home_cache()
 
     def __contains__(self, node_id: str) -> bool:
         return node_id in self._members
@@ -85,14 +106,30 @@ class ConsistentHashRing:
     # -- lookups ----------------------------------------------------------
 
     def home_node(self, key: str) -> str:
-        """The node owning ``key`` (first token at/after key's token)."""
+        """The node owning ``key`` (first token at/after key's token).
+
+        Lookups are memoized per key (an MD5 plus a bisect saved on
+        every repeat); the memo is invalidated whenever ring
+        membership changes and can be switched off entirely via
+        :attr:`cache_enabled` to recover the uncached reference
+        behaviour.
+        """
         if not self._tokens:
             raise RingEmptyError("ring has no members")
+        if self.cache_enabled:
+            cached = self._home_cache.get(key)
+            if cached is not None:
+                return cached
         token = self.partitioner.token(key)
         index = bisect.bisect_left(self._tokens, token)
         if index == len(self._tokens):
             index = 0
-        return self._token_owner[self._tokens[index]]
+        owner = self._token_owner[self._tokens[index]]
+        if self.cache_enabled:
+            if len(self._home_cache) >= self.HOME_CACHE_MAX:
+                self._home_cache.clear()
+            self._home_cache[key] = owner
+        return owner
 
     def successors(
         self, node_id: str, count: int, include_self: bool = False

@@ -38,6 +38,7 @@ class ForwardingTable:
         self,
         rng: random.Random,
         is_alive: Optional[Callable[[str], bool]] = None,
+        row_index: Optional[int] = None,
     ) -> Dict[int, Optional[str]]:
         """Destination node per subset for one document.
 
@@ -48,9 +49,14 @@ class ForwardingTable:
         no copy is alive the subset maps to None and its filters are
         unreachable for this document (the availability loss Figure
         9(d) measures).
+
+        ``row_index`` lets a caller that already drew the partition
+        (the batched fast path memoizes all-alive routings per row)
+        supply it; by default it is drawn from ``rng`` here.
         """
         alive = is_alive or (lambda _node: True)
-        row_index = self.choose_partition(rng)
+        if row_index is None:
+            row_index = self.choose_partition(rng)
         row = self.grid.partition(row_index)
         routing: Dict[int, Optional[str]] = {}
         for subset, node in enumerate(row):

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cluster.cluster import Cluster
 from ..config import SystemConfig
@@ -42,6 +43,46 @@ from ..baselines.base import (
     DisseminationSystem,
     NodeTask,
 )
+from ..text.interning import DEFAULT_INTERNER
+
+#: Sentinel distinguishing "never routed" from "bloom-rejected" in the
+#: per-batch route memo.
+_UNROUTED = object()
+
+#: Memoized posting retrieval: (filters, their filter ids, posting
+#: lists touched, posting entries scanned).
+_Retrieval = Tuple[List[Filter], Tuple[str, ...], int, int]
+
+
+@dataclass
+class _BatchCaches:
+    """Per-batch memos for :meth:`MoveSystem.publish_batch`.
+
+    Everything here is a pure function of registration + allocation
+    state, which the batch contract freezes for the batch's duration.
+    All per-term maps are keyed by the dense shared-interner term id.
+    """
+
+    #: term id -> home node, or None when the Bloom filter rejected it.
+    route: Dict[int, Optional[str]] = field(default_factory=dict)
+    #: term id -> home-index retrieval (home node derives from term).
+    home: Dict[int, _Retrieval] = field(default_factory=dict)
+    #: (holder node, origin key, term id) -> allocated-index retrieval.
+    allocated: Dict[Tuple[str, str, int], _Retrieval] = field(
+        default_factory=dict
+    )
+    #: (origin key, term id) -> [(subset, filter id, filter), ...] of
+    #: the home index's posting — the home-fallback matcher filters
+    #: these by subset without re-hashing every filter id per document.
+    home_subsets: Dict[
+        Tuple[str, int], List[Tuple[int, str, Filter]]
+    ] = field(default_factory=dict)
+    #: (origin key, partition row) -> ((node, subsets), ...) grouping.
+    #: Only all-alive routings are memoized: they consume no fallback
+    #: RNG draws, so replaying them keeps the stream bit-identical.
+    routing: Dict[
+        Tuple[str, int], Tuple[Tuple[str, Tuple[int, ...]], ...]
+    ] = field(default_factory=dict)
 
 
 class MoveSystem(DisseminationSystem):
@@ -217,15 +258,21 @@ class MoveSystem(DisseminationSystem):
             else:
                 origin_filters, _ = home_index.filters_for_term(key)
                 origin_terms = {key}
+            # Buffer per holder, then bulk-index: each posting list is
+            # rebuilt with one sort instead of one insert per filter.
+            buffers: Dict[str, List[Tuple[Filter, Set[str]]]] = {
+                node_id: [] for node_id in subset_indexes
+            }
             for profile in origin_filters:
                 subset = grid.subset_of(profile.filter_id)
                 indexed_terms = profile.terms & origin_terms
                 if not indexed_terms:
                     continue
                 for holder in grid.holders_of_subset(subset):
-                    subset_indexes[holder].add_filter(
-                        profile, indexed_terms=indexed_terms
-                    )
+                    buffers[holder].append((profile, indexed_terms))
+            for node_id, buffered in buffers.items():
+                if buffered:
+                    subset_indexes[node_id].add_filters(buffered)
             for node_id, index in subset_indexes.items():
                 self._allocated_indexes[node_id][key] = index
                 storage_load.add(
@@ -448,6 +495,357 @@ class MoveSystem(DisseminationSystem):
                     profile.filter_id
                     for profile in filters
                     if grid.subset_of(profile.filter_id) == subset
+                )
+        return messages
+
+    # -- batched fast path -------------------------------------------------
+
+    def publish_batch(
+        self, documents: Sequence[Document]
+    ) -> List[DisseminationPlan]:
+        """Integer-keyed batched dissemination (the hot path).
+
+        Work that is a pure function of the (frozen-for-the-batch)
+        registration and allocation state is memoized across the batch
+        under dense term ids: Bloom + ring routing per term, home and
+        allocated posting-list retrievals, and the per-filter subset
+        assignment of each origin grid.  Each document still runs the
+        full routing/matching/accounting logic of :meth:`publish` —
+        with identical per-document RNG consumption (ingest choice,
+        partition choice, failure fallbacks) — so the returned plans
+        are bit-identical to the per-document loop.  :meth:`publish`
+        stays the slow reference implementation the equivalence tests
+        diff against.
+        """
+        caches = _BatchCaches()
+        return [
+            self._publish_fast(document, caches)
+            for document in documents
+        ]
+
+    def _home_retrieve(
+        self, caches: _BatchCaches, home_id: str, term_id: int
+    ) -> _Retrieval:
+        """Home-index posting retrieval, memoized per batch."""
+        entry = caches.home.get(term_id)
+        if entry is None:
+            term = DEFAULT_INTERNER.term(term_id)
+            filters, cost = self._home_indexes[home_id].filters_for_term(
+                term
+            )
+            entry = (
+                filters,
+                tuple(profile.filter_id for profile in filters),
+                cost.posting_lists,
+                cost.posting_entries,
+            )
+            caches.home[term_id] = entry
+        return entry
+
+    def _allocated_retrieve(
+        self,
+        caches: _BatchCaches,
+        node_id: str,
+        origin_key: str,
+        term_id: int,
+    ) -> _Retrieval:
+        """Allocated-subset-index retrieval, memoized per batch."""
+        key = (node_id, origin_key, term_id)
+        entry = caches.allocated.get(key)
+        if entry is None:
+            term = DEFAULT_INTERNER.term(term_id)
+            index = self._allocated_indexes[node_id][origin_key]
+            filters, cost = index.filters_for_term(term)
+            entry = (
+                filters,
+                tuple(profile.filter_id for profile in filters),
+                cost.posting_lists,
+                cost.posting_entries,
+            )
+            caches.allocated[key] = entry
+        return entry
+
+    def _home_subset_triples(
+        self,
+        caches: _BatchCaches,
+        home_id: str,
+        origin_key: str,
+        grid,
+        term_id: int,
+    ) -> List[Tuple[int, str, Filter]]:
+        """Home posting of one term annotated with each filter's grid
+        subset, memoized per batch (saves one stable hash per filter
+        per document on the home-fallback and lost-subset paths)."""
+        key = (origin_key, term_id)
+        triples = caches.home_subsets.get(key)
+        if triples is None:
+            filters, filter_ids, _, _ = self._home_retrieve(
+                caches, home_id, term_id
+            )
+            triples = [
+                (grid.subset_of(filter_id), filter_id, profile)
+                for filter_id, profile in zip(filter_ids, filters)
+            ]
+            caches.home_subsets[key] = triples
+        return triples
+
+    def _publish_fast(
+        self, document: Document, caches: _BatchCaches
+    ) -> DisseminationPlan:
+        self.stats.observe_document(document)
+        ingest = self._choose_ingest()
+        matched: Set[str] = set()
+        unreachable: Set[str] = set()
+        bloom = self._bloom
+        route = caches.route
+        grouped: Dict[str, List[int]] = {}
+        for term, term_id in zip(document.terms, document.term_ids):
+            home = route.get(term_id, _UNROUTED)
+            if home is _UNROUTED:
+                if bloom is not None and term not in bloom:
+                    home = None
+                else:
+                    home = self.home_of(term)
+                route[term_id] = home
+            if home is None:
+                continue
+            bucket = grouped.get(home)
+            if bucket is None:
+                grouped[home] = bucket = []
+            bucket.append(term_id)
+        routing_messages = len(grouped)
+        work: Dict[str, List] = {}  # node -> [lists, entries, path]
+
+        aggregate = self.config.allocation.aggregate_per_node
+        for home_id, term_ids in grouped.items():
+            if self.plan is None:
+                self._match_at_home_fast(
+                    document, home_id, term_ids, ingest,
+                    matched, unreachable, work, caches,
+                )
+                continue
+            if aggregate:
+                table = self.plan.tables.get(home_id)
+                if table is None:
+                    self._match_at_home_fast(
+                        document, home_id, term_ids, ingest,
+                        matched, unreachable, work, caches,
+                    )
+                else:
+                    routing_messages += self._match_allocated_fast(
+                        document, home_id, term_ids, ingest, table,
+                        matched, unreachable, work,
+                        origin_key=home_id, caches=caches,
+                    )
+                continue
+            # Per-term mode: each term routes through its own table.
+            local_term_ids: List[int] = []
+            for term_id in term_ids:
+                term = DEFAULT_INTERNER.term(term_id)
+                table = self.plan.tables.get(term)
+                if table is None:
+                    local_term_ids.append(term_id)
+                else:
+                    routing_messages += self._match_allocated_fast(
+                        document, home_id, [term_id], ingest, table,
+                        matched, unreachable, work,
+                        origin_key=term, caches=caches,
+                    )
+            if local_term_ids:
+                self._match_at_home_fast(
+                    document, home_id, local_term_ids, ingest,
+                    matched, unreachable, work, caches,
+                )
+
+        tasks = [
+            NodeTask(
+                node_id=node_id,
+                path=tuple(path),
+                posting_lists=lists,
+                posting_entries=entries,
+            )
+            for node_id, (lists, entries, path) in work.items()
+        ]
+        unreachable -= matched
+        self._account_tasks(tasks)
+        self.metrics.counter("documents_published").add()
+        return DisseminationPlan(
+            document=document,
+            matched_filter_ids=matched,
+            tasks=tasks,
+            unreachable_filter_ids=unreachable,
+            routing_messages=routing_messages,
+        )
+
+    def _match_at_home_fast(
+        self,
+        document: Document,
+        home_id: str,
+        term_ids: List[int],
+        ingest: str,
+        matched: Set[str],
+        unreachable: Set[str],
+        work: Dict[str, List],
+        caches: _BatchCaches,
+    ) -> None:
+        """Cached counterpart of :meth:`_match_at_home`."""
+        if not self.cluster.node(home_id).alive:
+            for term_id in term_ids:
+                unreachable.update(
+                    self._home_retrieve(caches, home_id, term_id)[1]
+                )
+            return
+        plain_boolean = self._scorer is None
+        lists = 0
+        entries = 0
+        for term_id in term_ids:
+            filters, filter_ids, n_lists, n_entries = (
+                self._home_retrieve(caches, home_id, term_id)
+            )
+            lists += n_lists
+            entries += n_entries
+            if plain_boolean:
+                matched.update(filter_ids)
+            else:
+                matched.update(
+                    profile.filter_id
+                    for profile in self._apply_semantics(
+                        document, filters
+                    )
+                )
+        self._add_work(work, home_id, lists, entries, (ingest, home_id))
+
+    def _match_allocated_fast(
+        self,
+        document: Document,
+        home_id: str,
+        term_ids: List[int],
+        ingest: str,
+        table,
+        matched: Set[str],
+        unreachable: Set[str],
+        work: Dict[str, List],
+        origin_key: str,
+        caches: _BatchCaches,
+    ) -> int:
+        """Cached counterpart of :meth:`_match_allocated` (identical
+        routing RNG consumption; retrievals and subset hashing come
+        from the batch memos)."""
+        home_alive = self.cluster.node(home_id).alive
+        router = home_id if home_alive else ingest
+        grid = table.grid
+
+        # The partition draw always happens (bit-identical RNG
+        # stream); the resulting grouping is memoized when every row
+        # node is alive, because only failure fallbacks consume
+        # further RNG draws.
+        row_index = table.choose_partition(self._rng)
+        cache_key = (origin_key, row_index)
+        grouping = caches.routing.get(cache_key)
+        lost_subsets: List[int] = []
+        if grouping is None:
+            node_of = self.cluster.node
+            row = grid.partition(row_index)
+            if all(node_of(node_id).alive for node_id in row):
+                by_node: Dict[str, List[int]] = {}
+                for subset, node_id in enumerate(row):
+                    by_node.setdefault(node_id, []).append(subset)
+                grouping = tuple(
+                    (node_id, tuple(subsets))
+                    for node_id, subsets in by_node.items()
+                )
+                caches.routing[cache_key] = grouping
+            else:
+                routing = table.route(
+                    self._rng,
+                    is_alive=lambda node_id: node_of(node_id).alive,
+                    row_index=row_index,
+                )
+                fallback: Dict[str, List[int]] = defaultdict(list)
+                for subset, node_id in routing.items():
+                    if node_id is None:
+                        if home_alive:
+                            fallback[home_id].append(subset)
+                        else:
+                            lost_subsets.append(subset)
+                    else:
+                        fallback[node_id].append(subset)
+                grouping = tuple(
+                    (node_id, tuple(subsets))
+                    for node_id, subsets in fallback.items()
+                )
+
+        plain_boolean = self._scorer is None
+        messages = 0
+        for node_id, subsets in grouping:
+            lists = 0
+            entries = 0
+            if node_id == home_id:
+                # Home fallback: the home node retains every filter;
+                # restrict matching to the subsets that fell back.
+                restrict_subsets = set(subsets)
+                for term_id in term_ids:
+                    _, _, n_lists, n_entries = self._home_retrieve(
+                        caches, home_id, term_id
+                    )
+                    lists += n_lists
+                    entries += n_entries
+                    triples = self._home_subset_triples(
+                        caches, home_id, origin_key, grid, term_id
+                    )
+                    if plain_boolean:
+                        matched.update(
+                            filter_id
+                            for subset, filter_id, _ in triples
+                            if subset in restrict_subsets
+                        )
+                    else:
+                        candidates = [
+                            profile
+                            for subset, _, profile in triples
+                            if subset in restrict_subsets
+                        ]
+                        matched.update(
+                            profile.filter_id
+                            for profile in self._apply_semantics(
+                                document, candidates
+                            )
+                        )
+            else:
+                for term_id in term_ids:
+                    filters, filter_ids, n_lists, n_entries = (
+                        self._allocated_retrieve(
+                            caches, node_id, origin_key, term_id
+                        )
+                    )
+                    lists += n_lists
+                    entries += n_entries
+                    if plain_boolean:
+                        matched.update(filter_ids)
+                    else:
+                        matched.update(
+                            profile.filter_id
+                            for profile in self._apply_semantics(
+                                document, filters
+                            )
+                        )
+            path = (
+                (ingest, node_id)
+                if router == node_id
+                else (ingest, router, node_id)
+            )
+            self._add_work(work, node_id, lists, entries, path)
+            messages += 1
+
+        for subset in lost_subsets:
+            for term_id in term_ids:
+                triples = self._home_subset_triples(
+                    caches, home_id, origin_key, grid, term_id
+                )
+                unreachable.update(
+                    filter_id
+                    for candidate_subset, filter_id, _ in triples
+                    if candidate_subset == subset
                 )
         return messages
 

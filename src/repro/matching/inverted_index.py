@@ -108,6 +108,52 @@ class InvertedIndex:
             local_terms.add(term)
         return local_id
 
+    def add_filters(
+        self,
+        entries: Iterable[
+            Tuple[Filter, Optional[Iterable[str]]]
+        ],
+    ) -> int:
+        """Bulk-index ``(profile, indexed_terms)`` pairs.
+
+        Groups posting inserts by term so each touched
+        :class:`PostingList` is rebuilt with one sort
+        (:meth:`PostingList.add_many`) instead of one binary-search
+        insert per filter.  Final index state is identical to calling
+        :meth:`add_filter` once per pair.  Returns the number of
+        posting entries added.
+        """
+        per_term: Dict[str, List[int]] = {}
+        for profile, indexed_terms in entries:
+            local_id = self._local_id_by_filter_id.get(profile.filter_id)
+            if local_id is None:
+                local_id = self._next_local_id
+                self._next_local_id += 1
+                self._local_id_by_filter_id[profile.filter_id] = local_id
+                self._filters[local_id] = profile
+            terms = (
+                profile.terms
+                if indexed_terms is None
+                else set(indexed_terms) & profile.terms
+            )
+            if indexed_terms is not None and not terms:
+                raise MatchingError(
+                    f"filter {profile.filter_id!r} indexed under none of "
+                    f"its terms"
+                )
+            local_terms = self._indexed_terms.setdefault(local_id, set())
+            for term in terms:
+                per_term.setdefault(term, []).append(local_id)
+                local_terms.add(term)
+        added = 0
+        for term, local_ids in per_term.items():
+            plist = self._postings.get(term)
+            if plist is None:
+                plist = PostingList(term)
+                self._postings[term] = plist
+            added += plist.add_many(local_ids)
+        return added
+
     def remove_filter(self, filter_id: str) -> bool:
         """Unregister a filter everywhere it is indexed."""
         local_id = self._local_id_by_filter_id.pop(filter_id, None)

@@ -77,3 +77,19 @@ class Document:
     def term_frequency(self, term: str) -> int:
         """Occurrences of ``term`` in the document (0 if absent)."""
         return self.term_counts.get(term, 0)
+
+    @property
+    def term_ids(self) -> Tuple[int, ...]:
+        """Dense shared-interner ids of :attr:`terms`.
+
+        Positionally parallel to iterating :attr:`terms`; computed on
+        first access and cached on the instance, so batched hot loops
+        can key per-term memos by int instead of re-hashing strings.
+        """
+        cached = self.__dict__.get("_term_ids")
+        if cached is None:
+            from ..text.interning import intern_terms
+
+            cached = intern_terms(self.terms)
+            object.__setattr__(self, "_term_ids", cached)
+        return cached

@@ -63,3 +63,18 @@ class Filter:
 
     def sorted_terms(self) -> Tuple[str, ...]:
         return tuple(sorted(self.terms))
+
+    @property
+    def term_ids(self) -> Tuple[int, ...]:
+        """Dense shared-interner ids of :attr:`terms`.
+
+        Positionally parallel to iterating :attr:`terms`; cached on
+        first access (see :mod:`repro.text.interning`).
+        """
+        cached = self.__dict__.get("_term_ids")
+        if cached is None:
+            from ..text.interning import intern_terms
+
+            cached = intern_terms(self.terms)
+            object.__setattr__(self, "_term_ids", cached)
+        return cached

@@ -23,10 +23,19 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set by the owning :class:`Simulator` so it can track how many
+    #: cancelled entries its heap is carrying (lazy compaction).
+    on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it fires."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
 
 class Simulator:
@@ -47,6 +56,7 @@ class Simulator:
         self._heap: List[Event] = []
         self._sequence = itertools.count()
         self._running = False
+        self._cancelled_count = 0
 
     @property
     def now(self) -> float:
@@ -55,8 +65,31 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of events still queued.
+
+        Cancelled events occupy heap slots until popped or lazily
+        compacted away (see :meth:`_maybe_compact`), so the count may
+        transiently include some of them.
+        """
         return len(self._heap)
+
+    def _note_cancelled(self) -> None:
+        """One queued event was cancelled; compact when they dominate."""
+        self._cancelled_count += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled entries once they exceed half the heap.
+
+        Long-running workloads that schedule-then-cancel (timeouts,
+        lease renewals) would otherwise grow the heap without bound;
+        rebuilding is O(n) and amortized by the half-full trigger.
+        """
+        if self._cancelled_count <= len(self._heap) // 2:
+            return
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_count = 0
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
@@ -70,6 +103,7 @@ class Simulator:
             time=self._now + delay,
             sequence=next(self._sequence),
             callback=callback,
+            on_cancel=self._note_cancelled,
         )
         heapq.heappush(self._heap, event)
         return event
@@ -85,6 +119,7 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_count -= 1
                 continue
             if event.time < self._now:
                 raise SimulationError(
@@ -119,6 +154,7 @@ class Simulator:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_count -= 1
                     continue
                 if until is not None and head.time > until:
                     break

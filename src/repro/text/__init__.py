@@ -7,9 +7,21 @@ This package provides that pipeline from scratch:
 - :mod:`repro.text.porter` — the Porter stemming algorithm,
 - :mod:`repro.text.stopwords` — a classic English stop-word list,
 - :mod:`repro.text.tokenizer` — normalization + tokenization pipeline,
-- :mod:`repro.text.vocabulary` — term interning to dense integer ids.
+- :mod:`repro.text.vocabulary` — term interning to dense integer ids,
+- :mod:`repro.text.interning` — the shared process-wide interner plus
+  LRU-memoized stemming/tokenization (the hot-path fast lane).
 """
 
+from .interning import (
+    DEFAULT_INTERNER,
+    TermInterner,
+    cached_stem,
+    cached_tokenize,
+    cached_tokenize_ids,
+    intern_term,
+    intern_terms,
+    term_for_id,
+)
 from .porter import PorterStemmer, stem
 from .stopwords import STOP_WORDS, is_stop_word
 from .tokenizer import Tokenizer, TokenizerConfig, tokenize
@@ -24,4 +36,12 @@ __all__ = [
     "TokenizerConfig",
     "tokenize",
     "Vocabulary",
+    "TermInterner",
+    "DEFAULT_INTERNER",
+    "intern_term",
+    "intern_terms",
+    "term_for_id",
+    "cached_stem",
+    "cached_tokenize",
+    "cached_tokenize_ids",
 ]

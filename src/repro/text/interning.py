@@ -1,0 +1,162 @@
+"""Process-wide term interning and memoized text pre-processing.
+
+The dissemination hot path touches every document term many times —
+ring lookups, Bloom checks, posting retrievals, statistics — and each
+touch re-hashes the term string.  This module provides the integer
+fast path the batched pipeline runs on:
+
+- :class:`TermInterner` — an append-only string ↔ dense int32 term-id
+  dictionary (a thin, bounds-checked specialization of
+  :class:`~repro.text.vocabulary.Vocabulary` semantics) with a shared
+  process-wide instance, so every subsystem agrees on term ids;
+- :func:`cached_stem` — an LRU memo around
+  :meth:`~repro.text.porter.PorterStemmer.stem_word` (Porter stemming
+  is pure but ~30 rule probes per word; real corpora repeat words
+  constantly);
+- :func:`cached_tokenize` — an LRU memo around the default
+  :func:`~repro.text.tokenizer.tokenize` pipeline (filter queries
+  repeat far more than documents, so short texts hit often).
+
+:class:`~repro.model.Document` and :class:`~repro.model.Filter` expose
+``term_ids`` computed against :data:`DEFAULT_INTERNER`, which lets hot
+loops key per-term caches by a dense integer instead of re-hashing
+strings.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from .porter import PorterStemmer
+from .tokenizer import Tokenizer
+
+#: Dense ids are int32 by contract so downstream array('i') /
+#: NumPy-backed structures never need to widen.
+MAX_TERM_ID = 2**31 - 1
+
+#: Memo sizes: the stem cache comfortably covers a TREC-scale working
+#: vocabulary; the tokenize cache targets repeated short filter queries.
+_STEM_CACHE_SIZE = 1 << 16
+_TOKENIZE_CACHE_SIZE = 1 << 12
+
+
+class TermInterner:
+    """Append-only term dictionary assigning dense int32 ids.
+
+    Ids are assigned in first-seen order, so workloads replayed under a
+    fixed seed intern identically.
+
+    >>> interner = TermInterner()
+    >>> interner.intern("cloud")
+    0
+    >>> interner.intern("storm"), interner.intern("cloud")
+    (1, 0)
+    >>> interner.term(1)
+    'storm'
+    """
+
+    __slots__ = ("_term_to_id", "_id_to_term")
+
+    def __init__(self, terms: Optional[Iterable[str]] = None) -> None:
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: List[str] = []
+        if terms is not None:
+            for term in terms:
+                self.intern(term)
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    def intern(self, term: str) -> int:
+        """Return the dense id for ``term``, assigning one if unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        term_id = len(self._id_to_term)
+        if term_id > MAX_TERM_ID:
+            raise OverflowError(
+                f"term dictionary exceeded int32 capacity ({MAX_TERM_ID})"
+            )
+        self._term_to_id[term] = term_id
+        self._id_to_term.append(term)
+        return term_id
+
+    def intern_all(self, terms: Iterable[str]) -> Tuple[int, ...]:
+        """Intern every term, preserving order."""
+        intern = self.intern
+        return tuple(intern(term) for term in terms)
+
+    def lookup(self, term: str) -> Optional[int]:
+        """Id of ``term`` or None if it was never interned."""
+        return self._term_to_id.get(term)
+
+    def term(self, term_id: int) -> str:
+        """Term string for ``term_id`` (IndexError if unassigned)."""
+        if term_id < 0:
+            raise IndexError(f"term ids are non-negative, got {term_id}")
+        return self._id_to_term[term_id]
+
+    def terms(self, term_ids: Iterable[int]) -> List[str]:
+        return [self.term(term_id) for term_id in term_ids]
+
+
+#: The process-wide interner `Document.term_ids` / `Filter.term_ids`
+#: resolve against.  Sharing one instance is what makes term ids
+#: comparable across documents, filters, and subsystem caches.
+DEFAULT_INTERNER = TermInterner()
+
+
+def intern_term(term: str) -> int:
+    """Intern ``term`` in the shared :data:`DEFAULT_INTERNER`."""
+    return DEFAULT_INTERNER.intern(term)
+
+
+def intern_terms(terms: Iterable[str]) -> Tuple[int, ...]:
+    """Intern every term in the shared interner, preserving order."""
+    return DEFAULT_INTERNER.intern_all(terms)
+
+
+def term_for_id(term_id: int) -> str:
+    """Inverse of :func:`intern_term`."""
+    return DEFAULT_INTERNER.term(term_id)
+
+
+_shared_stemmer = PorterStemmer()
+
+
+@lru_cache(maxsize=_STEM_CACHE_SIZE)
+def cached_stem(word: str) -> str:
+    """Memoized :meth:`PorterStemmer.stem_word` (pure function)."""
+    return _shared_stemmer.stem_word(word)
+
+
+_shared_tokenizer = Tokenizer()
+
+
+@lru_cache(maxsize=_TOKENIZE_CACHE_SIZE)
+def cached_tokenize(text: str) -> Tuple[str, ...]:
+    """Memoized default-pipeline tokenization.
+
+    Returns a tuple (hashable, safely shareable between callers) of
+    the same terms :func:`repro.text.tokenizer.tokenize` yields.
+    """
+    return tuple(_shared_tokenizer(text))
+
+
+def cached_tokenize_ids(text: str) -> Tuple[int, ...]:
+    """Tokenize ``text`` and intern each term: the one-call fast path
+    from raw text to dense term ids."""
+    return intern_terms(cached_tokenize(text))
+
+
+def interned_id_set(terms: Iterable[str]) -> FrozenSet[int]:
+    """Frozen set of shared-interner ids for ``terms``."""
+    intern = DEFAULT_INTERNER.intern
+    return frozenset(intern(term) for term in terms)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List
 
 from .porter import PorterStemmer
@@ -55,9 +56,16 @@ class Tokenizer:
     ['distribut', 'system', 'distribut']
     """
 
+    #: Per-instance stem memo size; stemming is pure, so memoization
+    #: only trades memory for the ~30 suffix probes a stem costs.
+    STEM_CACHE_SIZE = 1 << 16
+
     def __init__(self, config: TokenizerConfig | None = None) -> None:
         self.config = config or TokenizerConfig()
         self._stemmer = PorterStemmer()
+        self._stem = lru_cache(maxsize=self.STEM_CACHE_SIZE)(
+            self._stemmer.stem_word
+        )
 
     def __call__(self, text: str) -> List[str]:
         return list(self.iter_terms(text))
@@ -81,7 +89,7 @@ class Tokenizer:
             if cfg.remove_stop_words and token in STOP_WORDS:
                 continue
             if cfg.apply_stemming:
-                token = self._stemmer.stem_word(token)
+                token = self._stem(token)
             if len(token) < cfg.min_token_length:
                 continue
             yield token
