@@ -24,6 +24,7 @@ per-experiment index.
 
 from .baselines import (
     CentralizedSift,
+    CentralizedSystem,
     DisseminationPlan,
     DisseminationSystem,
     InvertedListSystem,
@@ -73,6 +74,7 @@ __all__ = [
     "InvertedListSystem",
     "RendezvousSystem",
     "CentralizedSift",
+    "CentralizedSystem",
     "DisseminationSystem",
     "DisseminationPlan",
     "NodeTask",

@@ -8,11 +8,16 @@
   rendezvous/flooding scheme with ROAR-style partition levels and SIFT
   local matching,
 - :mod:`repro.baselines.centralized` — a single-node SIFT matcher (the
-  Figure 6/7 experiments).
+  Figure 6/7 experiments) and **Centralized**: the same idea as a full
+  dissemination system (everything on one cluster node).
+
+All four systems disseminate through the staged pipeline in
+:mod:`repro.core.pipeline`, supplying only their route-resolution and
+matching callbacks.
 """
 
 from .base import DisseminationPlan, DisseminationSystem, NodeTask
-from .centralized import CentralizedSift
+from .centralized import CentralizedSift, CentralizedSystem
 from .inverted_list import InvertedListSystem
 from .rendezvous import RendezvousSystem
 
@@ -23,4 +28,5 @@ __all__ = [
     "InvertedListSystem",
     "RendezvousSystem",
     "CentralizedSift",
+    "CentralizedSystem",
 ]

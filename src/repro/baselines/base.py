@@ -1,7 +1,7 @@
-"""Shared protocol for all three dissemination systems.
+"""Shared protocol for all four dissemination systems.
 
-Every system (IL, RS, MOVE) answers the same two questions for a
-published document:
+Every system (IL, RS, MOVE, Centralized) answers the same two
+questions for a published document:
 
 1. *logical* — which registered filters match (must equal the brute-
    force oracle; the completeness invariant), and
@@ -11,17 +11,37 @@ published document:
 
 :meth:`DisseminationSystem.publish` returns both as a
 :class:`DisseminationPlan`.
+
+Dissemination itself runs through the staged engine in
+:mod:`repro.core.pipeline`; a concrete system supplies the engine's
+stage hooks (:meth:`~DisseminationSystem._choose_ingest`,
+:meth:`~DisseminationSystem._resolve_routes`,
+:meth:`~DisseminationSystem._execute`, plus the optional
+:meth:`~DisseminationSystem._observe`) instead of overriding
+:meth:`~DisseminationSystem.publish` directly.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from ..config import SystemConfig
 from ..model import Document, Filter
 from ..sim.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.pipeline import BatchCaches, ExecutionContext
 
 
 @dataclass(frozen=True)
@@ -106,6 +126,12 @@ class DisseminationSystem(ABC):
             self._scorer = VsmScorer()
         else:
             self._scorer = None
+        # Deferred import: the pipeline module imports this one for
+        # the plan/task types, so it cannot be imported at module
+        # scope without a cycle.
+        from ..core.pipeline import DisseminationPipeline
+
+        self._engine = DisseminationPipeline(self)
 
     def _apply_semantics(
         self, document: Document, filters: Iterable[Filter]
@@ -140,6 +166,47 @@ class DisseminationSystem(ABC):
         for profile in profiles:
             self.register(profile)
 
+    def _register_batch(self, profiles: Sequence[Filter]) -> None:
+        """Scheme-specific bulk placement.
+
+        The default is the per-filter loop; schemes whose placement
+        funnels into an :class:`~repro.matching.inverted_index.
+        InvertedIndex` override it to buffer per destination and load
+        postings through ``add_filters`` (one sort per posting list
+        instead of one insert per filter).  An override must leave the
+        system in exactly the state the per-filter loop would.
+        """
+        for profile in profiles:
+            self._register(profile)
+
+    def register_batch(self, profiles: Iterable[Filter]) -> None:
+        """Register many filters as one bulk operation.
+
+        Equivalent to :meth:`register_all` — same final placement,
+        stores, metrics, and duplicate-id rejection — but lets the
+        scheme amortize posting-list maintenance across the batch.
+        Validation is all-or-nothing *before* placement: a duplicate
+        anywhere in the batch (against the registry or within the
+        batch itself) raises without registering any of it.
+        """
+        batch = list(profiles)
+        seen: Set[str] = set()
+        for profile in batch:
+            if profile.filter_id in self._registered or (
+                profile.filter_id in seen
+            ):
+                raise ValueError(
+                    f"filter {profile.filter_id!r} is already registered"
+                )
+            seen.add(profile.filter_id)
+        self._register_batch(batch)
+        for profile in batch:
+            self._registered[profile.filter_id] = profile
+        if batch:
+            self.metrics.counter("filters_registered").add(
+                float(len(batch))
+            )
+
     def _unregister(self, profile: Filter) -> None:
         """Scheme-specific removal of one filter.
 
@@ -151,11 +218,19 @@ class DisseminationSystem(ABC):
         )
 
     def unregister(self, filter_id: str) -> Filter:
-        """Remove a registered filter; returns the removed profile."""
-        profile = self._registered.pop(filter_id, None)
+        """Remove a registered filter; returns the removed profile.
+
+        The registry entry is dropped only after the scheme-specific
+        removal succeeds: a scheme that raises (e.g. one that does not
+        support churn) leaves the filter registered, keeping the
+        registry consistent with the placement structures that still
+        hold it.
+        """
+        profile = self._registered.get(filter_id)
         if profile is None:
             raise KeyError(f"unknown filter {filter_id!r}")
         self._unregister(profile)
+        del self._registered[filter_id]
         self.metrics.counter("filters_unregistered").add()
         return profile
 
@@ -170,11 +245,58 @@ class DisseminationSystem(ABC):
     def total_filters(self) -> int:
         return len(self._registered)
 
+    # -- pipeline stage hooks ------------------------------------------------
+
+    def _observe(self, document: Document) -> None:
+        """Pre-dissemination statistics hook (MOVE feeds ``q_i`` here).
+
+        Runs before the ingest draw so the observation order matches
+        the seed implementations exactly.  Default: no-op.
+        """
+
+    def _choose_ingest(self) -> str:
+        """Draw the ingest node for one document (consumes RNG)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _choose_ingest"
+        )
+
+    def _resolve_routes(
+        self, document: Document, caches: "BatchCaches"
+    ) -> object:
+        """Stages 1–2: prune terms and resolve destinations.
+
+        Returns the scheme's routing state for one document — e.g. a
+        ``{home node: [term ids]}`` grouping for the home-node schemes
+        (see :func:`repro.core.pipeline.group_terms_by_home`) — which
+        the pipeline passes on to :meth:`_execute` untouched.  Pure
+        modulo the batch caches: must not consume RNG.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _resolve_routes"
+        )
+
+    def _execute(self, ctx: "ExecutionContext", routes: object) -> None:
+        """Stage 3: per-node matching and work accumulation.
+
+        Fills ``ctx.matched``, ``ctx.unreachable``, ``ctx.work``, and
+        ``ctx.routing_messages``.  Any per-document RNG (partition
+        draws, failure fallbacks) is consumed here, after the ingest
+        draw, in the same order as the seed implementations.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _execute"
+        )
+
     # -- publication --------------------------------------------------------
 
-    @abstractmethod
     def publish(self, document: Document) -> DisseminationPlan:
-        """Match ``document`` against all registered filters."""
+        """Match ``document`` against all registered filters.
+
+        Literally a singleton batch: the staged pipeline runs with
+        fresh caches, so per-document and batched publishing share one
+        implementation and cannot drift apart.
+        """
+        return self.publish_batch([document])[0]
 
     def publish_all(
         self, documents: Iterable[Document]
@@ -186,15 +308,21 @@ class DisseminationSystem(ABC):
     ) -> List[DisseminationPlan]:
         """Publish ``documents`` as one batch, in order.
 
-        The default implementation is the per-document loop.  Systems
-        with a batched fast path override this to share per-term work
-        (routing decisions, posting-list retrievals) across the batch;
-        an override MUST return plans bit-identical to the
-        per-document loop under the same seed — equal matched sets,
-        tasks, costs, and RNG consumption — which holds as long as
-        registration and cluster membership do not change mid-batch.
+        Runs the staged pipeline (:mod:`repro.core.pipeline`) with one
+        shared cache set, memoizing per-term routing and retrieval
+        work across the batch.  Batching is observationally inert:
+        plans are bit-identical to the per-document loop under the
+        same seed — equal matched sets, tasks, costs, and RNG
+        consumption — which holds as long as registration and cluster
+        membership do not change mid-batch.
+
+        Compatibility shim: a legacy subclass that overrides
+        :meth:`publish` directly (pre-pipeline style) is batched as
+        the plain per-document loop over its override.
         """
-        return [self.publish(document) for document in documents]
+        if type(self).publish is not DisseminationSystem.publish:
+            return [self.publish(document) for document in documents]
+        return self._engine.publish_batch(documents)
 
     # -- shared accounting ---------------------------------------------------
 

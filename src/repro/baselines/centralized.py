@@ -1,23 +1,39 @@
-"""Single-node SIFT matcher — the Figure 6/7 experiment substrate.
+"""Centralized SIFT matching — one node holds every filter.
 
-Before the cluster experiments, the paper studies on one node how the
-number of documents ``Q`` and the number of filters ``P`` trade off at
-a fixed product ``R = P * Q``.  This class is that single node: all
-filters local, SIFT matching, and the cost model's disk-pressure
-behaviour (very large ``P`` pushes the working set out of cache and
-the disk becomes the bottleneck — the Figure 6 knee at ``Q = 2``).
+Two faces of the same baseline:
+
+- :class:`CentralizedSift` — the Figure 6/7 experiment substrate.
+  Before the cluster experiments, the paper studies on one node how
+  the number of documents ``Q`` and the number of filters ``P`` trade
+  off at a fixed product ``R = P * Q``.  This class is that single
+  node: all filters local, SIFT matching, and the cost model's
+  disk-pressure behaviour (very large ``P`` pushes the working set out
+  of cache and the disk becomes the bottleneck — the Figure 6 knee at
+  ``Q = 2``).
+- :class:`CentralizedSystem` — the same idea as a
+  :class:`~repro.baselines.base.DisseminationSystem`: a cluster where
+  one designated node stores and matches everything (the degenerate
+  scheme every distributed design is measured against).  It runs
+  through the staged pipeline (:mod:`repro.core.pipeline`), so it gets
+  batched publishing and per-term retrieval memoization like the
+  distributed schemes.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..config import CostModelConfig
+from ..cluster.cluster import Cluster
+from ..config import CostModelConfig, SystemConfig
+from ..core.pipeline import BatchCaches, ExecutionContext, Retrieval
+from ..errors import ConfigurationError
 from ..matching.inverted_index import InvertedIndex
 from ..matching.sift import SiftMatcher
 from ..model import Document, Filter
 from ..sim.costs import MatchCostModel
+from .base import DisseminationSystem
 
 
 @dataclass(frozen=True)
@@ -127,3 +143,155 @@ class CentralizedSift:
             total_match_seconds=total_seconds,
             total_posting_entries=total_entries,
         )
+
+
+class CentralizedSystem(DisseminationSystem):
+    """All filters on one cluster node — the degenerate scheme.
+
+    Registration stores every filter on the designated central node,
+    indexed under all of its terms; every published document is
+    forwarded there (one routing message, no pruning) and matched with
+    the centralized SIFT algorithm.  When the central node is down the
+    entire term-sharing candidate set is unreachable — the paper's
+    single point of failure, made measurable.
+    """
+
+    name = "Central"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[SystemConfig] = None,
+        threshold: Optional[float] = None,
+        central_node: Optional[str] = None,
+    ) -> None:
+        super().__init__(config, threshold=threshold)
+        self.cluster = cluster
+        node_ids = cluster.node_ids()
+        if not node_ids:
+            raise ConfigurationError("cluster has no nodes")
+        if central_node is None:
+            central_node = node_ids[0]
+        elif central_node not in node_ids:
+            raise ConfigurationError(
+                f"central node {central_node!r} is not in the cluster"
+            )
+        self.central_node = central_node
+        self.index = InvertedIndex()
+        self._matcher = SiftMatcher(self.index)
+        self._rng = random.Random((self.config.seed or 0) + 0x0C)
+
+    # -- registration ----------------------------------------------------
+
+    def _register(self, profile: Filter) -> None:
+        node = self.cluster.node(self.central_node)
+        node.filter_store.put(
+            profile.filter_id, "terms", profile.sorted_terms()
+        )
+        # Full local inverted list: indexed under every term.
+        self.index.add_filter(profile)
+        self.metrics.load("storage_replicas").add(self.central_node, 1.0)
+
+    def _register_batch(self, profiles) -> None:
+        """Bulk registration: identical placement to the per-filter
+        loop (same store writes and load updates, in the same order),
+        with the central inverted list loaded through ``add_filters``
+        — one sort per posting list instead of one insert per filter.
+        """
+        storage_load = self.metrics.load("storage_replicas")
+        node = self.cluster.node(self.central_node)
+        buffered: List[Tuple[Filter, None]] = []
+        for profile in profiles:
+            node.filter_store.put(
+                profile.filter_id, "terms", profile.sorted_terms()
+            )
+            buffered.append((profile, None))
+            storage_load.add(self.central_node, 1.0)
+        if buffered:
+            self.index.add_filters(buffered)
+
+    def _unregister(self, profile: Filter) -> None:
+        """Remove the filter from the central node."""
+        self.index.remove_filter(profile.filter_id)
+        self.cluster.node(self.central_node).filter_store.delete(
+            profile.filter_id
+        )
+
+    # -- dissemination (pipeline stage hooks) ------------------------------
+
+    def _resolve_routes(
+        self, document: Document, caches: BatchCaches
+    ) -> str:
+        """Everything routes to the one central node."""
+        return self.central_node
+
+    def _execute(self, ctx: ExecutionContext, central: str) -> None:
+        """Centralized SIFT matching over all document terms."""
+        ctx.routing_messages = 1
+        caches = ctx.caches
+        document = ctx.document
+        if not self.cluster.node(central).alive:
+            for term, term_id in zip(document.terms, document.term_ids):
+                ctx.unreachable.update(
+                    self._retrieve_cached(caches, term_id, term)[1]
+                )
+            return
+        matched = ctx.matched
+        lists = 0
+        entries = 0
+        if self._scorer is None:
+            for term, term_id in zip(document.terms, document.term_ids):
+                _, filter_ids, n_lists, n_entries = (
+                    self._retrieve_cached(caches, term_id, term)
+                )
+                lists += n_lists
+                entries += n_entries
+                matched.update(filter_ids)
+        else:
+            # Dedup candidates across terms (as SIFT does) before
+            # scoring each one once against the threshold.
+            candidates: Dict[str, Filter] = {}
+            for term, term_id in zip(document.terms, document.term_ids):
+                filters, _, n_lists, n_entries = (
+                    self._retrieve_cached(caches, term_id, term)
+                )
+                lists += n_lists
+                entries += n_entries
+                for profile in filters:
+                    candidates.setdefault(profile.filter_id, profile)
+            matched.update(
+                profile.filter_id
+                for profile in self._apply_semantics(
+                    document, candidates.values()
+                )
+            )
+        ctx.work.add(central, lists, entries, (ctx.ingest, central))
+
+    def _retrieve_cached(
+        self, caches: BatchCaches, term_id: int, term: str
+    ) -> Retrieval:
+        """Central-index posting retrieval, memoized per batch."""
+        entry = caches.retrieval.get(term_id)
+        if entry is None:
+            entry = caches.retrieve(term_id, self.index, term)
+        return entry
+
+    def _choose_ingest(self) -> str:
+        live = self.cluster.live_node_ids()
+        if not live:
+            raise RuntimeError("no live nodes to ingest documents")
+        return self._rng.choice(live)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def storage_distribution(self) -> Dict[str, float]:
+        """Distinct filters per node: everything on the central node."""
+        return {
+            node_id: (
+                float(len(self.index))
+                if node_id == self.central_node
+                else 0.0
+            )
+            for node_id in self.cluster.node_ids()
+        }
+

@@ -8,6 +8,9 @@ distributed inverted list).
 Dissemination: a document is forwarded, in parallel, to the home nodes
 of all of its terms that pass the Bloom-filter membership check; each
 home node matches the document using only its own term's posting list.
+Both stages run through the staged pipeline
+(:mod:`repro.core.pipeline`); IL supplies the simplest hooks of the
+four systems — Bloom + ring routing and single-term posting matching.
 
 No allocation: skewed ``p_i`` makes some home nodes store huge filter
 sets (storage hot spots, Figure 9a) and skewed ``q_i`` makes some home
@@ -17,20 +20,21 @@ throughput the MOVE scheme exists to fix.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.cluster import Cluster
 from ..config import SystemConfig
+from ..core.pipeline import (
+    BatchCaches,
+    ExecutionContext,
+    Retrieval,
+    group_terms_by_home,
+)
 from ..matching.bloom import BloomFilter
 from ..matching.inverted_index import InvertedIndex
 from ..model import Document, Filter
 from ..text.interning import DEFAULT_INTERNER
-from .base import DisseminationPlan, DisseminationSystem, NodeTask
-
-#: Sentinel distinguishing "never routed" from "bloom-rejected" in the
-#: per-batch route memo.
-_UNROUTED = object()
+from .base import DisseminationSystem
 
 
 class InvertedListSystem(DisseminationSystem):
@@ -88,153 +92,60 @@ class InvertedListSystem(DisseminationSystem):
             if self._bloom is not None:
                 self._bloom.add(term)
 
-    # -- dissemination -------------------------------------------------------
+    def _register_batch(self, profiles) -> None:
+        """Bulk registration: identical placement to the per-filter
+        loop (same store writes, bloom and load updates, in the same
+        order), with each home index loaded through ``add_filters`` —
+        one sort per posting list instead of one insert per replica."""
+        storage_load = self.metrics.load("storage_replicas")
+        bloom = self._bloom
+        buffers: Dict[str, List[Tuple[Filter, List[str]]]] = {}
+        for profile in profiles:
+            for term in profile.terms:
+                node_id = self.home_of(term)
+                self.cluster.node(node_id).filter_store.put(
+                    profile.filter_id, "terms", profile.sorted_terms()
+                )
+                buffers.setdefault(node_id, []).append(
+                    (profile, [term])
+                )
+                storage_load.add(node_id, 1.0)
+                if bloom is not None:
+                    bloom.add(term)
+        for node_id, buffered in buffers.items():
+            self.index_of(node_id).add_filters(buffered)
 
-    def _terms_by_home(self, document: Document) -> Dict[str, List[str]]:
-        """Document terms that pass the Bloom check, grouped by home."""
-        grouped: Dict[str, List[str]] = defaultdict(list)
-        for term in document.terms:
-            if self._bloom is not None and term not in self._bloom:
-                continue
-            grouped[self.home_of(term)].append(term)
-        return grouped
+    # -- dissemination (pipeline stage hooks) ------------------------------
 
-    def publish(self, document: Document) -> DisseminationPlan:
-        ingest = self._choose_ingest()
-        matched: Set[str] = set()
-        unreachable: Set[str] = set()
-        tasks: List[NodeTask] = []
-        grouped = self._terms_by_home(document)
-        for node_id, terms in grouped.items():
-            node = self.cluster.node(node_id)
-            index = self.index_of(node_id)
-            if not node.alive:
-                for term in terms:
-                    filters, _ = index.filters_for_term(term)
-                    unreachable.update(f.filter_id for f in filters)
-                continue
-            lists = 0
-            entries = 0
-            for term in terms:
-                filters, cost = index.match_document_single_term(
-                    document, term
-                )
-                lists += cost.posting_lists
-                entries += cost.posting_entries
-                matched.update(
-                    f.filter_id
-                    for f in self._apply_semantics(document, filters)
-                )
-            tasks.append(
-                NodeTask(
-                    node_id=node_id,
-                    path=(ingest, node_id),
-                    posting_lists=lists,
-                    posting_entries=entries,
-                )
-            )
-        unreachable -= matched
-        self._account_tasks(tasks)
-        self.metrics.counter("documents_published").add()
-        return DisseminationPlan(
-            document=document,
-            matched_filter_ids=matched,
-            tasks=tasks,
-            unreachable_filter_ids=unreachable,
-            routing_messages=len(grouped),
+    def _resolve_routes(
+        self, document: Document, caches: BatchCaches
+    ) -> Dict[str, List[int]]:
+        """Bloom-pruned term-id grouping by ring home node."""
+        return group_terms_by_home(
+            document, caches, self._bloom, self.home_of
         )
 
-    # -- batched fast path ---------------------------------------------------
-
-    def publish_batch(
-        self, documents: Sequence[Document]
-    ) -> List[DisseminationPlan]:
-        """Integer-keyed batched dissemination (the hot path).
-
-        Per-term work that cannot change mid-batch is computed once and
-        memoized by dense term id: the Bloom membership + home-node
-        routing decision, and the home node's posting-list retrieval
-        (filters, their ids, and the :class:`RetrievalCost` numbers).
-        Every document then runs the same routing/matching/accounting
-        logic as :meth:`publish` — including per-document ingest RNG
-        draws — so the returned plans are bit-identical to the
-        per-document loop.  :meth:`publish` itself stays the slow
-        reference implementation the equivalence tests diff against.
-        """
-        route: Dict[int, Optional[str]] = {}
-        retrieval: Dict[
-            int, Tuple[List[Filter], Tuple[str, ...], int, int]
-        ] = {}
-        return [
-            self._publish_fast(document, route, retrieval)
-            for document in documents
-        ]
-
-    def _retrieve_cached(
-        self,
-        retrieval: Dict[int, Tuple[List[Filter], Tuple[str, ...], int, int]],
-        node_id: str,
-        term_id: int,
-    ) -> Tuple[List[Filter], Tuple[str, ...], int, int]:
-        """Posting retrieval for one home term, memoized per batch."""
-        entry = retrieval.get(term_id)
-        if entry is None:
-            term = DEFAULT_INTERNER.term(term_id)
-            filters, cost = self.index_of(node_id).filters_for_term(term)
-            entry = (
-                filters,
-                tuple(profile.filter_id for profile in filters),
-                cost.posting_lists,
-                cost.posting_entries,
-            )
-            retrieval[term_id] = entry
-        return entry
-
-    def _publish_fast(
-        self,
-        document: Document,
-        route: Dict[int, Optional[str]],
-        retrieval: Dict[
-            int, Tuple[List[Filter], Tuple[str, ...], int, int]
-        ],
-    ) -> DisseminationPlan:
-        ingest = self._choose_ingest()
-        matched: Set[str] = set()
-        unreachable: Set[str] = set()
-        tasks: List[NodeTask] = []
-        bloom = self._bloom
-        # Group surviving terms by home node, memoizing the per-term
-        # bloom + ring decision under the dense term id.
-        grouped: Dict[str, List[int]] = {}
-        for term, term_id in zip(document.terms, document.term_ids):
-            home = route.get(term_id, _UNROUTED)
-            if home is _UNROUTED:
-                if bloom is not None and term not in bloom:
-                    home = None
-                else:
-                    home = self.home_of(term)
-                route[term_id] = home
-            if home is None:
-                continue
-            bucket = grouped.get(home)
-            if bucket is None:
-                grouped[home] = bucket = []
-            bucket.append(term_id)
+    def _execute(
+        self, ctx: ExecutionContext, routes: Dict[str, List[int]]
+    ) -> None:
+        """Single-term posting matching on each term's home node."""
+        ctx.routing_messages = len(routes)
+        caches = ctx.caches
+        document = ctx.document
+        matched = ctx.matched
         plain_boolean = self._scorer is None
-        for node_id, term_ids in grouped.items():
-            node = self.cluster.node(node_id)
-            if not node.alive:
+        for node_id, term_ids in routes.items():
+            if not self.cluster.node(node_id).alive:
                 for term_id in term_ids:
-                    _, filter_ids, _, _ = self._retrieve_cached(
-                        retrieval, node_id, term_id
+                    ctx.unreachable.update(
+                        self._retrieve_cached(caches, node_id, term_id)[1]
                     )
-                    unreachable.update(filter_ids)
                 continue
             lists = 0
             entries = 0
             for term_id in term_ids:
                 filters, filter_ids, n_lists, n_entries = (
-                    self._retrieve_cached(retrieval, node_id, term_id)
+                    self._retrieve_cached(caches, node_id, term_id)
                 )
                 lists += n_lists
                 entries += n_entries
@@ -247,24 +158,22 @@ class InvertedListSystem(DisseminationSystem):
                             document, filters
                         )
                     )
-            tasks.append(
-                NodeTask(
-                    node_id=node_id,
-                    path=(ingest, node_id),
-                    posting_lists=lists,
-                    posting_entries=entries,
-                )
+            ctx.work.add(node_id, lists, entries, (ctx.ingest, node_id))
+
+    def _retrieve_cached(
+        self, caches: BatchCaches, node_id: str, term_id: int
+    ) -> Retrieval:
+        """Posting retrieval for one home term, memoized per batch
+        (the home node derives from the term, so the id alone keys it).
+        """
+        entry = caches.retrieval.get(term_id)
+        if entry is None:
+            entry = caches.retrieve(
+                term_id,
+                self.index_of(node_id),
+                DEFAULT_INTERNER.term(term_id),
             )
-        unreachable -= matched
-        self._account_tasks(tasks)
-        self.metrics.counter("documents_published").add()
-        return DisseminationPlan(
-            document=document,
-            matched_filter_ids=matched,
-            tasks=tasks,
-            unreachable_filter_ids=unreachable,
-            routing_messages=len(grouped),
-        )
+        return entry
 
     def _choose_ingest(self) -> str:
         """Documents enter at a random live node (a client connection)."""

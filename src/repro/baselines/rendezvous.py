@@ -18,21 +18,29 @@ evaluation does (Section VI-A):
 - a published document is forwarded to one (randomly chosen) replica of
   *every* partition: blind flooding — every partition is visited whether
   or not it stores matching filters.
+
+Dissemination runs through the staged pipeline
+(:mod:`repro.core.pipeline`): route resolution is the partition list
+itself (flooding has no pruning), and execution memoizes each
+partition's live-replica roster and each replica's per-term posting
+retrievals across the batch — the per-partition replica *choice* stays
+a fresh RNG draw per document, exactly as in the seed implementation.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.cluster import Cluster
 from ..config import SystemConfig
+from ..core.pipeline import BatchCaches, ExecutionContext, Retrieval
 from ..errors import ConfigurationError
 from ..matching.inverted_index import InvertedIndex
 from ..matching.sift import SiftMatcher
 from ..model import Document, Filter
 from ..sim.randomness import stable_hash64
-from .base import DisseminationPlan, DisseminationSystem, NodeTask
+from .base import DisseminationSystem
 
 
 class RendezvousSystem(DisseminationSystem):
@@ -95,6 +103,27 @@ class RendezvousSystem(DisseminationSystem):
             self._indexes[node_id].add_filter(profile)
             storage_load.add(node_id, 1.0)
 
+    def _register_batch(self, profiles) -> None:
+        """Bulk registration: identical placement to the per-filter
+        loop (same store writes and load updates, in the same order),
+        with each replica's local inverted list loaded through
+        ``add_filters`` — one sort per posting list instead of one
+        insert per filter."""
+        storage_load = self.metrics.load("storage_replicas")
+        buffers: Dict[str, List[Tuple[Filter, None]]] = {}
+        for profile in profiles:
+            partition = self._partitions[
+                self.partition_of(profile.filter_id)
+            ]
+            for node_id in partition:
+                self.cluster.node(node_id).filter_store.put(
+                    profile.filter_id, "terms", profile.sorted_terms()
+                )
+                buffers.setdefault(node_id, []).append((profile, None))
+                storage_load.add(node_id, 1.0)
+        for node_id, buffered in buffers.items():
+            self._indexes[node_id].add_filters(buffered)
+
     def _unregister(self, profile: Filter) -> None:
         """Remove the filter from every replica of its partition."""
         partition = self._partitions[self.partition_of(profile.filter_id)]
@@ -104,51 +133,98 @@ class RendezvousSystem(DisseminationSystem):
                 profile.filter_id
             )
 
-    # -- dissemination --------------------------------------------------------
+    # -- dissemination (pipeline stage hooks) ------------------------------
 
-    def publish(self, document: Document) -> DisseminationPlan:
-        ingest = self._choose_ingest()
-        matched: Set[str] = set()
-        unreachable: Set[str] = set()
-        tasks: List[NodeTask] = []
-        for partition in self._partitions:
-            live = [
-                node_id
-                for node_id in partition
-                if self.cluster.node(node_id).alive
-            ]
+    def _resolve_routes(
+        self, document: Document, caches: BatchCaches
+    ) -> List[List[str]]:
+        """Blind flooding: every partition sees every document."""
+        return self._partitions
+
+    def _execute(
+        self, ctx: ExecutionContext, routes: List[List[str]]
+    ) -> None:
+        """One randomly chosen live replica of every partition runs the
+        centralized SIFT match over all document terms."""
+        ctx.routing_messages = self.partition_level
+        caches = ctx.caches
+        document = ctx.document
+        matched = ctx.matched
+        rosters = caches.routing
+        node_of = self.cluster.node
+        plain_boolean = self._scorer is None
+        for p_index, partition in enumerate(routes):
+            live = rosters.get(p_index)
+            if live is None:
+                live = [
+                    node_id
+                    for node_id in partition
+                    if node_of(node_id).alive
+                ]
+                rosters[p_index] = live
             if not live:
                 # Whole partition down: its filter share is unreachable.
-                sample_index = self._indexes[partition[0]]
-                filters, _ = sample_index.match_document_all_terms(
-                    document
-                )
-                unreachable.update(f.filter_id for f in filters)
+                sample = partition[0]
+                for term, term_id in zip(
+                    document.terms, document.term_ids
+                ):
+                    ctx.unreachable.update(
+                        self._retrieve_cached(caches, sample, term_id, term)[1]
+                    )
                 continue
             node_id = self._rng.choice(live)
-            filters, cost = self._matchers[node_id].match(document)
-            matched.update(
-                f.filter_id
-                for f in self._apply_semantics(document, filters)
-            )
-            tasks.append(
-                NodeTask(
-                    node_id=node_id,
-                    path=(ingest, node_id),
-                    posting_lists=cost.posting_lists,
-                    posting_entries=cost.posting_entries,
+            lists = 0
+            entries = 0
+            if plain_boolean:
+                for term, term_id in zip(
+                    document.terms, document.term_ids
+                ):
+                    _, filter_ids, n_lists, n_entries = (
+                        self._retrieve_cached(
+                            caches, node_id, term_id, term
+                        )
+                    )
+                    lists += n_lists
+                    entries += n_entries
+                    matched.update(filter_ids)
+            else:
+                # Dedup candidates across terms (as SIFT does) before
+                # scoring each one once against the threshold.
+                candidates: Dict[str, Filter] = {}
+                for term, term_id in zip(
+                    document.terms, document.term_ids
+                ):
+                    filters, _, n_lists, n_entries = (
+                        self._retrieve_cached(
+                            caches, node_id, term_id, term
+                        )
+                    )
+                    lists += n_lists
+                    entries += n_entries
+                    for profile in filters:
+                        candidates.setdefault(profile.filter_id, profile)
+                matched.update(
+                    profile.filter_id
+                    for profile in self._apply_semantics(
+                        document, candidates.values()
+                    )
                 )
-            )
-        unreachable -= matched
-        self._account_tasks(tasks)
-        self.metrics.counter("documents_published").add()
-        return DisseminationPlan(
-            document=document,
-            matched_filter_ids=matched,
-            tasks=tasks,
-            unreachable_filter_ids=unreachable,
-            routing_messages=self.partition_level,
-        )
+            ctx.work.add(node_id, lists, entries, (ctx.ingest, node_id))
+
+    def _retrieve_cached(
+        self,
+        caches: BatchCaches,
+        node_id: str,
+        term_id: int,
+        term: str,
+    ) -> Retrieval:
+        """Per-replica posting retrieval, memoized per batch (RS nodes
+        index under all terms, so the node must be part of the key)."""
+        key = (node_id, term_id)
+        entry = caches.retrieval.get(key)
+        if entry is None:
+            entry = caches.retrieve(key, self._indexes[node_id], term)
+        return entry
 
     def _choose_ingest(self) -> str:
         live = self.cluster.live_node_ids()

@@ -11,6 +11,8 @@
   (Section V, Figure 3),
 - :mod:`repro.core.coordinator` — the dedicated statistics/planning
   node (Section V),
+- :mod:`repro.core.pipeline` — the staged dissemination engine shared
+  by all four systems (pruning → routing → execution → accounting),
 - :mod:`repro.core.move_system` — the MOVE dissemination system facade.
 """
 
@@ -20,6 +22,12 @@ from .delivery import DeliveryService, Inbox, Notification
 from .forwarding import ForwardingTable
 from .leases import Lease, SubscriptionManager
 from .move_system import MoveSystem
+from .pipeline import (
+    BatchCaches,
+    DisseminationPipeline,
+    ExecutionContext,
+    WorkAccumulator,
+)
 from .optimizer import AllocationFactors, MoveOptimizer, NodeDemand
 from .placement import PlacementSelector
 from .policies import (
@@ -49,4 +57,8 @@ __all__ = [
     "ForwardingTable",
     "Coordinator",
     "MoveSystem",
+    "DisseminationPipeline",
+    "BatchCaches",
+    "ExecutionContext",
+    "WorkAccumulator",
 ]

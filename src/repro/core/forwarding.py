@@ -73,6 +73,65 @@ class ForwardingTable:
             )
         return routing
 
+    def route_grouped(
+        self,
+        rng: random.Random,
+        is_alive: Callable[[str], bool],
+        home_alive: bool,
+        memo: Dict[int, Tuple[Tuple[str, Tuple[int, ...]], ...]],
+    ) -> Tuple[
+        Tuple[Tuple[str, Tuple[int, ...]], ...], Tuple[int, ...]
+    ]:
+        """One document's routing, grouped by destination node.
+
+        Returns ``(grouping, lost_subsets)`` where ``grouping`` is a
+        ``((node, subsets), ...)`` tuple — subsets grouped so a node
+        serving several receives the document once — and
+        ``lost_subsets`` are subsets with no live copy anywhere (their
+        home-fallback already folded into ``grouping`` when the home
+        node is alive, or reported lost when it is not).
+
+        The partition draw always happens first (bit-identical RNG
+        stream); the resulting grouping is memoized in ``memo`` (keyed
+        by row index, one memo per forwarding table) only when every
+        row node is alive, because only failure fallbacks consume
+        further RNG draws — replaying an all-alive grouping keeps the
+        stream bit-identical to re-deriving it.
+        """
+        row_index = self.choose_partition(rng)
+        grouping = memo.get(row_index)
+        if grouping is not None:
+            return grouping, ()
+        row = self.grid.partition(row_index)
+        if all(is_alive(node_id) for node_id in row):
+            by_node: Dict[str, List[int]] = {}
+            for subset, node_id in enumerate(row):
+                by_node.setdefault(node_id, []).append(subset)
+            grouping = tuple(
+                (node_id, tuple(subsets))
+                for node_id, subsets in by_node.items()
+            )
+            memo[row_index] = grouping
+            return grouping, ()
+        routing = self.route(rng, is_alive, row_index=row_index)
+        home_id = self.grid.home_node
+        fallback: Dict[str, List[int]] = {}
+        lost: List[int] = []
+        for subset, node_id in routing.items():
+            if node_id is None:
+                if home_alive:
+                    # Home node retains the full filter set: fall back.
+                    fallback.setdefault(home_id, []).append(subset)
+                else:
+                    lost.append(subset)
+            else:
+                fallback.setdefault(node_id, []).append(subset)
+        grouping = tuple(
+            (node_id, tuple(subsets))
+            for node_id, subsets in fallback.items()
+        )
+        return grouping, tuple(lost)
+
     def live_subset_fraction(
         self, is_alive: Callable[[str], bool]
     ) -> float:

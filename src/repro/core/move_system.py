@@ -27,8 +27,7 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..cluster.cluster import Cluster
 from ..config import SystemConfig
@@ -37,52 +36,15 @@ from ..matching.inverted_index import InvertedIndex
 from ..model import Document, Filter
 from ..stats.term_stats import TermStatistics
 from .coordinator import AllocationPlan, Coordinator
-from .placement import PlacementSelector
-from ..baselines.base import (
-    DisseminationPlan,
-    DisseminationSystem,
-    NodeTask,
+from .pipeline import (
+    BatchCaches,
+    ExecutionContext,
+    Retrieval,
+    group_terms_by_home,
 )
+from .placement import PlacementSelector
+from ..baselines.base import DisseminationSystem
 from ..text.interning import DEFAULT_INTERNER
-
-#: Sentinel distinguishing "never routed" from "bloom-rejected" in the
-#: per-batch route memo.
-_UNROUTED = object()
-
-#: Memoized posting retrieval: (filters, their filter ids, posting
-#: lists touched, posting entries scanned).
-_Retrieval = Tuple[List[Filter], Tuple[str, ...], int, int]
-
-
-@dataclass
-class _BatchCaches:
-    """Per-batch memos for :meth:`MoveSystem.publish_batch`.
-
-    Everything here is a pure function of registration + allocation
-    state, which the batch contract freezes for the batch's duration.
-    All per-term maps are keyed by the dense shared-interner term id.
-    """
-
-    #: term id -> home node, or None when the Bloom filter rejected it.
-    route: Dict[int, Optional[str]] = field(default_factory=dict)
-    #: term id -> home-index retrieval (home node derives from term).
-    home: Dict[int, _Retrieval] = field(default_factory=dict)
-    #: (holder node, origin key, term id) -> allocated-index retrieval.
-    allocated: Dict[Tuple[str, str, int], _Retrieval] = field(
-        default_factory=dict
-    )
-    #: (origin key, term id) -> [(subset, filter id, filter), ...] of
-    #: the home index's posting — the home-fallback matcher filters
-    #: these by subset without re-hashing every filter id per document.
-    home_subsets: Dict[
-        Tuple[str, int], List[Tuple[int, str, Filter]]
-    ] = field(default_factory=dict)
-    #: (origin key, partition row) -> ((node, subsets), ...) grouping.
-    #: Only all-alive routings are memoized: they consume no fallback
-    #: RNG draws, so replaying them keeps the stream bit-identical.
-    routing: Dict[
-        Tuple[str, int], Tuple[Tuple[str, Tuple[int, ...]], ...]
-    ] = field(default_factory=dict)
 
 
 class MoveSystem(DisseminationSystem):
@@ -151,6 +113,32 @@ class MoveSystem(DisseminationSystem):
             if self._bloom is not None:
                 self._bloom.add(term)
             self._write_through_allocation(profile, node_id, term)
+
+    def _register_batch(self, profiles) -> None:
+        """Bulk registration: identical placement to the per-filter
+        loop (same store writes, stats, bloom and load updates, in the
+        same order), with each home index loaded through
+        ``add_filters`` — one sort per posting list instead of one
+        insert per filter replica."""
+        storage_load = self.metrics.load("storage_replicas")
+        bloom = self._bloom
+        buffers: Dict[str, List[Tuple[Filter, List[str]]]] = {}
+        for profile in profiles:
+            self.stats.register_filter(profile)
+            for term in profile.terms:
+                node_id = self.home_of(term)
+                self.cluster.node(node_id).filter_store.put(
+                    profile.filter_id, "terms", profile.sorted_terms()
+                )
+                buffers.setdefault(node_id, []).append(
+                    (profile, [term])
+                )
+                storage_load.add(node_id, 1.0)
+                if bloom is not None:
+                    bloom.add(term)
+                self._write_through_allocation(profile, node_id, term)
+        for node_id, buffered in buffers.items():
+            self._home_indexes[node_id].add_filters(buffered)
 
     def _write_through_allocation(
         self, profile: Filter, home_id: str, term: str
@@ -279,295 +267,93 @@ class MoveSystem(DisseminationSystem):
                     node_id, float(index.stored_replica_count())
                 )
 
-    # -- dissemination -----------------------------------------------------
+    # -- dissemination (pipeline stage hooks) ------------------------------
 
-    def _terms_by_home(self, document: Document) -> Dict[str, List[str]]:
-        grouped: Dict[str, List[str]] = defaultdict(list)
-        for term in document.terms:
-            if self._bloom is not None and term not in self._bloom:
-                continue
-            grouped[self.home_of(term)].append(term)
-        return grouped
-
-    def publish(self, document: Document) -> DisseminationPlan:
+    def _observe(self, document: Document) -> None:
+        """Feed the frequency tracker before the ingest draw."""
         self.stats.observe_document(document)
-        ingest = self._choose_ingest()
-        matched: Set[str] = set()
-        unreachable: Set[str] = set()
-        grouped = self._terms_by_home(document)
-        routing_messages = len(grouped)
-        # Per-destination accumulated work: a node serving several home
-        # nodes' subsets still receives the document payload once.
-        work: Dict[str, List] = {}  # node -> [lists, entries, path]
 
+    def _resolve_routes(
+        self, document: Document, caches: BatchCaches
+    ) -> Dict[str, List[int]]:
+        """Bloom-pruned term-id grouping by ring home node."""
+        return group_terms_by_home(
+            document, caches, self._bloom, self.home_of
+        )
+
+    def _execute(
+        self, ctx: ExecutionContext, routes: Dict[str, List[int]]
+    ) -> None:
+        """Dispatch each home group: local IL-style matching when the
+        home node has no forwarding table, partition-parallel matching
+        through the grid when it does (per home node in the aggregated
+        deployment, per term in the ablation mode)."""
+        ctx.routing_messages = len(routes)
+        plan = self.plan
         aggregate = self.config.allocation.aggregate_per_node
-        for home_id, terms in grouped.items():
-            if self.plan is None:
-                self._match_at_home(
-                    document, home_id, terms, ingest,
-                    matched, unreachable, work,
-                )
+        for home_id, term_ids in routes.items():
+            if plan is None:
+                self._match_at_home(ctx, home_id, term_ids)
                 continue
             if aggregate:
-                table = self.plan.tables.get(home_id)
+                table = plan.tables.get(home_id)
                 if table is None:
-                    self._match_at_home(
-                        document, home_id, terms, ingest,
-                        matched, unreachable, work,
-                    )
+                    self._match_at_home(ctx, home_id, term_ids)
                 else:
-                    routing_messages += self._match_allocated(
-                        document, home_id, terms, ingest, table,
-                        matched, unreachable, work, origin_key=home_id,
+                    ctx.routing_messages += self._match_allocated(
+                        ctx, home_id, term_ids, table,
+                        origin_key=home_id,
                     )
                 continue
             # Per-term mode: each term routes through its own table.
-            local_terms: List[str] = []
-            for term in terms:
-                table = self.plan.tables.get(term)
+            local_term_ids: List[int] = []
+            for term_id in term_ids:
+                term = DEFAULT_INTERNER.term(term_id)
+                table = plan.tables.get(term)
                 if table is None:
-                    local_terms.append(term)
+                    local_term_ids.append(term_id)
                 else:
-                    routing_messages += self._match_allocated(
-                        document, home_id, [term], ingest, table,
-                        matched, unreachable, work, origin_key=term,
+                    ctx.routing_messages += self._match_allocated(
+                        ctx, home_id, [term_id], table,
+                        origin_key=term,
                     )
-            if local_terms:
-                self._match_at_home(
-                    document, home_id, local_terms, ingest,
-                    matched, unreachable, work,
-                )
-
-        tasks = [
-            NodeTask(
-                node_id=node_id,
-                path=tuple(path),
-                posting_lists=lists,
-                posting_entries=entries,
-            )
-            for node_id, (lists, entries, path) in work.items()
-        ]
-        unreachable -= matched
-        self._account_tasks(tasks)
-        self.metrics.counter("documents_published").add()
-        return DisseminationPlan(
-            document=document,
-            matched_filter_ids=matched,
-            tasks=tasks,
-            unreachable_filter_ids=unreachable,
-            routing_messages=routing_messages,
-        )
-
-    @staticmethod
-    def _add_work(
-        work: Dict[str, List],
-        node_id: str,
-        lists: int,
-        entries: int,
-        path: Tuple[str, ...],
-    ) -> None:
-        entry = work.get(node_id)
-        if entry is None:
-            work[node_id] = [lists, entries, path]
-        else:
-            entry[0] += lists
-            entry[1] += entries
-            if len(path) < len(entry[2]):
-                entry[2] = path  # keep the shortest payload route
-
-    def _match_at_home(
-        self,
-        document: Document,
-        home_id: str,
-        terms: List[str],
-        ingest: str,
-        matched: Set[str],
-        unreachable: Set[str],
-        work: Dict[str, List],
-    ) -> None:
-        """IL-style local matching on an unallocated home node."""
-        node = self.cluster.node(home_id)
-        index = self._home_indexes[home_id]
-        if not node.alive:
-            for term in terms:
-                filters, _ = index.filters_for_term(term)
-                unreachable.update(f.filter_id for f in filters)
-            return
-        lists = 0
-        entries = 0
-        for term in terms:
-            filters, cost = index.match_document_single_term(
-                document, term
-            )
-            lists += cost.posting_lists
-            entries += cost.posting_entries
-            matched.update(
-                f.filter_id
-                for f in self._apply_semantics(document, filters)
-            )
-        self._add_work(work, home_id, lists, entries, (ingest, home_id))
-
-    def _match_allocated(
-        self,
-        document: Document,
-        home_id: str,
-        terms: List[str],
-        ingest: str,
-        table,
-        matched: Set[str],
-        unreachable: Set[str],
-        work: Dict[str, List],
-        origin_key: str,
-    ) -> int:
-        """Partition-parallel matching through the forwarding table.
-
-        Returns the number of forwarding messages issued.  The home
-        node acts as the router (its forwarding table is in main
-        memory); if the home node itself is down, the ingest node
-        routes directly from a gossip-replicated copy of the table —
-        per the paper the table contents derive from the coordinator,
-        so any node can reconstruct them.
-        """
-        home_alive = self.cluster.node(home_id).alive
-        router = home_id if home_alive else ingest
-
-        def alive(node_id: str) -> bool:
-            return self.cluster.node(node_id).alive
-
-        routing = table.route(self._rng, is_alive=alive)
-        grid = table.grid
-        home_index = self._home_indexes[home_id]
-
-        # Group subsets by destination node so a node receives the
-        # document once even when it serves several subsets.
-        by_node: Dict[str, List[int]] = defaultdict(list)
-        lost_subsets: List[int] = []
-        for subset, node_id in routing.items():
-            if node_id is None:
-                if home_alive:
-                    # Home node retains the full filter set: fall back.
-                    by_node[home_id].append(subset)
-                else:
-                    lost_subsets.append(subset)
-            else:
-                by_node[node_id].append(subset)
-
-        messages = 0
-        for node_id, subsets in by_node.items():
-            if node_id == home_id:
-                index = home_index
-                restrict_subsets = set(subsets)
-            else:
-                index = self._allocated_indexes[node_id][origin_key]
-                restrict_subsets = None  # node only holds its subsets
-            lists = 0
-            entries = 0
-            for term in terms:
-                filters, cost = index.filters_for_term(term)
-                lists += cost.posting_lists
-                entries += cost.posting_entries
-                candidates = []
-                for profile in filters:
-                    if restrict_subsets is not None and (
-                        grid.subset_of(profile.filter_id)
-                        not in restrict_subsets
-                    ):
-                        continue
-                    candidates.append(profile)
-                matched.update(
-                    profile.filter_id
-                    for profile in self._apply_semantics(
-                        document, candidates
-                    )
-                )
-            path = (
-                (ingest, node_id)
-                if router == node_id
-                else (ingest, router, node_id)
-            )
-            self._add_work(work, node_id, lists, entries, path)
-            messages += 1
-
-        for subset in lost_subsets:
-            for term in terms:
-                filters, _ = home_index.filters_for_term(term)
-                unreachable.update(
-                    profile.filter_id
-                    for profile in filters
-                    if grid.subset_of(profile.filter_id) == subset
-                )
-        return messages
-
-    # -- batched fast path -------------------------------------------------
-
-    def publish_batch(
-        self, documents: Sequence[Document]
-    ) -> List[DisseminationPlan]:
-        """Integer-keyed batched dissemination (the hot path).
-
-        Work that is a pure function of the (frozen-for-the-batch)
-        registration and allocation state is memoized across the batch
-        under dense term ids: Bloom + ring routing per term, home and
-        allocated posting-list retrievals, and the per-filter subset
-        assignment of each origin grid.  Each document still runs the
-        full routing/matching/accounting logic of :meth:`publish` —
-        with identical per-document RNG consumption (ingest choice,
-        partition choice, failure fallbacks) — so the returned plans
-        are bit-identical to the per-document loop.  :meth:`publish`
-        stays the slow reference implementation the equivalence tests
-        diff against.
-        """
-        caches = _BatchCaches()
-        return [
-            self._publish_fast(document, caches)
-            for document in documents
-        ]
+            if local_term_ids:
+                self._match_at_home(ctx, home_id, local_term_ids)
 
     def _home_retrieve(
-        self, caches: _BatchCaches, home_id: str, term_id: int
-    ) -> _Retrieval:
+        self, caches: BatchCaches, home_id: str, term_id: int
+    ) -> Retrieval:
         """Home-index posting retrieval, memoized per batch."""
-        entry = caches.home.get(term_id)
+        entry = caches.retrieval.get(term_id)
         if entry is None:
-            term = DEFAULT_INTERNER.term(term_id)
-            filters, cost = self._home_indexes[home_id].filters_for_term(
-                term
+            entry = caches.retrieve(
+                term_id,
+                self._home_indexes[home_id],
+                DEFAULT_INTERNER.term(term_id),
             )
-            entry = (
-                filters,
-                tuple(profile.filter_id for profile in filters),
-                cost.posting_lists,
-                cost.posting_entries,
-            )
-            caches.home[term_id] = entry
         return entry
 
     def _allocated_retrieve(
         self,
-        caches: _BatchCaches,
+        caches: BatchCaches,
         node_id: str,
         origin_key: str,
         term_id: int,
-    ) -> _Retrieval:
+    ) -> Retrieval:
         """Allocated-subset-index retrieval, memoized per batch."""
         key = (node_id, origin_key, term_id)
-        entry = caches.allocated.get(key)
+        entry = caches.retrieval.get(key)
         if entry is None:
-            term = DEFAULT_INTERNER.term(term_id)
-            index = self._allocated_indexes[node_id][origin_key]
-            filters, cost = index.filters_for_term(term)
-            entry = (
-                filters,
-                tuple(profile.filter_id for profile in filters),
-                cost.posting_lists,
-                cost.posting_entries,
+            entry = caches.retrieve(
+                key,
+                self._allocated_indexes[node_id][origin_key],
+                DEFAULT_INTERNER.term(term_id),
             )
-            caches.allocated[key] = entry
         return entry
 
     def _home_subset_triples(
         self,
-        caches: _BatchCaches,
+        caches: BatchCaches,
         home_id: str,
         origin_key: str,
         grid,
@@ -589,112 +375,19 @@ class MoveSystem(DisseminationSystem):
             caches.home_subsets[key] = triples
         return triples
 
-    def _publish_fast(
-        self, document: Document, caches: _BatchCaches
-    ) -> DisseminationPlan:
-        self.stats.observe_document(document)
-        ingest = self._choose_ingest()
-        matched: Set[str] = set()
-        unreachable: Set[str] = set()
-        bloom = self._bloom
-        route = caches.route
-        grouped: Dict[str, List[int]] = {}
-        for term, term_id in zip(document.terms, document.term_ids):
-            home = route.get(term_id, _UNROUTED)
-            if home is _UNROUTED:
-                if bloom is not None and term not in bloom:
-                    home = None
-                else:
-                    home = self.home_of(term)
-                route[term_id] = home
-            if home is None:
-                continue
-            bucket = grouped.get(home)
-            if bucket is None:
-                grouped[home] = bucket = []
-            bucket.append(term_id)
-        routing_messages = len(grouped)
-        work: Dict[str, List] = {}  # node -> [lists, entries, path]
-
-        aggregate = self.config.allocation.aggregate_per_node
-        for home_id, term_ids in grouped.items():
-            if self.plan is None:
-                self._match_at_home_fast(
-                    document, home_id, term_ids, ingest,
-                    matched, unreachable, work, caches,
-                )
-                continue
-            if aggregate:
-                table = self.plan.tables.get(home_id)
-                if table is None:
-                    self._match_at_home_fast(
-                        document, home_id, term_ids, ingest,
-                        matched, unreachable, work, caches,
-                    )
-                else:
-                    routing_messages += self._match_allocated_fast(
-                        document, home_id, term_ids, ingest, table,
-                        matched, unreachable, work,
-                        origin_key=home_id, caches=caches,
-                    )
-                continue
-            # Per-term mode: each term routes through its own table.
-            local_term_ids: List[int] = []
-            for term_id in term_ids:
-                term = DEFAULT_INTERNER.term(term_id)
-                table = self.plan.tables.get(term)
-                if table is None:
-                    local_term_ids.append(term_id)
-                else:
-                    routing_messages += self._match_allocated_fast(
-                        document, home_id, [term_id], ingest, table,
-                        matched, unreachable, work,
-                        origin_key=term, caches=caches,
-                    )
-            if local_term_ids:
-                self._match_at_home_fast(
-                    document, home_id, local_term_ids, ingest,
-                    matched, unreachable, work, caches,
-                )
-
-        tasks = [
-            NodeTask(
-                node_id=node_id,
-                path=tuple(path),
-                posting_lists=lists,
-                posting_entries=entries,
-            )
-            for node_id, (lists, entries, path) in work.items()
-        ]
-        unreachable -= matched
-        self._account_tasks(tasks)
-        self.metrics.counter("documents_published").add()
-        return DisseminationPlan(
-            document=document,
-            matched_filter_ids=matched,
-            tasks=tasks,
-            unreachable_filter_ids=unreachable,
-            routing_messages=routing_messages,
-        )
-
-    def _match_at_home_fast(
-        self,
-        document: Document,
-        home_id: str,
-        term_ids: List[int],
-        ingest: str,
-        matched: Set[str],
-        unreachable: Set[str],
-        work: Dict[str, List],
-        caches: _BatchCaches,
+    def _match_at_home(
+        self, ctx: ExecutionContext, home_id: str, term_ids: List[int]
     ) -> None:
-        """Cached counterpart of :meth:`_match_at_home`."""
+        """IL-style local matching on an unallocated home node."""
+        caches = ctx.caches
         if not self.cluster.node(home_id).alive:
             for term_id in term_ids:
-                unreachable.update(
+                ctx.unreachable.update(
                     self._home_retrieve(caches, home_id, term_id)[1]
                 )
             return
+        document = ctx.document
+        matched = ctx.matched
         plain_boolean = self._scorer is None
         lists = 0
         entries = 0
@@ -713,67 +406,40 @@ class MoveSystem(DisseminationSystem):
                         document, filters
                     )
                 )
-        self._add_work(work, home_id, lists, entries, (ingest, home_id))
+        ctx.work.add(home_id, lists, entries, (ctx.ingest, home_id))
 
-    def _match_allocated_fast(
+    def _match_allocated(
         self,
-        document: Document,
+        ctx: ExecutionContext,
         home_id: str,
         term_ids: List[int],
-        ingest: str,
         table,
-        matched: Set[str],
-        unreachable: Set[str],
-        work: Dict[str, List],
         origin_key: str,
-        caches: _BatchCaches,
     ) -> int:
-        """Cached counterpart of :meth:`_match_allocated` (identical
-        routing RNG consumption; retrievals and subset hashing come
-        from the batch memos)."""
+        """Partition-parallel matching through the forwarding table.
+
+        Returns the number of forwarding messages issued.  The home
+        node acts as the router (its forwarding table is in main
+        memory); if the home node itself is down, the ingest node
+        routes directly from a gossip-replicated copy of the table —
+        per the paper the table contents derive from the coordinator,
+        so any node can reconstruct them.
+        """
+        caches = ctx.caches
+        document = ctx.document
+        ingest = ctx.ingest
+        matched = ctx.matched
         home_alive = self.cluster.node(home_id).alive
         router = home_id if home_alive else ingest
         grid = table.grid
 
-        # The partition draw always happens (bit-identical RNG
-        # stream); the resulting grouping is memoized when every row
-        # node is alive, because only failure fallbacks consume
-        # further RNG draws.
-        row_index = table.choose_partition(self._rng)
-        cache_key = (origin_key, row_index)
-        grouping = caches.routing.get(cache_key)
-        lost_subsets: List[int] = []
-        if grouping is None:
-            node_of = self.cluster.node
-            row = grid.partition(row_index)
-            if all(node_of(node_id).alive for node_id in row):
-                by_node: Dict[str, List[int]] = {}
-                for subset, node_id in enumerate(row):
-                    by_node.setdefault(node_id, []).append(subset)
-                grouping = tuple(
-                    (node_id, tuple(subsets))
-                    for node_id, subsets in by_node.items()
-                )
-                caches.routing[cache_key] = grouping
-            else:
-                routing = table.route(
-                    self._rng,
-                    is_alive=lambda node_id: node_of(node_id).alive,
-                    row_index=row_index,
-                )
-                fallback: Dict[str, List[int]] = defaultdict(list)
-                for subset, node_id in routing.items():
-                    if node_id is None:
-                        if home_alive:
-                            fallback[home_id].append(subset)
-                        else:
-                            lost_subsets.append(subset)
-                    else:
-                        fallback[node_id].append(subset)
-                grouping = tuple(
-                    (node_id, tuple(subsets))
-                    for node_id, subsets in fallback.items()
-                )
+        node_of = self.cluster.node
+        grouping, lost_subsets = table.route_grouped(
+            self._rng,
+            is_alive=lambda node_id: node_of(node_id).alive,
+            home_alive=home_alive,
+            memo=caches.routing.setdefault(origin_key, {}),
+        )
 
         plain_boolean = self._scorer is None
         messages = 0
@@ -834,7 +500,7 @@ class MoveSystem(DisseminationSystem):
                 if router == node_id
                 else (ingest, router, node_id)
             )
-            self._add_work(work, node_id, lists, entries, path)
+            ctx.work.add(node_id, lists, entries, path)
             messages += 1
 
         for subset in lost_subsets:
@@ -842,7 +508,7 @@ class MoveSystem(DisseminationSystem):
                 triples = self._home_subset_triples(
                     caches, home_id, origin_key, grid, term_id
                 )
-                unreachable.update(
+                ctx.unreachable.update(
                     filter_id
                     for candidate_subset, filter_id, _ in triples
                     if candidate_subset == subset

@@ -1,0 +1,269 @@
+"""The staged dissemination pipeline shared by all four systems.
+
+The paper's central claim (Section III) is that MOVE's allocation
+machinery is *semantics- and scheme-agnostic*: routing, matching, and
+load accounting follow the same skeleton whether filters live on term
+home nodes (IL), on allocated grids (MOVE), on hashed partitions (RS),
+or on one machine (Centralized).  This module is that skeleton, run
+per batch of documents:
+
+1. **term pruning** — Bloom-filter membership drops terms no filter
+   uses (:func:`group_terms_by_home` for the home-node schemes);
+2. **route resolution** — which nodes must see the document: ring
+   home-node lookup, forwarding-table partition draw, flooded
+   partitions, or the one central matcher
+   (:meth:`~repro.baselines.base.DisseminationSystem._resolve_routes`);
+3. **execution** — per-node posting retrieval and matching, with all
+   per-destination work folded into a :class:`WorkAccumulator`
+   (:meth:`~repro.baselines.base.DisseminationSystem._execute`);
+4. **accounting** — :class:`~repro.baselines.base.NodeTask`
+   construction and the Figure 9 load metrics, identical for every
+   scheme (:meth:`DisseminationPipeline._disseminate`).
+
+Batch-level memoization lives here, once: :class:`BatchCaches` holds
+the per-term route decisions, posting-list retrievals, forwarding-row
+groupings, and home-subset annotations that are pure functions of
+registration + allocation state, which the batch contract freezes for
+the batch's duration.  Systems supply only their route-resolution and
+matching callbacks; ``publish()`` is literally
+``publish_batch([document])[0]`` (a singleton batch with fresh caches),
+so batching changes *when* work is shared, never *what* is computed —
+plans and RNG consumption are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from ..baselines.base import DisseminationPlan, NodeTask
+from ..model import Document, Filter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..baselines.base import DisseminationSystem
+    from ..matching.inverted_index import InvertedIndex
+
+#: Sentinel distinguishing "never routed" from "pruned by the Bloom
+#: filter" in the per-batch route memo.
+_UNROUTED = object()
+
+#: Memoized posting retrieval: (filters, their filter ids, posting
+#: lists touched, posting entries scanned).
+Retrieval = Tuple[List[Filter], Tuple[str, ...], int, int]
+
+
+class WorkAccumulator:
+    """Per-destination accumulated matching work for one document.
+
+    Replaces the ad-hoc ``work: Dict[str, List]`` triples: a node
+    serving several routes (e.g. subsets of different home nodes)
+    still receives the document payload once, accumulating its posting
+    costs and keeping the shortest payload route.  Task order is the
+    first-routed order, matching the per-destination iteration of the
+    pre-pipeline implementations bit for bit.
+    """
+
+    __slots__ = ("_work",)
+
+    def __init__(self) -> None:
+        #: node -> [posting_lists, posting_entries, path]
+        self._work: Dict[str, List] = {}
+
+    def __len__(self) -> int:
+        return len(self._work)
+
+    def add(
+        self,
+        node_id: str,
+        posting_lists: int,
+        posting_entries: int,
+        path: Tuple[str, ...],
+    ) -> None:
+        """Fold one route's work into the node's accumulated task."""
+        entry = self._work.get(node_id)
+        if entry is None:
+            self._work[node_id] = [posting_lists, posting_entries, path]
+        else:
+            entry[0] += posting_lists
+            entry[1] += posting_entries
+            if len(path) < len(entry[2]):
+                entry[2] = path  # keep the shortest payload route
+        return None
+
+    def tasks(self) -> List[NodeTask]:
+        """Materialize the accumulated work as :class:`NodeTask`s."""
+        return [
+            NodeTask(
+                node_id=node_id,
+                path=tuple(path),
+                posting_lists=lists,
+                posting_entries=entries,
+            )
+            for node_id, (lists, entries, path) in self._work.items()
+        ]
+
+
+class BatchCaches:
+    """Per-batch memos for the staged pipeline.
+
+    Everything here is a pure function of registration, allocation,
+    and cluster-membership state, which the batch contract freezes for
+    the batch's duration.  Term-keyed maps use the dense shared-
+    interner term id; composite keys are scheme-chosen tuples (ints
+    and tuples never collide, so one map serves every scheme).
+    """
+
+    __slots__ = ("route", "retrieval", "routing", "home_subsets")
+
+    def __init__(self) -> None:
+        #: term id -> destination node, or None when pruned (Bloom).
+        self.route: Dict[int, Optional[str]] = {}
+        #: retrieval key (term id, or a scheme tuple such as
+        #: ``(node, origin, term id)``) -> memoized posting retrieval.
+        self.retrieval: Dict[Hashable, Retrieval] = {}
+        #: routing state memo: MOVE keys it by origin (forwarding-row
+        #: groupings per partition), RS by partition index (live
+        #: replica lists).
+        self.routing: Dict[Hashable, object] = {}
+        #: (origin key, term id) -> [(subset, filter id, filter), ...]
+        #: home-index postings annotated with each filter's grid
+        #: subset (MOVE's home-fallback and lost-subset paths).
+        self.home_subsets: Dict[
+            Tuple[str, int], List[Tuple[int, str, Filter]]
+        ] = {}
+
+    def retrieve(
+        self, key: Hashable, index: "InvertedIndex", term: str
+    ) -> Retrieval:
+        """Perform and memoize one posting-list retrieval.
+
+        Callers check ``caches.retrieval.get(key)`` first (keeping the
+        hit path a single dict probe) and call this only on a miss.
+        """
+        filters, cost = index.filters_for_term(term)
+        entry = (
+            filters,
+            tuple(profile.filter_id for profile in filters),
+            cost.posting_lists,
+            cost.posting_entries,
+        )
+        self.retrieval[key] = entry
+        return entry
+
+
+class ExecutionContext:
+    """One document's pass through the execution stage.
+
+    Carries the mutable dissemination state the scheme callbacks fill
+    in: the matched/unreachable filter-id sets, the per-destination
+    :class:`WorkAccumulator`, the control-plane message count, and the
+    batch caches.
+    """
+
+    __slots__ = (
+        "document",
+        "ingest",
+        "caches",
+        "matched",
+        "unreachable",
+        "work",
+        "routing_messages",
+    )
+
+    def __init__(
+        self, document: Document, ingest: str, caches: BatchCaches
+    ) -> None:
+        self.document = document
+        self.ingest = ingest
+        self.caches = caches
+        self.matched: Set[str] = set()
+        self.unreachable: Set[str] = set()
+        self.work = WorkAccumulator()
+        self.routing_messages = 0
+
+
+def group_terms_by_home(
+    document: Document,
+    caches: BatchCaches,
+    bloom,
+    home_of: Callable[[str], str],
+) -> Dict[str, List[int]]:
+    """Stages 1–2 for the home-node schemes (IL and MOVE).
+
+    Bloom-prunes the document's terms and groups the survivors (as
+    dense term ids) by their ring home node, memoizing the per-term
+    prune + route decision across the batch.
+    """
+    route = caches.route
+    grouped: Dict[str, List[int]] = {}
+    for term, term_id in zip(document.terms, document.term_ids):
+        home = route.get(term_id, _UNROUTED)
+        if home is _UNROUTED:
+            if bloom is not None and term not in bloom:
+                home = None
+            else:
+                home = home_of(term)
+            route[term_id] = home
+        if home is None:
+            continue
+        bucket = grouped.get(home)
+        if bucket is None:
+            grouped[home] = bucket = []
+        bucket.append(term_id)
+    return grouped
+
+
+class DisseminationPipeline:
+    """The staged engine driving one system's dissemination.
+
+    Owns the stage sequencing and the scheme-independent stages
+    (per-batch cache lifetime, task materialization, Figure 9 load
+    accounting); delegates route resolution and matching to the
+    system's stage hooks.  The per-document hook order — observe,
+    ingest draw, route, execute — fixes the RNG consumption order for
+    every scheme.
+    """
+
+    __slots__ = ("system",)
+
+    def __init__(self, system: "DisseminationSystem") -> None:
+        self.system = system
+
+    def publish_batch(
+        self, documents: Sequence[Document]
+    ) -> List[DisseminationPlan]:
+        """Disseminate ``documents`` in order, sharing one cache set."""
+        caches = BatchCaches()
+        disseminate = self._disseminate
+        return [disseminate(document, caches) for document in documents]
+
+    def _disseminate(
+        self, document: Document, caches: BatchCaches
+    ) -> DisseminationPlan:
+        system = self.system
+        system._observe(document)
+        ctx = ExecutionContext(document, system._choose_ingest(), caches)
+        routes = system._resolve_routes(document, caches)
+        system._execute(ctx, routes)
+        # -- accounting (stage 4): identical for every scheme ---------
+        tasks = ctx.work.tasks()
+        unreachable = ctx.unreachable
+        unreachable.difference_update(ctx.matched)
+        system._account_tasks(tasks)
+        system.metrics.counter("documents_published").add()
+        return DisseminationPlan(
+            document=document,
+            matched_filter_ids=ctx.matched,
+            tasks=tasks,
+            unreachable_filter_ids=unreachable,
+            routing_messages=ctx.routing_messages,
+        )

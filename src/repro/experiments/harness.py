@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..baselines import (
+    CentralizedSystem,
     DisseminationSystem,
     InvertedListSystem,
     RendezvousSystem,
@@ -242,7 +243,7 @@ def make_system(
     cluster: Cluster,
     config: SystemConfig,
 ) -> DisseminationSystem:
-    """Factory for the three schemes under comparison."""
+    """Factory for the four schemes under comparison."""
     scheme_lower = scheme.lower()
     if scheme_lower == "move":
         return MoveSystem(cluster, config)
@@ -250,7 +251,11 @@ def make_system(
         return InvertedListSystem(cluster, config)
     if scheme_lower == "rs":
         return RendezvousSystem(cluster, config)
-    raise ValueError(f"unknown scheme {scheme!r}; expected Move/IL/RS")
+    if scheme_lower in ("central", "centralized"):
+        return CentralizedSystem(cluster, config)
+    raise ValueError(
+        f"unknown scheme {scheme!r}; expected Move/IL/RS/Central"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -535,7 +540,7 @@ def run_scheme_once(
             seed=config.seed,
         )
     system = make_system(scheme, cluster, config)
-    system.register_all(bundle.filters)
+    system.register_batch(bundle.filters)
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()

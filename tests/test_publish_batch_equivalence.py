@@ -1,20 +1,30 @@
 """publish_batch must be bit-identical to the per-document loop.
 
-The batched fast path memoizes per-term routing/retrieval work but
+The batched pipeline memoizes per-term routing/retrieval work but
 must not change a single bit of the outcome: same matched filter-id
 sets, same unreachable sets, same :class:`NodeTask` tuples (and hence
 the same RetrievalCost totals), same routing-message counts, and the
 same RNG stream consumption.  Each test builds two identically-seeded
-systems, runs per-document :meth:`publish` on one (with the ring's
-home-node memo disabled, recovering the seed implementation exactly)
+systems, runs per-document :meth:`publish` on one (a singleton batch
+with fresh caches per document — no cross-document sharing, with the
+ring's home-node memo disabled to recover the seed routing exactly)
 and :meth:`publish_batch` on the other, and diffs every plan field.
+
+The reference system registers through :meth:`register_all` and the
+batched one through :meth:`register_batch`, so bulk registration's
+state-identity contract is exercised end-to-end as well.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.baselines import InvertedListSystem
+from repro.baselines import (
+    CentralizedSystem,
+    DisseminationSystem,
+    InvertedListSystem,
+    RendezvousSystem,
+)
 from repro.config import (
     AllocationConfig,
     SystemConfig,
@@ -30,8 +40,18 @@ from repro.experiments.harness import (
 #: memos actually get hit across documents.
 WORKLOAD = ScaledWorkload(num_filters=600, num_documents=40, seed=11)
 
+#: Every dissemination system under the equivalence contract.
+ALL_SCHEMES = ["move", "il", "rs", "central"]
 
-def _build(scheme, bundle, threshold=None, per_term=False):
+_MAKERS = {
+    "move": MoveSystem,
+    "il": InvertedListSystem,
+    "rs": RendezvousSystem,
+    "central": CentralizedSystem,
+}
+
+
+def _build(scheme, bundle, threshold=None, per_term=False, bulk=False):
     workload = bundle.workload
     cluster, config = build_cluster(
         workload.num_nodes, workload.node_capacity, seed=3
@@ -47,11 +67,13 @@ def _build(scheme, bundle, threshold=None, per_term=False):
             seed=config.seed,
         )
     if threshold is not None:
-        maker = MoveSystem if scheme == "move" else InvertedListSystem
-        system = maker(cluster, config, threshold=threshold)
+        system = _MAKERS[scheme](cluster, config, threshold=threshold)
     else:
         system = make_system(scheme, cluster, config)
-    system.register_all(bundle.filters)
+    if bulk:
+        system.register_batch(bundle.filters)
+    else:
+        system.register_all(bundle.filters)
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
@@ -87,10 +109,12 @@ def _assert_plans_identical(reference_plans, batched_plans):
 def _run_equivalence(scheme, threshold=None, per_term=False, fail=0.0):
     bundle = WORKLOAD.build()
     slow = _build(scheme, bundle, threshold=threshold, per_term=per_term)
-    fast = _build(scheme, bundle, threshold=threshold, per_term=per_term)
+    fast = _build(
+        scheme, bundle, threshold=threshold, per_term=per_term, bulk=True
+    )
     if fail:
         _fail_same_nodes(slow, fast, fail)
-    # Per-document loop with the ring memo off == seed implementation.
+    # Per-document loop with the ring memo off == seed routing.
     slow.cluster.ring.cache_enabled = False
     reference_plans = [
         slow.publish(document) for document in bundle.documents
@@ -104,17 +128,17 @@ def _run_equivalence(scheme, threshold=None, per_term=False, fail=0.0):
         assert slow_load == fast_load
 
 
-@pytest.mark.parametrize("scheme", ["move", "il"])
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
 def test_batch_identical_healthy(scheme):
     _run_equivalence(scheme)
 
 
-@pytest.mark.parametrize("scheme", ["move", "il"])
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
 def test_batch_identical_under_failures(scheme):
     _run_equivalence(scheme, fail=0.2)
 
 
-@pytest.mark.parametrize("scheme", ["move", "il"])
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
 def test_batch_identical_vsm_threshold(scheme):
     _run_equivalence(scheme, threshold=0.1)
 
@@ -123,13 +147,14 @@ def test_batch_identical_per_term_allocation():
     _run_equivalence("move", per_term=True)
 
 
-def test_batch_consumes_same_rng_stream():
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_batch_consumes_same_rng_stream(scheme):
     """After equal-length publish histories, both systems' RNG streams
     are in the same state: interleaving more publishes stays identical.
     """
     bundle = WORKLOAD.build()
-    slow = _build("move", bundle)
-    fast = _build("move", bundle)
+    slow = _build(scheme, bundle)
+    fast = _build(scheme, bundle)
     slow.cluster.ring.cache_enabled = False
     half = len(bundle.documents) // 2
     first, second = (
@@ -145,15 +170,49 @@ def test_batch_consumes_same_rng_stream():
     _assert_plans_identical(reference_plans, batched_plans)
 
 
-def test_default_publish_batch_is_the_per_document_loop():
-    """The RS baseline inherits the base-class batch (no fast path)."""
+def test_legacy_publish_override_batches_as_the_loop():
+    """A pre-pipeline subclass that overrides ``publish`` directly is
+    batched as the plain per-document loop over its override (the
+    compatibility shim), not fed through the staged engine."""
+    calls = []
+
+    class LegacySystem(InvertedListSystem):
+        def publish(self, document):
+            # Stands in for a hand-rolled implementation: one document,
+            # no cross-document cache sharing.
+            calls.append(document.doc_id)
+            return self._engine.publish_batch([document])[0]
+
     bundle = WORKLOAD.build()
-    slow = _build("rs", bundle)
-    fast = _build("rs", bundle)
-    slow.cluster.ring.cache_enabled = False
-    fast.cluster.ring.cache_enabled = False
-    reference_plans = [
-        slow.publish(document) for document in bundle.documents
-    ]
-    batched_plans = fast.publish_batch(bundle.documents)
-    _assert_plans_identical(reference_plans, batched_plans)
+    workload = bundle.workload
+    cluster, config = build_cluster(
+        workload.num_nodes, workload.node_capacity, seed=3
+    )
+    legacy = LegacySystem(cluster, config)
+    legacy.register_all(bundle.filters)
+    legacy.finalize_registration()
+    documents = bundle.documents[:5]
+    plans = legacy.publish_batch(documents)
+    assert calls == [document.doc_id for document in documents]
+    reference = _build("il", bundle)
+    reference.cluster.ring.cache_enabled = False
+    _assert_plans_identical(
+        [reference.publish(document) for document in documents], plans
+    )
+
+
+def test_stage_hooks_are_required_without_publish_override():
+    """A subclass that neither overrides ``publish`` nor supplies the
+    stage hooks fails loudly, pointing at the missing hook."""
+
+    class HookLess(DisseminationSystem):
+        def _register(self, profile):
+            pass
+
+        def _choose_ingest(self):
+            return "node0"
+
+    bundle = WORKLOAD.build()
+    system = HookLess()
+    with pytest.raises(NotImplementedError, match="_resolve_routes"):
+        system.publish(bundle.documents[0])

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines import InvertedListSystem, RendezvousSystem
+from repro.baselines import (
+    CentralizedSystem,
+    InvertedListSystem,
+    RendezvousSystem,
+)
 from repro.cluster import Cluster
 from repro.config import AllocationConfig, ClusterConfig, SystemConfig
 from repro.core import MoveSystem
@@ -27,6 +31,8 @@ def _build(scheme, filters, seed_docs=()):
         system = MoveSystem(cluster, config)
     elif scheme == "il":
         system = InvertedListSystem(cluster, config)
+    elif scheme == "central":
+        system = CentralizedSystem(cluster, config)
     else:
         system = RendezvousSystem(cluster, config)
     system.register_all(filters)
@@ -40,7 +46,7 @@ def _oracle_ids(document, filters):
     return {f.filter_id for f in brute_force_match(document, filters)}
 
 
-@pytest.mark.parametrize("scheme", ["move", "il", "rs"])
+@pytest.mark.parametrize("scheme", ["move", "il", "rs", "central"])
 def test_unregistered_filter_no_longer_matches(scheme, tiny_workload):
     filters, documents = tiny_workload
     system = _build(scheme, filters, seed_docs=documents[:10])
@@ -54,7 +60,7 @@ def test_unregistered_filter_no_longer_matches(scheme, tiny_workload):
         )
 
 
-@pytest.mark.parametrize("scheme", ["move", "il", "rs"])
+@pytest.mark.parametrize("scheme", ["move", "il", "rs", "central"])
 def test_unregister_unknown_raises(scheme, tiny_workload):
     filters, documents = tiny_workload
     system = _build(scheme, filters[:5])
@@ -102,3 +108,34 @@ def test_counter_tracks_unregistrations(tiny_workload):
     assert (
         system.metrics.counter("filters_unregistered").value == 2
     )
+
+
+def test_failed_unregister_keeps_registry_consistent(tiny_workload):
+    """Regression: a scheme whose ``_unregister`` raises must not lose
+    the filter from the registry — its placement structures still hold
+    it, and a retry (or a later successful removal) must see it."""
+    filters, documents = tiny_workload
+
+    class ChurnlessSystem(InvertedListSystem):
+        def _unregister(self, profile):
+            raise NotImplementedError("no churn support")
+
+    config = _config()
+    cluster = Cluster(config.cluster)
+    system = ChurnlessSystem(cluster, config)
+    system.register_all(filters[:5])
+    victim = filters[0]
+    with pytest.raises(NotImplementedError):
+        system.unregister(victim.filter_id)
+    # Still registered, still matching, and not double-registrable.
+    assert victim.filter_id in system.registered_filters
+    assert (
+        system.metrics.counter("filters_unregistered").value == 0
+    )
+    with pytest.raises(ValueError):
+        system.register(victim)
+    for document in documents[:10]:
+        plan = system.publish(document)
+        assert plan.matched_filter_ids == _oracle_ids(
+            document, filters[:5]
+        )
