@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""cProfile the batched publish path and print the top-N hot spots.
+
+The companion to docs/PERFORMANCE.md's methodology section: builds one
+scheme over a scaled workload (registration/allocation excluded from
+the profile), runs ``publish_batch`` under cProfile, and prints the
+top-N functions by cumulative time.  Use it to find the next
+bottleneck before touching the dissemination hot path.
+
+Examples::
+
+    python scripts/profile_publish.py --scheme move
+    python scripts/profile_publish.py --scheme rs --threshold 0.15
+    python scripts/profile_publish.py --scheme il --sort tottime --top 40
+
+Run from the repository root; ``src/`` is put on ``sys.path``
+automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import MoveSystem  # noqa: E402
+from repro.experiments.harness import (  # noqa: E402
+    ScaledWorkload,
+    build_cluster,
+    make_system,
+)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Profile the batched publish hot path."
+    )
+    parser.add_argument(
+        "--scheme",
+        default="move",
+        choices=["move", "il", "rs", "central"],
+        help="dissemination scheme to profile (default: move)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="VSM similarity threshold; omit for boolean semantics",
+    )
+    parser.add_argument(
+        "--filters",
+        type=int,
+        default=4_000,
+        help="number of registered filters (default: 4000)",
+    )
+    parser.add_argument(
+        "--documents",
+        type=int,
+        default=300,
+        help="number of published documents (default: 300)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=20,
+        help="cluster size (default: 20)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="how many rows of the profile to print (default: 25)",
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key (default: cumulative)",
+    )
+    parser.add_argument(
+        "--naive-scorer",
+        action="store_true",
+        help=(
+            "disable the score-accumulation kernel (threshold mode "
+            "only) to profile the pre-kernel naive scoring loop"
+        ),
+    )
+    return parser.parse_args(argv)
+
+
+def build_system(args):
+    workload = ScaledWorkload(
+        num_filters=args.filters,
+        num_documents=args.documents,
+        num_nodes=args.nodes,
+    )
+    bundle = workload.build()
+    cluster, config = build_cluster(
+        workload.num_nodes, workload.node_capacity, seed=0
+    )
+    system = make_system(
+        args.scheme, cluster, config, threshold=args.threshold
+    )
+    system.register_batch(bundle.filters)
+    if isinstance(system, MoveSystem):
+        system.seed_frequencies(bundle.offline_corpus())
+    system.finalize_registration()
+    if args.naive_scorer and system._kernel is not None:
+        system._kernel.enabled = False
+    return system, bundle
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    system, bundle = build_system(args)
+    documents = bundle.documents
+    profile = cProfile.Profile()
+    start = time.perf_counter()
+    profile.enable()
+    plans = system.publish_batch(documents)
+    profile.disable()
+    elapsed = time.perf_counter() - start
+    stream = io.StringIO()
+    stats = pstats.Stats(profile, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue())
+    matches = sum(len(plan.matched_filter_ids) for plan in plans)
+    mode = (
+        f"threshold={args.threshold}"
+        if args.threshold is not None
+        else "boolean"
+    )
+    kernel = (
+        "naive scorer"
+        if args.naive_scorer or args.threshold is None
+        else "kernel"
+    )
+    print(
+        f"# {args.scheme} ({mode}, {kernel}): "
+        f"{len(documents)} docs in {elapsed * 1e3:.1f} ms "
+        f"({len(documents) / elapsed:.0f} docs/s), "
+        f"{matches} matches over {args.filters} filters"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

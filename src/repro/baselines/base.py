@@ -121,11 +121,19 @@ class DisseminationSystem(ABC):
             )
         self.threshold = threshold
         if threshold is not None:
+            from ..matching.kernel import ScoreKernel
             from ..matching.vsm import VsmScorer
 
             self._scorer = VsmScorer()
+            self._kernel = ScoreKernel(self._scorer, threshold)
         else:
             self._scorer = None
+            self._kernel = None
+        #: The active batch's :class:`~repro.core.pipeline.BatchCaches`,
+        #: set by the pipeline around ``publish_batch`` so the scoring
+        #: kernel can share per-document vectors across node visits
+        #: without widening the `_apply_semantics` signature.
+        self._active_caches: Optional["BatchCaches"] = None
         # Deferred import: the pipeline module imports this one for
         # the plan/task types, so it cannot be imported at module
         # scope without a cycle.
@@ -136,15 +144,45 @@ class DisseminationSystem(ABC):
     def _apply_semantics(
         self, document: Document, filters: Iterable[Filter]
     ) -> List[Filter]:
-        """Post-filter term-sharing candidates by the active semantics."""
-        if self._scorer is None:
+        """Post-filter term-sharing candidates by the active semantics.
+
+        Under the threshold semantics this routes through the
+        score-accumulation kernel (:mod:`repro.matching.kernel`): the
+        document's tf–idf vector is computed once per batch and each
+        (document, filter) cosine once ever, bit-for-bit identical to
+        ``VsmScorer.similarity``.  Subclasses may override to swap in
+        different semantics — candidate order is preserved, and the
+        systems detect overrides and keep feeding every term-sharing
+        candidate through here (see ``_kernel_accumulates``).
+        """
+        kernel = self._kernel
+        if kernel is None:
             return list(filters)
-        return [
-            profile
-            for profile in filters
-            if self._scorer.similarity(document, profile)
-            >= self.threshold
-        ]
+        if not kernel.enabled:
+            threshold = self.threshold
+            scorer = self._scorer
+            return [
+                profile
+                for profile in filters
+                if scorer.similarity(document, profile) >= threshold
+            ]
+        return kernel.select(document, filters, self._active_caches)
+
+    def _kernel_accumulates(self) -> bool:
+        """True when the posting-walk accumulation fast path may run.
+
+        Requires an enabled kernel *and* the base `_apply_semantics`:
+        a subclass override must see every term-sharing candidate, so
+        the systems fall back to the candidate-dedup path whenever one
+        is installed.
+        """
+        kernel = self._kernel
+        return (
+            kernel is not None
+            and kernel.enabled
+            and type(self)._apply_semantics
+            is DisseminationSystem._apply_semantics
+        )
 
     # -- registration ------------------------------------------------------
 
@@ -160,6 +198,8 @@ class DisseminationSystem(ABC):
             )
         self._registered[profile.filter_id] = profile
         self._register(profile)
+        if self._kernel is not None:
+            self._kernel.register_filter(profile)
         self.metrics.counter("filters_registered").add()
 
     def register_all(self, profiles: Iterable[Filter]) -> None:
@@ -202,6 +242,9 @@ class DisseminationSystem(ABC):
         self._register_batch(batch)
         for profile in batch:
             self._registered[profile.filter_id] = profile
+        if self._kernel is not None:
+            for profile in batch:
+                self._kernel.register_filter(profile)
         if batch:
             self.metrics.counter("filters_registered").add(
                 float(len(batch))
@@ -231,6 +274,8 @@ class DisseminationSystem(ABC):
             raise KeyError(f"unknown filter {filter_id!r}")
         self._unregister(profile)
         del self._registered[filter_id]
+        if self._kernel is not None:
+            self._kernel.unregister_filter(filter_id)
         self.metrics.counter("filters_unregistered").add()
         return profile
 

@@ -247,6 +247,22 @@ class CentralizedSystem(DisseminationSystem):
                 lists += n_lists
                 entries += n_entries
                 matched.update(filter_ids)
+        elif self._kernel_accumulates():
+            # Score-accumulation SIFT: the central index holds every
+            # filter under all its terms, so walking the |d| posting
+            # lists accumulates each candidate's full dot product
+            # (see repro.matching.kernel).
+            scoring = self._kernel.begin(document, caches)
+            for term, term_id in zip(document.terms, document.term_ids):
+                filters, _, n_lists, n_entries = (
+                    self._retrieve_cached(caches, term_id, term)
+                )
+                lists += n_lists
+                entries += n_entries
+                scoring.accumulate(term, filters)
+            matched.update(
+                profile.filter_id for profile in scoring.matched()
+            )
         else:
             # Dedup candidates across terms (as SIFT does) before
             # scoring each one once against the threshold.

@@ -122,7 +122,13 @@ class BatchCaches:
     and tuples never collide, so one map serves every scheme).
     """
 
-    __slots__ = ("route", "retrieval", "routing", "home_subsets")
+    __slots__ = (
+        "route",
+        "retrieval",
+        "routing",
+        "home_subsets",
+        "doc_scores",
+    )
 
     def __init__(self) -> None:
         #: term id -> destination node, or None when pruned (Bloom).
@@ -140,6 +146,14 @@ class BatchCaches:
         self.home_subsets: Dict[
             Tuple[str, int], List[Tuple[int, str, Filter]]
         ] = {}
+        #: id(document) -> :class:`repro.matching.kernel.DocumentScores`
+        #: (tf–idf weights, norm, suffix masses, per-filter score
+        #: memo), shared by every node/partition visit of the batch.
+        #: Entries hold a strong reference to their document, so the
+        #: id key cannot be recycled while the cache lives; epochs on
+        #: the entry (IDF ``documents_seen`` + kernel registration)
+        #: invalidate it if statistics or registration change.
+        self.doc_scores: Dict[int, object] = {}
 
     def retrieve(
         self, key: Hashable, index: "InvertedIndex", term: str
@@ -244,7 +258,17 @@ class DisseminationPipeline:
         """Disseminate ``documents`` in order, sharing one cache set."""
         caches = BatchCaches()
         disseminate = self._disseminate
-        return [disseminate(document, caches) for document in documents]
+        system = self.system
+        # Expose the batch caches to the scoring kernel (via
+        # `_apply_semantics`, whose two-argument signature is public
+        # API for subclassers and cannot carry them).
+        system._active_caches = caches
+        try:
+            return [
+                disseminate(document, caches) for document in documents
+            ]
+        finally:
+            system._active_caches = None
 
     def _disseminate(
         self, document: Document, caches: BatchCaches

@@ -242,17 +242,22 @@ def make_system(
     scheme: str,
     cluster: Cluster,
     config: SystemConfig,
+    threshold: Optional[float] = None,
 ) -> DisseminationSystem:
-    """Factory for the four schemes under comparison."""
+    """Factory for the four schemes under comparison.
+
+    ``threshold`` switches the built system from the paper's boolean
+    any-term semantics to the VSM similarity-threshold extension.
+    """
     scheme_lower = scheme.lower()
     if scheme_lower == "move":
-        return MoveSystem(cluster, config)
+        return MoveSystem(cluster, config, threshold=threshold)
     if scheme_lower == "il":
-        return InvertedListSystem(cluster, config)
+        return InvertedListSystem(cluster, config, threshold=threshold)
     if scheme_lower == "rs":
-        return RendezvousSystem(cluster, config)
+        return RendezvousSystem(cluster, config, threshold=threshold)
     if scheme_lower in ("central", "centralized"):
-        return CentralizedSystem(cluster, config)
+        return CentralizedSystem(cluster, config, threshold=threshold)
     raise ValueError(
         f"unknown scheme {scheme!r}; expected Move/IL/RS/Central"
     )

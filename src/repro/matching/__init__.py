@@ -13,12 +13,16 @@ The paper's matching machinery in one place:
 - :mod:`repro.matching.home_node` — the home-node matcher of the
   baseline/MOVE (retrieves only the home term's posting list),
 - :mod:`repro.matching.vsm` — tf–idf / cosine scoring for the
-  similarity-threshold extension.
+  similarity-threshold extension,
+- :mod:`repro.matching.kernel` — the score-accumulation kernel shared
+  by all threshold-semantics consumers (cached document vectors,
+  dense-slot accumulators, remaining-mass pruning).
 """
 
 from .bloom import BloomFilter
 from .home_node import HomeNodeMatcher
 from .inverted_index import InvertedIndex
+from .kernel import DocumentScores, ScoreKernel, ScoringPass
 from .postings import PostingList
 from .query import (
     QueryEngine,
@@ -37,6 +41,9 @@ __all__ = [
     "SiftMatcher",
     "HomeNodeMatcher",
     "VsmScorer",
+    "ScoreKernel",
+    "ScoringPass",
+    "DocumentScores",
     "QueryEngine",
     "QueryError",
     "QuerySubscription",

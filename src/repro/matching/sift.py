@@ -7,15 +7,23 @@ terms and collect the filters they reference (Section VI-A).  Under the
 boolean any-term semantics every referenced filter matches; under the
 threshold extension SIFT accumulates per-filter scores from the lists
 and applies the threshold at the end — both modes are provided.
+
+Threshold matching runs through the score-accumulation kernel
+(:mod:`repro.matching.kernel`) by default; pass ``use_kernel=False``
+for the naive score-per-candidate reference implementation the
+equivalence tests diff against.  Accumulation is exact here because a
+``SiftMatcher``'s index holds each filter under **all** of its terms
+(the SIFT index contract), so walking every document term's posting
+list touches every shared term of every candidate.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
 from ..model import Document, Filter
 from .inverted_index import InvertedIndex, RetrievalCost
+from .kernel import ScoreKernel
 from .vsm import VsmScorer
 
 
@@ -27,6 +35,7 @@ class SiftMatcher:
         index: InvertedIndex,
         scorer: Optional[VsmScorer] = None,
         threshold: Optional[float] = None,
+        use_kernel: bool = True,
     ) -> None:
         if (scorer is None) != (threshold is None):
             raise ValueError(
@@ -35,6 +44,11 @@ class SiftMatcher:
         self.index = index
         self.scorer = scorer
         self.threshold = threshold
+        self.kernel: Optional[ScoreKernel] = (
+            ScoreKernel(scorer, threshold)
+            if scorer is not None and use_kernel
+            else None
+        )
 
     def match(
         self, document: Document
@@ -47,16 +61,43 @@ class SiftMatcher:
         """
         if self.scorer is None:
             return self.index.match_document_all_terms(document)
-        return self._match_threshold(document)
+        if self.kernel is not None and self.kernel.enabled:
+            return self._match_threshold_kernel(document)
+        return self._match_threshold_reference(document)
 
     def _match_threshold(
         self, document: Document
     ) -> Tuple[List[Filter], RetrievalCost]:
         """Score-accumulating SIFT for threshold semantics."""
         assert self.scorer is not None and self.threshold is not None
+        if self.kernel is not None and self.kernel.enabled:
+            return self._match_threshold_kernel(document)
+        return self._match_threshold_reference(document)
+
+    def _match_threshold_kernel(
+        self, document: Document
+    ) -> Tuple[List[Filter], RetrievalCost]:
+        """Kernel path: one accumulation pass over the posting walk."""
+        scoring = self.kernel.begin(document)
         lists = 0
         entries = 0
-        partial_hits: Dict[str, List[str]] = defaultdict(list)
+        index = self.index
+        for term in document.terms:
+            plist = index.posting_list(term)
+            if plist is None:
+                continue
+            lists += 1
+            entries += len(plist)
+            filters, _ = index.filters_for_term(term)
+            scoring.accumulate(term, filters)
+        return scoring.matched(), RetrievalCost(lists, entries)
+
+    def _match_threshold_reference(
+        self, document: Document
+    ) -> Tuple[List[Filter], RetrievalCost]:
+        """Naive score-per-candidate reference (the kernel's oracle)."""
+        lists = 0
+        entries = 0
         candidates: Dict[str, Filter] = {}
         for term in document.terms:
             plist = self.index.posting_list(term)
@@ -66,11 +107,10 @@ class SiftMatcher:
             entries += len(plist)
             filters, _ = self.index.filters_for_term(term)
             for profile in filters:
-                partial_hits[profile.filter_id].append(term)
                 candidates[profile.filter_id] = profile
         matched = [
             profile
-            for fid, profile in candidates.items()
+            for profile in candidates.values()
             if self.scorer.similarity(document, profile) >= self.threshold
         ]
         return matched, RetrievalCost(lists, entries)

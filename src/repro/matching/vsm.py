@@ -60,13 +60,25 @@ class VsmScorer:
         return weights
 
     def similarity(self, document: Document, profile: Filter) -> float:
-        """Cosine of the document vector and the filter's unit vector."""
+        """Cosine of the document vector and the filter's unit vector.
+
+        The dot product sums shared-term weights in **document-term
+        order** — the canonical summation order shared with the
+        score-accumulation kernel (`repro.matching.kernel`), whose
+        posting walks add contributions in exactly that sequence.
+        Float addition is not associative, so a fixed order is what
+        makes kernel and naive scores bit-for-bit identical.
+        """
         weights = self.document_weights(document)
         doc_norm = math.sqrt(sum(w * w for w in weights.values()))
         if doc_norm == 0.0:
             return 0.0
         filter_norm = math.sqrt(len(profile.terms))
-        dot = sum(weights.get(term, 0.0) for term in profile.terms)
+        terms = profile.terms
+        dot = 0.0
+        for term, weight in weights.items():
+            if term in terms:
+                dot += weight
         return dot / (doc_norm * filter_norm)
 
     def rank(

@@ -77,7 +77,13 @@ class ThresholdSemantics(MatchSemantics):
         self.default_idf = default_idf
 
     def similarity(self, document: Document, profile: Filter) -> float:
-        """Cosine similarity restricted to the filter's terms."""
+        """Cosine similarity restricted to the filter's terms.
+
+        The dot product accumulates in document-term order — the same
+        canonical summation order as ``VsmScorer.similarity`` and the
+        score-accumulation kernel, so this oracle stays bit-for-bit
+        comparable with both.
+        """
         doc_weights: Dict[str, float] = {}
         for term in document.terms:
             tf = 1.0 + math.log(max(document.term_frequency(term), 1))
@@ -86,7 +92,11 @@ class ThresholdSemantics(MatchSemantics):
         if doc_norm == 0.0:
             return 0.0
         filter_norm = math.sqrt(len(profile.terms))
-        dot = sum(doc_weights.get(term, 0.0) for term in profile.terms)
+        terms = profile.terms
+        dot = 0.0
+        for term, weight in doc_weights.items():
+            if term in terms:
+                dot += weight
         return dot / (doc_norm * filter_norm)
 
     def matches(self, document: Document, profile: Filter) -> bool:

@@ -60,6 +60,7 @@ class FifoServer:
         self.name = name
         self.stats = ServerStats()
         self._queue: Deque[_Job] = deque()
+        self._queued_work = 0.0
         self._busy = False
         self._paused = False
 
@@ -70,8 +71,14 @@ class FifoServer:
 
     @property
     def queued_work(self) -> float:
-        """Total service seconds waiting in the queue."""
-        return sum(job.service_time for job in self._queue)
+        """Total service seconds waiting in the queue.
+
+        Maintained as an O(1) running total on submit/start rather
+        than summed over the deque per call — the load-balancing
+        policies poll this per routing decision, making a linear scan
+        O(queue) per published document.
+        """
+        return self._queued_work
 
     @property
     def busy(self) -> bool:
@@ -89,6 +96,7 @@ class FifoServer:
             )
         job = _Job(service_time, on_complete, self.sim.now)
         self._queue.append(job)
+        self._queued_work += service_time
         self.stats.max_queue_length = max(
             self.stats.max_queue_length, len(self._queue)
         )
@@ -110,6 +118,12 @@ class FifoServer:
         if self._busy or self._paused or not self._queue:
             return
         job = self._queue.popleft()
+        if self._queue:
+            self._queued_work -= job.service_time
+        else:
+            # Empty queue holds exactly zero work; snapping kills any
+            # accumulated float round-off from the running total.
+            self._queued_work = 0.0
         self._busy = True
         self.stats.total_wait += self.sim.now - job.enqueued_at
         started = self.sim.now

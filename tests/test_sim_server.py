@@ -110,6 +110,49 @@ def test_max_queue_length_recorded():
     assert server.stats.max_queue_length == 3
 
 
+def test_queued_work_tracks_deque_exactly():
+    """The O(1) running total must equal a fresh sum over the deque at
+    every step of a submit/serve/pause/resume history.  Dyadic service
+    times make float addition exact, so the comparison is ``==``."""
+    sim = Simulator()
+    server = FifoServer(sim)
+
+    def deque_sum():
+        return sum(job.service_time for job in server._queue)
+
+    assert server.queued_work == 0.0
+    times = [0.5, 0.25, 1.75, 0.125, 2.0, 0.0, 3.5]
+    for service_time in times:
+        server.submit(service_time, lambda: None)
+        assert server.queued_work == deque_sum()
+    # Drain job by job: the invariant holds between every completion.
+    while server.busy or server.queue_length:
+        sim.step()
+        assert server.queued_work == deque_sum()
+    assert server.queued_work == 0.0
+    # Pause with queued work: the total is frozen with the deque.
+    server.submit(1.5, lambda: None)
+    server.submit(0.75, lambda: None)
+    server.pause()
+    sim.run()
+    assert server.queued_work == deque_sum()
+    assert server.queued_work == 0.75
+    server.resume()
+    sim.run()
+    assert server.queued_work == deque_sum() == 0.0
+
+
+def test_queued_work_snaps_to_zero_when_drained():
+    """Service times that don't sum exactly in floating point must not
+    leave residue once the queue empties."""
+    sim = Simulator()
+    server = FifoServer(sim)
+    for _ in range(10):
+        server.submit(0.1, lambda: None)
+    sim.run()
+    assert server.queued_work == 0.0
+
+
 def test_work_conserving_after_idle():
     sim = Simulator()
     server = FifoServer(sim)
