@@ -25,6 +25,7 @@ import io
 import pstats
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -104,6 +105,8 @@ def build_system(args):
     cluster, config = build_cluster(
         workload.num_nodes, workload.node_capacity, seed=0
     )
+    if args.naive_scorer:
+        config = replace(config, matching_kernel=False)
     system = make_system(
         args.scheme, cluster, config, threshold=args.threshold
     )
@@ -111,8 +114,6 @@ def build_system(args):
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
-    if args.naive_scorer and system._kernel is not None:
-        system._kernel.enabled = False
     return system, bundle
 
 

@@ -24,6 +24,12 @@ speed — reference and batched loops run on the same machine — so it is
 the only number comparable between the committed baseline and an
 arbitrary CI runner.
 
+Both modes additionally assert the observability disabled-path budget:
+the fresh ``test_tracing_disabled_overhead`` bench must report a
+``disabled_overhead`` of at most 2% (tracing off may not slow the hot
+path; see docs/OBSERVABILITY.md).  This is a fixed ceiling, not a
+baseline comparison, so it needs no entry in the committed JSON.
+
 Benchmark noise note: absolute numbers are only comparable on the same
 hardware; the committed baseline tracks the *trajectory* across PRs on
 the reference machine, not an absolute claim.
@@ -50,6 +56,13 @@ GATED_METRIC = "docs_per_second_batched"
 #: ratio is host-speed-invariant, so CI runners can gate against a
 #: baseline recorded on different hardware.
 CHECK_METRIC = "speedup"
+
+#: The disabled-path bench and its fixed budget: with the default no-op
+#: tracer, ``publish_batch`` may cost at most 2% over the raw engine
+#: loop (also asserted inside the bench itself; re-checked here so the
+#: gate fails loudly even if the bench's assert is ever relaxed).
+OVERHEAD_BENCH = "test_tracing_disabled_overhead"
+OVERHEAD_CEILING = 0.02
 
 
 def _env_with_src() -> dict:
@@ -134,6 +147,28 @@ def check_regression(
     return 1 if failures else 0
 
 
+def check_disabled_overhead(payload: dict) -> int:
+    """Assert the tracing disabled-path budget from the fresh run."""
+    for bench in payload.get("benchmarks", []):
+        if bench["name"] != OVERHEAD_BENCH:
+            continue
+        overhead = bench.get("extra_info", {}).get("disabled_overhead")
+        if overhead is None:
+            break
+        ok = overhead <= OVERHEAD_CEILING
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"{status:>10s} {OVERHEAD_BENCH}: disabled_overhead "
+            f"{overhead:+.2%} (ceiling {OVERHEAD_CEILING:.0%})"
+        )
+        return 0 if ok else 1
+    print(
+        f"REGRESSION {OVERHEAD_BENCH}: disabled_overhead missing "
+        f"from fresh run"
+    )
+    return 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -198,7 +233,9 @@ def main() -> int:
         return 0
 
     metric = CHECK_METRIC if args.check else GATED_METRIC
-    return check_regression(payload, args.tolerance, metric)
+    code = check_regression(payload, args.tolerance, metric)
+    overhead_code = check_disabled_overhead(payload)
+    return code or overhead_code
 
 
 if __name__ == "__main__":

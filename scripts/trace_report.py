@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Summarize a pipeline trace written by ``python -m repro trace``.
+
+Reads the JSON-lines span dump produced by :meth:`repro.obs.Tracer
+.write_jsonl` (the ``trace`` subcommand, the ``experiments --trace``
+flag, or any :class:`~repro.obs.Tracer` you exported yourself) and
+prints:
+
+- a per-stage latency table (count / total / mean / p50 / p95 / max)
+  over every span name in the trace,
+- a per-node breakdown of the ``execute_node`` sub-spans (how the
+  execution stage's time and posting-entry volume spread across the
+  cluster),
+- per-system publish totals (documents, matches, fanout) reconciled
+  from the ``publish`` span tags.
+
+Examples::
+
+    python -m repro trace --scheme move --out trace.jsonl
+    python scripts/trace_report.py trace.jsonl
+    python scripts/trace_report.py trace.jsonl --stage execute_node
+
+Exits non-zero when the file contains no spans, so CI can use it as a
+traced-smoke assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Summarize a repro pipeline trace (JSON lines)."
+    )
+    parser.add_argument("trace", help="path to the .jsonl span dump")
+    parser.add_argument(
+        "--stage",
+        default=None,
+        help="only report this span name (default: all stages)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows in the per-node execute table (default: 10)",
+    )
+    return parser.parse_args(argv)
+
+
+def load_spans(path: str) -> List[dict]:
+    """Parse one span dict per non-empty line."""
+    spans = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                )
+    return spans
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5)
+    )
+    return sorted_values[index]
+
+
+def stage_table(spans: List[dict], only: str = None) -> str:
+    """The per-stage latency table, one row per span name."""
+    by_name: Dict[str, List[float]] = defaultdict(list)
+    for span in spans:
+        if only is not None and span["name"] != only:
+            continue
+        by_name[span["name"]].append(span["duration_s"])
+    lines = [
+        f"{'stage':<14} {'count':>6} {'total_ms':>9} {'mean_us':>9} "
+        f"{'p50_us':>9} {'p95_us':>9} {'max_us':>9}"
+    ]
+    for name in sorted(by_name):
+        durations = sorted(by_name[name])
+        total = sum(durations)
+        lines.append(
+            f"{name:<14} {len(durations):>6d} {total * 1e3:>9.2f} "
+            f"{total / len(durations) * 1e6:>9.1f} "
+            f"{_percentile(durations, 0.50) * 1e6:>9.1f} "
+            f"{_percentile(durations, 0.95) * 1e6:>9.1f} "
+            f"{durations[-1] * 1e6:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def node_table(spans: List[dict], top: int) -> str:
+    """Execution-stage spread: ``execute_node`` sub-spans by node."""
+    per_node: Dict[str, List[dict]] = defaultdict(list)
+    for span in spans:
+        if span["name"] != "execute_node":
+            continue
+        per_node[str(span["tags"].get("node", "?"))].append(span)
+    if not per_node:
+        return "(no execute_node spans in this trace)"
+    rows = sorted(
+        per_node.items(),
+        key=lambda item: -sum(s["duration_s"] for s in item[1]),
+    )
+    lines = [
+        f"{'node':<12} {'visits':>6} {'total_ms':>9} "
+        f"{'posting_lists':>13} {'posting_entries':>15}"
+    ]
+    for node, node_spans in rows[:top]:
+        lines.append(
+            f"{node:<12} {len(node_spans):>6d} "
+            f"{sum(s['duration_s'] for s in node_spans) * 1e3:>9.2f} "
+            f"{sum(s['tags'].get('posting_lists', 0) for s in node_spans):>13d} "
+            f"{sum(s['tags'].get('posting_entries', 0) for s in node_spans):>15d}"
+        )
+    if len(rows) > top:
+        lines.append(f"... and {len(rows) - top} more nodes")
+    return "\n".join(lines)
+
+
+def publish_table(spans: List[dict]) -> str:
+    """Per-system publish totals from the ``publish`` span tags."""
+    per_system: Dict[str, dict] = defaultdict(
+        lambda: {"documents": 0, "matched": 0, "fanout": 0}
+    )
+    for span in spans:
+        if span["name"] != "publish":
+            continue
+        tags = span["tags"]
+        row = per_system[str(tags.get("system", "?"))]
+        row["documents"] += 1
+        row["matched"] += tags.get("matched", 0)
+        row["fanout"] += tags.get("fanout", 0)
+    if not per_system:
+        return "(no publish spans in this trace)"
+    lines = [
+        f"{'system':<10} {'documents':>9} {'matches':>8} "
+        f"{'mean_fanout':>11}"
+    ]
+    for system in sorted(per_system):
+        row = per_system[system]
+        fanout = row["fanout"] / row["documents"]
+        lines.append(
+            f"{system:<10} {row['documents']:>9d} {row['matched']:>8d} "
+            f"{fanout:>11.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    spans = load_spans(args.trace)
+    if not spans:
+        print(f"{args.trace}: no spans", file=sys.stderr)
+        return 1
+    print(f"# {args.trace}: {len(spans)} spans\n")
+    print("## Stage latency\n")
+    print(stage_table(spans, only=args.stage))
+    if args.stage is None:
+        print("\n## Execution spread (execute_node)\n")
+        print(node_table(spans, args.top))
+        print("\n## Publish totals\n")
+        print(publish_table(spans))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,14 @@ from .model import (
     ThresholdSemantics,
     brute_force_match,
 )
+from .obs import (
+    MetricsRegistry,
+    NullTracer,
+    SystemStats,
+    Tracer,
+    get_default_tracer,
+    set_default_tracer,
+)
 from .text import Tokenizer, tokenize
 
 __version__ = "1.0.0"
@@ -82,6 +90,13 @@ __all__ = [
     "MoveOptimizer",
     "Coordinator",
     "ForwardingTable",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "SystemStats",
+    "get_default_tracer",
+    "set_default_tracer",
     # errors
     "ReproError",
 ]

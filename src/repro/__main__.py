@@ -3,7 +3,12 @@
 Subcommands:
 
 - ``experiments [ids...]`` — regenerate paper figures as text tables
-  (all of them when no ids are given),
+  (all of them when no ids are given); ``--trace PATH`` additionally
+  installs a pipeline :class:`~repro.obs.Tracer` as the session
+  default and dumps every span to ``PATH`` as JSON lines,
+- ``trace`` — run one scheme over a tiny traced workload and write
+  the spans as JSON lines (the CI observability smoke; feed the
+  output to ``scripts/trace_report.py``),
 - ``list`` — list the available experiment ids,
 - ``demo`` — run the quickstart scenario inline.
 """
@@ -30,17 +35,58 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         run_experiment,
         experiment_ids,
     )
+    from .obs import Tracer, set_default_tracer
 
+    tracer = None
+    if args.trace:
+        # Systems adopt the session default tracer at construction, so
+        # installing it here traces every system the figures build.
+        tracer = Tracer()
+        set_default_tracer(tracer)
     targets = args.ids or experiment_ids()
-    for experiment_id in targets:
-        result = run_experiment(experiment_id)
-        print(f"=== {experiment_id} ===")
-        print(format_result(result))
-        print()
-        if args.csv_dir:
-            written = export_csv(experiment_id, result, args.csv_dir)
-            for path in written:
-                print(f"wrote {path}")
+    try:
+        for experiment_id in targets:
+            result = run_experiment(experiment_id)
+            print(f"=== {experiment_id} ===")
+            print(format_result(result))
+            print()
+            if args.csv_dir:
+                written = export_csv(experiment_id, result, args.csv_dir)
+                for path in written:
+                    print(f"wrote {path}")
+    finally:
+        if tracer is not None:
+            set_default_tracer(None)
+            count = tracer.write_jsonl(args.trace)
+            print(f"wrote {count} spans to {args.trace}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments.harness import ScaledWorkload, run_scheme_once
+    from .obs import Tracer
+
+    workload = ScaledWorkload(
+        num_filters=args.filters,
+        num_documents=args.documents,
+        num_nodes=args.nodes,
+        seed=args.seed,
+    )
+    bundle = workload.build()
+    tracer = Tracer()
+    result = run_scheme_once(args.scheme, bundle, tracer=tracer)
+    count = tracer.write_jsonl(args.out)
+    print(
+        f"{args.scheme}: {len(bundle.documents)} documents, "
+        f"{result.total_matches} matches, "
+        f"{count} spans -> {args.out}"
+    )
+    for name, row in sorted(tracer.stage_summary().items()):
+        print(
+            f"  {name:<14} count={int(row['count']):<5d} "
+            f"mean={row['mean_s'] * 1e6:8.1f}us "
+            f"p95={row['p95_s'] * 1e6:8.1f}us"
+        )
     return 0
 
 
@@ -90,7 +136,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export each figure's series as CSV into this "
         "directory",
     )
+    exp_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace every pipeline run and write the spans to PATH "
+        "as JSON lines (see scripts/trace_report.py)",
+    )
     exp_parser.set_defaults(func=_cmd_experiments)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run one traced workload and dump spans as JSON lines",
+    )
+    trace_parser.add_argument(
+        "--scheme",
+        default="move",
+        choices=["move", "il", "rs", "central"],
+        help="dissemination scheme to trace (default: move)",
+    )
+    trace_parser.add_argument(
+        "--filters", type=int, default=200, help="filter count"
+    )
+    trace_parser.add_argument(
+        "--documents", type=int, default=20, help="document count"
+    )
+    trace_parser.add_argument(
+        "--nodes", type=int, default=8, help="cluster size"
+    )
+    trace_parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed"
+    )
+    trace_parser.add_argument(
+        "--out",
+        default="trace.jsonl",
+        help="JSON-lines output path (default: trace.jsonl)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     demo_parser = subparsers.add_parser(
         "demo", help="run the quickstart scenario"

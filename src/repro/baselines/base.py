@@ -38,7 +38,7 @@ from typing import (
 
 from ..config import SystemConfig
 from ..model import Document, Filter
-from ..sim.metrics import MetricsRegistry
+from ..obs import MetricsRegistry, SystemStats, get_default_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.pipeline import BatchCaches, ExecutionContext
@@ -114,6 +114,11 @@ class DisseminationSystem(ABC):
     ) -> None:
         self.config = config or SystemConfig()
         self.metrics = MetricsRegistry()
+        #: The tracer dissemination reports to.  Defaults to the
+        #: module default (the disabled no-op singleton unless
+        #: :func:`repro.obs.set_default_tracer` installed one); assign
+        #: a :class:`repro.obs.Tracer` any time to start tracing.
+        self.tracer = get_default_tracer()
         self._registered: Dict[str, Filter] = {}
         if threshold is not None and not 0.0 < threshold <= 1.0:
             raise ValueError(
@@ -125,7 +130,11 @@ class DisseminationSystem(ABC):
             from ..matching.vsm import VsmScorer
 
             self._scorer = VsmScorer()
-            self._kernel = ScoreKernel(self._scorer, threshold)
+            self._kernel = ScoreKernel(
+                self._scorer,
+                threshold,
+                enabled=self.config.matching_kernel,
+            )
         else:
             self._scorer = None
             self._kernel = None
@@ -289,6 +298,31 @@ class DisseminationSystem(ABC):
     @property
     def total_filters(self) -> int:
         return len(self._registered)
+
+    # -- stats snapshot ------------------------------------------------------
+
+    def _build_stats(self) -> SystemStats:
+        """Snapshot the registry (the implementation behind ``stats``).
+
+        Separated from :meth:`stats` so :class:`~repro.core.move_system.
+        MoveSystem` — whose ``stats`` name is shadowed by the legacy
+        ``TermStatistics`` accessor for one deprecation release — can
+        reuse it.
+        """
+        return SystemStats.from_registry(
+            self.name, self.metrics, len(self._registered)
+        )
+
+    def stats(self) -> SystemStats:
+        """Uniform typed metrics snapshot, same shape on all schemes.
+
+        Replaces ad-hoc probing of ``system.metrics``: the returned
+        :class:`~repro.obs.SystemStats` carries the cross-scheme
+        totals (documents published/received, posting entries, filter
+        counts, nodes touched) plus full counter / load-total maps for
+        scheme-specific extras.
+        """
+        return self._build_stats()
 
     # -- pipeline stage hooks ------------------------------------------------
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..errors import NodeDownError
+from ..obs.metrics import MetricsRegistry
 from .cluster import Cluster
 from .replication import ReplicationStrategy
 
@@ -47,6 +48,11 @@ class KeyValueClient:
             else cluster.config.replica_count
         )
         self.hinted_handoff = hinted_handoff
+        #: Observability counters: ``kv_puts`` / ``kv_gets`` /
+        #: ``kv_deletes`` plus the failure-path events
+        #: (``hints_stored``, ``hints_delivered``, ``read_repairs``)
+        #: that OPERATIONS.md's failure-handling runbook watches.
+        self.metrics = MetricsRegistry()
         #: Client-side logical clock versioning every write, enabling
         #: read repair (newest version wins; stale replicas are
         #: rewritten during reads).
@@ -67,6 +73,7 @@ class KeyValueClient:
         Raises :class:`~repro.errors.NodeDownError` when *no* replica
         is alive (write completely lost).
         """
+        self.metrics.counter("kv_puts").add()
         replicas = self.replicas_for(key)
         self._clock += 1
         versioned = (self._clock, value)
@@ -110,6 +117,7 @@ class KeyValueClient:
                 self.HINT_FAMILY
             )
             hints.put(f"{target}:{key}", self.COLUMN, value)
+            self.metrics.counter("hints_stored").add()
 
     def deliver_hints(self) -> int:
         """Replay parked hints whose intended replicas are back up.
@@ -134,6 +142,8 @@ class KeyValueClient:
                 store.put(key, self.COLUMN, value)
                 hints.delete(hint_key)
                 delivered += 1
+        if delivered:
+            self.metrics.counter("hints_delivered").add(float(delivered))
         return delivered
 
     def get(self, key: str, default: Any = None) -> Any:
@@ -144,6 +154,7 @@ class KeyValueClient:
         with it — so a recovered node converges on the next read even
         without hint delivery (Dynamo's read-repair path).
         """
+        self.metrics.counter("kv_gets").add()
         missing = object()
         responses: List = []  # (node_id, version or None, value)
         for node_id in self.replicas_for(key):
@@ -175,10 +186,12 @@ class KeyValueClient:
                 self.COLUMN_FAMILY
             )
             store.put(key, self.COLUMN, (newest_version, newest))
+            self.metrics.counter("read_repairs").add()
         return newest
 
     def delete(self, key: str) -> None:
         """Delete ``key`` from all live replicas."""
+        self.metrics.counter("kv_deletes").add()
         for node_id in self.replicas_for(key):
             node = self.cluster.node(node_id)
             if not node.alive:

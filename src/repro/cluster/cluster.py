@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..config import ClusterConfig
 from ..errors import UnknownNodeError
+from ..obs.metrics import MetricsRegistry
 from ..sim.engine import Simulator
 from ..sim.network import LinkSpec, NetworkModel
 from .membership import GossipMembership
@@ -33,6 +34,11 @@ class Cluster:
     ) -> None:
         self.config = config or ClusterConfig()
         self.sim = sim or Simulator()
+        #: Cluster-wide observability registry: per-node disk service
+        #: and wait histograms (fed by each node's
+        #: :class:`~repro.sim.server.FifoServer`) plus crash/recovery
+        #: counters — the substrate half of ``repro.obs``.
+        self.metrics = MetricsRegistry()
         self.partitioner = RandomPartitioner()
         self.ring = ConsistentHashRing(
             self.partitioner, vnodes=self.config.vnodes_per_node
@@ -48,7 +54,7 @@ class Cluster:
             rack = rack_assignment.rack_of(node_id)
             self.topology.assign(node_id, rack)
             self.nodes[node_id] = ClusterNode(
-                node_id, sim=self.sim, rack=rack
+                node_id, sim=self.sim, rack=rack, registry=self.metrics
             )
             self.ring.add_node(node_id)
 
@@ -90,7 +96,9 @@ class Cluster:
         while node_id in self.nodes:
             node_id = f"node{int(node_id[4:]) + 1:03d}"
         rack = rack or f"rack{len(self.nodes) % self.config.num_racks}"
-        node = ClusterNode(node_id, sim=self.sim, rack=rack)
+        node = ClusterNode(
+            node_id, sim=self.sim, rack=rack, registry=self.metrics
+        )
         self.nodes[node_id] = node
         self.topology.assign(node_id, rack)
         self.ring.add_node(node_id)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..errors import NodeDownError
+from ..obs.metrics import MetricsRegistry
 from ..sim.engine import Simulator
 from ..sim.server import FifoServer
 from .storage import ColumnFamilyStore, StorageEngine
@@ -30,12 +31,20 @@ class ClusterNode:
         node_id: str,
         sim: Optional[Simulator] = None,
         rack: str = "rack0",
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        """``registry`` (usually the owning cluster's) receives the
+        disk queue's service/wait histograms and this node's
+        crash/recovery counters; ``None`` leaves the node
+        uninstrumented."""
         self.node_id = node_id
         self.rack = rack
         self.sim = sim or Simulator()
+        self.registry = registry
         self.storage = StorageEngine(node_id)
-        self.server = FifoServer(self.sim, name=f"{node_id}/disk")
+        self.server = FifoServer(
+            self.sim, name=f"{node_id}/disk", registry=registry
+        )
         self.alive = True
         # Pre-create the three MOVE stores so every subsystem finds them.
         self.filter_store = self.storage.create_column_family(
@@ -50,11 +59,15 @@ class ClusterNode:
         """Fail-stop: reject new work, pause the service queue."""
         self.alive = False
         self.server.pause()
+        if self.registry is not None:
+            self.registry.counter("node_crashes").add()
 
     def recover(self) -> None:
         """Bring the node back with its durable state intact."""
         self.alive = True
         self.server.resume()
+        if self.registry is not None:
+            self.registry.counter("node_recoveries").add()
 
     def require_alive(self, operation: str = "") -> None:
         if not self.alive:

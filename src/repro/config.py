@@ -146,6 +146,14 @@ class SystemConfig:
     expected_filter_terms: int = 100_000
     #: Bloom filter false-positive target.
     bloom_fp_rate: float = 0.01
+    #: Use the score-accumulation matching kernel under the
+    #: similarity-threshold semantics (:mod:`repro.matching.kernel`).
+    #: ``False`` forces the naive score-per-candidate reference scorer
+    #: everywhere — the pre-kernel behavior, kept for benchmarking and
+    #: differential testing.  This knob replaces the per-object
+    #: ``ScoreKernel.enabled`` / ``SiftMatcher(use_kernel=)`` toggles,
+    #: which remain as deprecated aliases for one release.
+    matching_kernel: bool = True
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:

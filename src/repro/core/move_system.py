@@ -26,6 +26,7 @@ filters with no live holder are recorded as unreachable.
 from __future__ import annotations
 
 import random
+import warnings
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -47,6 +48,37 @@ from ..baselines.base import DisseminationSystem
 from ..text.interning import DEFAULT_INTERNER
 
 
+class _LegacyTermStatsAccessor:
+    """Deprecation shim keeping both meanings of ``MoveSystem.stats``.
+
+    ``MoveSystem.stats`` used to *be* the :class:`TermStatistics`
+    instance; it is now the uniform ``system.stats()`` accessor all
+    four systems share.  This shim bridges one release: calling it
+    (``move.stats()``) returns the new
+    :class:`~repro.obs.SystemStats` snapshot, while attribute access
+    (``move.stats.popularity``) forwards to :attr:`MoveSystem.
+    term_stats` with a :class:`DeprecationWarning`.
+    """
+
+    __slots__ = ("_system",)
+
+    def __init__(self, system: "MoveSystem") -> None:
+        self._system = system
+
+    def __call__(self):
+        return self._system._build_stats()
+
+    def __getattr__(self, name: str):
+        warnings.warn(
+            "MoveSystem.stats no longer exposes TermStatistics; use "
+            "MoveSystem.term_stats instead (attribute forwarding is "
+            "deprecated and will be removed next release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self._system.term_stats, name)
+
+
 class MoveSystem(DisseminationSystem):
     """The paper's proposed scheme."""
 
@@ -60,7 +92,10 @@ class MoveSystem(DisseminationSystem):
     ) -> None:
         super().__init__(config, threshold=threshold)
         self.cluster = cluster
-        self.stats = TermStatistics()
+        #: Term popularity/frequency trackers (formerly ``self.stats``;
+        #: renamed so ``stats()`` could become the uniform snapshot
+        #: accessor shared by all four systems).
+        self.term_stats = TermStatistics()
         #: Home-node indexes (the distributed inverted list), as in IL.
         self._home_indexes: Dict[str, InvertedIndex] = {
             node_id: InvertedIndex() for node_id in cluster.node_ids()
@@ -92,13 +127,25 @@ class MoveSystem(DisseminationSystem):
         self.plan: Optional[AllocationPlan] = None
         self._rng = random.Random((self.config.seed or 0) + 0x41)
 
+    @property
+    def stats(self) -> _LegacyTermStatsAccessor:
+        """The uniform stats accessor, with legacy attribute forwarding.
+
+        ``move.stats()`` returns the shared
+        :class:`~repro.obs.SystemStats` snapshot (same as every other
+        system); ``move.stats.<attr>`` still reaches the old
+        :class:`TermStatistics` fields via :attr:`term_stats` but
+        emits a :class:`DeprecationWarning`.
+        """
+        return _LegacyTermStatsAccessor(self)
+
     # -- registration (identical to IL) ---------------------------------
 
     def home_of(self, term: str) -> str:
         return self.cluster.ring.home_node(term)
 
     def _register(self, profile: Filter) -> None:
-        self.stats.register_filter(profile)
+        self.term_stats.register_filter(profile)
         storage_load = self.metrics.load("storage_replicas")
         for term in profile.terms:
             node_id = self.home_of(term)
@@ -124,7 +171,7 @@ class MoveSystem(DisseminationSystem):
         bloom = self._bloom
         buffers: Dict[str, List[Tuple[Filter, List[str]]]] = {}
         for profile in profiles:
-            self.stats.register_filter(profile)
+            self.term_stats.register_filter(profile)
             for term in profile.terms:
                 node_id = self.home_of(term)
                 self.cluster.node(node_id).filter_store.put(
@@ -168,7 +215,7 @@ class MoveSystem(DisseminationSystem):
 
     def _unregister(self, profile: Filter) -> None:
         """Remove the filter from home indexes and live grid copies."""
-        self.stats.popularity.unregister(profile)
+        self.term_stats.popularity.unregister(profile)
         aggregate = self.config.allocation.aggregate_per_node
         for term in profile.terms:
             home_id = self.home_of(term)
@@ -196,11 +243,11 @@ class MoveSystem(DisseminationSystem):
 
     def seed_frequencies(self, corpus) -> None:
         """Bootstrap ``q_i`` from an offline corpus (proactive policy)."""
-        self.stats.frequency.seed_from_corpus(corpus)
+        self.term_stats.frequency.seed_from_corpus(corpus)
 
     def observe_document(self, document: Document) -> None:
         """Feed the frequency tracker (renewed on ``reallocate``)."""
-        self.stats.observe_document(document)
+        self.term_stats.observe_document(document)
 
     def finalize_registration(self) -> None:
         """Compute and apply the allocation plan.
@@ -215,9 +262,9 @@ class MoveSystem(DisseminationSystem):
     def reallocate(self) -> None:
         """Renew statistics and re-run the coordinator (the 10-minute
         refresh of Section VI-A)."""
-        self.stats.frequency.renew()
+        self.term_stats.frequency.renew()
         plan = self.coordinator.plan_from_stats(
-            self.stats, self.home_of, num_nodes=len(self.cluster)
+            self.term_stats, self.home_of, num_nodes=len(self.cluster)
         )
         self._apply_plan(plan)
 
@@ -271,7 +318,7 @@ class MoveSystem(DisseminationSystem):
 
     def _observe(self, document: Document) -> None:
         """Feed the frequency tracker before the ingest draw."""
-        self.stats.observe_document(document)
+        self.term_stats.observe_document(document)
 
     def _resolve_routes(
         self, document: Document, caches: BatchCaches

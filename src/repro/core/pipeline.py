@@ -33,6 +33,7 @@ plans and RNG consumption are bit-identical either way.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -110,6 +111,47 @@ class WorkAccumulator:
             )
             for node_id, (lists, entries, path) in self._work.items()
         ]
+
+
+class TracedWorkAccumulator(WorkAccumulator):
+    """A :class:`WorkAccumulator` emitting per-node ``execute_node`` spans.
+
+    Execution is single-threaded, so the matching work behind one route
+    fold happens between the previous :meth:`add` call (or the stage
+    start) and the fold itself; each sub-span covers exactly that
+    interval and is tagged with the node and its posting costs.  The
+    per-document sub-span set therefore reconciles with the plan: its
+    distinct nodes are the task nodes, and its posting costs sum to the
+    task totals (the tracing acceptance invariant).
+    """
+
+    __slots__ = ("_tracer", "_mark")
+
+    def __init__(self, tracer) -> None:
+        super().__init__()
+        self._tracer = tracer
+        self._mark = perf_counter()
+
+    def add(
+        self,
+        node_id: str,
+        posting_lists: int,
+        posting_entries: int,
+        path: Tuple[str, ...],
+    ) -> None:
+        WorkAccumulator.add(
+            self, node_id, posting_lists, posting_entries, path
+        )
+        now = perf_counter()
+        self._tracer.emit(
+            "execute_node",
+            self._mark,
+            now,
+            node=node_id,
+            posting_lists=posting_lists,
+            posting_entries=posting_entries,
+        )
+        self._mark = now
 
 
 class BatchCaches:
@@ -255,7 +297,30 @@ class DisseminationPipeline:
     def publish_batch(
         self, documents: Sequence[Document]
     ) -> List[DisseminationPlan]:
-        """Disseminate ``documents`` in order, sharing one cache set."""
+        """Disseminate ``documents`` in order, sharing one cache set.
+
+        When the system's tracer is enabled, dissemination runs the
+        traced twin (:meth:`_publish_batch_traced`) instead; the two
+        paths compute the same plans and consume RNG identically (the
+        tracer only reads the clock), so tracing is observationally
+        inert.  The ``enabled`` check below (plus one delegating call
+        per batch) is the untraced path's entire overhead.
+        """
+        tracer = getattr(self.system, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            return self._publish_batch_traced(documents, tracer)
+        return self._publish_batch_untraced(documents)
+
+    def _publish_batch_untraced(
+        self, documents: Sequence[Document]
+    ) -> List[DisseminationPlan]:
+        """The raw engine loop: ``_disseminate`` per document.
+
+        Kept as a separate method so the disabled-overhead bench can
+        time the identical code object with and without the public
+        dispatcher above — their ratio isolates exactly what tracing
+        costs when disabled.
+        """
         caches = BatchCaches()
         disseminate = self._disseminate
         system = self.system
@@ -291,3 +356,80 @@ class DisseminationPipeline:
             unreachable_filter_ids=unreachable,
             routing_messages=ctx.routing_messages,
         )
+
+    # -- traced twin ---------------------------------------------------------
+
+    def _publish_batch_traced(
+        self, documents: Sequence[Document], tracer
+    ) -> List[DisseminationPlan]:
+        """The traced mirror of :meth:`publish_batch`.
+
+        One root ``publish_batch`` span per batch; everything else —
+        cache lifetime, hook order, RNG consumption, accounting — is
+        identical to the untraced path, so plans are bit-for-bit the
+        same.
+        """
+        caches = BatchCaches()
+        system = self.system
+        system._active_caches = caches
+        try:
+            with tracer.span(
+                "publish_batch",
+                system=system.name,
+                batch_size=len(documents),
+            ):
+                return [
+                    self._disseminate_traced(document, caches, tracer)
+                    for document in documents
+                ]
+        finally:
+            system._active_caches = None
+
+    def _disseminate_traced(
+        self, document: Document, caches: BatchCaches, tracer
+    ) -> DisseminationPlan:
+        """One document under the span model of :mod:`repro.obs.tracing`.
+
+        A ``publish`` span wraps the document; each pipeline stage gets
+        one child span (``observe`` / ``ingest`` / ``route`` /
+        ``execute`` / ``account``); the execution stage's work
+        accumulator is swapped for the traced variant, whose folds emit
+        the per-node ``execute_node`` sub-spans.  The ``publish`` span
+        is annotated with the plan's fanout and candidate/match counts
+        once they are known.
+        """
+        system = self.system
+        with tracer.span(
+            "publish", system=system.name, document_id=document.doc_id
+        ) as doc_span:
+            with tracer.span("observe"):
+                system._observe(document)
+            with tracer.span("ingest"):
+                ctx = ExecutionContext(
+                    document, system._choose_ingest(), caches
+                )
+            with tracer.span("route"):
+                routes = system._resolve_routes(document, caches)
+            with tracer.span("execute"):
+                ctx.work = TracedWorkAccumulator(tracer)
+                system._execute(ctx, routes)
+            with tracer.span("account"):
+                tasks = ctx.work.tasks()
+                unreachable = ctx.unreachable
+                unreachable.difference_update(ctx.matched)
+                system._account_tasks(tasks)
+                system.metrics.counter("documents_published").add()
+                plan = DisseminationPlan(
+                    document=document,
+                    matched_filter_ids=ctx.matched,
+                    tasks=tasks,
+                    unreachable_filter_ids=unreachable,
+                    routing_messages=ctx.routing_messages,
+                )
+            doc_span.annotate(
+                fanout=plan.fanout,
+                matched=len(ctx.matched),
+                candidate_entries=plan.total_posting_entries,
+                unreachable=len(unreachable),
+            )
+        return plan

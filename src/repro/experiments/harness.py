@@ -15,7 +15,7 @@ FIFO queue, and the document completes when its last task finishes.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..baselines import (
@@ -522,10 +522,16 @@ def run_scheme_once(
     allocation_rule: Optional[str] = None,
     injection_rate: Optional[float] = None,
     seed: int = 0,
+    tracer=None,
 ) -> ThroughputResult:
     """End-to-end: build cluster + system, register, allocate, run.
 
     The one-stop entry the figure modules and benches call.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) attaches pipeline tracing
+    to the built system: every publish in the run emits per-stage and
+    per-node spans into it (the CLI's ``--trace`` flag builds one and
+    writes its spans to JSON lines afterwards).
     """
     workload = bundle.workload
     cluster, config = build_cluster(
@@ -534,17 +540,19 @@ def run_scheme_once(
         seed=seed,
     )
     if placement is not None or allocation_rule is not None:
-        config = SystemConfig(
-            cluster=config.cluster,
-            cost_model=config.cost_model,
+        # dataclasses.replace keeps every other knob (bloom_fp_rate,
+        # matching_kernel, ...) at its built value.
+        config = replace(
+            config,
             allocation=AllocationConfig(
                 node_capacity=config.allocation.node_capacity,
                 rule=allocation_rule or config.allocation.rule,
                 placement=placement or config.allocation.placement,
             ),
-            seed=config.seed,
         )
     system = make_system(scheme, cluster, config)
+    if tracer is not None:
+        system.tracer = tracer
     system.register_batch(bundle.filters)
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())

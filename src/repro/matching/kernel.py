@@ -54,6 +54,7 @@ index behind the kernel's back leaves a stale norm.
 from __future__ import annotations
 
 import math
+import warnings
 from array import array
 from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
@@ -221,16 +222,19 @@ class ScoreKernel:
     One kernel serves one scorer/threshold pair — typically owned by a
     :class:`~repro.baselines.base.DisseminationSystem` (all four
     systems route their threshold semantics through it) or a
-    :class:`~repro.matching.sift.SiftMatcher`.  Set :attr:`enabled` to
-    ``False`` to make the owners fall back to the naive per-candidate
-    scorer (the benchmarks' pre-kernel reference, and the oracle the
-    equivalence suite diffs against).
+    :class:`~repro.matching.sift.SiftMatcher`.  Construct with
+    ``enabled=False`` — the ``SystemConfig.matching_kernel`` knob,
+    plumbed through every owner — to make the owners fall back to the
+    naive per-candidate scorer (the benchmarks' pre-kernel reference,
+    and the oracle the equivalence suite diffs against).  Assigning
+    :attr:`enabled` after construction still works but is deprecated
+    in favor of the config knob.
     """
 
     __slots__ = (
         "scorer",
         "threshold",
-        "enabled",
+        "_enabled",
         "_slot_of",
         "_norms",
         "_acc",
@@ -240,14 +244,19 @@ class ScoreKernel:
         "_solo",
     )
 
-    def __init__(self, scorer: VsmScorer, threshold: float) -> None:
+    def __init__(
+        self,
+        scorer: VsmScorer,
+        threshold: float,
+        enabled: bool = True,
+    ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(
                 f"threshold must be in (0, 1], got {threshold}"
             )
         self.scorer = scorer
         self.threshold = threshold
-        self.enabled = True
+        self._enabled = enabled
         self._slot_of: Dict[str, int] = {}
         self._norms = array("d")
         self._acc = array("d")
@@ -255,6 +264,22 @@ class ScoreKernel:
         self._pass_id = 0
         self._registration_epoch = 0
         self._solo: Optional[DocumentScores] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether accumulation/lookup scoring is active."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        warnings.warn(
+            "assigning ScoreKernel.enabled is deprecated; pass "
+            "SystemConfig(matching_kernel=...) (or ScoreKernel("
+            "enabled=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._enabled = value
 
     def __len__(self) -> int:
         """Number of dense filter slots assigned."""

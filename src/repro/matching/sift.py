@@ -9,22 +9,32 @@ threshold extension SIFT accumulates per-filter scores from the lists
 and applies the threshold at the end — both modes are provided.
 
 Threshold matching runs through the score-accumulation kernel
-(:mod:`repro.matching.kernel`) by default; pass ``use_kernel=False``
-for the naive score-per-candidate reference implementation the
-equivalence tests diff against.  Accumulation is exact here because a
-``SiftMatcher``'s index holds each filter under **all** of its terms
-(the SIFT index contract), so walking every document term's posting
-list touches every shared term of every candidate.
+(:mod:`repro.matching.kernel`) by default; pass a
+``SystemConfig(matching_kernel=False)`` as ``config`` for the naive
+score-per-candidate reference implementation the equivalence tests
+diff against (the ``use_kernel=`` keyword remains as a deprecated
+alias).  Accumulation is exact here because a ``SiftMatcher``'s index
+holds each filter under **all** of its terms (the SIFT index
+contract), so walking every document term's posting list touches every
+shared term of every candidate.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..model import Document, Filter
 from .inverted_index import InvertedIndex, RetrievalCost
 from .kernel import ScoreKernel
 from .vsm import VsmScorer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SystemConfig
+
+#: Sentinel marking "use_kernel not passed" so the deprecated keyword
+#: can be detected without changing behavior for legacy callers.
+_USE_KERNEL_UNSET = object()
 
 
 class SiftMatcher:
@@ -35,18 +45,31 @@ class SiftMatcher:
         index: InvertedIndex,
         scorer: Optional[VsmScorer] = None,
         threshold: Optional[float] = None,
-        use_kernel: bool = True,
+        use_kernel: object = _USE_KERNEL_UNSET,
+        config: Optional["SystemConfig"] = None,
     ) -> None:
         if (scorer is None) != (threshold is None):
             raise ValueError(
                 "scorer and threshold must be supplied together"
             )
+        if use_kernel is _USE_KERNEL_UNSET:
+            kernel_enabled = (
+                config.matching_kernel if config is not None else True
+            )
+        else:
+            warnings.warn(
+                "SiftMatcher(use_kernel=...) is deprecated; pass "
+                "config=SystemConfig(matching_kernel=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            kernel_enabled = bool(use_kernel)
         self.index = index
         self.scorer = scorer
         self.threshold = threshold
         self.kernel: Optional[ScoreKernel] = (
             ScoreKernel(scorer, threshold)
-            if scorer is not None and use_kernel
+            if scorer is not None and kernel_enabled
             else None
         )
 

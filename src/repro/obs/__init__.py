@@ -1,0 +1,53 @@
+"""Observability: tracing spans, unified metrics, stats snapshots.
+
+This package is the one surface through which the four dissemination
+systems report what they are doing — the per-stage spans the pipeline
+emits (:mod:`repro.obs.tracing`), the counters / gauges / latency
+histograms / per-node loads that back them
+(:mod:`repro.obs.metrics`), and the typed :class:`SystemStats`
+snapshot every system returns from ``system.stats()``
+(:mod:`repro.obs.stats`).
+
+Layering: ``obs`` sits at the very bottom of the import graph — it
+imports only the standard library — so every other subsystem
+(``sim``, ``cluster``, ``core``) may depend on it freely.
+
+The default tracer is :data:`NULL_TRACER`, a disabled no-op singleton:
+the pipeline checks ``tracer.enabled`` once per batch and runs the
+untraced fast path, so observability costs nothing unless a real
+:class:`Tracer` is installed (see ``docs/OBSERVABILITY.md``).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    LoadTracker,
+    MetricsRegistry,
+    ThroughputMeter,
+)
+from .stats import SystemStats
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_default_tracer,
+    set_default_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "LoadTracker",
+    "MetricsRegistry",
+    "ThroughputMeter",
+    "SystemStats",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_default_tracer",
+    "set_default_tracer",
+]

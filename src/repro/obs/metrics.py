@@ -1,0 +1,282 @@
+"""The unified metrics model: counters, gauges, loads, histograms.
+
+Experiments read every reported number from here so there is a single
+definition of, e.g., "matching cost" (Figure 9b) or "throughput"
+(Figures 6–8) shared by all four systems under comparison.  The
+:class:`Counter` / :class:`LoadTracker` / :class:`ThroughputMeter`
+primitives are the original ``repro.sim.metrics`` ones (that module now
+re-exports them from here); :class:`Gauge` and
+:class:`LatencyHistogram` extend the registry for the tracing layer,
+which records one histogram per span name.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotone named counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative add {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named point-in-time value (may go up or down)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+def _default_latency_bounds() -> Tuple[float, ...]:
+    """Geometric bucket bounds from 1 µs to ~100 s (factor √10).
+
+    Fifteen fixed buckets cover the whole range a publish stage can
+    realistically span — from sub-microsecond dict probes to a full
+    batch over a large workload — with ~half-decade resolution.
+    """
+    return tuple(1e-6 * math.sqrt(10.0) ** i for i in range(16))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (seconds).
+
+    Bucket bounds are fixed at construction (geometric by default) so
+    recording is one bisect + one increment and merging histograms
+    across systems is well defined.  Values above the last bound land
+    in a final overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "max")
+
+    def __init__(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        chosen = (
+            _default_latency_bounds() if bounds is None else tuple(bounds)
+        )
+        if not chosen or list(chosen) != sorted(chosen):
+            raise ValueError(
+                f"histogram {name}: bounds must be non-empty and sorted"
+            )
+        self.bounds = chosen
+        self.counts = [0] * (len(chosen) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample."""
+        if seconds < 0:
+            raise ValueError(
+                f"histogram {self.name}: negative sample {seconds}"
+            )
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the q-th bucket.
+
+        ``q`` is in [0, 1].  The overflow bucket reports the observed
+        maximum (there is no finite upper bound to return).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """(upper bound, count) pairs; the overflow bound is ``inf``."""
+        bounds = list(self.bounds) + [math.inf]
+        return [
+            (bound, count)
+            for bound, count in zip(bounds, self.counts)
+            if count
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram({self.name}: n={self.count}, "
+            f"mean={self.mean():.2e}s, max={self.max:.2e}s)"
+        )
+
+
+class LoadTracker:
+    """Per-key (typically per-node) load accumulator.
+
+    Used for Figure 9(a) storage cost and Figure 9(b) matching cost.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._load: Dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self._load[key] += amount
+
+    def set(self, key: str, amount: float) -> None:
+        self._load[key] = amount
+
+    def get(self, key: str) -> float:
+        return self._load.get(key, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._load)
+
+    def total(self) -> float:
+        return sum(self._load.values())
+
+    def mean(self) -> float:
+        if not self._load:
+            return 0.0
+        return self.total() / len(self._load)
+
+    def ranked(self, descending: bool = True) -> List[Tuple[str, float]]:
+        """(key, load) pairs sorted by load."""
+        return sorted(
+            self._load.items(), key=lambda kv: kv[1], reverse=descending
+        )
+
+    def normalized_ranked(
+        self, reference_mean: Optional[float] = None, descending: bool = True
+    ) -> List[float]:
+        """Loads divided by a reference mean, ranked.
+
+        Figure 9 plots each node's load over the *RS scheme's* overall
+        average load; pass that mean as ``reference_mean``.
+        """
+        mean = self.mean() if reference_mean is None else reference_mean
+        if mean == 0.0:
+            return [0.0 for _ in self._load]
+        return [
+            load / mean for _, load in self.ranked(descending=descending)
+        ]
+
+    def imbalance(self) -> float:
+        """Max/mean ratio — 1.0 is perfectly balanced."""
+        if not self._load:
+            return 1.0
+        mean = self.mean()
+        if mean == 0.0:
+            return 1.0
+        return max(self._load.values()) / mean
+
+
+class ThroughputMeter:
+    """Counts completed documents and reports docs/second.
+
+    The paper (Section VI-A): "for a document, if all matching filters
+    are found, we then add the throughput by 1" — callers invoke
+    :meth:`complete` exactly once per fully matched document.
+    """
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.started = 0
+        self._first_completion: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    def start(self) -> None:
+        self.started += 1
+
+    def complete(self, now: float) -> None:
+        self.completed += 1
+        if self._first_completion is None:
+            self._first_completion = now
+        self._last_completion = now
+
+    def throughput(self, elapsed: float) -> float:
+        """Documents fully matched per second over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.completed / elapsed
+
+    @property
+    def completion_span(self) -> float:
+        if self._first_completion is None or self._last_completion is None:
+            return 0.0
+        return self._last_completion - self._first_completion
+
+
+@dataclass
+class MetricsRegistry:
+    """Bag of named metrics owned by one system (or tracer) instance.
+
+    Counters, per-node loads, and the throughput meter predate this
+    package and keep their exact semantics; gauges and latency
+    histograms were added for the tracing layer (each finished span
+    observes its duration into the ``span.<name>`` histogram).
+    """
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, LatencyHistogram] = field(default_factory=dict)
+    loads: Dict[str, LoadTracker] = field(default_factory=dict)
+    meter: ThroughputMeter = field(default_factory=ThroughputMeter)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> LatencyHistogram:
+        """Get-or-create; ``bounds`` applies only on first creation."""
+        if name not in self.histograms:
+            self.histograms[name] = LatencyHistogram(name, bounds)
+        return self.histograms[name]
+
+    def load(self, name: str) -> LoadTracker:
+        if name not in self.loads:
+            self.loads[name] = LoadTracker(name)
+        return self.loads[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name→value view of all counters."""
+        snap = {name: c.value for name, c in self.counters.items()}
+        snap["documents_completed"] = float(self.meter.completed)
+        return snap

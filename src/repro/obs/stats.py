@@ -1,0 +1,79 @@
+"""Typed stats snapshots: the uniform ``system.stats()`` payload.
+
+Before this module each system exposed its counters ad hoc (raw
+``metrics.counter(...)`` probes scattered across experiment code).
+:class:`SystemStats` is the one snapshot shape all four dissemination
+systems now return from ``system.stats()``, built entirely from the
+system's :class:`~repro.obs.metrics.MetricsRegistry` so experiments
+and the registry can never disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """Point-in-time totals for one dissemination system.
+
+    The named fields are the cross-scheme comparable core (identical
+    totals on all four systems for the same workload); scheme-specific
+    extras remain reachable through :attr:`counters` /
+    :attr:`load_totals`, which snapshot the whole registry.
+    """
+
+    #: Scheme label ("Move", "IL", "RS", "Central").
+    system: str
+    #: Currently registered filters (registrations minus removals).
+    active_filters: int
+    #: Documents pushed through ``publish``/``publish_batch``.
+    documents_published: float
+    #: Lifetime filter registrations (monotone; includes removed ones).
+    filters_registered: float
+    #: Lifetime filter removals.
+    filters_unregistered: float
+    #: Total document deliveries summed over nodes (Figure 9a numerator).
+    documents_received: float
+    #: Total posting entries scanned, summed over nodes (Figure 9b).
+    posting_entries: float
+    #: Distinct nodes that ever received a document.
+    nodes_touched: int
+    #: Every counter's value, keyed by name.
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: Every load tracker's total, keyed by name.
+    load_totals: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(
+        cls,
+        system: str,
+        registry: MetricsRegistry,
+        active_filters: int,
+    ) -> "SystemStats":
+        """Snapshot ``registry`` into the uniform shape."""
+        counters = {
+            name: counter.value
+            for name, counter in registry.counters.items()
+        }
+        load_totals = {
+            name: load.total() for name, load in registry.loads.items()
+        }
+        received = registry.loads.get("documents_received")
+        return cls(
+            system=system,
+            active_filters=active_filters,
+            documents_published=counters.get("documents_published", 0.0),
+            filters_registered=counters.get("filters_registered", 0.0),
+            filters_unregistered=counters.get("filters_unregistered", 0.0),
+            documents_received=load_totals.get("documents_received", 0.0),
+            posting_entries=load_totals.get("posting_entries", 0.0),
+            nodes_touched=(
+                len(received.as_dict()) if received is not None else 0
+            ),
+            counters=counters,
+            load_totals=load_totals,
+        )

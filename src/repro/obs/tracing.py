@@ -1,0 +1,284 @@
+"""Pipeline tracing: nested spans over publish/batch dissemination.
+
+The span model mirrors the staged pipeline
+(:mod:`repro.core.pipeline`) one-to-one:
+
+- ``publish_batch`` — root span, one per batch, tagged with the system
+  name and batch size;
+- ``publish`` — one child per document, tagged with the document id,
+  fanout, and candidate/match counts once the plan is known;
+- ``observe`` / ``ingest`` / ``route`` / ``execute`` / ``account`` —
+  one child of ``publish`` per pipeline stage per document;
+- ``execute_node`` — children of ``execute``, one per per-node work
+  fold, tagged with the node id and its posting costs, so hot-node
+  skew and partition-pick imbalance are directly visible.
+
+Spans are plain records collected on the :class:`Tracer`; every
+finished span also observes its duration into the tracer's
+:class:`~repro.obs.metrics.MetricsRegistry` under the
+``span.<name>`` histogram, which is what
+:meth:`Tracer.stage_summary` and ``scripts/trace_report.py`` read.
+
+The disabled path is free by construction: :data:`NULL_TRACER` (a
+:class:`NullTracer`) reports ``enabled = False``, the pipeline checks
+that flag once per batch and takes the untraced branch, and the
+null tracer's :meth:`~NullTracer.span` returns one shared no-op span
+object — no allocation anywhere on the path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, IO, List, Optional, Union
+
+from .metrics import MetricsRegistry
+
+
+class Span:
+    """One timed, tagged region, nested under a parent span.
+
+    Used as a context manager (``with tracer.span("route") as span:``);
+    entering records the start time and parenthood, exiting records the
+    end time and hands the finished span back to the tracer.  Extra
+    tags may be attached mid-flight via :meth:`annotate` (e.g. the
+    fanout, which is only known once the plan is built).
+    """
+
+    __slots__ = (
+        "tracer",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "tags",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        name: str,
+        tags: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id: Optional[int] = None
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.tags = tags
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        return max(0.0, self.end - self.start)
+
+    def annotate(self, **tags: Any) -> "Span":
+        """Attach extra tags to an open (or finished) span."""
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._pop(self)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready record (times relative to the tracer epoch)."""
+        epoch = self.tracer._epoch
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start - epoch,
+            "end_s": self.end - epoch,
+            "duration_s": self.duration,
+            "tags": self.tags,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name} #{self.span_id} "
+            f"{self.duration * 1e6:.1f}us {self.tags})"
+        )
+
+
+class Tracer:
+    """Collects nested spans and backs them with a metrics registry.
+
+    Single-threaded by design (like the simulator): parenthood is a
+    plain stack, so spans nest in call order.  Every finished span is
+    appended to :attr:`spans` and its duration observed into the
+    ``span.<name>`` histogram of :attr:`registry`; the per-span-name
+    counter ``spans`` tracks the total emitted.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """Open a new span; use as a context manager."""
+        self._next_id += 1
+        return Span(self, self._next_id, name, tags)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+        self._stack.append(span)
+        span.start = time.perf_counter()
+
+    def _pop(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        top = self._stack.pop()
+        if top is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span {span.name!r} closed while {top.name!r} was open"
+            )
+        self._record(span)
+
+    def emit(
+        self, name: str, start: float, end: float, **tags: Any
+    ) -> Span:
+        """Record an already-timed span under the current parent.
+
+        Used where the region boundaries are observed rather than
+        wrapped — e.g. the per-node ``execute_node`` sub-spans, whose
+        boundaries are the work-accumulator fold times.
+        """
+        self._next_id += 1
+        span = Span(self, self._next_id, name, tags)
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+        span.start = start
+        span.end = end
+        self._record(span)
+        return span
+
+    def _record(self, span: Span) -> None:
+        self.spans.append(span)
+        self.registry.counter("spans").add()
+        self.registry.histogram(f"span.{span.name}").observe(span.duration)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stage_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name latency summary from the backing histograms.
+
+        ``{name: {count, total_s, mean_s, p50_s, p95_s, max_s}}``,
+        with histogram-bucket-resolution percentiles.
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        for key, hist in sorted(self.registry.histograms.items()):
+            if not key.startswith("span."):
+                continue
+            summary[key[len("span."):]] = {
+                "count": float(hist.count),
+                "total_s": hist.total,
+                "mean_s": hist.mean(),
+                "p50_s": hist.percentile(0.50),
+                "p95_s": hist.percentile(0.95),
+                "max_s": hist.max,
+            }
+        return summary
+
+    def write_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Export the collected spans as JSON lines; returns the count.
+
+        ``destination`` is a path or an open text stream.  One JSON
+        object per span, in completion order (children before their
+        parents, as in any post-order trace).
+        """
+        if hasattr(destination, "write"):
+            return self._write_stream(destination)
+        with open(destination, "w", encoding="utf-8") as stream:
+            return self._write_stream(stream)
+
+    def _write_stream(self, stream: IO[str]) -> int:
+        for span in self.spans:
+            stream.write(json.dumps(span.as_dict(), sort_keys=True))
+            stream.write("\n")
+        return len(self.spans)
+
+    def reset(self) -> None:
+        """Drop collected spans and registry state (tests, reuse)."""
+        if self._stack:
+            raise RuntimeError("cannot reset a tracer with open spans")
+        self.spans.clear()
+        self.registry = MetricsRegistry()
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+
+
+class _NullSpan:
+    """The shared do-nothing span the null tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def annotate(self, **tags: Any) -> "_NullSpan":
+        return self
+
+
+#: The one no-op span instance; never allocated per call.
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: ``enabled`` is False and every call is a no-op.
+
+    The pipeline branches on :attr:`enabled` once per batch, so under
+    the null tracer dissemination runs the exact untraced code path;
+    even direct calls allocate nothing (:meth:`span` returns the one
+    shared :class:`_NullSpan`).
+    """
+
+    enabled = False
+
+    def span(self, name: str, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def emit(self, name: str, start: float, end: float, **tags: Any) -> None:
+        return None
+
+
+#: The process-wide disabled tracer (and the default for every system).
+NULL_TRACER = NullTracer()
+
+#: Module-level default handed to newly constructed systems.
+_default_tracer: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get_default_tracer() -> Union[Tracer, NullTracer]:
+    """The tracer new systems adopt (``NULL_TRACER`` unless set)."""
+    return _default_tracer
+
+
+def set_default_tracer(
+    tracer: Optional[Union[Tracer, NullTracer]],
+) -> Union[Tracer, NullTracer]:
+    """Install the default tracer; ``None`` restores :data:`NULL_TRACER`.
+
+    Returns the previous default so callers can restore it (the
+    ``--trace`` flag and tests use try/finally around this).
+    """
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous

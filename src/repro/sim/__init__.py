@@ -12,13 +12,16 @@ transfer), so the relative shapes of the curves are preserved.
   node model),
 - :mod:`repro.sim.network` — link latency model,
 - :mod:`repro.sim.costs` — the paper's latency cost model,
-- :mod:`repro.sim.metrics` — counters, per-node load, series recording,
+- :mod:`repro.sim.metrics` — compatibility shim; the counters and load
+  trackers moved to :mod:`repro.obs.metrics`,
 - :mod:`repro.sim.randomness` — seeded stream splitting.
+
+Metrics primitives (``Counter``, ``MetricsRegistry``, …) are no longer
+re-exported here: import them from :mod:`repro.obs` instead.
 """
 
 from .costs import MatchCostModel
 from .engine import Event, Simulator
-from .metrics import Counter, LoadTracker, MetricsRegistry, ThroughputMeter
 from .network import NetworkModel
 from .randomness import RandomSource
 from .server import FifoServer
@@ -29,9 +32,5 @@ __all__ = [
     "FifoServer",
     "NetworkModel",
     "MatchCostModel",
-    "MetricsRegistry",
-    "Counter",
-    "LoadTracker",
-    "ThroughputMeter",
     "RandomSource",
 ]

@@ -3,148 +3,29 @@
 Experiments read every reported number from here so there is a single
 definition of, e.g., "matching cost" (Figure 9b) or "throughput"
 (Figures 6–8) shared by all three systems under comparison.
+
+The implementations now live in :mod:`repro.obs.metrics` — the unified
+observability registry that also backs the tracing layer — and this
+module re-exports them unchanged, so ``repro.sim`` imports keep
+working and figure experiments keep their single source of truth.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from ..obs.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    LoadTracker,
+    MetricsRegistry,
+    ThroughputMeter,
+)
 
-
-class Counter:
-    """A monotone named counter."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0.0
-
-    def add(self, amount: float = 1.0) -> None:
-        if amount < 0:
-            raise ValueError(f"counter {self.name}: negative add {amount}")
-        self.value += amount
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name}={self.value})"
-
-
-class LoadTracker:
-    """Per-key (typically per-node) load accumulator.
-
-    Used for Figure 9(a) storage cost and Figure 9(b) matching cost.
-    """
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._load: Dict[str, float] = defaultdict(float)
-
-    def add(self, key: str, amount: float = 1.0) -> None:
-        self._load[key] += amount
-
-    def set(self, key: str, amount: float) -> None:
-        self._load[key] = amount
-
-    def get(self, key: str) -> float:
-        return self._load.get(key, 0.0)
-
-    def as_dict(self) -> Dict[str, float]:
-        return dict(self._load)
-
-    def total(self) -> float:
-        return sum(self._load.values())
-
-    def mean(self) -> float:
-        if not self._load:
-            return 0.0
-        return self.total() / len(self._load)
-
-    def ranked(self, descending: bool = True) -> List[Tuple[str, float]]:
-        """(key, load) pairs sorted by load."""
-        return sorted(
-            self._load.items(), key=lambda kv: kv[1], reverse=descending
-        )
-
-    def normalized_ranked(
-        self, reference_mean: Optional[float] = None, descending: bool = True
-    ) -> List[float]:
-        """Loads divided by a reference mean, ranked.
-
-        Figure 9 plots each node's load over the *RS scheme's* overall
-        average load; pass that mean as ``reference_mean``.
-        """
-        mean = self.mean() if reference_mean is None else reference_mean
-        if mean == 0.0:
-            return [0.0 for _ in self._load]
-        return [
-            load / mean for _, load in self.ranked(descending=descending)
-        ]
-
-    def imbalance(self) -> float:
-        """Max/mean ratio — 1.0 is perfectly balanced."""
-        if not self._load:
-            return 1.0
-        mean = self.mean()
-        if mean == 0.0:
-            return 1.0
-        return max(self._load.values()) / mean
-
-
-class ThroughputMeter:
-    """Counts completed documents and reports docs/second.
-
-    The paper (Section VI-A): "for a document, if all matching filters
-    are found, we then add the throughput by 1" — callers invoke
-    :meth:`complete` exactly once per fully matched document.
-    """
-
-    def __init__(self) -> None:
-        self.completed = 0
-        self.started = 0
-        self._first_completion: Optional[float] = None
-        self._last_completion: Optional[float] = None
-
-    def start(self) -> None:
-        self.started += 1
-
-    def complete(self, now: float) -> None:
-        self.completed += 1
-        if self._first_completion is None:
-            self._first_completion = now
-        self._last_completion = now
-
-    def throughput(self, elapsed: float) -> float:
-        """Documents fully matched per second over ``elapsed``."""
-        if elapsed <= 0:
-            return 0.0
-        return self.completed / elapsed
-
-    @property
-    def completion_span(self) -> float:
-        if self._first_completion is None or self._last_completion is None:
-            return 0.0
-        return self._last_completion - self._first_completion
-
-
-@dataclass
-class MetricsRegistry:
-    """Bag of named metrics owned by one system instance."""
-
-    counters: Dict[str, Counter] = field(default_factory=dict)
-    loads: Dict[str, LoadTracker] = field(default_factory=dict)
-    meter: ThroughputMeter = field(default_factory=ThroughputMeter)
-
-    def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
-
-    def load(self, name: str) -> LoadTracker:
-        if name not in self.loads:
-            self.loads[name] = LoadTracker(name)
-        return self.loads[name]
-
-    def snapshot(self) -> Dict[str, float]:
-        """Flat name→value view of all counters."""
-        snap = {name: c.value for name, c in self.counters.items()}
-        snap["documents_completed"] = float(self.meter.completed)
-        return snap
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "LoadTracker",
+    "MetricsRegistry",
+    "ThroughputMeter",
+]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Optional
 
 from ..errors import SimulationError
+from ..obs.metrics import MetricsRegistry
 from .engine import Simulator
 
 
@@ -53,12 +54,27 @@ class ServerStats:
 
 
 class FifoServer:
-    """A work-conserving single server bound to a simulator."""
+    """A work-conserving single server bound to a simulator.
 
-    def __init__(self, sim: Simulator, name: str = "server") -> None:
+    ``registry`` optionally wires the server into the observability
+    layer (:mod:`repro.obs`): each completed job observes its service
+    and wait times (simulated seconds) into the ``server.service`` /
+    ``server.wait`` histograms and accumulates the per-server
+    ``server_busy_time`` load — the per-node event timeline failure
+    diagnosis needs.  Without a registry the completion path is
+    untouched.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "server",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.sim = sim
         self.name = name
         self.stats = ServerStats()
+        self.registry = registry
         self._queue: Deque[_Job] = deque()
         self._queued_work = 0.0
         self._busy = False
@@ -133,6 +149,17 @@ class FifoServer:
             self.stats.jobs_completed += 1
             self.stats.busy_time += self.sim.now - started
             self.stats.total_sojourn += self.sim.now - job.enqueued_at
+            registry = self.registry
+            if registry is not None:
+                registry.histogram("server.service").observe(
+                    self.sim.now - started
+                )
+                registry.histogram("server.wait").observe(
+                    started - job.enqueued_at
+                )
+                registry.load("server_busy_time").add(
+                    self.name, self.sim.now - started
+                )
             if job.on_complete is not None:
                 job.on_complete()
             self._maybe_start()

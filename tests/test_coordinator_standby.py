@@ -120,7 +120,7 @@ def test_failover_mid_stream_preserves_routing():
     # "Failover": recompute the plan from the same statistics (what a
     # standby coordinator would do) and re-apply it.
     standby_plan = system.coordinator.plan_from_stats(
-        system.stats, system.home_of, num_nodes=len(cluster)
+        system.term_stats, system.home_of, num_nodes=len(cluster)
     )
     system._apply_plan(standby_plan)
     after = system.publish(

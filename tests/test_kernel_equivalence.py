@@ -7,7 +7,8 @@ stay *exactly* the same: matched filter sets, unreachable sets,
 ``NodeTask``/``RetrievalCost`` accounting, and the scores themselves
 under exact float equality (``==``, no tolerance).  Each test runs two
 identically-seeded systems, one with the kernel enabled and one forced
-onto the naive per-candidate loop (``kernel.enabled = False``), and
+onto the naive per-candidate loop
+(``SystemConfig(matching_kernel=False)``), and
 diffs everything, including under interleaved
 ``CorpusStatistics.observe`` calls (IDF epoch invalidation), node
 failures, and register/unregister churn (norm maintenance and
@@ -16,6 +17,8 @@ registration-epoch invalidation).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.baselines import (
@@ -23,6 +26,7 @@ from repro.baselines import (
     InvertedListSystem,
     RendezvousSystem,
 )
+from repro.config import SystemConfig
 from repro.core import MoveSystem
 from repro.experiments.harness import (
     ScaledWorkload,
@@ -45,12 +49,12 @@ def _build(scheme, bundle, kernel_enabled):
     cluster, config = build_cluster(
         workload.num_nodes, workload.node_capacity, seed=3
     )
+    config = replace(config, matching_kernel=kernel_enabled)
     system = make_system(scheme, cluster, config, threshold=THRESHOLD)
     system.register_batch(bundle.filters)
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
-    system._kernel.enabled = kernel_enabled
     return system
 
 
@@ -215,7 +219,10 @@ def _sift_pair(filters):
         index_a, scorer=scorer, threshold=THRESHOLD
     )
     reference = SiftMatcher(
-        index_b, scorer=scorer, threshold=THRESHOLD, use_kernel=False
+        index_b,
+        scorer=scorer,
+        threshold=THRESHOLD,
+        config=SystemConfig(matching_kernel=False),
     )
     return kernel_matcher, reference
 
@@ -241,7 +248,10 @@ def test_sift_matcher_kernel_matches_reference():
 def test_sift_matcher_reference_has_no_kernel():
     index = InvertedIndex()
     matcher = SiftMatcher(
-        index, scorer=VsmScorer(), threshold=0.5, use_kernel=False
+        index,
+        scorer=VsmScorer(),
+        threshold=0.5,
+        config=SystemConfig(matching_kernel=False),
     )
     assert matcher.kernel is None
 

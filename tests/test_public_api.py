@@ -23,6 +23,7 @@ def test_root_all_resolvable():
         "repro.experiments",
         "repro.matching",
         "repro.model",
+        "repro.obs",
         "repro.sim",
         "repro.stats",
         "repro.text",
@@ -37,6 +38,29 @@ def test_subpackage_all_resolvable(module_name):
 
 def test_version_string():
     assert repro.__version__.count(".") == 2
+
+
+def test_observability_surface_at_root():
+    """The PR-4 facade is importable from the package root."""
+    for name in (
+        "Tracer",
+        "NullTracer",
+        "MetricsRegistry",
+        "SystemStats",
+        "get_default_tracer",
+        "set_default_tracer",
+    ):
+        assert name in repro.__all__, name
+        assert hasattr(repro, name), name
+
+
+def test_sim_no_longer_reexports_metrics():
+    """Metrics primitives moved to ``repro.obs``; the old ``repro.sim``
+    re-exports are pruned (``repro.sim.metrics`` stays as a shim)."""
+    import repro.sim
+
+    for name in ("Counter", "MetricsRegistry", "ThroughputMeter"):
+        assert name not in repro.sim.__all__, name
 
 
 def test_every_public_item_documented():

@@ -4,13 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import (
+from repro.obs import (
     Counter,
     LoadTracker,
     MetricsRegistry,
-    RandomSource,
     ThroughputMeter,
 )
+from repro.sim import RandomSource
 from repro.sim.randomness import stable_hash64
 
 

@@ -82,9 +82,9 @@ def test_unregister_then_reregister(tiny_workload):
 def test_move_unregister_updates_popularity(tiny_workload):
     filters, documents = tiny_workload
     system = _build("move", filters, seed_docs=documents[:10])
-    before = system.stats.popularity.total_filters
+    before = system.term_stats.popularity.total_filters
     system.unregister(filters[0].filter_id)
-    assert system.stats.popularity.total_filters == before - 1
+    assert system.term_stats.popularity.total_filters == before - 1
 
 
 def test_unregister_survives_reallocation(tiny_workload):
