@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Tier-1 suite + hot-path benchmark runner with a regression gate.
+"""Tier-1 suite + perf benchmark runner with a regression gate.
 
 Usage (from the repository root)::
 
@@ -9,20 +9,29 @@ Usage (from the repository root)::
     python scripts/run_benchmarks.py --profile      # cProfile the loops
     python scripts/run_benchmarks.py --update-baseline
 
-The default gate compares the fresh hot-path numbers against the
-committed ``BENCH_hot_path.json`` baseline and exits non-zero when
-batched throughput (``docs_per_second_batched``) of any benchmark
-regresses by more than ``--tolerance`` (default 20%).
+Two benchmark files run in one pytest-benchmark invocation: the
+dissemination hot path (``bench_hot_path.py``) and the reallocation
+engine (``bench_reallocation.py``).  The default gate compares the
+fresh numbers against the committed ``BENCH_hot_path.json`` baseline
+and exits non-zero when any benchmark's throughput metric — batched
+docs/s for the hot-path benches, refreshes/s for the reallocation
+bench — regresses by more than ``--tolerance`` (default 20%).
 ``--update-baseline`` rewrites the baseline instead — run it on the
 reference machine after an intentional perf change and commit the
-result so the next PR inherits the trajectory.
+result so the next PR inherits the trajectory.  The baseline is
+trimmed before writing: only the identifying machine fields, the
+commit info, and each benchmark's ``extra_info`` + summary stats are
+kept (the raw cpuinfo blob — flags and cache geometry — is noise the
+gate never reads).
 
 ``--check`` is the CI mode: it skips the tier-1 suite (CI runs pytest
 as its own step) and gates on the ``speedup`` *ratio* instead of
 absolute throughput.  The ratio divides out the host's single-thread
-speed — reference and batched loops run on the same machine — so it is
+speed — both sides of every ratio run on the same machine — so it is
 the only number comparable between the committed baseline and an
-arbitrary CI runner.
+arbitrary CI runner.  For the reallocation bench the recorded ratio is
+capped inside the bench (see bench_reallocation.py) so the gate tracks
+a stable number.
 
 Both modes additionally assert the observability disabled-path budget:
 the fresh ``test_tracing_disabled_overhead`` bench must report a
@@ -47,15 +56,33 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hot_path.json"
-BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_hot_path.py"
+BENCH_PATHS = (
+    REPO_ROOT / "benchmarks" / "bench_hot_path.py",
+    REPO_ROOT / "benchmarks" / "bench_reallocation.py",
+)
 
-#: The headline metric the default gate tracks, per benchmark name.
-GATED_METRIC = "docs_per_second_batched"
+#: Headline metrics the default gate tracks, per benchmark name; the
+#: first one present in a benchmark's ``extra_info`` wins (hot-path
+#: benches record docs/s, the reallocation bench refreshes/s).
+GATED_METRICS = ("docs_per_second_batched", "refreshes_per_second")
 
-#: The machine-portable metric ``--check`` tracks: the batched/reference
-#: ratio is host-speed-invariant, so CI runners can gate against a
-#: baseline recorded on different hardware.
-CHECK_METRIC = "speedup"
+#: The machine-portable metric ``--check`` tracks: every recorded
+#: ``speedup`` is a same-host ratio, host-speed-invariant, so CI
+#: runners can gate against a baseline recorded on different hardware.
+CHECK_METRICS = ("speedup",)
+
+#: Fields kept by :func:`trim_payload` when writing the baseline.
+MACHINE_INFO_KEYS = (
+    "node",
+    "machine",
+    "system",
+    "release",
+    "python_implementation",
+    "python_version",
+)
+CPU_INFO_KEYS = ("brand_raw", "arch", "count", "hz_advertised_friendly")
+STATS_KEYS = ("min", "max", "mean", "stddev", "median", "rounds",
+              "iterations")
 
 #: The disabled-path bench and its fixed budget: with the default no-op
 #: tracer, ``publish_batch`` may cost at most 2% over the raw engine
@@ -83,15 +110,15 @@ def run_tier1_tests() -> int:
     )
 
 
-def run_hot_path_bench(json_out: Path, profile: bool) -> int:
-    """pytest-benchmark over the hot-path bench, JSON to ``json_out``."""
-    print("== hot-path benchmark ==", flush=True)
+def run_bench_suite(json_out: Path, profile: bool) -> int:
+    """pytest-benchmark over both bench files, JSON to ``json_out``."""
+    print("== performance benchmarks ==", flush=True)
     env = _env_with_src()
     command = [
         sys.executable,
         "-m",
         "pytest",
-        str(BENCH_PATH),
+        *(str(path) for path in BENCH_PATHS),
         "--benchmark-only",
         f"--benchmark-json={json_out}",
         "-q",
@@ -104,18 +131,66 @@ def run_hot_path_bench(json_out: Path, profile: bool) -> int:
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 
-def extract_metrics(payload: dict, metric: str = GATED_METRIC) -> dict:
-    """benchmark name -> ``metric`` value from ``extra_info``."""
-    metrics = {}
+def extract_metrics(payload: dict, metrics=GATED_METRICS) -> dict:
+    """benchmark name -> (metric name, value) from ``extra_info``.
+
+    ``metrics`` is an ordered tuple of candidates; the first one a
+    benchmark actually recorded wins, so one gate pass can mix benches
+    with different headline metrics.
+    """
+    extracted = {}
     for bench in payload.get("benchmarks", []):
-        value = bench.get("extra_info", {}).get(metric)
-        if value is not None:
-            metrics[bench["name"]] = float(value)
-    return metrics
+        extra = bench.get("extra_info", {})
+        for metric in metrics:
+            value = extra.get(metric)
+            if value is not None:
+                extracted[bench["name"]] = (metric, float(value))
+                break
+    return extracted
+
+
+def trim_payload(payload: dict) -> dict:
+    """The baseline subset of a pytest-benchmark JSON payload.
+
+    Keeps only what the gate and a human diff need: identifying
+    machine fields (the cpuinfo ``flags`` blob alone is ~1.5 kB of
+    noise), commit info, and per-benchmark name/``extra_info``/summary
+    stats.
+    """
+    machine_info = payload.get("machine_info", {})
+    cpu_info = machine_info.get("cpu", {})
+    trimmed_machine = {
+        key: machine_info[key]
+        for key in MACHINE_INFO_KEYS
+        if key in machine_info
+    }
+    trimmed_machine["cpu"] = {
+        key: cpu_info[key] for key in CPU_INFO_KEYS if key in cpu_info
+    }
+    benchmarks = [
+        {
+            "name": bench["name"],
+            "fullname": bench.get("fullname", bench["name"]),
+            "extra_info": bench.get("extra_info", {}),
+            "stats": {
+                key: bench.get("stats", {}).get(key)
+                for key in STATS_KEYS
+                if key in bench.get("stats", {})
+            },
+        }
+        for bench in payload.get("benchmarks", [])
+    ]
+    return {
+        "machine_info": trimmed_machine,
+        "commit_info": payload.get("commit_info", {}),
+        "datetime": payload.get("datetime"),
+        "version": payload.get("version"),
+        "benchmarks": benchmarks,
+    }
 
 
 def check_regression(
-    fresh: dict, tolerance: float, metric: str = GATED_METRIC
+    fresh: dict, tolerance: float, metrics=GATED_METRICS
 ) -> int:
     """Compare fresh metrics against the committed baseline."""
     if not BASELINE_PATH.exists():
@@ -125,12 +200,12 @@ def check_regression(
         )
         return 1
     baseline = extract_metrics(
-        json.loads(BASELINE_PATH.read_text()), metric
+        json.loads(BASELINE_PATH.read_text()), metrics
     )
-    fresh_metrics = extract_metrics(fresh, metric)
+    fresh_metrics = extract_metrics(fresh, metrics)
     failures = 0
-    for name, old_value in sorted(baseline.items()):
-        new_value = fresh_metrics.get(name)
+    for name, (metric, old_value) in sorted(baseline.items()):
+        _, new_value = fresh_metrics.get(name, (metric, None))
         if new_value is None:
             print(f"REGRESSION {name}: benchmark missing from fresh run")
             failures += 1
@@ -201,7 +276,7 @@ def main() -> int:
         action="store_true",
         help=(
             "CI mode: skip the tier-1 suite and gate on the "
-            f"machine-portable {CHECK_METRIC!r} ratio instead of "
+            f"machine-portable {CHECK_METRICS[0]!r} ratio instead of "
             "absolute throughput"
         ),
     )
@@ -218,22 +293,25 @@ def main() -> int:
             return code
 
     with tempfile.TemporaryDirectory() as tmp:
-        json_out = Path(tmp) / "bench_hot_path.json"
-        code = run_hot_path_bench(json_out, profile=args.profile)
+        json_out = Path(tmp) / "bench_suite.json"
+        code = run_bench_suite(json_out, profile=args.profile)
         if code != 0:
-            print("hot-path benchmark failed")
+            print("benchmark suite failed")
             return code
         payload = json.loads(json_out.read_text())
 
     if args.update_baseline:
-        BASELINE_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+        trimmed = trim_payload(payload)
+        BASELINE_PATH.write_text(json.dumps(trimmed, indent=1) + "\n")
         print(f"baseline updated: {BASELINE_PATH}")
-        for name, value in sorted(extract_metrics(payload).items()):
-            print(f"  {name}: {GATED_METRIC} {value:,.0f}")
+        for name, (metric, value) in sorted(
+            extract_metrics(trimmed).items()
+        ):
+            print(f"  {name}: {metric} {value:,.0f}")
         return 0
 
-    metric = CHECK_METRIC if args.check else GATED_METRIC
-    code = check_regression(payload, args.tolerance, metric)
+    metrics = CHECK_METRICS if args.check else GATED_METRICS
+    code = check_regression(payload, args.tolerance, metrics)
     overhead_code = check_disabled_overhead(payload)
     return code or overhead_code
 

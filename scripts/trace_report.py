@@ -12,7 +12,10 @@ prints:
   execution stage's time and posting-entry volume spread across the
   cluster),
 - per-system publish totals (documents, matches, fanout) reconciled
-  from the ``publish`` span tags.
+  from the ``publish`` span tags,
+- per-system reallocation totals (refreshes applied vs skipped by the
+  drift gate, keys kept vs rebuilt, replicas moved, time spent) from
+  the ``reallocate`` span tags — omitted when the trace has none.
 
 Examples::
 
@@ -161,6 +164,52 @@ def publish_table(spans: List[dict]) -> str:
     return "\n".join(lines)
 
 
+def reallocation_table(spans: List[dict]) -> str:
+    """Per-system refresh totals from the ``reallocate`` span tags.
+
+    Every ``MoveSystem.reallocate`` call — the finalize-registration
+    apply, periodic refreshes, and drift-gate skips alike — emits one
+    span tagged with its :class:`repro.core.ReallocationReport`.
+    """
+    per_system: Dict[str, dict] = defaultdict(
+        lambda: {
+            "refreshes": 0,
+            "skipped": 0,
+            "keys_kept": 0,
+            "keys_rebuilt": 0,
+            "replicas_moved": 0,
+            "seconds": 0.0,
+        }
+    )
+    for span in spans:
+        if span["name"] != "reallocate":
+            continue
+        tags = span["tags"]
+        row = per_system[str(tags.get("system", "?"))]
+        row["refreshes"] += 1
+        row["skipped"] += 1 if tags.get("skipped") else 0
+        row["keys_kept"] += tags.get("keys_kept", 0)
+        row["keys_rebuilt"] += tags.get("keys_rebuilt", 0)
+        row["replicas_moved"] += tags.get("replicas_moved", 0)
+        row["seconds"] += span["duration_s"]
+    if not per_system:
+        return ""
+    lines = [
+        f"{'system':<10} {'refreshes':>9} {'skipped':>7} "
+        f"{'keys_kept':>9} {'keys_rebuilt':>12} "
+        f"{'replicas_moved':>14} {'total_ms':>9}"
+    ]
+    for system in sorted(per_system):
+        row = per_system[system]
+        lines.append(
+            f"{system:<10} {row['refreshes']:>9d} {row['skipped']:>7d} "
+            f"{row['keys_kept']:>9d} {row['keys_rebuilt']:>12d} "
+            f"{row['replicas_moved']:>14d} "
+            f"{row['seconds'] * 1e3:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     spans = load_spans(args.trace)
@@ -175,6 +224,10 @@ def main(argv=None) -> int:
         print(node_table(spans, args.top))
         print("\n## Publish totals\n")
         print(publish_table(spans))
+        realloc = reallocation_table(spans)
+        if realloc:
+            print("\n## Reallocation (reallocate spans)\n")
+            print(realloc)
     return 0
 
 

@@ -87,6 +87,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"mean={row['mean_s'] * 1e6:8.1f}us "
             f"p95={row['p95_s'] * 1e6:8.1f}us"
         )
+    realloc = [s for s in tracer.spans if s.name == "reallocate"]
+    if realloc:
+        skipped = sum(1 for s in realloc if s.tags.get("skipped"))
+        kept = sum(s.tags.get("keys_kept", 0) for s in realloc)
+        rebuilt = sum(s.tags.get("keys_rebuilt", 0) for s in realloc)
+        moved = sum(s.tags.get("replicas_moved", 0) for s in realloc)
+        print(
+            f"  reallocations: {len(realloc)} "
+            f"({len(realloc) - skipped} applied, {skipped} skipped), "
+            f"keys kept {kept} / rebuilt {rebuilt}, "
+            f"replicas moved {moved}"
+        )
     return 0
 
 

@@ -111,6 +111,20 @@ class AllocationConfig:
     randomized_rounding: bool = True
     #: Seconds between statistic renewals (600 s = 10 min in the paper).
     refresh_interval: float = 600.0
+    #: Apply allocation plans incrementally (plan diffing: unchanged
+    #: keys keep their subset indexes, churned keys apply deltas, only
+    #: resized grids rebuild).  ``False`` forces the from-scratch
+    #: rebuild on every ``reallocate`` — the pre-engine behaviour, kept
+    #: for benchmarking and differential testing.
+    incremental: bool = True
+    #: Drift threshold for the refresh gate: when the demand drift
+    #: since the last applied plan (frequency-window movement plus
+    #: filter churn; see ``MoveSystem.estimate_drift``) stays below
+    #: this value, ``reallocate()`` skips the replan entirely and the
+    #: write-through-maintained grids keep serving.  ``0.0`` disables
+    #: the gate (every refresh replans — the paper's blind 10-minute
+    #: renewal).
+    drift_epsilon: float = 0.0
 
     _RULES = ("sqrt_q", "sqrt_beta_q", "sqrt_pq", "uniform")
     _PLACEMENTS = ("ring", "rack", "hybrid")
@@ -130,6 +144,10 @@ class AllocationConfig:
             )
         if self.refresh_interval <= 0:
             raise ConfigurationError("refresh_interval must be positive")
+        if not 0.0 <= self.drift_epsilon <= 1.0:
+            raise ConfigurationError(
+                f"drift_epsilon must be in [0, 1], got {self.drift_epsilon}"
+            )
 
 
 @dataclass(frozen=True)

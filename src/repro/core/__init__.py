@@ -32,16 +32,30 @@ from .optimizer import AllocationFactors, MoveOptimizer, NodeDemand
 from .placement import PlacementSelector
 from .policies import (
     AllocationPolicy,
+    DriftPolicy,
     PassivePolicy,
     ProactivePolicy,
     run_policy,
+)
+from .reallocation import (
+    KeyDiff,
+    PlanDiff,
+    ReallocationReport,
+    ReplicaMove,
+    diff_plans,
 )
 
 __all__ = [
     "AllocationPolicy",
     "ProactivePolicy",
     "PassivePolicy",
+    "DriftPolicy",
     "run_policy",
+    "KeyDiff",
+    "PlanDiff",
+    "ReallocationReport",
+    "ReplicaMove",
+    "diff_plans",
     "DeliveryService",
     "Inbox",
     "Notification",

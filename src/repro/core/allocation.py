@@ -80,6 +80,19 @@ class AllocationGrid:
             raise AllocationError(
                 f"grid for {self.home_node!r} repeats a node"
             )
+        # Holder tuples per subset, precomputed once: the apply and
+        # write-through loops ask for the holders of one filter's
+        # subset per replica, so this lookup must not rebuild a list
+        # per call.  Not a dataclass field — equality and repr stay
+        # defined by (home_node, ratio, rows) alone.
+        object.__setattr__(
+            self,
+            "_holders_by_subset",
+            tuple(
+                tuple(row[subset] for row in self.rows)
+                for subset in range(width)
+            ),
+        )
 
     @property
     def partition_count(self) -> int:
@@ -108,7 +121,16 @@ class AllocationGrid:
             raise AllocationError(
                 f"subset {subset} out of range 0..{self.subset_count - 1}"
             )
-        return [row[subset] for row in self.rows]
+        return list(self._holders_by_subset[subset])
+
+    def subset_holders(self) -> Tuple[Tuple[str, ...], ...]:
+        """Holder tuples indexed by subset (precomputed, O(1)).
+
+        ``subset_holders()[s]`` equals ``tuple(holders_of_subset(s))``;
+        the reallocation engine iterates this instead of calling
+        :meth:`holders_of_subset` once per filter replica.
+        """
+        return self._holders_by_subset
 
     def partition(self, row_index: int) -> Tuple[str, ...]:
         return self.rows[row_index]

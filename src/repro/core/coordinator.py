@@ -183,6 +183,45 @@ class Coordinator:
         self.plans_computed += 1
         return plan
 
+    @staticmethod
+    def demand_drift(
+        old: Sequence[NodeDemand], new: Sequence[NodeDemand]
+    ) -> float:
+        """Relative movement between two demand snapshots, in [0, 1].
+
+        Averages the relative L1 distance of the three demand
+        components (popularity, frequency, stored replicas) over the
+        union of keys: ``sum |new - old| / sum max(new, old)`` per
+        component.  0.0 means the snapshots are identical (a replan
+        would reproduce the same continuous optimum); 1.0 means they
+        share no mass.  This is the coordinator-side counterpart of
+        :meth:`repro.stats.term_stats.TermStatistics.window_drift` —
+        exact but requiring both snapshots, so diagnostics and tests
+        use it while the refresh gate uses the cheap stats-side signal.
+        """
+        old_by_key = {demand.key: demand for demand in old}
+        new_by_key = {demand.key: demand for demand in new}
+        moved = [0.0, 0.0, 0.0]
+        mass = [0.0, 0.0, 0.0]
+        for key in old_by_key.keys() | new_by_key.keys():
+            a = old_by_key.get(key)
+            b = new_by_key.get(key)
+            for slot, attr in enumerate(
+                ("popularity", "frequency", "stored_replicas")
+            ):
+                old_value = float(getattr(a, attr)) if a else 0.0
+                new_value = float(getattr(b, attr)) if b else 0.0
+                moved[slot] += abs(new_value - old_value)
+                mass[slot] += max(new_value, old_value)
+        components = [
+            moved[slot] / mass[slot]
+            for slot in range(3)
+            if mass[slot] > 0.0
+        ]
+        if not components:
+            return 0.0
+        return sum(components) / len(components)
+
     def plan_from_stats(
         self,
         stats: TermStatistics,

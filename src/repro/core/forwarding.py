@@ -132,6 +132,18 @@ class ForwardingTable:
         )
         return grouping, tuple(lost)
 
+    def same_routing(self, other: Optional["ForwardingTable"]) -> bool:
+        """True when ``other`` routes identically to this table.
+
+        Two tables are interchangeable exactly when their grids are
+        equal — same home node, same ratio, same node in every (row,
+        column) slot — because subset assignment, partition draws and
+        failure fallbacks are all pure functions of the grid.  The
+        plan differ uses this to classify a key as *unchanged*/*delta*
+        (keep the allocated subset indexes) versus *resized* (rebuild).
+        """
+        return other is not None and self.grid == other.grid
+
     def live_subset_fraction(
         self, is_alive: Callable[[str], bool]
     ) -> float:

@@ -26,6 +26,7 @@ filters with no live holder are recorded as unreachable.
 from __future__ import annotations
 
 import random
+import time
 import warnings
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
@@ -37,6 +38,16 @@ from ..matching.inverted_index import InvertedIndex
 from ..model import Document, Filter
 from ..stats.term_stats import TermStatistics
 from .coordinator import AllocationPlan, Coordinator
+from .reallocation import (
+    KEY_DELTA,
+    KEY_DROPPED,
+    KEY_NEW,
+    KEY_RESIZED,
+    KEY_UNCHANGED,
+    ReallocationReport,
+    ReplicaMove,
+    diff_plans,
+)
 from .pipeline import (
     BatchCaches,
     ExecutionContext,
@@ -126,6 +137,25 @@ class MoveSystem(DisseminationSystem):
         )
         self.plan: Optional[AllocationPlan] = None
         self._rng = random.Random((self.config.seed or 0) + 0x41)
+        #: Per-key registration epochs, bumped whenever a filter is
+        #: registered or unregistered under the key (a home-node id,
+        #: or a term in the per-term ablation mode).
+        #: ``_applied_epochs`` snapshots them at every plan apply; a
+        #: mismatch marks the key as churned (*delta*) for the plan
+        #: differ.
+        self._key_epochs: Dict[str, int] = {}
+        self._applied_epochs: Dict[str, int] = {}
+        #: Replica copies the write-through maintenance added/removed
+        #: per key since the last apply — the delta keys' movement
+        #: accounting (the physical copies already happened at
+        #: registration/unregistration time).
+        self._writethrough_adds: Dict[str, int] = {}
+        self._writethrough_drops: Dict[str, int] = {}
+        #: Filters registered/unregistered since the last apply, for
+        #: the churn component of :meth:`estimate_drift`.
+        self._filter_churn_since_apply = 0
+        #: Report of the most recent :meth:`reallocate` call.
+        self.last_reallocation: Optional[ReallocationReport] = None
 
     @property
     def stats(self) -> _LegacyTermStatsAccessor:
@@ -146,9 +176,14 @@ class MoveSystem(DisseminationSystem):
 
     def _register(self, profile: Filter) -> None:
         self.term_stats.register_filter(profile)
+        self._filter_churn_since_apply += 1
         storage_load = self.metrics.load("storage_replicas")
+        aggregate = self.config.allocation.aggregate_per_node
+        key_epochs = self._key_epochs
         for term in profile.terms:
             node_id = self.home_of(term)
+            key = node_id if aggregate else term
+            key_epochs[key] = key_epochs.get(key, 0) + 1
             node = self.cluster.node(node_id)
             node.filter_store.put(
                 profile.filter_id, "terms", profile.sorted_terms()
@@ -169,11 +204,16 @@ class MoveSystem(DisseminationSystem):
         insert per filter replica."""
         storage_load = self.metrics.load("storage_replicas")
         bloom = self._bloom
+        aggregate = self.config.allocation.aggregate_per_node
+        key_epochs = self._key_epochs
         buffers: Dict[str, List[Tuple[Filter, List[str]]]] = {}
         for profile in profiles:
             self.term_stats.register_filter(profile)
+            self._filter_churn_since_apply += 1
             for term in profile.terms:
                 node_id = self.home_of(term)
+                key = node_id if aggregate else term
+                key_epochs[key] = key_epochs.get(key, 0) + 1
                 self.cluster.node(node_id).filter_store.put(
                     profile.filter_id, "terms", profile.sorted_terms()
                 )
@@ -205,7 +245,11 @@ class MoveSystem(DisseminationSystem):
         if table is None:
             return
         subset = table.grid.subset_of(profile.filter_id)
-        for holder in table.grid.holders_of_subset(subset):
+        holders = table.grid.subset_holders()[subset]
+        self._writethrough_adds[origin_key] = (
+            self._writethrough_adds.get(origin_key, 0) + len(holders)
+        )
+        for holder in holders:
             per_origin = self._allocated_indexes[holder]
             index = per_origin.get(origin_key)
             if index is None:
@@ -216,9 +260,13 @@ class MoveSystem(DisseminationSystem):
     def _unregister(self, profile: Filter) -> None:
         """Remove the filter from home indexes and live grid copies."""
         self.term_stats.popularity.unregister(profile)
+        self._filter_churn_since_apply += 1
         aggregate = self.config.allocation.aggregate_per_node
+        key_epochs = self._key_epochs
         for term in profile.terms:
             home_id = self.home_of(term)
+            origin_key = home_id if aggregate else term
+            key_epochs[origin_key] = key_epochs.get(origin_key, 0) + 1
             index = self._home_indexes[home_id]
             if profile.filter_id in index:
                 index.remove_filter(profile.filter_id)
@@ -227,17 +275,20 @@ class MoveSystem(DisseminationSystem):
             )
             if self.plan is None:
                 continue
-            origin_key = home_id if aggregate else term
             table = self.plan.tables.get(origin_key)
             if table is None:
                 continue
             subset = table.grid.subset_of(profile.filter_id)
-            for holder in table.grid.holders_of_subset(subset):
+            for holder in table.grid.subset_holders()[subset]:
                 allocated = self._allocated_indexes[holder].get(
                     origin_key
                 )
-                if allocated is not None:
-                    allocated.remove_filter(profile.filter_id)
+                if allocated is not None and allocated.remove_filter(
+                    profile.filter_id
+                ):
+                    self._writethrough_drops[origin_key] = (
+                        self._writethrough_drops.get(origin_key, 0) + 1
+                    )
 
     # -- statistics & allocation ------------------------------------------
 
@@ -259,27 +310,140 @@ class MoveSystem(DisseminationSystem):
         """
         self.reallocate()
 
-    def reallocate(self) -> None:
+    def reallocate(
+        self,
+        force: bool = False,
+        drift_epsilon: Optional[float] = None,
+    ) -> ReallocationReport:
         """Renew statistics and re-run the coordinator (the 10-minute
-        refresh of Section VI-A)."""
+        refresh of Section VI-A).
+
+        With a positive drift threshold (the ``drift_epsilon``
+        argument, falling back to ``allocation.drift_epsilon`` in the
+        config) the refresh first measures :meth:`estimate_drift`;
+        below the threshold the replan is skipped entirely: the
+        statistics window is *not* renewed (so drift keeps
+        accumulating until it crosses the threshold) and the
+        write-through maintenance keeps the live grids correct in the
+        meantime.  ``force=True`` bypasses the gate — used after ring
+        changes, where the applied plan may reference departed nodes.
+
+        Returns the :class:`~repro.core.reallocation.
+        ReallocationReport` describing what the refresh did; the same
+        report is kept as :attr:`last_reallocation` and tagged onto
+        the ``reallocate`` tracer span.
+        """
+        start = time.perf_counter()
+        epsilon = (
+            drift_epsilon
+            if drift_epsilon is not None
+            else self.config.allocation.drift_epsilon
+        )
+        with self.tracer.span("reallocate", system=self.name) as span:
+            report = self._reallocate_inner(force, epsilon, start)
+            span.annotate(**report.as_tags())
+        self._finish_reallocation(report)
+        return report
+
+    def _reallocate_inner(
+        self, force: bool, epsilon: float, start: float
+    ) -> ReallocationReport:
+        drift = 0.0
+        if not force and epsilon > 0.0 and self.plan is not None:
+            drift = self.estimate_drift()
+            if drift < epsilon:
+                report = ReallocationReport(skipped=True, drift=drift)
+                report.seconds = time.perf_counter() - start
+                return report
         self.term_stats.frequency.renew()
         plan = self.coordinator.plan_from_stats(
             self.term_stats, self.home_of, num_nodes=len(self.cluster)
         )
-        self._apply_plan(plan)
+        report = self._apply_plan(plan)
+        report.drift = drift
+        report.seconds = time.perf_counter() - start
+        return report
 
-    def _apply_plan(self, plan: AllocationPlan) -> None:
-        """Copy subset filters to their allocated nodes.
+    def estimate_drift(self) -> float:
+        """Demand drift since the last applied plan, in [0, 1].
+
+        The maximum of two cheap signals: the frequency tracker's
+        window drift (document-side ``q_i`` movement since the last
+        renewal) and the registered-filter churn fraction (filter-side
+        ``p_i`` movement — filters registered/unregistered since the
+        last apply over the current filter count).  Either signal
+        moving is enough to justify a replan; both near zero means a
+        replan would reproduce (nearly) the same plan, which is what
+        the drift gate in :meth:`reallocate` exploits.
+        """
+        freq_drift = self.term_stats.window_drift()
+        total = self.term_stats.popularity.total_filters
+        if total:
+            churn = min(1.0, self._filter_churn_since_apply / total)
+        else:
+            churn = 1.0 if self._filter_churn_since_apply else 0.0
+        return max(freq_drift, churn)
+
+    def _finish_reallocation(self, report: ReallocationReport) -> None:
+        """Fold one refresh's outcome into the metric registry."""
+        self.last_reallocation = report
+        metrics = self.metrics
+        metrics.counter("reallocations").add()
+        if report.skipped:
+            metrics.counter("reallocations_skipped").add()
+        else:
+            metrics.counter("realloc_keys_kept").add(report.keys_kept)
+            metrics.counter("realloc_keys_rebuilt").add(
+                report.keys_rebuilt
+            )
+            metrics.counter("realloc_keys_dropped").add(
+                report.keys_dropped
+            )
+            metrics.counter("realloc_replicas_moved").add(
+                report.replicas_moved
+            )
+            metrics.counter("realloc_delta_replicas").add(
+                report.delta_replicas
+            )
+            metrics.counter("realloc_replicas_dropped").add(
+                report.replicas_dropped
+            )
+        metrics.gauge("realloc_last_drift").set(report.drift)
+        metrics.gauge("realloc_last_seconds").set(report.seconds)
+
+    def _apply_plan(self, plan: AllocationPlan) -> ReallocationReport:
+        """Install ``plan``: copy subset filters to allocated nodes.
 
         Table keys are home-node ids in the aggregated mode (Section
         V's deployment) or terms in the per-term ablation mode; in
-        either case the allocated node indexes its subset under the
+        either case an allocated node indexes its subset under the
         terms the origin home node serves.
+
+        Dispatches to the incremental engine (plan diffing, per-key
+        rebuilds) unless ``allocation.incremental`` is disabled, in
+        which case every key is rebuilt from scratch — the baseline
+        path the equivalence tests and benchmarks compare against.
+        Both paths leave identical index state and finish by
+        reconciling the epoch/write-through bookkeeping and the
+        allocated-storage tracker.
         """
+        if self.config.allocation.incremental:
+            report = self._apply_plan_incremental(plan)
+        else:
+            report = self._apply_plan_full(plan)
+        self._applied_epochs = dict(self._key_epochs)
+        self._writethrough_adds.clear()
+        self._writethrough_drops.clear()
+        self._filter_churn_since_apply = 0
+        self._refresh_allocated_storage_load()
+        return report
+
+    def _apply_plan_full(self, plan: AllocationPlan) -> ReallocationReport:
+        """From-scratch apply: discard and rebuild every key."""
+        report = ReallocationReport(keys_new=len(plan.tables))
         self.plan = plan
         self._allocated_indexes = defaultdict(dict)
         aggregate = self.config.allocation.aggregate_per_node
-        storage_load = self.metrics.load("storage_replicas_allocated")
         for key, table in plan.tables.items():
             grid = table.grid
             home_index = self._home_indexes[grid.home_node]
@@ -298,21 +462,190 @@ class MoveSystem(DisseminationSystem):
             buffers: Dict[str, List[Tuple[Filter, Set[str]]]] = {
                 node_id: [] for node_id in subset_indexes
             }
+            subset_holders = grid.subset_holders()
             for profile in origin_filters:
                 subset = grid.subset_of(profile.filter_id)
                 indexed_terms = profile.terms & origin_terms
                 if not indexed_terms:
                     continue
-                for holder in grid.holders_of_subset(subset):
+                holders = subset_holders[subset]
+                report.replicas_moved += len(holders)
+                for holder in holders:
                     buffers[holder].append((profile, indexed_terms))
             for node_id, buffered in buffers.items():
                 if buffered:
                     subset_indexes[node_id].add_filters(buffered)
             for node_id, index in subset_indexes.items():
                 self._allocated_indexes[node_id][key] = index
-                storage_load.add(
-                    node_id, float(index.stored_replica_count())
+        return report
+
+    def _apply_plan_incremental(
+        self, plan: AllocationPlan
+    ) -> ReallocationReport:
+        """Diff-driven apply: rebuild only the keys that changed shape.
+
+        Per :func:`~repro.core.reallocation.diff_plans`: *unchanged*
+        and *delta* keys keep their live subset indexes untouched (the
+        write-through maintenance already applied delta keys' filter
+        churn at registration time, so only the movement accounting is
+        folded in); *resized*/*new* keys are rebuilt from the home
+        index with explicit :class:`~repro.core.reallocation.
+        ReplicaMove` accounting; *dropped* keys discard their indexes.
+        """
+        old_plan = self.plan
+        if old_plan is None:
+            return self._apply_plan_full(plan)
+        applied_epochs = self._applied_epochs
+        churned = {
+            key
+            for key, epoch in self._key_epochs.items()
+            if applied_epochs.get(key) != epoch
+        }
+        diff = diff_plans(old_plan, plan, churned)
+        counts = diff.summary()
+        report = ReallocationReport(
+            keys_unchanged=counts[KEY_UNCHANGED],
+            keys_delta=counts[KEY_DELTA],
+            keys_resized=counts[KEY_RESIZED],
+            keys_new=counts[KEY_NEW],
+            keys_dropped=counts[KEY_DROPPED],
+        )
+        for key, key_diff in diff.diffs.items():
+            status = key_diff.status
+            if status == KEY_UNCHANGED:
+                continue
+            if status == KEY_DELTA:
+                report.delta_replicas += self._writethrough_adds.get(
+                    key, 0
                 )
+                report.replicas_dropped += self._writethrough_drops.get(
+                    key, 0
+                )
+                continue
+            if status == KEY_DROPPED:
+                report.replicas_dropped += self._discard_key(
+                    key, old_plan.tables[key]
+                )
+                continue
+            # Resized or new: rebuild this one key from its home index.
+            report.replicas_dropped += self._rebuild_key(
+                key,
+                plan.tables[key],
+                old_plan.tables.get(key),
+                report.moves,
+            )
+        report.replicas_moved = len(report.moves)
+        self.plan = plan
+        return report
+
+    def _discard_key(self, key: str, table) -> int:
+        """Drop every subset index of a key that lost its table.
+
+        Returns the filter copies discarded (one per filter per
+        holder, the same unit :meth:`allocation_movement` reports).
+        """
+        dropped = 0
+        for node_id in table.grid.all_nodes():
+            per_origin = self._allocated_indexes.get(node_id)
+            if per_origin is None:
+                continue
+            index = per_origin.pop(key, None)
+            if index is not None:
+                dropped += len(index)
+        return dropped
+
+    def _rebuild_key(
+        self,
+        key: str,
+        table,
+        old_table,
+        moves: List[ReplicaMove],
+    ) -> int:
+        """Rebuild one key's subset indexes from its home index.
+
+        Appends to ``moves`` the explicit replica transfers — copies
+        landing on a node that did not hold the filter's subset under
+        the old grid (every copy, for a new key) — and returns the
+        replica copies dropped (old holders that left the filter's
+        subset).  The home node is always the sender: it retains the
+        full filter set per Section V.
+        """
+        grid = table.grid
+        home_id = grid.home_node
+        home_index = self._home_indexes[home_id]
+        if self.config.allocation.aggregate_per_node:
+            origin_filters = home_index.all_filters()
+            origin_terms = set(home_index.terms())
+        else:
+            origin_filters, _ = home_index.filters_for_term(key)
+            origin_terms = {key}
+        subset_holders = grid.subset_holders()
+        old_grid = old_table.grid if old_table is not None else None
+        old_subset_holders = (
+            old_grid.subset_holders() if old_grid is not None else None
+        )
+        buffers: Dict[str, List[Tuple[Filter, Set[str]]]] = {
+            node_id: [] for node_id in grid.all_nodes()
+        }
+        dropped = 0
+        for profile in origin_filters:
+            indexed_terms = profile.terms & origin_terms
+            if not indexed_terms:
+                continue
+            filter_id = profile.filter_id
+            holders = subset_holders[grid.subset_of(filter_id)]
+            for holder in holders:
+                buffers[holder].append((profile, indexed_terms))
+            if old_grid is None:
+                for holder in holders:
+                    moves.append(
+                        ReplicaMove(filter_id, home_id, holder)
+                    )
+                continue
+            old_holders = old_subset_holders[
+                old_grid.subset_of(filter_id)
+            ]
+            for holder in holders:
+                if holder not in old_holders:
+                    moves.append(
+                        ReplicaMove(filter_id, home_id, holder)
+                    )
+            for holder in old_holders:
+                if holder not in holders:
+                    dropped += 1
+        if old_grid is not None:
+            for node_id in old_grid.all_nodes():
+                per_origin = self._allocated_indexes.get(node_id)
+                if per_origin is not None:
+                    per_origin.pop(key, None)
+        for node_id, buffered in buffers.items():
+            index = InvertedIndex()
+            if buffered:
+                index.add_filters(buffered)
+            self._allocated_indexes[node_id][key] = index
+        return dropped
+
+    def _refresh_allocated_storage_load(self) -> None:
+        """Overwrite the allocated-storage tracker with live totals.
+
+        ``set`` per node rather than ``add``: accumulating at apply
+        time double-counted every surviving replica on each refresh,
+        inflating the Figure 9(a) storage metric by one full plan per
+        reallocation.  Nodes that no longer hold any allocated subset
+        are zeroed (not deleted) so ranked listings keep showing them.
+        """
+        tracker = self.metrics.load("storage_replicas_allocated")
+        totals: Dict[str, float] = {}
+        for node_id, per_origin in self._allocated_indexes.items():
+            total = 0.0
+            for index in per_origin.values():
+                total += index.stored_replica_count()
+            totals[node_id] = total
+        for node_id in tracker.as_dict():
+            if node_id not in totals:
+                tracker.set(node_id, 0.0)
+        for node_id, total in totals.items():
+            tracker.set(node_id, total)
 
     # -- dissemination (pipeline stage hooks) ------------------------------
 
@@ -582,12 +915,20 @@ class MoveSystem(DisseminationSystem):
         for node_id in self.cluster.node_ids():
             self._home_indexes.setdefault(node_id, InvertedIndex())
         moved = 0
+        aggregate = self.config.allocation.aggregate_per_node
+        key_epochs = self._key_epochs
         for node_id, index in list(self._home_indexes.items()):
             for term in list(index.terms()):
                 new_home = self.home_of(term)
                 if new_home == node_id:
                     continue
                 filters = index.remove_term(term)
+                # Both the losing and the gaining key saw their filter
+                # set change; mark them churned for the plan differ.
+                for key in (
+                    (node_id, new_home) if aggregate else (term,)
+                ):
+                    key_epochs[key] = key_epochs.get(key, 0) + 1
                 target_index = self._home_indexes[new_home]
                 target_node = self.cluster.node(new_home)
                 for profile in filters:
@@ -600,7 +941,15 @@ class MoveSystem(DisseminationSystem):
                         profile, indexed_terms=[term]
                     )
                     moved += 1
-        self.reallocate()
+        # Ring changes leave grid copies out of sync with the moved
+        # home postings (the hand-off above bypasses the write-through
+        # path) and may reference departed nodes, so the diff-driven
+        # apply must not keep any key: drop the applied plan — the
+        # refresh then rebuilds every key from scratch in either apply
+        # mode — and bypass the drift gate.
+        self.plan = None
+        self._allocated_indexes = defaultdict(dict)
+        self.reallocate(force=True)
         return moved
 
     # -- diagnostics --------------------------------------------------------

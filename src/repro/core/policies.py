@@ -80,6 +80,56 @@ class ProactivePolicy(AllocationPolicy):
         return False
 
 
+class DriftPolicy(AllocationPolicy):
+    """Proactive bootstrap plus drift-gated refreshes.
+
+    Like :class:`ProactivePolicy` the allocation exists before
+    publication (offline ``q_i`` bootstrap), but the periodic refresh
+    consults :meth:`~repro.core.move_system.MoveSystem.estimate_drift`
+    through the drift gate: every ``check_every`` documents the policy
+    *asks* for a refresh, and the system replans only when the demands
+    actually moved by at least ``drift_epsilon`` since the applied
+    plan.  ``allocations`` counts replans that ran; ``skipped`` counts
+    gate rejections — their sum is the number of checks.
+    """
+
+    name = "drift"
+
+    def __init__(
+        self, check_every: int = 100, drift_epsilon: float = 0.05
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if not 0.0 < drift_epsilon <= 1.0:
+            raise ValueError("drift_epsilon must be in (0, 1]")
+        self.check_every = check_every
+        self.drift_epsilon = drift_epsilon
+        self.allocations = 0
+        self.skipped = 0
+
+    def prepare(
+        self, system: MoveSystem, offline_corpus: Sequence[Document]
+    ) -> None:
+        system.seed_frequencies(offline_corpus)
+        system.finalize_registration()
+        self.allocations += 1
+
+    def on_documents_published(
+        self, system: MoveSystem, published_count: int
+    ) -> bool:
+        if (
+            published_count == 0
+            or published_count % self.check_every != 0
+        ):
+            return False
+        report = system.reallocate(drift_epsilon=self.drift_epsilon)
+        if report.skipped:
+            self.skipped += 1
+            return False
+        self.allocations += 1
+        return True
+
+
 class PassivePolicy(AllocationPolicy):
     """Allocate only after ``learn_documents`` live documents.
 

@@ -1,0 +1,232 @@
+"""Incremental reallocation: plan diffing and movement accounting.
+
+MOVE's coordinator recomputes the allocation every ~10 minutes
+(Section VI-A), but the paper stresses that real ``p_i``/``q_i`` drift
+slowly, so successive plans are nearly identical and the induced
+filter *movement* — not the initial placement — is the dominant
+steady-state cost.  This module gives the refresh loop the vocabulary
+to exploit that:
+
+- :func:`diff_plans` compares the freshly computed
+  :class:`~repro.core.coordinator.AllocationPlan` against the one
+  currently applied, per key (home node, or term in the per-term
+  ablation mode), and classifies each key:
+
+  - ``unchanged`` — same grid, no filter churn since the last apply:
+    the allocated subset indexes are kept untouched;
+  - ``delta`` — same grid but filters registered/unregistered since
+    the last apply: the write-through maintenance already applied the
+    per-subset adds/removes, so the indexes are kept and only the
+    movement accounting is folded in;
+  - ``resized`` — the grid changed shape or nodes: only this key is
+    rebuilt from the home index;
+  - ``new`` — the key gained a table it did not have;
+  - ``dropped`` — the key lost its table: its subset indexes are
+    discarded.
+
+- :class:`ReplicaMove` / :class:`ReallocationReport` record what one
+  refresh actually did — keys kept vs rebuilt, explicit
+  ``(filter_id, from_node, to_node)`` replica moves, replicas dropped,
+  the drift measured, and the wall-clock seconds spent — feeding the
+  ``reallocate`` span tags, the ``realloc_*`` metric family, and
+  ``scripts/trace_report.py``.
+
+The apply itself lives in :meth:`repro.core.move_system.MoveSystem.
+_apply_plan`, which owns the index state; everything here is pure data
+so it can be unit-tested without a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coordinator import AllocationPlan
+
+#: Diff classes, in rebuild-cost order (cheapest first).
+KEY_UNCHANGED = "unchanged"
+KEY_DELTA = "delta"
+KEY_RESIZED = "resized"
+KEY_NEW = "new"
+KEY_DROPPED = "dropped"
+
+#: Every class a key diff may carry, for validation and reporting.
+DIFF_CLASSES = (
+    KEY_UNCHANGED,
+    KEY_DELTA,
+    KEY_RESIZED,
+    KEY_NEW,
+    KEY_DROPPED,
+)
+
+
+@dataclass(frozen=True)
+class KeyDiff:
+    """Classification of one allocation key across two plans."""
+
+    key: str
+    status: str
+
+    def __post_init__(self) -> None:
+        if self.status not in DIFF_CLASSES:
+            raise ValueError(f"unknown diff class {self.status!r}")
+
+
+@dataclass
+class PlanDiff:
+    """Per-key classification of a new plan against the applied one."""
+
+    diffs: Dict[str, KeyDiff] = field(default_factory=dict)
+
+    def keys_with_status(self, status: str) -> List[str]:
+        return [
+            diff.key
+            for diff in self.diffs.values()
+            if diff.status == status
+        ]
+
+    def count(self, status: str) -> int:
+        return sum(
+            1 for diff in self.diffs.values() if diff.status == status
+        )
+
+    @property
+    def keys_kept(self) -> int:
+        """Keys whose subset indexes survive untouched (incl. delta)."""
+        return self.count(KEY_UNCHANGED) + self.count(KEY_DELTA)
+
+    @property
+    def keys_rebuilt(self) -> int:
+        """Keys whose subset indexes are rebuilt from the home index."""
+        return self.count(KEY_RESIZED) + self.count(KEY_NEW)
+
+    def summary(self) -> Dict[str, int]:
+        """Diff-class → key-count map (report/metrics payload)."""
+        return {status: self.count(status) for status in DIFF_CLASSES}
+
+
+def diff_plans(
+    old_plan: Optional["AllocationPlan"],
+    new_plan: "AllocationPlan",
+    churned_keys: Set[str],
+) -> PlanDiff:
+    """Classify every key of ``new_plan`` against ``old_plan``.
+
+    ``churned_keys`` are the keys whose registered-filter set changed
+    since the old plan was applied (tracked by the per-key epochs on
+    :class:`~repro.core.move_system.MoveSystem`); they separate
+    ``unchanged`` from ``delta`` for keys whose grid did not move.
+    With no old plan every key is ``new`` (the initial allocation).
+    """
+    diff = PlanDiff()
+    old_tables = old_plan.tables if old_plan is not None else {}
+    for key, table in new_plan.tables.items():
+        old_table = old_tables.get(key)
+        if old_table is None:
+            status = KEY_NEW
+        elif not table.same_routing(old_table):
+            status = KEY_RESIZED
+        elif key in churned_keys:
+            status = KEY_DELTA
+        else:
+            status = KEY_UNCHANGED
+        diff.diffs[key] = KeyDiff(key=key, status=status)
+    for key in old_tables:
+        if key not in new_plan.tables:
+            diff.diffs[key] = KeyDiff(key=key, status=KEY_DROPPED)
+    return diff
+
+
+@dataclass(frozen=True)
+class ReplicaMove:
+    """One filter copy transferred to one node by a refresh.
+
+    ``from_node`` is the origin home node (it retains the full filter
+    set per Section V, so it is always the sender); ``to_node`` is the
+    allocated holder that gained the copy.
+    """
+
+    filter_id: str
+    from_node: str
+    to_node: str
+
+
+@dataclass
+class ReallocationReport:
+    """What one ``reallocate()`` call did (or why it did nothing).
+
+    The refresh loop's observable outcome: exposed as
+    ``MoveSystem.last_reallocation``, tagged onto the ``reallocate``
+    span, and accumulated into the ``realloc_*`` counters.
+    """
+
+    #: True when the drift gate skipped the replan entirely.
+    skipped: bool = False
+    #: The drift signal measured before planning (0.0 when disabled).
+    drift: float = 0.0
+    #: Keys classified per diff class (empty when skipped).
+    keys_unchanged: int = 0
+    keys_delta: int = 0
+    keys_resized: int = 0
+    keys_new: int = 0
+    keys_dropped: int = 0
+    #: Explicit replica moves this apply performed (rebuilt keys only;
+    #: delta keys moved their replicas at registration time through
+    #: the write-through path and are accounted in
+    #: :attr:`delta_replicas`).  The from-scratch apply reports only
+    #: the :attr:`replicas_moved` count and leaves this list empty —
+    #: materializing one object per replica would tax the baseline
+    #: path the incremental engine is benchmarked against.
+    moves: List[ReplicaMove] = field(default_factory=list)
+    #: Filter copies transferred by this apply.  Equals ``len(moves)``
+    #: on the incremental path; the from-scratch apply sets the count
+    #: without the per-move detail.
+    replicas_moved: int = 0
+    #: Filter copies added to live grids by write-through maintenance
+    #: since the previous apply (the delta keys' movement).
+    delta_replicas: int = 0
+    #: Filter copies discarded (dropped keys + shrunk grids).
+    replicas_dropped: int = 0
+    #: Wall-clock seconds the refresh spent (planning + apply).
+    seconds: float = 0.0
+
+    @property
+    def keys_kept(self) -> int:
+        return self.keys_unchanged + self.keys_delta
+
+    @property
+    def keys_rebuilt(self) -> int:
+        return self.keys_resized + self.keys_new
+
+    def movement_triples(self) -> List[Tuple[str, str, int]]:
+        """Moves aggregated to ``(from_node, to_node, count)`` triples.
+
+        The same shape :meth:`repro.core.move_system.MoveSystem.
+        allocation_movement` reports, so the throughput harness can
+        charge a refresh's *incremental* transfer work instead of the
+        full placement.
+        """
+        counts: Dict[Tuple[str, str], int] = {}
+        for move in self.moves:
+            pair = (move.from_node, move.to_node)
+            counts[pair] = counts.get(pair, 0) + 1
+        return [
+            (from_node, to_node, count)
+            for (from_node, to_node), count in sorted(counts.items())
+        ]
+
+    def as_tags(self) -> Dict[str, object]:
+        """Span-tag payload for the ``reallocate`` span."""
+        return {
+            "skipped": self.skipped,
+            "drift": self.drift,
+            "keys_kept": self.keys_kept,
+            "keys_rebuilt": self.keys_rebuilt,
+            "keys_delta": self.keys_delta,
+            "keys_dropped": self.keys_dropped,
+            "replicas_moved": self.replicas_moved,
+            "delta_replicas": self.delta_replicas,
+            "replicas_dropped": self.replicas_dropped,
+            "seconds": self.seconds,
+        }

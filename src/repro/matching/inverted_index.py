@@ -52,6 +52,10 @@ class InvertedIndex:
         #: Terms each local filter is indexed under *on this node*
         #: (needed to drop a filter when its last local term moves).
         self._indexed_terms: Dict[int, Set[str]] = {}
+        #: Running total of posting entries, maintained on every
+        #: add/remove so :meth:`stored_replica_count` is O(1) — the
+        #: reallocation engine reads it once per holder per refresh.
+        self._replica_entries = 0
 
     def __len__(self) -> int:
         """Number of distinct filters indexed."""
@@ -68,9 +72,10 @@ class InvertedIndex:
         """Total posting entries = stored filter replicas on this node.
 
         One filter indexed under k terms counts k times — this is the
-        storage-cost metric of Figure 9(a).
+        storage-cost metric of Figure 9(a).  O(1): the count is
+        maintained incrementally by every mutation.
         """
-        return sum(len(plist) for plist in self._postings.values())
+        return self._replica_entries
 
     # -- registration -----------------------------------------------------
 
@@ -104,7 +109,8 @@ class InvertedIndex:
             if plist is None:
                 plist = PostingList(term)
                 self._postings[term] = plist
-            plist.add(local_id)
+            if plist.add(local_id):
+                self._replica_entries += 1
             local_terms.add(term)
         return local_id
 
@@ -152,6 +158,7 @@ class InvertedIndex:
                 plist = PostingList(term)
                 self._postings[term] = plist
             added += plist.add_many(local_ids)
+        self._replica_entries += added
         return added
 
     def remove_filter(self, filter_id: str) -> bool:
@@ -165,7 +172,8 @@ class InvertedIndex:
             plist = self._postings.get(term)
             if plist is None:
                 continue
-            plist.remove(local_id)
+            if plist.remove(local_id):
+                self._replica_entries -= 1
             if not plist:
                 del self._postings[term]
         return True
@@ -181,6 +189,7 @@ class InvertedIndex:
         plist = self._postings.pop(term, None)
         if plist is None:
             return []
+        self._replica_entries -= len(plist)
         moved: List[Filter] = []
         for local_id in plist:
             profile = self._filters[local_id]

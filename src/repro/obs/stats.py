@@ -42,6 +42,10 @@ class SystemStats:
     posting_entries: float
     #: Distinct nodes that ever received a document.
     nodes_touched: int
+    #: Coordinator refreshes invoked (MOVE only; 0.0 elsewhere).
+    reallocations: float = 0.0
+    #: Refreshes the drift gate skipped without replanning.
+    reallocations_skipped: float = 0.0
     #: Every counter's value, keyed by name.
     counters: Dict[str, float] = field(default_factory=dict)
     #: Every load tracker's total, keyed by name.
@@ -73,6 +77,10 @@ class SystemStats:
             posting_entries=load_totals.get("posting_entries", 0.0),
             nodes_touched=(
                 len(received.as_dict()) if received is not None else 0
+            ),
+            reallocations=counters.get("reallocations", 0.0),
+            reallocations_skipped=counters.get(
+                "reallocations_skipped", 0.0
             ),
             counters=counters,
             load_totals=load_totals,

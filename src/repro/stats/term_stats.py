@@ -142,6 +142,39 @@ class FrequencyTracker:
         """Current ``q_i`` estimate."""
         return self._estimate.get(term, 0.0)
 
+    def window_drift(self) -> float:
+        """How far the accumulating window has moved off the estimate.
+
+        Relative L1 distance in [0, 1] between the current (not yet
+        renewed) window's normalized frequencies and the active
+        estimate: ``sum |w_i - e_i| / sum max(w_i, e_i)`` over the
+        union of terms.  0.0 when the window is empty or matches the
+        estimate exactly; 1.0 when the two share no mass (e.g. a first
+        window against an empty estimate).  Cost is O(window terms +
+        estimate terms) — far cheaper than a coordinator replan — so
+        the drift-aware refresh gate can call it every period.
+        """
+        if not self._window_total:
+            return 0.0
+        window = {
+            term: count / self._window_total
+            for term, count in self._window_docs_with_term.items()
+        }
+        estimate = self._estimate
+        moved = 0.0
+        mass = 0.0
+        for term, value in window.items():
+            old = estimate.get(term, 0.0)
+            moved += abs(value - old)
+            mass += value if value > old else old
+        for term, old in estimate.items():
+            if term not in window:
+                moved += old
+                mass += old
+        if mass <= 0.0:
+            return 0.0
+        return moved / mass
+
     def terms(self) -> List[str]:
         return list(self._estimate)
 
@@ -173,6 +206,16 @@ class TermStatistics:
 
     def q(self, term: str) -> float:
         return self.frequency.frequency(term)
+
+    def window_drift(self) -> float:
+        """Frequency-side demand drift since the last renewal.
+
+        Delegates to :meth:`FrequencyTracker.window_drift`; the
+        popularity side changes only through filter churn, which
+        :class:`~repro.core.move_system.MoveSystem` tracks separately
+        via per-key registration epochs.
+        """
+        return self.frequency.window_drift()
 
     def hot_terms(
         self, top_k: int

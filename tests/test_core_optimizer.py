@@ -158,6 +158,70 @@ class TestSolve:
             NodeDemand(key="x", popularity=0.1, frequency=0.1,
                        stored_replicas=-1)
 
+    def test_randomized_budget_respected_in_expectation(self):
+        # E[n_i] equals the continuous optimum per key (floor plus a
+        # Bernoulli on the fraction), so the expected storage equals
+        # the continuous constraint LHS — up to the clamping to
+        # [1, num_nodes], which only moves keys already at the edges.
+        demands = demands_from(
+            [(0.3, 0.5, 300), (0.2, 0.1, 200), (0.1, 0.9, 100)]
+        )
+        continuous = make_optimizer(capacity=500).solve(
+            demands, 4, 600
+        )
+        expected = sum(
+            d.stored_replicas
+            * min(4.0, max(1.0, continuous[d.key].continuous_n))
+            for d in demands
+        )
+        totals = []
+        for seed in range(300):
+            optimizer = MoveOptimizer(
+                config=AllocationConfig(
+                    node_capacity=500, randomized_rounding=True
+                ),
+                cost_model=CostModelConfig(),
+                rng=random.Random(seed),
+            )
+            factors = optimizer.solve(demands, 4, 600)
+            totals.append(MoveOptimizer.storage_used(demands, factors))
+        mean = sum(totals) / len(totals)
+        assert mean == pytest.approx(expected, rel=0.05)
+
+    def test_randomized_deterministic_replay(self):
+        # Equal seeds replay the exact same factors; deterministic
+        # rounding ignores the RNG entirely.
+        demands = demands_from(
+            [(0.3, 0.5, 300), (0.2, 0.1, 200), (0.1, 0.9, 100)]
+        )
+
+        def solve(randomized, seed):
+            optimizer = MoveOptimizer(
+                config=AllocationConfig(
+                    node_capacity=500,
+                    randomized_rounding=randomized,
+                ),
+                cost_model=CostModelConfig(),
+                rng=random.Random(seed),
+            )
+            return optimizer.solve(demands, 4, 600)
+
+        assert solve(True, 7) == solve(True, 7)
+        assert solve(False, 7) == solve(False, 12345)
+
+    @pytest.mark.parametrize("randomized", [False, True])
+    def test_all_zero_frequency_falls_back_to_one(self, randomized):
+        # Zero q_i everywhere zeroes every sqrt_pq weight: the solver
+        # must fall back to n_i = 1 without dividing by zero.
+        demands = demands_from(
+            [(0.3, 0.0, 300), (0.2, 0.0, 200), (0.1, 0.0, 100)]
+        )
+        factors = make_optimizer(randomized=randomized).solve(
+            demands, 4, 600
+        )
+        assert all(f.n == 1 for f in factors.values())
+        assert all(f.continuous_n == 1.0 for f in factors.values())
+
     @given(
         st.lists(
             st.tuples(
