@@ -12,6 +12,13 @@ Examples::
     python scripts/profile_publish.py --scheme move
     python scripts/profile_publish.py --scheme rs --threshold 0.15
     python scripts/profile_publish.py --scheme il --sort tottime --top 40
+    python scripts/profile_publish.py --scheme central --threshold 0.2 \
+        --backend python --backend csr
+
+``--backend`` selects the matching-kernel backend (threshold mode
+only); repeat it to profile the same workload under several backends,
+one cProfile section each — the quickest way to see where the
+vectorized CSR pass shifts the hot spots.
 
 Run from the repository root; ``src/`` is put on ``sys.path``
 automatically.
@@ -92,10 +99,21 @@ def parse_args(argv=None) -> argparse.Namespace:
             "only) to profile the pre-kernel naive scoring loop"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        choices=["python", "csr"],
+        default=None,
+        help=(
+            "matching-kernel backend to profile; repeat the flag to "
+            "emit one cProfile section per backend (default: the "
+            "config's auto-resolved backend)"
+        ),
+    )
     return parser.parse_args(argv)
 
 
-def build_system(args):
+def build_system(args, backend=None):
     workload = ScaledWorkload(
         num_filters=args.filters,
         num_documents=args.documents,
@@ -107,6 +125,8 @@ def build_system(args):
     )
     if args.naive_scorer:
         config = replace(config, matching_kernel=False)
+    if backend is not None:
+        config = replace(config, matching_backend=backend)
     system = make_system(
         args.scheme, cluster, config, threshold=args.threshold
     )
@@ -117,9 +137,9 @@ def build_system(args):
     return system, bundle
 
 
-def main(argv=None) -> int:
-    args = parse_args(argv)
-    system, bundle = build_system(args)
+def profile_backend(args, backend=None) -> None:
+    """One cProfile section: fresh system, one profiled publish."""
+    system, bundle = build_system(args, backend=backend)
     documents = bundle.documents
     profile = cProfile.Profile()
     start = time.perf_counter()
@@ -127,6 +147,7 @@ def main(argv=None) -> int:
     plans = system.publish_batch(documents)
     profile.disable()
     elapsed = time.perf_counter() - start
+    print(f"== backend={system.matching_backend} ==")
     stream = io.StringIO()
     stats = pstats.Stats(profile, stream=stream)
     stats.sort_stats(args.sort).print_stats(args.top)
@@ -140,7 +161,7 @@ def main(argv=None) -> int:
     kernel = (
         "naive scorer"
         if args.naive_scorer or args.threshold is None
-        else "kernel"
+        else f"kernel/{system.matching_backend}"
     )
     print(
         f"# {args.scheme} ({mode}, {kernel}): "
@@ -148,6 +169,13 @@ def main(argv=None) -> int:
         f"({len(documents) / elapsed:.0f} docs/s), "
         f"{matches} matches over {args.filters} filters"
     )
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    backends = args.backend if args.backend else [None]
+    for backend in backends:
+        profile_backend(args, backend=backend)
     return 0
 
 

@@ -39,6 +39,13 @@ the fresh ``test_tracing_disabled_overhead`` bench must report a
 path; see docs/OBSERVABILITY.md).  This is a fixed ceiling, not a
 baseline comparison, so it needs no entry in the committed JSON.
 
+Both modes also re-assert every CSR backend floor: each ``test_csr_*``
+bench records its ``csr_floor`` next to the measured python-vs-csr
+``speedup`` ratio, and the gate fails if any measured ratio is below
+its floor (the 50k-filter matcher bench carries the >= 3x vectorized-
+backend acceptance).  Like ``disabled_overhead``, these are fixed
+same-host ratios, portable across machines.
+
 Benchmark noise note: absolute numbers are only comparable on the same
 hardware; the committed baseline tracks the *trajectory* across PRs on
 the reference machine, not an absolute claim.
@@ -222,6 +229,41 @@ def check_regression(
     return 1 if failures else 0
 
 
+def check_csr_floors(payload: dict) -> int:
+    """Assert every CSR-vs-python speedup floor from the fresh run.
+
+    The ``test_csr_*`` benches record their own acceptance floor as
+    ``csr_floor`` next to the measured ``speedup`` (a same-host ratio,
+    so it is machine-portable like the ``--check`` gate).  Re-checking
+    here keeps the floors load-bearing even if a bench's inline assert
+    is ever relaxed; the 50k-filter matcher bench carries the >= 3x
+    acceptance floor of the vectorized backend.
+    """
+    failures = 0
+    seen = 0
+    for bench in payload.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        floor = extra.get("csr_floor")
+        if floor is None:
+            continue
+        seen += 1
+        speedup = extra.get("speedup")
+        ok = speedup is not None and speedup >= float(floor)
+        status = "ok" if ok else "REGRESSION"
+        shown = "missing" if speedup is None else f"{speedup:.2f}x"
+        print(
+            f"{status:>10s} {bench['name']}: csr speedup {shown} "
+            f"(floor {floor}x)"
+        )
+        if not ok:
+            failures += 1
+    if not seen:
+        # numpy-less hosts skip the CSR benches; that is not a
+        # regression (the backend falls back to python by design).
+        print("note: no CSR benches in fresh run (numpy unavailable?)")
+    return 1 if failures else 0
+
+
 def check_disabled_overhead(payload: dict) -> int:
     """Assert the tracing disabled-path budget from the fresh run."""
     for bench in payload.get("benchmarks", []):
@@ -313,7 +355,8 @@ def main() -> int:
     metrics = CHECK_METRICS if args.check else GATED_METRICS
     code = check_regression(payload, args.tolerance, metrics)
     overhead_code = check_disabled_overhead(payload)
-    return code or overhead_code
+    csr_code = check_csr_floors(payload)
+    return code or overhead_code or csr_code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Run the matching test suite with numpy import-blocked.
+
+The vectorized CSR backend (``repro.matching.csr_kernel``) must be a
+pure accelerator: on hosts without numpy the package has to import
+cleanly, ``matching_backend="auto"`` has to resolve to the python
+kernel, an explicit ``"csr"`` request has to raise
+``ConfigurationError``, and every matching test that does not require
+numpy has to pass unchanged.  CI runs this script as its numpy-hidden
+job; locally::
+
+    python scripts/run_numpy_hidden_tests.py
+
+It installs a meta-path finder that raises ``ImportError`` for
+``numpy`` and every ``numpy.*`` submodule *before* anything else is
+imported (via ``sitecustomize`` in a temp dir prepended to
+``PYTHONPATH``), then runs the matching-focused test files; the
+numpy-gated tests skip themselves via ``HAVE_NUMPY``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The test files exercising the kernel interface and its backends.
+TEST_PATHS = (
+    "tests/test_csr_backend.py",
+    "tests/test_kernel_equivalence.py",
+    "tests/test_matching_bloom_sift_vsm.py",
+    "tests/test_matching_postings_index.py",
+    "tests/test_threshold_semantics.py",
+)
+
+SITECUSTOMIZE = '''\
+"""Injected by scripts/run_numpy_hidden_tests.py: hide numpy."""
+import sys
+
+
+class _NumpyBlocker:
+    """Meta-path finder that makes numpy unimportable."""
+
+    def find_module(self, fullname, path=None):  # py3.9 compat
+        return self if self._blocks(fullname) else None
+
+    def find_spec(self, fullname, path=None, target=None):
+        if self._blocks(fullname):
+            raise ImportError(
+                f"import of {fullname!r} is blocked "
+                f"(numpy-hidden test run)"
+            )
+        return None
+
+    @staticmethod
+    def _blocks(fullname):
+        return fullname == "numpy" or fullname.startswith("numpy.")
+
+
+sys.meta_path.insert(0, _NumpyBlocker())
+'''
+
+
+def main() -> int:
+    existing = [
+        path for path in TEST_PATHS if (REPO_ROOT / path).exists()
+    ]
+    if not existing:
+        print("no matching test files found", file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory() as tmp:
+        Path(tmp, "sitecustomize.py").write_text(SITECUSTOMIZE)
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        extra = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = ":".join(
+            [tmp, src] + ([extra] if extra else [])
+        )
+        probe = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import numpy",
+            ],
+            env=env,
+            capture_output=True,
+        )
+        if probe.returncode == 0:
+            print(
+                "sitecustomize failed to block numpy", file=sys.stderr
+            )
+            return 1
+        print("numpy hidden; running matching tests:", *existing)
+        return subprocess.call(
+            [sys.executable, "-m", "pytest", "-x", "-q", *existing],
+            cwd=REPO_ROOT,
+            env=env,
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -134,6 +134,7 @@ class DisseminationSystem(ABC):
                 self._scorer,
                 threshold,
                 enabled=self.config.matching_kernel,
+                backend=self.config.matching_backend,
             )
         else:
             self._scorer = None
@@ -176,6 +177,22 @@ class DisseminationSystem(ABC):
                 if scorer.similarity(document, profile) >= threshold
             ]
         return kernel.select(document, filters, self._active_caches)
+
+    @property
+    def matching_backend(self) -> str:
+        """What actually scores candidates, for tracing/diagnostics.
+
+        ``"boolean"`` under the paper's any-term semantics (no scorer),
+        ``"reference"`` when the kernel is disabled (naive
+        per-candidate scoring), else the kernel's resolved backend —
+        ``"python"`` or ``"csr"``.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            return "boolean"
+        if not kernel.enabled:
+            return "reference"
+        return kernel.backend
 
     def _kernel_accumulates(self) -> bool:
         """True when the posting-walk accumulation fast path may run.

@@ -251,18 +251,30 @@ class CentralizedSystem(DisseminationSystem):
             # Score-accumulation SIFT: the central index holds every
             # filter under all its terms, so walking the |d| posting
             # lists accumulates each candidate's full dot product
-            # (see repro.matching.kernel).
-            scoring = self._kernel.begin(document, caches)
-            for term, term_id in zip(document.terms, document.term_ids):
-                filters, _, n_lists, n_entries = (
-                    self._retrieve_cached(caches, term_id, term)
+            # (see repro.matching.kernel).  The CSR backend runs the
+            # whole central block as one vectorized pass
+            # (repro.matching.csr_kernel); both paths produce
+            # bit-identical matches and costs.
+            bulk = self._kernel.bulk_match(document, self.index, caches)
+            if bulk is not None:
+                profiles, lists, entries = bulk
+                matched.update(
+                    profile.filter_id for profile in profiles
                 )
-                lists += n_lists
-                entries += n_entries
-                scoring.accumulate(term, filters)
-            matched.update(
-                profile.filter_id for profile in scoring.matched()
-            )
+            else:
+                scoring = self._kernel.begin(document, caches)
+                for term, term_id in zip(
+                    document.terms, document.term_ids
+                ):
+                    filters, _, n_lists, n_entries = (
+                        self._retrieve_cached(caches, term_id, term)
+                    )
+                    lists += n_lists
+                    entries += n_entries
+                    scoring.accumulate(term, filters)
+                matched.update(
+                    profile.filter_id for profile in scoring.matched()
+                )
         else:
             # Dedup candidates across terms (as SIFT does) before
             # scoring each one once against the threshold.

@@ -168,14 +168,30 @@ class SystemConfig:
     #: similarity-threshold semantics (:mod:`repro.matching.kernel`).
     #: ``False`` forces the naive score-per-candidate reference scorer
     #: everywhere — the pre-kernel behavior, kept for benchmarking and
-    #: differential testing.  This knob replaces the per-object
-    #: ``ScoreKernel.enabled`` / ``SiftMatcher(use_kernel=)`` toggles,
-    #: which remain as deprecated aliases for one release.
+    #: differential testing.  This knob replaced the per-object
+    #: ``ScoreKernel.enabled`` / ``SiftMatcher(use_kernel=)`` toggles
+    #: (their mutation paths have since been removed).
     matching_kernel: bool = True
+    #: Which scoring engine runs behind the kernel interface:
+    #: ``"auto"`` (the vectorized CSR backend when numpy is
+    #: importable, else the pure-python kernel), ``"csr"`` (require
+    #: the vectorized backend; a :class:`ConfigurationError` without
+    #: numpy), or ``"python"`` (force the pure-python kernel — the
+    #: equivalence oracle and the no-dependency fallback).  Both
+    #: backends produce bit-identical scores and plans; see
+    #: :mod:`repro.matching.csr_kernel`.
+    matching_backend: str = "auto"
     seed: Optional[int] = 0
+
+    _MATCHING_BACKENDS = ("auto", "csr", "python")
 
     def __post_init__(self) -> None:
         if self.expected_filter_terms < 1:
             raise ConfigurationError("expected_filter_terms must be >= 1")
         if not 0.0 < self.bloom_fp_rate < 1.0:
             raise ConfigurationError("bloom_fp_rate must be in (0, 1)")
+        if self.matching_backend not in self._MATCHING_BACKENDS:
+            raise ConfigurationError(
+                f"unknown matching backend {self.matching_backend!r}; "
+                f"expected one of {self._MATCHING_BACKENDS}"
+            )

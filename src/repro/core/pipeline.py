@@ -190,7 +190,9 @@ class BatchCaches:
         ] = {}
         #: id(document) -> :class:`repro.matching.kernel.DocumentScores`
         #: (tf–idf weights, norm, suffix masses, per-filter score
-        #: memo), shared by every node/partition visit of the batch.
+        #: memo, and — on the CSR backend — the lazily attached numpy
+        #: twin of those vectors), shared by every node/partition
+        #: visit of the batch.
         #: Entries hold a strong reference to their document, so the
         #: id key cannot be recycled while the cache lives; epochs on
         #: the entry (IDF ``documents_seen`` + kernel registration)
@@ -410,7 +412,9 @@ class DisseminationPipeline:
                 )
             with tracer.span("route"):
                 routes = system._resolve_routes(document, caches)
-            with tracer.span("execute"):
+            with tracer.span(
+                "execute", backend=system.matching_backend
+            ):
                 ctx.work = TracedWorkAccumulator(tracer)
                 system._execute(ctx, routes)
             with tracer.span("account"):

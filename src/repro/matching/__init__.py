@@ -16,10 +16,20 @@ The paper's matching machinery in one place:
   similarity-threshold extension,
 - :mod:`repro.matching.kernel` — the score-accumulation kernel shared
   by all threshold-semantics consumers (cached document vectors,
-  dense-slot accumulators, remaining-mass pruning).
+  dense-slot accumulators, remaining-mass pruning),
+- :mod:`repro.matching.csr_kernel` — the vectorized CSR bulk-matching
+  backend behind the same kernel interface (incremental sparse
+  term×filter blocks, whole-block segment-sum scoring; requires
+  numpy, selected via ``SystemConfig.matching_backend``).
 """
 
 from .bloom import BloomFilter
+from .csr_kernel import (
+    HAVE_NUMPY,
+    CsrAccelerator,
+    CsrPostingBlock,
+    resolve_backend,
+)
 from .home_node import HomeNodeMatcher
 from .inverted_index import InvertedIndex
 from .kernel import DocumentScores, ScoreKernel, ScoringPass
@@ -44,6 +54,10 @@ __all__ = [
     "ScoreKernel",
     "ScoringPass",
     "DocumentScores",
+    "CsrAccelerator",
+    "CsrPostingBlock",
+    "HAVE_NUMPY",
+    "resolve_backend",
     "QueryEngine",
     "QueryError",
     "QuerySubscription",

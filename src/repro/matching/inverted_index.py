@@ -56,6 +56,14 @@ class InvertedIndex:
         #: add/remove so :meth:`stored_replica_count` is O(1) — the
         #: reallocation engine reads it once per holder per refresh.
         self._replica_entries = 0
+        #: Mutation listeners (e.g. the CSR posting-block mirrors of
+        #: :mod:`repro.matching.csr_kernel`).  Each is notified of
+        #: every *effective* posting change — ``posting_added(term,
+        #: local_id, filter)`` / ``posting_removed(term, local_id)`` /
+        #: ``term_dropped(term)`` — so derived structures stay exact
+        #: without polling.  Usually empty; every notification site is
+        #: behind an ``if self._listeners`` guard.
+        self._listeners: List[object] = []
 
     def __len__(self) -> int:
         """Number of distinct filters indexed."""
@@ -67,6 +75,30 @@ class InvertedIndex:
     @property
     def distinct_terms(self) -> int:
         return len(self._postings)
+
+    def add_listener(self, listener: object) -> None:
+        """Subscribe ``listener`` to posting mutations (see above)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: object) -> None:
+        """Unsubscribe; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def iter_term_postings(self):
+        """Yield ``(term, [(local_id, filter), ...])`` per posting list.
+
+        Posting order (ascending local id) is preserved — this is the
+        hydration primitive listeners use to build their initial
+        mirror of the index state.
+        """
+        for term, plist in self._postings.items():
+            yield term, [
+                (local_id, self._filters[local_id])
+                for local_id in plist
+            ]
 
     def stored_replica_count(self) -> int:
         """Total posting entries = stored filter replicas on this node.
@@ -111,6 +143,9 @@ class InvertedIndex:
                 self._postings[term] = plist
             if plist.add(local_id):
                 self._replica_entries += 1
+                if self._listeners:
+                    for listener in self._listeners:
+                        listener.posting_added(term, local_id, profile)
             local_terms.add(term)
         return local_id
 
@@ -157,7 +192,18 @@ class InvertedIndex:
             if plist is None:
                 plist = PostingList(term)
                 self._postings[term] = plist
-            added += plist.add_many(local_ids)
+            if self._listeners:
+                # Per-id inserts so each effective add is observable;
+                # final posting state is identical to ``add_many``.
+                for local_id in local_ids:
+                    if plist.add(local_id):
+                        added += 1
+                        for listener in self._listeners:
+                            listener.posting_added(
+                                term, local_id, self._filters[local_id]
+                            )
+            else:
+                added += plist.add_many(local_ids)
         self._replica_entries += added
         return added
 
@@ -174,6 +220,9 @@ class InvertedIndex:
                 continue
             if plist.remove(local_id):
                 self._replica_entries -= 1
+                if self._listeners:
+                    for listener in self._listeners:
+                        listener.posting_removed(term, local_id)
             if not plist:
                 del self._postings[term]
         return True
@@ -190,6 +239,9 @@ class InvertedIndex:
         if plist is None:
             return []
         self._replica_entries -= len(plist)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.term_dropped(term)
         moved: List[Filter] = []
         for local_id in plist:
             profile = self._filters[local_id]

@@ -54,21 +54,18 @@ index behind the kernel's back leaves a stale norm.
 from __future__ import annotations
 
 import math
-import warnings
 from array import array
 from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 from ..model import Document, Filter
+from .csr_kernel import _PRUNE_SLACK, CsrAccelerator, resolve_backend
 from .vsm import VsmScorer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.pipeline import BatchCaches
+    from .inverted_index import InvertedIndex
 
-#: Relative slack applied to the remaining-mass prune: float summation
-#: order can perturb the suffix masses and accumulated dots by a few
-#: ULPs each, so the bound is inflated far beyond that noise (but far
-#: below any real score gap) before it is allowed to drop a candidate.
-_PRUNE_SLACK = 1.0 + 1e-9
+__all__ = ["DocumentScores", "ScoringPass", "ScoreKernel", "_PRUNE_SLACK"]
 
 
 class DocumentScores:
@@ -91,6 +88,7 @@ class DocumentScores:
         "norm",
         "suffix",
         "score_memo",
+        "csr_state",
     )
 
     def __init__(
@@ -122,6 +120,11 @@ class DocumentScores:
             suffix[i] = mass
         self.suffix = suffix
         self.score_memo: Dict[str, float] = {}
+        #: Lazily built numpy twin of the vectors above
+        #: (:class:`repro.matching.csr_kernel._DocNumpyState`), owned
+        #: by the CSR backend; riding on this entry means the epoch
+        #: checks that retire the python vectors retire it too.
+        self.csr_state: Optional[object] = None
 
 
 class ScoringPass:
@@ -172,7 +175,7 @@ class ScoringPass:
             slot = slot_of.get(profile.filter_id)
             if slot is None:
                 slot = kernel._add_slot(
-                    profile.filter_id, math.sqrt(len(profile.terms))
+                    profile, math.sqrt(len(profile.terms))
                 )
             if stamp[slot] == pass_id:
                 acc[slot] += weight
@@ -226,22 +229,32 @@ class ScoreKernel:
     ``enabled=False`` — the ``SystemConfig.matching_kernel`` knob,
     plumbed through every owner — to make the owners fall back to the
     naive per-candidate scorer (the benchmarks' pre-kernel reference,
-    and the oracle the equivalence suite diffs against).  Assigning
-    :attr:`enabled` after construction still works but is deprecated
-    in favor of the config knob.
+    and the oracle the equivalence suite diffs against).
+    :attr:`enabled` is read-only after construction: the PR 4-era
+    setter (and ``SiftMatcher(use_kernel=)``) made backend dispatch
+    ambiguous and has been removed in favor of the config knobs.
+
+    ``backend`` selects the scoring engine behind the same interface:
+    ``"python"`` (the array('d') accumulators below), ``"csr"`` (the
+    vectorized block engine of :mod:`repro.matching.csr_kernel`), or
+    ``"auto"`` (csr when numpy is importable).  Both backends produce
+    bit-identical scores; the equivalence suite runs the full matrix.
     """
 
     __slots__ = (
         "scorer",
         "threshold",
+        "backend",
         "_enabled",
         "_slot_of",
         "_norms",
+        "_profiles",
         "_acc",
         "_stamp",
         "_pass_id",
         "_registration_epoch",
         "_solo",
+        "_csr",
     )
 
     def __init__(
@@ -249,6 +262,7 @@ class ScoreKernel:
         scorer: VsmScorer,
         threshold: float,
         enabled: bool = True,
+        backend: str = "python",
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(
@@ -256,30 +270,28 @@ class ScoreKernel:
             )
         self.scorer = scorer
         self.threshold = threshold
+        #: Resolved backend label ("python" or "csr"); "auto" resolves
+        #: at construction so owners can report what actually runs.
+        self.backend = resolve_backend(backend)
         self._enabled = enabled
         self._slot_of: Dict[str, int] = {}
         self._norms = array("d")
+        #: slot -> last registered Filter (parallel to ``_norms``), so
+        #: the CSR backend can map matched slots back to profiles.
+        self._profiles: List[Filter] = []
         self._acc = array("d")
         self._stamp = array("q")
         self._pass_id = 0
         self._registration_epoch = 0
         self._solo: Optional[DocumentScores] = None
+        self._csr: Optional[CsrAccelerator] = (
+            CsrAccelerator(self) if self.backend == "csr" else None
+        )
 
     @property
     def enabled(self) -> bool:
-        """Whether accumulation/lookup scoring is active."""
+        """Whether accumulation/lookup scoring is active (read-only)."""
         return self._enabled
-
-    @enabled.setter
-    def enabled(self, value: bool) -> None:
-        warnings.warn(
-            "assigning ScoreKernel.enabled is deprecated; pass "
-            "SystemConfig(matching_kernel=...) (or ScoreKernel("
-            "enabled=...)) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._enabled = value
 
     def __len__(self) -> int:
         """Number of dense filter slots assigned."""
@@ -298,9 +310,12 @@ class ScoreKernel:
         norm = math.sqrt(len(profile.terms))
         slot = self._slot_of.get(profile.filter_id)
         if slot is None:
-            self._add_slot(profile.filter_id, norm)
+            self._add_slot(profile, norm)
         else:
             self._norms[slot] = norm
+            # Rebinding invalidates the CSR backend's cached per-slot
+            # term-id row by identity (it validates against this).
+            self._profiles[slot] = profile
         self._registration_epoch += 1
 
     def unregister_filter(self, filter_id: str) -> None:
@@ -311,10 +326,11 @@ class ScoreKernel:
         """
         self._registration_epoch += 1
 
-    def _add_slot(self, filter_id: str, norm: float) -> int:
+    def _add_slot(self, profile: Filter, norm: float) -> int:
         slot = len(self._norms)
-        self._slot_of[filter_id] = slot
+        self._slot_of[profile.filter_id] = slot
         self._norms.append(norm)
+        self._profiles.append(profile)
         self._acc.append(0.0)
         self._stamp.append(0)
         return slot
@@ -324,7 +340,7 @@ class ScoreKernel:
         slot = self._slot_of.get(profile.filter_id)
         if slot is None:
             slot = self._add_slot(
-                profile.filter_id, math.sqrt(len(profile.terms))
+                profile, math.sqrt(len(profile.terms))
             )
         return slot
 
@@ -394,6 +410,31 @@ class ScoreKernel:
         """
         return ScoringPass(self, self.scores_for(document, caches))
 
+    def bulk_match(
+        self,
+        document: Document,
+        index: "InvertedIndex",
+        caches: Optional["BatchCaches"] = None,
+    ) -> Optional[Tuple[List[Filter], int, int]]:
+        """Whole-block accumulation match, when the backend has one.
+
+        The vectorized twin of a ``begin``/``accumulate``/``matched``
+        posting walk over *all* of the index's document-term lists:
+        returns ``(matched filters in first-seen candidate order,
+        posting lists touched, posting entries scanned)``.  Returns
+        ``None`` on the python backend, so call sites keep one shape::
+
+            bulk = kernel.bulk_match(document, index, caches)
+            if bulk is None:
+                ... per-term ScoringPass walk ...
+
+        The same SIFT-index contract as :meth:`begin` applies: the
+        index must hold each filter under all of its terms.
+        """
+        if self._csr is None:
+            return None
+        return self._csr.match_index(document, index, caches)
+
     # -- lookup mode ---------------------------------------------------------
 
     def select(
@@ -402,7 +443,16 @@ class ScoreKernel:
         candidates: Iterable[Filter],
         caches: Optional["BatchCaches"] = None,
     ) -> List[Filter]:
-        """Candidates reaching the threshold (input order preserved)."""
+        """Candidates reaching the threshold (input order preserved).
+
+        Lookup mode is backend-independent by design: per-candidate
+        dots over 2–3-term filters are a handful of dict probes each,
+        which the measured numbers say no batched gather can beat
+        (building per-candidate index arrays costs more than the dots
+        themselves), so both backends share this memoized scalar loop
+        and the CSR backend accelerates the block-shaped accumulation
+        mode (:meth:`bulk_match`) where vectorization has leverage.
+        """
         entry = self.scores_for(document, caches)
         threshold = self.threshold
         memo = entry.score_memo

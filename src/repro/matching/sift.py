@@ -12,11 +12,15 @@ Threshold matching runs through the score-accumulation kernel
 (:mod:`repro.matching.kernel`) by default; pass a
 ``SystemConfig(matching_kernel=False)`` as ``config`` for the naive
 score-per-candidate reference implementation the equivalence tests
-diff against (the ``use_kernel=`` keyword remains as a deprecated
-alias).  Accumulation is exact here because a ``SiftMatcher``'s index
-holds each filter under **all** of its terms (the SIFT index
-contract), so walking every document term's posting list touches every
-shared term of every candidate.
+diff against.  ``SystemConfig.matching_backend`` likewise selects the
+kernel's scoring engine (the vectorized CSR block engine of
+:mod:`repro.matching.csr_kernel` when available, or the pure-python
+accumulators); the pre-config ``use_kernel=`` keyword has been
+removed (a deprecated read-only :attr:`use_kernel` property remains).
+Accumulation is exact here because a ``SiftMatcher``'s index holds
+each filter under **all** of its terms (the SIFT index contract), so
+walking every document term's posting list touches every shared term
+of every candidate.
 """
 
 from __future__ import annotations
@@ -32,10 +36,6 @@ from .vsm import VsmScorer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import SystemConfig
 
-#: Sentinel marking "use_kernel not passed" so the deprecated keyword
-#: can be detected without changing behavior for legacy callers.
-_USE_KERNEL_UNSET = object()
-
 
 class SiftMatcher:
     """Centralized full-retrieval matcher over one local index."""
@@ -45,33 +45,38 @@ class SiftMatcher:
         index: InvertedIndex,
         scorer: Optional[VsmScorer] = None,
         threshold: Optional[float] = None,
-        use_kernel: object = _USE_KERNEL_UNSET,
         config: Optional["SystemConfig"] = None,
     ) -> None:
         if (scorer is None) != (threshold is None):
             raise ValueError(
                 "scorer and threshold must be supplied together"
             )
-        if use_kernel is _USE_KERNEL_UNSET:
-            kernel_enabled = (
-                config.matching_kernel if config is not None else True
-            )
-        else:
-            warnings.warn(
-                "SiftMatcher(use_kernel=...) is deprecated; pass "
-                "config=SystemConfig(matching_kernel=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            kernel_enabled = bool(use_kernel)
+        kernel_enabled = (
+            config.matching_kernel if config is not None else True
+        )
+        backend = (
+            config.matching_backend if config is not None else "auto"
+        )
         self.index = index
         self.scorer = scorer
         self.threshold = threshold
         self.kernel: Optional[ScoreKernel] = (
-            ScoreKernel(scorer, threshold)
+            ScoreKernel(scorer, threshold, backend=backend)
             if scorer is not None and kernel_enabled
             else None
         )
+
+    @property
+    def use_kernel(self) -> bool:
+        """Deprecated read shim for the removed ``use_kernel`` knob."""
+        warnings.warn(
+            "SiftMatcher.use_kernel is deprecated; configure with "
+            "SystemConfig(matching_kernel=..., matching_backend=...) "
+            "and inspect SiftMatcher.kernel instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.kernel is not None
 
     def match(
         self, document: Document
@@ -100,7 +105,16 @@ class SiftMatcher:
     def _match_threshold_kernel(
         self, document: Document
     ) -> Tuple[List[Filter], RetrievalCost]:
-        """Kernel path: one accumulation pass over the posting walk."""
+        """Kernel path: one accumulation pass over the posting walk.
+
+        On the CSR backend the whole walk collapses into one
+        vectorized block match; costs and matches are bit-identical
+        either way.
+        """
+        bulk = self.kernel.bulk_match(document, self.index)
+        if bulk is not None:
+            matched, lists, entries = bulk
+            return matched, RetrievalCost(lists, entries)
         scoring = self.kernel.begin(document)
         lists = 0
         entries = 0

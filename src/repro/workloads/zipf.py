@@ -12,18 +12,22 @@ import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
+try:  # pragma: no cover - exercised via the numpy-hidden CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
 
 from ..errors import WorkloadError
 
 
-def zipf_weights(
-    size: int, exponent: float, shift: float = 0.0
-) -> np.ndarray:
+def zipf_weights(size: int, exponent: float, shift: float = 0.0):
     """Zipf–Mandelbrot weights ``w_r = 1 / (r + shift)^exponent``.
 
     ``exponent`` controls the skew: higher → skewer (lower entropy).
-    Weights are normalized to sum to 1.
+    Weights are normalized to sum to 1.  Returns an ``np.ndarray``
+    when numpy is importable, a plain list otherwise (the numpy branch
+    is kept bit-identical to the historical behavior so seeded
+    corpora reproduce exactly).
     """
     if size < 1:
         raise WorkloadError(f"size must be >= 1, got {size}")
@@ -31,29 +35,68 @@ def zipf_weights(
         raise WorkloadError(f"exponent must be >= 0, got {exponent}")
     if shift < 0:
         raise WorkloadError(f"shift must be >= 0, got {shift}")
+    if np is None:
+        raw = [
+            1.0 / (rank + shift) ** exponent
+            for rank in range(1, size + 1)
+        ]
+        total = sum(raw)
+        return [weight / total for weight in raw]
     ranks = np.arange(1, size + 1, dtype=np.float64)
     weights = 1.0 / np.power(ranks + shift, exponent)
     return weights / weights.sum()
+
+
+def _entropy_bits(weights) -> float:
+    """Entropy (bits) of a weight vector, either backend."""
+    if np is None:
+        return -sum(
+            weight * math.log2(weight) for weight in weights if weight > 0
+        )
+    weights = np.asarray(weights)
+    weights = weights[weights > 0]
+    return float(-(weights * np.log2(weights)).sum())
 
 
 class AliasTable:
     """Walker alias method: O(n) build, O(1) sampling."""
 
     def __init__(self, weights: Sequence[float]) -> None:
-        probabilities = np.asarray(weights, dtype=np.float64)
-        if probabilities.ndim != 1 or len(probabilities) == 0:
-            raise WorkloadError("weights must be a non-empty 1-D vector")
-        if np.any(probabilities < 0):
-            raise WorkloadError("weights must be non-negative")
-        total = probabilities.sum()
-        if total <= 0:
-            raise WorkloadError("weights must not all be zero")
-        probabilities = probabilities / total
-
-        n = len(probabilities)
-        scaled = probabilities * n
-        self._prob = np.zeros(n, dtype=np.float64)
-        self._alias = np.zeros(n, dtype=np.int64)
+        if np is None:
+            # Pure-python fallback: same O(n) build over lists.  The
+            # numpy branch below is kept verbatim for bit-identical
+            # seeded corpora when numpy is present.
+            probabilities = [float(weight) for weight in weights]
+            if not probabilities:
+                raise WorkloadError(
+                    "weights must be a non-empty 1-D vector"
+                )
+            if any(p < 0 for p in probabilities):
+                raise WorkloadError("weights must be non-negative")
+            total = sum(probabilities)
+            if total <= 0:
+                raise WorkloadError("weights must not all be zero")
+            probabilities = [p / total for p in probabilities]
+            n = len(probabilities)
+            scaled = [p * n for p in probabilities]
+            self._prob = [0.0] * n
+            self._alias = [0] * n
+        else:
+            probabilities = np.asarray(weights, dtype=np.float64)
+            if probabilities.ndim != 1 or len(probabilities) == 0:
+                raise WorkloadError(
+                    "weights must be a non-empty 1-D vector"
+                )
+            if np.any(probabilities < 0):
+                raise WorkloadError("weights must be non-negative")
+            total = probabilities.sum()
+            if total <= 0:
+                raise WorkloadError("weights must not all be zero")
+            probabilities = probabilities / total
+            n = len(probabilities)
+            scaled = probabilities * n
+            self._prob = np.zeros(n, dtype=np.float64)
+            self._alias = np.zeros(n, dtype=np.int64)
         small = [i for i in range(n) if scaled[i] < 1.0]
         large = [i for i in range(n) if scaled[i] >= 1.0]
         while small and large:
@@ -138,8 +181,7 @@ class ZipfSampler:
 
     def entropy_bits(self) -> float:
         """Entropy of the weight vector (comparable to Figure 5's)."""
-        weights = self.weights[self.weights > 0]
-        return float(-(weights * np.log2(weights)).sum())
+        return _entropy_bits(self.weights)
 
 
 def fit_exponent_for_entropy(
@@ -161,7 +203,7 @@ def fit_exponent_for_entropy(
     for _ in range(80):
         mid = (lo + hi) / 2
         weights = zipf_weights(size, mid)
-        entropy = float(-(weights * np.log2(weights)).sum())
+        entropy = _entropy_bits(weights)
         if abs(entropy - target_entropy) <= tolerance:
             return mid
         if entropy > target_entropy:

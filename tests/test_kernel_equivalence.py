@@ -33,7 +33,12 @@ from repro.experiments.harness import (
     build_cluster,
     make_system,
 )
-from repro.matching import InvertedIndex, ScoreKernel, SiftMatcher
+from repro.matching import (
+    HAVE_NUMPY,
+    InvertedIndex,
+    ScoreKernel,
+    SiftMatcher,
+)
 from repro.matching.vsm import VsmScorer
 from repro.model import Document, Filter
 
@@ -41,15 +46,25 @@ WORKLOAD = ScaledWorkload(num_filters=600, num_documents=40, seed=11)
 
 ALL_SCHEMES = ["move", "il", "rs", "central"]
 
+#: The equivalence matrix runs once per available kernel backend: the
+#: python accumulators always, the vectorized CSR engine when numpy is
+#: importable.  Every backend must be bit-identical to the naive
+#: reference scorer — and therefore to each other.
+BACKENDS = ["python"] + (["csr"] if HAVE_NUMPY else [])
+
 THRESHOLD = 0.12
 
 
-def _build(scheme, bundle, kernel_enabled):
+def _build(scheme, bundle, kernel_enabled, backend="python"):
     workload = bundle.workload
     cluster, config = build_cluster(
         workload.num_nodes, workload.node_capacity, seed=3
     )
-    config = replace(config, matching_kernel=kernel_enabled)
+    config = replace(
+        config,
+        matching_kernel=kernel_enabled,
+        matching_backend=backend,
+    )
     system = make_system(scheme, cluster, config, threshold=THRESHOLD)
     system.register_batch(bundle.filters)
     if isinstance(system, MoveSystem):
@@ -95,10 +110,12 @@ def _assert_scores_identical(naive, fast, documents):
             )
 
 
-def _run_equivalence(scheme, fail=0.0, interleave_observe=False):
+def _run_equivalence(
+    scheme, backend="python", fail=0.0, interleave_observe=False
+):
     bundle = WORKLOAD.build()
     naive = _build(scheme, bundle, kernel_enabled=False)
-    fast = _build(scheme, bundle, kernel_enabled=True)
+    fast = _build(scheme, bundle, kernel_enabled=True, backend=backend)
     if fail:
         _fail_same_nodes(naive, fast, fail)
     documents = bundle.documents
@@ -126,23 +143,27 @@ def _run_equivalence(scheme, fail=0.0, interleave_observe=False):
     _assert_scores_identical(naive, fast, documents[:5])
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("scheme", ALL_SCHEMES)
-def test_kernel_identical_healthy(scheme):
-    _run_equivalence(scheme)
+def test_kernel_identical_healthy(scheme, backend):
+    _run_equivalence(scheme, backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("scheme", ALL_SCHEMES)
-def test_kernel_identical_under_failures(scheme):
-    _run_equivalence(scheme, fail=0.2)
+def test_kernel_identical_under_failures(scheme, backend):
+    _run_equivalence(scheme, backend, fail=0.2)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("scheme", ALL_SCHEMES)
-def test_kernel_identical_with_interleaved_observation(scheme):
-    _run_equivalence(scheme, interleave_observe=True)
+def test_kernel_identical_with_interleaved_observation(scheme, backend):
+    _run_equivalence(scheme, backend, interleave_observe=True)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("scheme", ALL_SCHEMES)
-def test_kernel_identical_observing_mid_batch(scheme):
+def test_kernel_identical_observing_mid_batch(scheme, backend):
     """IDF changes *inside* one batch: a system whose ``_observe``
     hook feeds the corpus statistics bumps the epoch between the
     documents of a single ``publish_batch`` — including between two
@@ -150,7 +171,7 @@ def test_kernel_identical_observing_mid_batch(scheme):
     memoized vector for a live cache entry to be rebuilt."""
     bundle = WORKLOAD.build()
     naive = _build(scheme, bundle, kernel_enabled=False)
-    fast = _build(scheme, bundle, kernel_enabled=True)
+    fast = _build(scheme, bundle, kernel_enabled=True, backend=backend)
 
     def observing(system):
         base_observe = type(system)._observe
@@ -174,14 +195,15 @@ def test_kernel_identical_observing_mid_batch(scheme):
     _assert_scores_identical(naive, fast, documents[:3])
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("scheme", ALL_SCHEMES)
-def test_kernel_identical_under_registration_churn(scheme):
+def test_kernel_identical_under_registration_churn(scheme, backend):
     """Unregister / re-register between publishes: re-binding a filter
     id to a *different* term set must refresh the precomputed norm and
     invalidate memoized scores (registration-epoch check)."""
     bundle = WORKLOAD.build()
     naive = _build(scheme, bundle, kernel_enabled=False)
-    fast = _build(scheme, bundle, kernel_enabled=True)
+    fast = _build(scheme, bundle, kernel_enabled=True, backend=backend)
     documents = bundle.documents[:12]
     first, second = documents[:6], documents[6:]
     _assert_plans_identical(
@@ -209,14 +231,17 @@ def test_kernel_identical_under_registration_churn(scheme):
 # ---------------------------------------------------------------------------
 
 
-def _sift_pair(filters):
+def _sift_pair(filters, backend="python"):
     scorer = VsmScorer()
     index_a, index_b = InvertedIndex(), InvertedIndex()
     for profile in filters:
         index_a.add_filter(profile)
         index_b.add_filter(profile)
     kernel_matcher = SiftMatcher(
-        index_a, scorer=scorer, threshold=THRESHOLD
+        index_a,
+        scorer=scorer,
+        threshold=THRESHOLD,
+        config=SystemConfig(matching_backend=backend),
     )
     reference = SiftMatcher(
         index_b,
@@ -227,9 +252,12 @@ def _sift_pair(filters):
     return kernel_matcher, reference
 
 
-def test_sift_matcher_kernel_matches_reference():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sift_matcher_kernel_matches_reference(backend):
     bundle = WORKLOAD.build()
-    kernel_matcher, reference = _sift_pair(bundle.filters[:300])
+    kernel_matcher, reference = _sift_pair(
+        bundle.filters[:300], backend=backend
+    )
     for document in bundle.documents[:20]:
         fast_matched, fast_cost = kernel_matcher.match(document)
         naive_matched, naive_cost = reference.match(document)

@@ -315,20 +315,32 @@ class TestMatchingKernelKnob:
         system = make_system(scheme, cluster, config, threshold=0.12)
         assert system._kernel.enabled is False
 
-    def test_score_kernel_setter_warns(self):
+    def test_score_kernel_enabled_is_read_only(self):
+        """The PR 4-deprecated setter is gone: construction-time knobs
+        (SystemConfig.matching_kernel / ScoreKernel(enabled=)) are the
+        only way to pick the scoring path."""
         kernel = ScoreKernel(VsmScorer(), threshold=0.5)
         assert kernel.enabled is True
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(AttributeError):
             kernel.enabled = False
-        assert kernel.enabled is False
+        assert kernel.enabled is True
 
-    def test_sift_matcher_use_kernel_warns(self):
+    def test_sift_matcher_use_kernel_kwarg_removed(self):
         index = InvertedIndex()
-        with pytest.warns(DeprecationWarning):
-            matcher = SiftMatcher(
-                index, scorer=VsmScorer(), threshold=0.5, use_kernel=False
+        with pytest.raises(TypeError):
+            SiftMatcher(
+                index,
+                scorer=VsmScorer(),
+                threshold=0.5,
+                use_kernel=False,
             )
-        assert matcher.kernel is None
+
+    def test_sift_matcher_use_kernel_read_shim_warns(self):
+        matcher = SiftMatcher(
+            InvertedIndex(), scorer=VsmScorer(), threshold=0.5
+        )
+        with pytest.warns(DeprecationWarning):
+            assert matcher.use_kernel is True
 
     def test_sift_matcher_config_param_is_silent(self):
         index = InvertedIndex()
