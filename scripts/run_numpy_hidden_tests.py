@@ -28,13 +28,17 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The test files exercising the kernel interface and its backends.
+#: The test files exercising the kernel interface and its backends,
+#: plus the service-mode suites (the serve runtime and WAL recovery
+#: paths are pure stdlib and must behave identically without numpy).
 TEST_PATHS = (
     "tests/test_csr_backend.py",
     "tests/test_kernel_equivalence.py",
     "tests/test_matching_bloom_sift_vsm.py",
     "tests/test_matching_postings_index.py",
+    "tests/test_serve_runtime.py",
     "tests/test_threshold_semantics.py",
+    "tests/test_wal_recovery.py",
 )
 
 SITECUSTOMIZE = '''\

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Serve-mode smoke: boot, mutate, kill -9, restart, assert recovery.
+
+The CI counterpart of the in-process crash-recovery property tests:
+it exercises the real deployment story across *process* boundaries.
+
+1. boot ``python -m repro serve`` with a WAL directory and port 0,
+   wait for ``READY port=<n>``;
+2. register filters, finalize, ingest documents; record the stats
+   snapshot and each document's matched set;
+3. ``SIGKILL`` the process mid-flight (no drain, no fsync courtesy);
+4. boot a fresh process on the same WAL directory;
+5. assert the recovered stats match the pre-kill snapshot (documents
+   published, active filters) and that a probe document matches
+   exactly the filters it should.
+
+Matched *sets* are the cross-process invariant; RNG-stream identity
+is only meaningful in-process (hash randomization perturbs set
+iteration order between interpreters) and is covered by
+``tests/test_wal_recovery.py``.
+
+Exit status 0 on success; any assertion or timeout fails the smoke.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServiceClient  # noqa: E402
+
+_FILTERS = {
+    "f-alpha": ["alpha", "beta"],
+    "f-gamma": ["gamma"],
+    "f-shared": ["alpha", "gamma"],
+    "f-delta": ["delta", "epsilon"],
+    "f-zeta": ["zeta"],
+}
+_DOCS = {
+    "d0": ["alpha", "noise0"],
+    "d1": ["gamma", "noise1"],
+    "d2": ["delta", "epsilon"],
+    "d3": ["nothing", "matches"],
+    "d4": ["beta", "zeta"],
+}
+
+
+def _expected_matches(terms):
+    doc_terms = set(terms)
+    return sorted(
+        fid
+        for fid, fterms in _FILTERS.items()
+        if doc_terms & set(fterms)
+    )
+
+
+def _boot(wal_dir: str) -> "tuple[subprocess.Popen, int]":
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--scheme",
+            "move",
+            "--nodes",
+            "4",
+            "--port",
+            "0",
+            "--wal-dir",
+            wal_dir,
+        ],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while True:
+        line = process.stdout.readline()
+        if line.startswith("READY port="):
+            return process, int(line.strip().split("=", 1)[1])
+        if not line or time.monotonic() > deadline:
+            process.kill()
+            raise SystemExit(
+                f"server did not become READY (last line: {line!r})"
+            )
+
+
+def main() -> int:
+    wal_dir = tempfile.mkdtemp(prefix="serve-smoke-wal-")
+    process, port = _boot(wal_dir)
+    try:
+        with ServiceClient(port=port) as client:
+            assert client.ping()
+            for fid, terms in _FILTERS.items():
+                client.register(fid, terms)
+            client.finalize()
+            before = {}
+            for doc_id, terms in _DOCS.items():
+                plan = client.ingest(doc_id, terms=terms)
+                assert plan["matched"] == _expected_matches(terms), (
+                    doc_id,
+                    plan["matched"],
+                )
+                before[doc_id] = plan["matched"]
+            stats_before = client.stats()
+        # Crash hard: no drain, no graceful anything.
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    process, port = _boot(wal_dir)
+    try:
+        with ServiceClient(port=port) as client:
+            stats_after = client.stats()
+            for key in (
+                "active_filters",
+                "documents_published",
+                "filters_registered",
+            ):
+                assert stats_after[key] == stats_before[key], (
+                    key,
+                    stats_before[key],
+                    stats_after[key],
+                )
+            probe_terms = ["alpha", "zeta", "unseen"]
+            plan = client.ingest("probe", terms=probe_terms)
+            assert plan["matched"] == _expected_matches(probe_terms), (
+                plan["matched"]
+            )
+            metrics = client.metrics()
+            assert "repro_documents_published" in metrics
+            client.shutdown()
+        process.wait(timeout=60)
+        assert process.returncode == 0, process.returncode
+    finally:
+        if process.poll() is None:
+            process.kill()
+    print("serve smoke OK: recovered after SIGKILL with state intact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,11 @@ Subcommands:
 - ``trace`` — run one scheme over a tiny traced workload and write
   the spans as JSON lines (the CI observability smoke; feed the
   output to ``scripts/trace_report.py``),
+- ``serve`` — run the real service mode: an asyncio TCP endpoint
+  (JSON lines: register / unregister / ingest / stats / metrics)
+  over one dissemination system, with optional write-ahead-log
+  durability and crash recovery (``--wal-dir``); prints
+  ``READY port=<n>`` once listening (see ``docs/OPERATIONS.md``),
 - ``list`` — list the available experiment ids,
 - ``demo`` — run the quickstart scenario inline.
 """
@@ -102,6 +107,48 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import ServeConfig, ServiceRuntime, ServiceServer
+
+    config = ServeConfig(
+        scheme=args.scheme,
+        num_nodes=args.nodes,
+        node_capacity=args.capacity,
+        seed=args.seed,
+        threshold=args.threshold,
+        wal_dir=args.wal_dir,
+        fsync_interval=args.fsync_interval,
+        queue_capacity=args.queue_capacity,
+        admission_high_watermark=args.admission_watermark,
+        batch_max_docs=args.batch_max_docs,
+        reallocate_interval=args.reallocate_interval,
+    )
+
+    async def run() -> None:
+        runtime = ServiceRuntime(config)
+        server = ServiceServer(runtime, host=args.host, port=args.port)
+        await server.start()
+        print(f"READY port={server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, server.shutdown_requested.set
+                )
+            except NotImplementedError:  # pragma: no cover - non-posix
+                pass
+        await server.shutdown_requested.wait()
+        print("draining", flush=True)
+        await server.close()
+        print("stopped", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from . import Cluster, Document, Filter, MoveSystem
 
@@ -185,6 +232,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON-lines output path (default: trace.jsonl)",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the live TCP service (JSON lines; see "
+        "docs/OPERATIONS.md)",
+    )
+    serve_parser.add_argument(
+        "--scheme",
+        default="move",
+        choices=["move", "il", "rs", "central"],
+        help="dissemination scheme to serve (default: move)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = let the OS pick; the bound port is "
+        "printed as READY port=<n>)",
+    )
+    serve_parser.add_argument(
+        "--nodes", type=int, default=8, help="cluster size"
+    )
+    serve_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=2_000,
+        help="per-node filter capacity",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="system seed"
+    )
+    serve_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="similarity threshold (default: boolean semantics)",
+    )
+    serve_parser.add_argument(
+        "--wal-dir",
+        default=None,
+        help="write-ahead-log directory; enables durability and "
+        "crash recovery on restart",
+    )
+    serve_parser.add_argument(
+        "--fsync-interval",
+        type=int,
+        default=1,
+        help="fsync every N journal appends (1 = every append)",
+    )
+    serve_parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1_024,
+        help="ingest queue bound",
+    )
+    serve_parser.add_argument(
+        "--admission-watermark",
+        type=float,
+        default=1.0,
+        help="queue fraction at which ingest sheds (1.0 = never "
+        "shed, rely on backpressure)",
+    )
+    serve_parser.add_argument(
+        "--batch-max-docs",
+        type=int,
+        default=64,
+        help="micro-batch size cap",
+    )
+    serve_parser.add_argument(
+        "--reallocate-interval",
+        type=float,
+        default=None,
+        help="seconds between periodic allocation refreshes "
+        "(default: disabled)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     demo_parser = subparsers.add_parser(
         "demo", help="run the quickstart scenario"

@@ -114,6 +114,11 @@ class DisseminationSystem(ABC):
     ) -> None:
         self.config = config or SystemConfig()
         self.metrics = MetricsRegistry()
+        #: Bumped on every registration/allocation mutation; combined
+        #: with the cluster's membership epoch it forms the *batch
+        #: epoch* (:meth:`_batch_epoch`) the pipeline pins per batch
+        #: to enforce the batch contract.
+        self._mutation_epoch = 0
         #: The tracer dissemination reports to.  Defaults to the
         #: module default (the disabled no-op singleton unless
         #: :func:`repro.obs.set_default_tracer` installed one); assign
@@ -210,6 +215,24 @@ class DisseminationSystem(ABC):
             is DisseminationSystem._apply_semantics
         )
 
+    # -- batch contract ------------------------------------------------------
+
+    def _batch_epoch(self) -> int:
+        """Epoch pinning the state the per-batch memos depend on.
+
+        The sum of this system's mutation epoch (registration and
+        allocation changes) and the cluster's membership epoch (node
+        joins, crashes, recoveries); both only ever increase, so any
+        mid-batch mutation changes the sum.  The pipeline snapshots it
+        when a batch opens and re-checks it before every document,
+        raising :class:`~repro.errors.BatchContractError` on drift —
+        the enforcement half of the batch contract the caches assume.
+        """
+        cluster = getattr(self, "cluster", None)
+        if cluster is None:
+            return self._mutation_epoch
+        return self._mutation_epoch + cluster.membership_epoch
+
     # -- registration ------------------------------------------------------
 
     @abstractmethod
@@ -224,6 +247,7 @@ class DisseminationSystem(ABC):
             )
         self._registered[profile.filter_id] = profile
         self._register(profile)
+        self._mutation_epoch += 1
         if self._kernel is not None:
             self._kernel.register_filter(profile)
         self.metrics.counter("filters_registered").add()
@@ -266,6 +290,8 @@ class DisseminationSystem(ABC):
                 )
             seen.add(profile.filter_id)
         self._register_batch(batch)
+        if batch:
+            self._mutation_epoch += 1
         for profile in batch:
             self._registered[profile.filter_id] = profile
         if self._kernel is not None:
@@ -300,6 +326,7 @@ class DisseminationSystem(ABC):
             raise KeyError(f"unknown filter {filter_id!r}")
         self._unregister(profile)
         del self._registered[filter_id]
+        self._mutation_epoch += 1
         if self._kernel is not None:
             self._kernel.unregister_filter(filter_id)
         self.metrics.counter("filters_unregistered").add()
@@ -319,13 +346,7 @@ class DisseminationSystem(ABC):
     # -- stats snapshot ------------------------------------------------------
 
     def _build_stats(self) -> SystemStats:
-        """Snapshot the registry (the implementation behind ``stats``).
-
-        Separated from :meth:`stats` so :class:`~repro.core.move_system.
-        MoveSystem` — whose ``stats`` name is shadowed by the legacy
-        ``TermStatistics`` accessor for one deprecation release — can
-        reuse it.
-        """
+        """Snapshot the registry (the implementation behind ``stats``)."""
         return SystemStats.from_registry(
             self.name, self.metrics, len(self._registered)
         )
@@ -409,15 +430,16 @@ class DisseminationSystem(ABC):
         work across the batch.  Batching is observationally inert:
         plans are bit-identical to the per-document loop under the
         same seed — equal matched sets, tasks, costs, and RNG
-        consumption — which holds as long as registration and cluster
-        membership do not change mid-batch.
+        consumption.  Registration, allocation, and cluster
+        membership must not change mid-batch: the pipeline pins the
+        batch epoch and raises
+        :class:`~repro.errors.BatchContractError` if they do.
 
-        Compatibility shim: a legacy subclass that overrides
-        :meth:`publish` directly (pre-pipeline style) is batched as
-        the plain per-document loop over its override.
+        Subclasses customize dissemination through the stage hooks
+        (``_choose_ingest`` / ``_resolve_routes`` / ``_execute``); an
+        override of :meth:`publish` is *not* consulted here (the
+        pre-pipeline publish-override shim has been removed).
         """
-        if type(self).publish is not DisseminationSystem.publish:
-            return [self.publish(document) for document in documents]
         return self._engine.publish_batch(documents)
 
     # -- shared accounting ---------------------------------------------------

@@ -12,7 +12,11 @@ pieces the paper relies on:
   state with heartbeat-based failure detection,
 - :mod:`repro.cluster.replication` — SimpleStrategy (ring successors)
   and rack-aware replica placement,
-- :mod:`repro.cluster.storage` — memtable/SSTable column-family store,
+- :mod:`repro.cluster.storage` — memtable/SSTable column-family store
+  plus the segmented CRC-framed write-ahead log
+  (:class:`~repro.cluster.storage.WalWriter` /
+  :class:`~repro.cluster.storage.WalReader`) backing crash recovery
+  in :mod:`repro.serve`,
 - :mod:`repro.cluster.node` — a cluster node binding storage + queues,
 - :mod:`repro.cluster.cluster` — cluster orchestration and failure
   injection,
@@ -31,7 +35,7 @@ from .replication import (
     SimpleStrategy,
 )
 from .ring import ConsistentHashRing
-from .storage import ColumnFamilyStore, StorageEngine
+from .storage import ColumnFamilyStore, StorageEngine, WalReader, WalWriter
 from .topology import Topology
 
 __all__ = [
@@ -48,6 +52,8 @@ __all__ = [
     "RackAwareStrategy",
     "StorageEngine",
     "ColumnFamilyStore",
+    "WalWriter",
+    "WalReader",
     "ClusterNode",
     "Cluster",
     "KeyValueClient",

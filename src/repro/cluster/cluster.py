@@ -39,6 +39,11 @@ class Cluster:
         #: :class:`~repro.sim.server.FifoServer`) plus crash/recovery
         #: counters — the substrate half of ``repro.obs``.
         self.metrics = MetricsRegistry()
+        #: Bumped on every membership change (join, crash, recovery).
+        #: Systems fold it into their batch epoch so the dissemination
+        #: pipeline can detect membership churn inside a publish batch
+        #: (see ``DisseminationSystem._batch_epoch``).
+        self.membership_epoch = 0
         self.partitioner = RandomPartitioner()
         self.ring = ConsistentHashRing(
             self.partitioner, vnodes=self.config.vnodes_per_node
@@ -103,6 +108,7 @@ class Cluster:
         self.topology.assign(node_id, rack)
         self.ring.add_node(node_id)
         self.membership.add_node(node_id)
+        self.membership_epoch += 1
         return node
 
     # -- failure injection -------------------------------------------------
@@ -114,6 +120,7 @@ class Cluster:
             return
         node.crash()
         self.membership.mark_crashed(node_id)
+        self.membership_epoch += 1
 
     def recover_node(self, node_id: str) -> None:
         node = self.node(node_id)
@@ -121,6 +128,7 @@ class Cluster:
             return
         node.recover()
         self.membership.mark_recovered(node_id)
+        self.membership_epoch += 1
 
     def fail_fraction(
         self, fraction: float, rng, exclude: Iterable[str] = ()

@@ -7,14 +7,30 @@ families).  Writes land in a memtable; when the memtable exceeds its
 flush threshold it is frozen into an immutable SSTable.  Reads merge
 the memtable with SSTables newest-first, so the freshest write wins —
 the standard LSM read path, reproduced in miniature.
+
+The module also provides the durability half of the real service mode
+(:mod:`repro.serve`): a segmented, CRC-framed write-ahead log
+(:class:`WalWriter` / :class:`WalReader`).  Mutations are framed and
+appended *before* they are applied in memory, so a crashed node can be
+rehydrated bit-identically by replaying its log (see
+``repro.serve.journal``).
 """
 
 from __future__ import annotations
 
+import os
+import struct
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
-from ..errors import StorageError, UnknownColumnFamilyError
+from ..errors import (
+    StorageError,
+    UnknownColumnFamilyError,
+    WalCorruptionError,
+    WalError,
+)
 
 #: Sentinel distinguishing "key absent" from "stored None".
 _MISSING = object()
@@ -237,3 +253,274 @@ class StorageEngine:
 
     def families(self) -> List[str]:
         return sorted(self._families)
+
+
+# -- write-ahead log ------------------------------------------------------
+
+#: Frame header: little-endian (lsn: u64, payload length: u32, crc: u32).
+#: The CRC covers the lsn bytes *and* the payload, so a frame whose
+#: header and body were written by different appends cannot verify.
+_WAL_HEADER = struct.Struct("<QII")
+
+#: Segment file name pattern; the index orders segments on replay.
+_SEGMENT_FMT = "wal-{index:08d}.log"
+_SEGMENT_GLOB = "wal-*.log"
+
+
+def _frame(lsn: int, payload: bytes) -> bytes:
+    lsn_bytes = struct.pack("<Q", lsn)
+    crc = zlib.crc32(payload, zlib.crc32(lsn_bytes))
+    return _WAL_HEADER.pack(lsn, len(payload), crc) + payload
+
+
+def _segment_index(path: Path) -> int:
+    return int(path.name[len("wal-"):-len(".log")])
+
+
+def _list_segments(directory: Path) -> List[Path]:
+    return sorted(directory.glob(_SEGMENT_GLOB), key=_segment_index)
+
+
+class WalWriter:
+    """Appends CRC-framed records to a segmented write-ahead log.
+
+    - **Framing**: each record is ``<lsn u64><len u32><crc u32>`` +
+      payload; the CRC covers the lsn bytes and the payload.
+    - **LSNs** are assigned by the writer and strictly increase across
+      segments; the reader rejects regressions as corruption.
+    - **Rotation**: when the current segment would exceed
+      ``segment_max_bytes`` a new ``wal-NNNNNNNN.log`` is started (a
+      single record larger than the limit still goes through — it
+      simply gets a segment to itself).
+    - **fsync batching**: ``fsync_interval=1`` fsyncs every append
+      (strongest durability); ``n > 1`` fsyncs every n-th append and
+      on :meth:`sync` / :meth:`close`, trading the tail of the log for
+      throughput — exactly the torn tail :meth:`WalReader.replay`
+      tolerates.
+
+    Reopening a directory with existing segments continues after the
+    highest replayable lsn in a **fresh** segment; a torn tail left by
+    a crash is ignored (it precedes the new segment and the reader
+    only tolerates tears in the *final* segment, so call
+    :meth:`WalReader.repair` first when reopening after a crash).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        segment_max_bytes: int = 1 << 20,
+        fsync_interval: int = 1,
+    ) -> None:
+        if segment_max_bytes <= 0:
+            raise WalError(
+                f"segment_max_bytes must be positive, got {segment_max_bytes}"
+            )
+        if fsync_interval <= 0:
+            raise WalError(
+                f"fsync_interval must be positive, got {fsync_interval}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync_interval = fsync_interval
+        existing = _list_segments(self.directory)
+        if existing:
+            reader = WalReader(self.directory)
+            self._next_lsn = reader.last_lsn() + 1
+            next_index = _segment_index(existing[-1]) + 1
+        else:
+            self._next_lsn = 1
+            next_index = 0
+        self._segment_index = next_index
+        self._segment_bytes = 0
+        self._unsynced = 0
+        self._file = None
+        self._open_segment()
+
+    # -- segment plumbing ------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """The lsn the next :meth:`append` will be assigned."""
+        return self._next_lsn
+
+    @property
+    def segment_path(self) -> Path:
+        """Path of the segment currently being appended to."""
+        return self.directory / _SEGMENT_FMT.format(
+            index=self._segment_index
+        )
+
+    def _open_segment(self) -> None:
+        if self._file is not None:
+            self._fsync()
+            self._file.close()
+        self._file = open(self.segment_path, "ab")
+        self._segment_bytes = self._file.tell()
+
+    def _rotate(self) -> None:
+        self._segment_index += 1
+        self._open_segment()
+
+    def _fsync(self) -> None:
+        if self._file is not None and self._unsynced:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._unsynced = 0
+
+    # -- public API ------------------------------------------------------
+
+    def append(self, payload: bytes) -> int:
+        """Frame and append ``payload``; returns its assigned lsn.
+
+        The record is durable once the batched fsync covering it has
+        run (immediately when ``fsync_interval == 1``).
+        """
+        if self._file is None:
+            raise WalError("WalWriter is closed")
+        if self._segment_bytes and (
+            self._segment_bytes + _WAL_HEADER.size + len(payload)
+            > self.segment_max_bytes
+        ):
+            self._rotate()
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        frame = _frame(lsn, payload)
+        self._file.write(frame)
+        self._segment_bytes += len(frame)
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_interval:
+            self._fsync()
+        return lsn
+
+    def sync(self) -> None:
+        """Force the batched fsync now (durability barrier)."""
+        self._fsync()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._fsync()
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class WalReader:
+    """Replays a segmented write-ahead log written by :class:`WalWriter`.
+
+    Corruption policy: a **torn tail** — a truncated or CRC-failing
+    record at the very end of the *final* segment — is the expected
+    signature of a crash mid-append and is silently tolerated (replay
+    stops there).  The same damage anywhere else (mid-segment, or in a
+    non-final segment followed by more data) means the log was
+    corrupted at rest and raises :class:`WalCorruptionError`; so does
+    an lsn that fails to increase across records.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise WalError(f"no such WAL directory: {self.directory}")
+
+    def segments(self) -> List[Path]:
+        """The segment files in replay order."""
+        return _list_segments(self.directory)
+
+    def replay(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(lsn, payload)`` for every verifiable record."""
+        segments = self.segments()
+        last_lsn = 0
+        for position, segment in enumerate(segments):
+            is_final = position == len(segments) - 1
+            data = segment.read_bytes()
+            offset = 0
+            while offset < len(data):
+                record = self._decode(
+                    data, offset, segment, final_segment=is_final
+                )
+                if record is None:  # tolerated torn tail
+                    break
+                lsn, payload, offset = record
+                if lsn <= last_lsn:
+                    raise WalCorruptionError(
+                        f"{segment.name}: lsn {lsn} does not increase "
+                        f"(previous {last_lsn})"
+                    )
+                last_lsn = lsn
+                yield lsn, payload
+
+    def last_lsn(self) -> int:
+        """Highest replayable lsn (0 for an empty or missing log)."""
+        last = 0
+        for lsn, _ in self.replay():
+            last = lsn
+        return last
+
+    def repair(self) -> int:
+        """Truncate a tolerated torn tail; returns the bytes dropped.
+
+        After repair the final segment ends on a record boundary, so a
+        reopening :class:`WalWriter` never leaves unreachable garbage
+        between the tear and its fresh segment.  Raises
+        :class:`WalCorruptionError` for damage repair cannot fix
+        (mid-log corruption), same as :meth:`replay`.
+        """
+        segments = self.segments()
+        if not segments:
+            return 0
+        final = segments[-1]
+        data = final.read_bytes()
+        offset = 0
+        while offset < len(data):
+            record = self._decode(data, offset, final, final_segment=True)
+            if record is None:
+                break
+            _, _, offset = record
+        dropped = len(data) - offset
+        if dropped:
+            with open(final, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return dropped
+
+    def _decode(
+        self,
+        data: bytes,
+        offset: int,
+        segment: Path,
+        final_segment: bool,
+    ) -> Optional[Tuple[int, bytes, int]]:
+        """Decode one frame at ``offset``; None for a tolerated tear."""
+
+        def torn(reason: str) -> Optional[Tuple[int, bytes, int]]:
+            if final_segment:
+                return None
+            raise WalCorruptionError(
+                f"{segment.name} @ {offset}: {reason} in a non-final "
+                "segment — log corrupted at rest"
+            )
+
+        if offset + _WAL_HEADER.size > len(data):
+            return torn("truncated frame header")
+        lsn, length, crc = _WAL_HEADER.unpack_from(data, offset)
+        body_start = offset + _WAL_HEADER.size
+        if body_start + length > len(data):
+            return torn("truncated payload")
+        payload = data[body_start:body_start + length]
+        expected = zlib.crc32(payload, zlib.crc32(struct.pack("<Q", lsn)))
+        if crc != expected:
+            # A CRC failure mid-segment (more bytes follow) is at-rest
+            # corruption even in the final segment.
+            if final_segment and body_start + length == len(data):
+                return None
+            raise WalCorruptionError(
+                f"{segment.name} @ {offset}: CRC mismatch "
+                f"(stored {crc:#010x}, computed {expected:#010x})"
+            )
+        return lsn, payload, body_start + length

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import random
 import time
-import warnings
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -57,37 +56,6 @@ from .pipeline import (
 from .placement import PlacementSelector
 from ..baselines.base import DisseminationSystem
 from ..text.interning import DEFAULT_INTERNER
-
-
-class _LegacyTermStatsAccessor:
-    """Deprecation shim keeping both meanings of ``MoveSystem.stats``.
-
-    ``MoveSystem.stats`` used to *be* the :class:`TermStatistics`
-    instance; it is now the uniform ``system.stats()`` accessor all
-    four systems share.  This shim bridges one release: calling it
-    (``move.stats()``) returns the new
-    :class:`~repro.obs.SystemStats` snapshot, while attribute access
-    (``move.stats.popularity``) forwards to :attr:`MoveSystem.
-    term_stats` with a :class:`DeprecationWarning`.
-    """
-
-    __slots__ = ("_system",)
-
-    def __init__(self, system: "MoveSystem") -> None:
-        self._system = system
-
-    def __call__(self):
-        return self._system._build_stats()
-
-    def __getattr__(self, name: str):
-        warnings.warn(
-            "MoveSystem.stats no longer exposes TermStatistics; use "
-            "MoveSystem.term_stats instead (attribute forwarding is "
-            "deprecated and will be removed next release)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(self._system.term_stats, name)
 
 
 class MoveSystem(DisseminationSystem):
@@ -156,18 +124,6 @@ class MoveSystem(DisseminationSystem):
         self._filter_churn_since_apply = 0
         #: Report of the most recent :meth:`reallocate` call.
         self.last_reallocation: Optional[ReallocationReport] = None
-
-    @property
-    def stats(self) -> _LegacyTermStatsAccessor:
-        """The uniform stats accessor, with legacy attribute forwarding.
-
-        ``move.stats()`` returns the shared
-        :class:`~repro.obs.SystemStats` snapshot (same as every other
-        system); ``move.stats.<attr>`` still reaches the old
-        :class:`TermStatistics` fields via :attr:`term_stats` but
-        emits a :class:`DeprecationWarning`.
-        """
-        return _LegacyTermStatsAccessor(self)
 
     # -- registration (identical to IL) ---------------------------------
 
@@ -431,6 +387,9 @@ class MoveSystem(DisseminationSystem):
             report = self._apply_plan_incremental(plan)
         else:
             report = self._apply_plan_full(plan)
+        # Allocation state changed: invalidate any open batch (the
+        # batch-contract epoch the pipeline pins per publish_batch).
+        self._mutation_epoch += 1
         self._applied_epochs = dict(self._key_epochs)
         self._writethrough_adds.clear()
         self._writethrough_drops.clear()

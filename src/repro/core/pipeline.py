@@ -29,11 +29,27 @@ matching callbacks; ``publish()`` is literally
 ``publish_batch([document])[0]`` (a singleton batch with fresh caches),
 so batching changes *when* work is shared, never *what* is computed —
 plans and RNG consumption are bit-identical either way.
+
+**The batch contract is enforced, not assumed.**  Every mutation of
+registration (``register`` / ``register_batch`` / ``unregister``),
+allocation (``MoveSystem`` plan applies), or cluster membership
+(node join/crash/recovery) bumps an epoch counter; the pipeline
+snapshots it into :attr:`BatchCaches.epoch` when the batch opens and
+re-checks it before each document.  A mid-batch mutation — reachable
+from the asyncio service runtime (:mod:`repro.serve`), or from a
+stage-hook override calling back into the system — raises
+:class:`~repro.errors.BatchContractError` instead of silently serving
+stale memos.
+
+The pipeline is clock-agnostic: it stamps its traced spans off a
+:class:`~repro.sim.engine.Clock` (``perf_counter`` by default), so the
+same engine serves the discrete-event harness and the real-time
+asyncio runtime unchanged — only *who calls* ``publish_batch`` and
+*which clock* it carries differ between the two drivers.
 """
 
 from __future__ import annotations
 
-from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -47,7 +63,9 @@ from typing import (
 )
 
 from ..baselines.base import DisseminationPlan, NodeTask
+from ..errors import BatchContractError
 from ..model import Document, Filter
+from ..sim.engine import Clock, PERF_CLOCK
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..baselines.base import DisseminationSystem
@@ -125,12 +143,13 @@ class TracedWorkAccumulator(WorkAccumulator):
     task totals (the tracing acceptance invariant).
     """
 
-    __slots__ = ("_tracer", "_mark")
+    __slots__ = ("_tracer", "_clock", "_mark")
 
-    def __init__(self, tracer) -> None:
+    def __init__(self, tracer, clock: Clock = PERF_CLOCK) -> None:
         super().__init__()
         self._tracer = tracer
-        self._mark = perf_counter()
+        self._clock = clock
+        self._mark = clock.now
 
     def add(
         self,
@@ -142,7 +161,7 @@ class TracedWorkAccumulator(WorkAccumulator):
         WorkAccumulator.add(
             self, node_id, posting_lists, posting_entries, path
         )
-        now = perf_counter()
+        now = self._clock.now
         self._tracer.emit(
             "execute_node",
             self._mark,
@@ -162,9 +181,21 @@ class BatchCaches:
     the batch's duration.  Term-keyed maps use the dense shared-
     interner term id; composite keys are scheme-chosen tuples (ints
     and tuples never collide, so one map serves every scheme).
+
+    **Lifetime.**  A cache set lives for exactly one ``publish_batch``
+    call and must never outlive it; the pipeline constructs a fresh
+    instance per batch and discards it afterwards.  :attr:`epoch`
+    pins the system's batch epoch (registration + allocation +
+    membership counters, see
+    :meth:`~repro.baselines.base.DisseminationSystem._batch_epoch`)
+    at construction; the pipeline compares it before every document
+    and raises :class:`~repro.errors.BatchContractError` on a
+    mid-batch mutation.  ``epoch=None`` (direct construction in tests
+    or tooling) disables the check.
     """
 
     __slots__ = (
+        "epoch",
         "route",
         "retrieval",
         "routing",
@@ -172,7 +203,10 @@ class BatchCaches:
         "doc_scores",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, epoch: Optional[int] = None) -> None:
+        #: The owning system's batch epoch at batch open (``None``
+        #: disables mid-batch mutation checking).
+        self.epoch = epoch
         #: term id -> destination node, or None when pruned (Bloom).
         self.route: Dict[int, Optional[str]] = {}
         #: retrieval key (term id, or a scheme tuple such as
@@ -225,6 +259,15 @@ class ExecutionContext:
     in: the matched/unreachable filter-id sets, the per-destination
     :class:`WorkAccumulator`, the control-plane message count, and the
     batch caches.
+
+    **Lifetime.**  A context lives for exactly one document within one
+    batch — it is constructed by the pipeline's ingest stage and dies
+    with the document's plan.  It borrows the batch's
+    :class:`BatchCaches` (it does not own them) and therefore inherits
+    the batch contract: the registration/allocation/membership state
+    the caches memoize must not change while the context is in flight.
+    Stage hooks must not retain a context (or its ``caches``) past the
+    ``_execute`` call that received it.
     """
 
     __slots__ = (
@@ -284,17 +327,28 @@ class DisseminationPipeline:
     """The staged engine driving one system's dissemination.
 
     Owns the stage sequencing and the scheme-independent stages
-    (per-batch cache lifetime, task materialization, Figure 9 load
-    accounting); delegates route resolution and matching to the
-    system's stage hooks.  The per-document hook order — observe,
-    ingest draw, route, execute — fixes the RNG consumption order for
-    every scheme.
+    (per-batch cache lifetime, batch-contract enforcement, task
+    materialization, Figure 9 load accounting); delegates route
+    resolution and matching to the system's stage hooks.  The
+    per-document hook order — observe, ingest draw, route, execute —
+    fixes the RNG consumption order for every scheme.
+
+    ``clock`` is the timebase for the traced path's per-node
+    ``execute_node`` marks (``perf_counter`` by default).  Drivers
+    that install their own clock — the asyncio service runtime hands
+    in its event-loop clock — should give the tracer the same one so
+    all span timestamps share a timebase.
     """
 
-    __slots__ = ("system",)
+    __slots__ = ("system", "clock")
 
-    def __init__(self, system: "DisseminationSystem") -> None:
+    def __init__(
+        self,
+        system: "DisseminationSystem",
+        clock: Optional[Clock] = None,
+    ) -> None:
         self.system = system
+        self.clock = clock if clock is not None else PERF_CLOCK
 
     def publish_batch(
         self, documents: Sequence[Document]
@@ -323,9 +377,9 @@ class DisseminationPipeline:
         dispatcher above — their ratio isolates exactly what tracing
         costs when disabled.
         """
-        caches = BatchCaches()
-        disseminate = self._disseminate
         system = self.system
+        caches = BatchCaches(epoch=system._batch_epoch())
+        disseminate = self._disseminate
         # Expose the batch caches to the scoring kernel (via
         # `_apply_semantics`, whose two-argument signature is public
         # API for subclassers and cannot carry them).
@@ -341,6 +395,16 @@ class DisseminationPipeline:
         self, document: Document, caches: BatchCaches
     ) -> DisseminationPlan:
         system = self.system
+        if caches.epoch is not None and (
+            caches.epoch != system._batch_epoch()
+        ):
+            raise BatchContractError(
+                f"{system.name}: registration, allocation, or cluster "
+                "membership mutated inside a publish batch (epoch "
+                f"{caches.epoch} -> {system._batch_epoch()}); mutations "
+                "must be serialized between batches — the per-batch "
+                "memos would otherwise be stale"
+            )
         system._observe(document)
         ctx = ExecutionContext(document, system._choose_ingest(), caches)
         routes = system._resolve_routes(document, caches)
@@ -371,8 +435,8 @@ class DisseminationPipeline:
         identical to the untraced path, so plans are bit-for-bit the
         same.
         """
-        caches = BatchCaches()
         system = self.system
+        caches = BatchCaches(epoch=system._batch_epoch())
         system._active_caches = caches
         try:
             with tracer.span(
@@ -401,6 +465,16 @@ class DisseminationPipeline:
         once they are known.
         """
         system = self.system
+        if caches.epoch is not None and (
+            caches.epoch != system._batch_epoch()
+        ):
+            raise BatchContractError(
+                f"{system.name}: registration, allocation, or cluster "
+                "membership mutated inside a publish batch (epoch "
+                f"{caches.epoch} -> {system._batch_epoch()}); mutations "
+                "must be serialized between batches — the per-batch "
+                "memos would otherwise be stale"
+            )
         with tracer.span(
             "publish", system=system.name, document_id=document.doc_id
         ) as doc_span:
@@ -415,7 +489,7 @@ class DisseminationPipeline:
             with tracer.span(
                 "execute", backend=system.matching_backend
             ):
-                ctx.work = TracedWorkAccumulator(tracer)
+                ctx.work = TracedWorkAccumulator(tracer, self.clock)
                 system._execute(ctx, routes)
             with tracer.span("account"):
                 tasks = ctx.work.tasks()

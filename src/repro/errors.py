@@ -46,6 +46,21 @@ class StorageError(ReproError):
     """Base class for column-family storage errors."""
 
 
+class WalError(StorageError):
+    """The write-ahead log was driven incorrectly."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL segment holds an unreadable record outside the torn tail.
+
+    The reader tolerates a truncated or CRC-broken record at the *end
+    of the final segment* (a torn write from the crash that the log
+    exists to survive); the same damage anywhere else means the log
+    files were tampered with or lost data, which replay must not paper
+    over.
+    """
+
+
 class UnknownColumnFamilyError(StorageError):
     """A read or write referenced a column family that was never created."""
 
@@ -68,3 +83,34 @@ class SimulationError(ReproError):
 
 class MatchingError(ReproError):
     """A matching engine was misused (e.g. unregistered filter id)."""
+
+
+class BatchContractError(ReproError):
+    """Registration/allocation/membership mutated inside a batch.
+
+    The staged pipeline memoizes per-term routing and posting
+    retrievals for the duration of one ``publish_batch`` call on the
+    premise that registration, allocation, and cluster membership are
+    frozen while the batch runs.  A mutation that lands mid-batch
+    (reachable from the asyncio service runtime, or from a stage-hook
+    override calling back into the system) would silently serve stale
+    memos; the pipeline detects it per document and raises this
+    instead.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for the asyncio service runtime's errors."""
+
+
+class AdmissionError(ServiceError):
+    """The ingest queue refused a document (backpressure shed).
+
+    Raised by non-waiting ingest when the bounded queue is at (or
+    above) the admission watermark; the publisher should back off and
+    retry, exactly as a loaded HTTP frontend would answer 429.
+    """
+
+
+class ServiceDrainingError(ServiceError):
+    """An operation arrived after the runtime began draining."""

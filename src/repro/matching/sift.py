@@ -15,8 +15,9 @@ score-per-candidate reference implementation the equivalence tests
 diff against.  ``SystemConfig.matching_backend`` likewise selects the
 kernel's scoring engine (the vectorized CSR block engine of
 :mod:`repro.matching.csr_kernel` when available, or the pure-python
-accumulators); the pre-config ``use_kernel=`` keyword has been
-removed (a deprecated read-only :attr:`use_kernel` property remains).
+accumulators); the pre-config ``use_kernel=`` keyword and its
+deprecated read shim have both been removed — inspect
+:attr:`SiftMatcher.kernel` instead.
 Accumulation is exact here because a ``SiftMatcher``'s index holds
 each filter under **all** of its terms (the SIFT index contract), so
 walking every document term's posting list touches every shared term
@@ -25,7 +26,6 @@ of every candidate.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..model import Document, Filter
@@ -65,18 +65,6 @@ class SiftMatcher:
             if scorer is not None and kernel_enabled
             else None
         )
-
-    @property
-    def use_kernel(self) -> bool:
-        """Deprecated read shim for the removed ``use_kernel`` knob."""
-        warnings.warn(
-            "SiftMatcher.use_kernel is deprecated; configure with "
-            "SystemConfig(matching_kernel=..., matching_backend=...) "
-            "and inspect SiftMatcher.kernel instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.kernel is not None
 
     def match(
         self, document: Document

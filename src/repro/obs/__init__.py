@@ -8,8 +8,9 @@ histograms / per-node loads that back them
 snapshot every system returns from ``system.stats()``
 (:mod:`repro.obs.stats`).
 
-Layering: ``obs`` sits at the very bottom of the import graph — it
-imports only the standard library — so every other subsystem
+Layering: ``obs`` sits near the very bottom of the import graph — it
+imports only the standard library plus the :class:`~repro.sim.engine.
+Clock` abstraction (the tracer's timebase) — so every other subsystem
 (``sim``, ``cluster``, ``core``) may depend on it freely.
 
 The default tracer is :data:`NULL_TRACER`, a disabled no-op singleton:
@@ -25,6 +26,7 @@ from .metrics import (
     LoadTracker,
     MetricsRegistry,
     ThroughputMeter,
+    prometheus_text,
 )
 from .stats import SystemStats
 from .tracing import (
@@ -43,6 +45,7 @@ __all__ = [
     "LoadTracker",
     "MetricsRegistry",
     "ThroughputMeter",
+    "prometheus_text",
     "SystemStats",
     "Span",
     "Tracer",

@@ -280,3 +280,59 @@ class MetricsRegistry:
         snap = {name: c.value for name, c in self.counters.items()}
         snap["documents_completed"] = float(self.meter.completed)
         return snap
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """Metric name mangled to the Prometheus charset."""
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def prometheus_text(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    This is the scrape surface of the service mode (``python -m repro
+    serve`` answers ``metrics`` requests with it).  Counters and
+    gauges map directly; each :class:`LatencyHistogram` becomes the
+    conventional cumulative ``_bucket{le=...}`` series plus ``_sum``
+    and ``_count``; each :class:`LoadTracker` becomes one gauge series
+    labelled by key.  Metric names are prefixed and mangled to the
+    Prometheus charset (dots become underscores), and families are
+    emitted in sorted name order so output is diffable.
+    """
+    lines: List[str] = []
+    for name in sorted(registry.counters):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {registry.counters[name].value:g}")
+    for name in sorted(registry.gauges):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {registry.gauges[name].value:g}")
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds = list(hist.bounds) + [math.inf]
+        for bound, count in zip(bounds, hist.counts):
+            cumulative += count
+            le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+            lines.append(
+                f'{metric}_bucket{{le="{le}"}} {cumulative}'
+            )
+        lines.append(f"{metric}_sum {hist.total:g}")
+        lines.append(f"{metric}_count {hist.count}")
+    for name in sorted(registry.loads):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        for key, value in sorted(registry.loads[name].as_dict().items()):
+            lines.append(f'{metric}{{key="{key}"}} {value:g}')
+    meter = _prom_name(prefix, "documents_completed")
+    lines.append(f"# TYPE {meter} counter")
+    lines.append(f"{meter} {registry.meter.completed}")
+    return "\n".join(lines) + "\n"

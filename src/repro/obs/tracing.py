@@ -29,9 +29,9 @@ object — no allocation anywhere on the path.
 from __future__ import annotations
 
 import json
-import time
 from typing import Any, Dict, IO, List, Optional, Union
 
+from ..sim.engine import Clock, PERF_CLOCK
 from .metrics import MetricsRegistry
 
 
@@ -119,12 +119,21 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Timebase for span boundaries.  Defaults to the wall
+        #: ``PERF_CLOCK``; pass the pipeline's clock (e.g. a
+        #: :class:`~repro.sim.engine.Simulator`) so span times share
+        #: the dataplane's timebase.
+        self.clock = clock if clock is not None else PERF_CLOCK
         self.spans: List[Span] = []
         self._stack: List[Span] = []
         self._next_id = 0
-        self._epoch = time.perf_counter()
+        self._epoch = self.clock.now
 
     # -- span lifecycle ------------------------------------------------------
 
@@ -137,10 +146,10 @@ class Tracer:
         if self._stack:
             span.parent_id = self._stack[-1].span_id
         self._stack.append(span)
-        span.start = time.perf_counter()
+        span.start = self.clock.now
 
     def _pop(self, span: Span) -> None:
-        span.end = time.perf_counter()
+        span.end = self.clock.now
         top = self._stack.pop()
         if top is not span:  # pragma: no cover - misuse guard
             raise RuntimeError(
@@ -218,7 +227,7 @@ class Tracer:
         self.spans.clear()
         self.registry = MetricsRegistry()
         self._next_id = 0
-        self._epoch = time.perf_counter()
+        self._epoch = self.clock.now
 
 
 class _NullSpan:

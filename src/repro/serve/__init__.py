@@ -1,0 +1,42 @@
+"""Real service mode: the asyncio dataplane over the same pipeline.
+
+The simulator answers "what would MOVE do at scale"; this package
+answers "run it, for real, on this machine".  The same staged
+dissemination pipeline (:mod:`repro.core.pipeline`) is driven by a
+live event loop instead of virtual time — the split is the
+:class:`~repro.sim.engine.Clock` / :class:`~repro.sim.engine.
+EventDriver` contract, implemented here by
+:class:`AsyncioEventDriver`.
+
+- :mod:`repro.serve.driver` — the asyncio
+  :class:`~repro.sim.engine.EventDriver` (loop time + ``call_later``),
+- :mod:`repro.serve.journal` — :class:`JournaledSystem`:
+  log-before-apply journalling of every mutation onto the
+  write-ahead log (:mod:`repro.cluster.storage`), and crash recovery
+  by replay — a recovered system is bit-identical to a never-crashed
+  twin,
+- :mod:`repro.serve.runtime` — :class:`ServiceRuntime`: a bounded
+  single-worker queue carrying documents and control commands in one
+  total order (micro-batching, admission control, backpressure,
+  graceful drain),
+- :mod:`repro.serve.server` / :mod:`repro.serve.client` — the TCP
+  JSON-lines protocol (``python -m repro serve``) and its blocking
+  client, with ``repro.obs`` metrics exposed in Prometheus text
+  format.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .driver import AsyncioEventDriver
+from .journal import JournaledSystem
+from .runtime import ServeConfig, ServiceRuntime
+from .server import ServiceServer
+
+__all__ = [
+    "AsyncioEventDriver",
+    "JournaledSystem",
+    "ServeConfig",
+    "ServiceRuntime",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceClientError",
+]

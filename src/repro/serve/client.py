@@ -1,0 +1,148 @@
+"""Blocking client for the JSON-lines service protocol.
+
+A thin stdlib-socket wrapper over the protocol of
+:mod:`repro.serve.server`, for scripts, smoke tests, and operators'
+one-liners — anything that does not want an event loop of its own.
+Each call sends one request line and blocks for its response line;
+error responses raise :class:`ServiceClientError` carrying the
+server-side exception name.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..errors import ServiceError
+
+
+class ServiceClientError(ServiceError):
+    """An ``{"ok": false}`` response; ``error`` names the server-side
+    exception class (e.g. ``AdmissionError``)."""
+
+    def __init__(self, error: str, message: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+        self.message = message
+
+
+class ServiceClient:
+    """One TCP connection speaking the JSON-lines protocol."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
+    ) -> None:
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ---------------------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object; return the decoded response.
+
+        Raises :class:`ServiceClientError` on an error response.
+        """
+        self._file.write(
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok", False):
+            raise ServiceClientError(
+                response.get("error", "unknown"),
+                response.get("message", ""),
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- protocol surface -------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def register(
+        self, filter_id: str, terms: Iterable[str], owner: str = ""
+    ) -> None:
+        self.request(
+            {
+                "op": "register",
+                "filter_id": filter_id,
+                "terms": sorted(terms),
+                "owner": owner,
+            }
+        )
+
+    def register_batch(
+        self, filters: Iterable[Mapping[str, Any]]
+    ) -> int:
+        response = self.request(
+            {"op": "register_batch", "filters": list(filters)}
+        )
+        return int(response["registered"])
+
+    def unregister(self, filter_id: str) -> None:
+        self.request({"op": "unregister", "filter_id": filter_id})
+
+    def finalize(self) -> None:
+        self.request({"op": "finalize"})
+
+    def ingest(
+        self,
+        doc_id: str,
+        terms: Optional[Iterable[str]] = None,
+        term_counts: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, Any]:
+        """Publish one document; returns the plan summary
+        (``matched`` filter ids, ``fanout``, ``posting_entries``)."""
+        payload: Dict[str, Any] = {"op": "ingest", "doc_id": doc_id}
+        if term_counts is not None:
+            payload["term_counts"] = dict(term_counts)
+        elif terms is not None:
+            payload["terms"] = list(terms)
+        else:
+            raise ServiceError("ingest needs terms or term_counts")
+        return self.request(payload)
+
+    def reallocate(
+        self,
+        force: bool = False,
+        drift_epsilon: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self.request(
+            {
+                "op": "reallocate",
+                "force": force,
+                "drift_epsilon": drift_epsilon,
+            }
+        )["report"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition."""
+        return self.request({"op": "metrics"})["metrics"]
+
+    def matched_ids(self, doc_id: str, terms: Iterable[str]) -> List[str]:
+        """Convenience: just the matched filter ids for one document."""
+        return list(self.ingest(doc_id, terms=terms)["matched"])
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})

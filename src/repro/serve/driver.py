@@ -1,0 +1,84 @@
+"""The asyncio :class:`~repro.sim.engine.EventDriver`.
+
+The simulator and the live service share one dataplane; what differs
+is the source of time and the mechanism firing timed callbacks.
+:class:`AsyncioEventDriver` is the real-time half of that contract:
+``now`` reads the event loop's monotonic clock and ``schedule``
+arms a timer on the loop, so periodic work written against
+:class:`~repro.sim.engine.EventDriver` (e.g. the allocation refresh)
+runs unchanged under either driver.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from ..errors import ServiceError
+from ..sim.engine import EventDriver
+
+
+class _TimerEvent:
+    """Cancellable handle wrapping an asyncio ``TimerHandle``.
+
+    Matches the surface of :class:`~repro.sim.engine.Event` that
+    callers rely on: ``cancel()`` and the ``cancelled`` flag.
+    """
+
+    __slots__ = ("_handle", "cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._handle.cancel()
+
+
+class AsyncioEventDriver(EventDriver):
+    """Real-time event driver over an asyncio event loop.
+
+    The loop binds lazily: constructed anywhere, the driver attaches
+    to the running loop on first use (so a
+    :class:`~repro.serve.runtime.ServiceRuntime` can be configured
+    before ``asyncio.run`` starts).  ``now`` is ``loop.time()`` —
+    monotonic seconds sharing the loop's own timebase, which keeps
+    scheduled callbacks and pipeline/tracer timings coherent.
+    """
+
+    __slots__ = ("_loop",)
+
+    def __init__(
+        self, loop: Optional[asyncio.AbstractEventLoop] = None
+    ) -> None:
+        self._loop = loop
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            try:
+                self._loop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise ServiceError(
+                    "AsyncioEventDriver used outside a running event "
+                    "loop; construct it with an explicit loop or use "
+                    "it from async code"
+                ) from None
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        return self.loop.time()
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> _TimerEvent:
+        """Arm ``callback`` ``delay`` seconds from now on the loop."""
+        if delay < 0:
+            raise ServiceError(
+                f"cannot schedule into the past (delay={delay})"
+            )
+        return _TimerEvent(self.loop.call_later(delay, callback))

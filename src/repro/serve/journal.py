@@ -1,0 +1,302 @@
+"""Write-ahead journalling of system mutations, and crash recovery.
+
+:class:`JournaledSystem` wraps one dissemination system and logs every
+state-changing operation — registration, unregistration, allocation
+refresh, frequency seeding, and document publication — to a
+:class:`~repro.cluster.storage.WalWriter` *before* applying it.  The
+first record of a journal captures the system's construction
+parameters, so a crashed node restarts by rebuilding a fresh system
+from that record and replaying everything after it.
+
+Determinism is the whole point: a system is pure state machine over
+its operation sequence (all randomness flows from the seeded RNGs the
+constructor creates), so a recovered instance is **bit-identical** to
+a twin that never crashed — same match sets, same stored replica
+counts, same RNG stream positions.  The crash-recovery tests assert
+exactly this.
+
+Two details make the equivalence structural rather than hopeful:
+
+- operations are applied *from their decoded journal form* even on
+  the live path, so live apply and replay apply execute identical
+  inputs;
+- replay tracks the last applied lsn and skips records at or below
+  it, so replaying a log twice (or resuming a partially replayed
+  one) is idempotent.
+
+Note the failure contract of log-before-apply: a record is durable
+before its operation runs, so an operation that *raises* after
+logging will raise again on replay — the journal reproduces history,
+including its errors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..cluster.storage import WalReader, WalWriter, _list_segments
+from ..errors import WalError
+from ..experiments.harness import build_cluster, make_system
+from ..model import Document, Filter
+
+
+def _encode_filter(profile: Filter) -> Dict[str, Any]:
+    return {
+        "filter_id": profile.filter_id,
+        "terms": sorted(profile.terms),
+        "owner": profile.owner,
+    }
+
+
+def _decode_filter(data: Dict[str, Any]) -> Filter:
+    return Filter.from_terms(
+        data["filter_id"], data["terms"], owner=data.get("owner", "")
+    )
+
+
+def _encode_document(document: Document) -> Dict[str, Any]:
+    return {
+        "doc_id": document.doc_id,
+        "term_counts": {
+            term: document.term_counts[term]
+            for term in sorted(document.terms)
+        },
+    }
+
+
+def _decode_document(data: Dict[str, Any]) -> Document:
+    counts = data["term_counts"]
+    return Document(
+        doc_id=data["doc_id"],
+        terms=frozenset(counts),
+        term_counts=dict(counts),
+    )
+
+
+class JournaledSystem:
+    """A dissemination system with log-before-apply durability.
+
+    Opening a directory that already holds journal segments recovers:
+    the torn tail (if any) is repaired, the ``setup`` record rebuilds
+    the system, and every following record is replayed.  Opening an
+    empty directory builds a fresh system from the keyword arguments
+    and logs them as the ``setup`` record.
+
+    The wrapped system is :attr:`system`; reads (``stats()``,
+    ``match`` inspection, metrics) go straight to it.  Writes must go
+    through the journal methods here — mutating :attr:`system`
+    directly bypasses the log and forfeits recovery.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        scheme: str = "move",
+        num_nodes: int = 8,
+        node_capacity: int = 2_000,
+        seed: int = 0,
+        threshold: Optional[float] = None,
+        segment_max_bytes: int = 1 << 20,
+        fsync_interval: int = 1,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.last_applied_lsn = 0
+        existing = _list_segments(self.directory)
+        if existing:
+            reader = WalReader(self.directory)
+            reader.repair()
+            self._recover(reader)
+        else:
+            self.setup = {
+                "scheme": scheme,
+                "num_nodes": num_nodes,
+                "node_capacity": node_capacity,
+                "seed": seed,
+                "threshold": threshold,
+            }
+            self.system = self._build(self.setup)
+        self._writer = WalWriter(
+            self.directory,
+            segment_max_bytes=segment_max_bytes,
+            fsync_interval=fsync_interval,
+        )
+        if not existing:
+            self._writer.append(
+                json.dumps(
+                    {"op": "setup", **self.setup}, sort_keys=True
+                ).encode("utf-8")
+            )
+            self.last_applied_lsn = self._writer.next_lsn - 1
+
+    # -- construction / recovery -----------------------------------------
+
+    @staticmethod
+    def _build(setup: Dict[str, Any]):
+        cluster, config = build_cluster(
+            setup["num_nodes"],
+            setup["node_capacity"],
+            seed=setup["seed"],
+        )
+        return make_system(
+            setup["scheme"], cluster, config, threshold=setup["threshold"]
+        )
+
+    def _recover(self, reader: WalReader) -> None:
+        records = iter(reader.replay())
+        try:
+            lsn, payload = next(records)
+        except StopIteration:
+            raise WalError(
+                f"{self.directory}: journal has segments but no "
+                "replayable records"
+            ) from None
+        first = json.loads(payload)
+        if first.get("op") != "setup":
+            raise WalError(
+                f"{self.directory}: first journal record is "
+                f"{first.get('op')!r}, expected 'setup'"
+            )
+        self.setup = {k: v for k, v in first.items() if k != "op"}
+        self.system = self._build(self.setup)
+        self.last_applied_lsn = lsn
+        for lsn, payload in records:
+            self.replay_record(lsn, json.loads(payload))
+
+    def replay_record(self, lsn: int, record: Dict[str, Any]) -> bool:
+        """Apply one decoded record; False if already applied.
+
+        Skipping ``lsn <= last_applied_lsn`` is what makes double
+        replay idempotent.
+        """
+        if lsn <= self.last_applied_lsn:
+            return False
+        self._apply(record)
+        self.last_applied_lsn = lsn
+        return True
+
+    # -- the single apply path --------------------------------------------
+
+    def _apply(self, record: Dict[str, Any]) -> Any:
+        op = record["op"]
+        system = self.system
+        if op == "register":
+            return system.register(_decode_filter(record["filter"]))
+        if op == "register_batch":
+            return system.register_batch(
+                [_decode_filter(f) for f in record["filters"]]
+            )
+        if op == "unregister":
+            return system.unregister(record["filter_id"])
+        if op == "finalize":
+            return system.finalize_registration()
+        if op == "seed_frequencies":
+            return system.seed_frequencies(
+                [_decode_document(d) for d in record["docs"]]
+            )
+        if op == "reallocate":
+            return system.reallocate(
+                force=record["force"],
+                drift_epsilon=record["drift_epsilon"],
+            )
+        if op == "rebalance":
+            return system.rebalance()
+        if op == "publish_batch":
+            return system.publish_batch(
+                [_decode_document(d) for d in record["docs"]]
+            )
+        raise WalError(f"unknown journal op {op!r}")
+
+    def _log_and_apply(self, record: Dict[str, Any]) -> Any:
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        lsn = self._writer.append(payload)
+        # Apply the *decoded* form so the live path and crash replay
+        # execute identical inputs.
+        result = self._apply(json.loads(payload))
+        self.last_applied_lsn = lsn
+        return result
+
+    # -- journalled mutations ---------------------------------------------
+
+    def register(self, profile: Filter) -> None:
+        self._log_and_apply(
+            {"op": "register", "filter": _encode_filter(profile)}
+        )
+
+    def register_batch(self, profiles: Iterable[Filter]) -> None:
+        batch = [_encode_filter(p) for p in profiles]
+        if not batch:
+            return
+        self._log_and_apply({"op": "register_batch", "filters": batch})
+
+    def unregister(self, filter_id: str) -> Filter:
+        return self._log_and_apply(
+            {"op": "unregister", "filter_id": filter_id}
+        )
+
+    def finalize_registration(self) -> None:
+        self._log_and_apply({"op": "finalize"})
+
+    def seed_frequencies(self, corpus: Sequence[Document]) -> None:
+        self._require("seed_frequencies")
+        self._log_and_apply(
+            {
+                "op": "seed_frequencies",
+                "docs": [_encode_document(d) for d in corpus],
+            }
+        )
+
+    def reallocate(
+        self,
+        force: bool = False,
+        drift_epsilon: Optional[float] = None,
+    ):
+        self._require("reallocate")
+        return self._log_and_apply(
+            {
+                "op": "reallocate",
+                "force": force,
+                "drift_epsilon": drift_epsilon,
+            }
+        )
+
+    def rebalance(self) -> int:
+        self._require("rebalance")
+        return self._log_and_apply({"op": "rebalance"})
+
+    def publish_batch(self, documents: Sequence[Document]) -> List:
+        if not documents:
+            return []
+        return self._log_and_apply(
+            {
+                "op": "publish_batch",
+                "docs": [_encode_document(d) for d in documents],
+            }
+        )
+
+    def publish(self, document: Document):
+        return self.publish_batch([document])[0]
+
+    def _require(self, op: str) -> None:
+        if not hasattr(self.system, op):
+            raise WalError(
+                f"scheme {self.setup['scheme']!r} does not support "
+                f"{op!r}"
+            )
+
+    # -- durability plumbing ----------------------------------------------
+
+    def sync(self) -> None:
+        """Force the batched fsync (durability barrier)."""
+        self._writer.sync()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "JournaledSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,377 @@
+"""The asyncio service runtime: bounded queues, batching, drain.
+
+:class:`ServiceRuntime` is the live counterpart of the experiment
+harness: one dissemination system, one single-worker dataplane.  All
+mutations — documents *and* control commands (register, unregister,
+reallocate, …) — flow through one bounded :class:`asyncio.Queue`, so
+the worker applies them in a total order.  That ordering is what
+satisfies the pipeline's batch contract by construction: a command
+never lands inside a publish batch, because the worker only forms
+batches from contiguous document items.
+
+Flow control has two layers:
+
+- **admission control** — when queue depth reaches
+  ``admission_high_watermark × queue_capacity`` new documents are
+  shed immediately with :class:`~repro.errors.AdmissionError`
+  (clients see the overload instead of silently growing latency);
+- **backpressure** — with the watermark at 1.0 (the default
+  semantics of a full queue), ``await``-ing producers block in
+  ``Queue.put`` until the worker drains.
+
+``drain()`` stops intake, lets every accepted item complete, and
+stops the worker — the graceful half of shutdown; the crash half is
+the journal's job (:mod:`repro.serve.journal`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..errors import (
+    AdmissionError,
+    ServiceDrainingError,
+    ServiceError,
+)
+from ..experiments.harness import build_cluster, make_system
+from ..model import Document, Filter
+from ..obs.metrics import MetricsRegistry, prometheus_text
+from .driver import AsyncioEventDriver
+from .journal import JournaledSystem
+
+#: Bucket bounds for the batch-size histogram (documents per batch).
+_BATCH_SIZE_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of one service runtime.
+
+    ``wal_dir=None`` runs without durability (useful in tests);
+    pointing it at a directory journals every mutation and recovers
+    on restart.  ``admission_high_watermark`` is the queue-depth
+    fraction at which ingest starts shedding; at ``1.0`` shedding is
+    disabled entirely and a full queue exerts backpressure (blocking
+    producers) instead.
+    """
+
+    scheme: str = "move"
+    num_nodes: int = 8
+    node_capacity: int = 2_000
+    seed: int = 0
+    threshold: Optional[float] = None
+    wal_dir: Optional[str] = None
+    segment_max_bytes: int = 1 << 20
+    fsync_interval: int = 1
+    queue_capacity: int = 1_024
+    admission_high_watermark: float = 1.0
+    batch_max_docs: int = 64
+    #: Seconds between periodic allocation refreshes (MOVE's
+    #: 10-minute timer); ``None`` disables the timer.
+    reallocate_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity <= 0:
+            raise ServiceError(
+                f"queue_capacity must be positive, got "
+                f"{self.queue_capacity}"
+            )
+        if self.batch_max_docs <= 0:
+            raise ServiceError(
+                f"batch_max_docs must be positive, got "
+                f"{self.batch_max_docs}"
+            )
+        if not 0.0 < self.admission_high_watermark <= 1.0:
+            raise ServiceError(
+                "admission_high_watermark must be in (0, 1], got "
+                f"{self.admission_high_watermark}"
+            )
+        if self.reallocate_interval is not None and (
+            self.reallocate_interval <= 0
+        ):
+            raise ServiceError(
+                f"reallocate_interval must be positive, got "
+                f"{self.reallocate_interval}"
+            )
+
+
+class _Item:
+    """One queue entry: a document or a control command."""
+
+    __slots__ = ("kind", "payload", "future")
+
+    def __init__(
+        self, kind: str, payload: Any, future: "asyncio.Future"
+    ) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.future = future
+
+
+class ServiceRuntime:
+    """Single-worker asyncio dataplane over one dissemination system."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.journal: Optional[JournaledSystem] = None
+        if self.config.wal_dir is not None:
+            self.journal = JournaledSystem(
+                self.config.wal_dir,
+                scheme=self.config.scheme,
+                num_nodes=self.config.num_nodes,
+                node_capacity=self.config.node_capacity,
+                seed=self.config.seed,
+                threshold=self.config.threshold,
+                segment_max_bytes=self.config.segment_max_bytes,
+                fsync_interval=self.config.fsync_interval,
+            )
+            self.system = self.journal.system
+        else:
+            cluster, system_config = build_cluster(
+                self.config.num_nodes,
+                self.config.node_capacity,
+                seed=self.config.seed,
+            )
+            self.system = make_system(
+                self.config.scheme,
+                cluster,
+                system_config,
+                threshold=self.config.threshold,
+            )
+        #: The mutation surface the worker dispatches to: the journal
+        #: when durable, the bare system otherwise (same method names).
+        self._backend = (
+            self.journal if self.journal is not None else self.system
+        )
+        #: Runtime-side metrics (queueing, batching, shedding); the
+        #: system keeps its own registry, merged at scrape time.
+        self.metrics = MetricsRegistry()
+        self.driver = AsyncioEventDriver()
+        self._queue: Optional["asyncio.Queue[_Item]"] = None
+        self._worker: Optional["asyncio.Task"] = None
+        self._refresh_handle = None
+        self._draining = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._worker is not None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the worker."""
+        if self._worker is not None:
+            raise ServiceError("runtime already started")
+        loop = asyncio.get_running_loop()
+        self.driver = AsyncioEventDriver(loop)
+        # One timebase for the dataplane: scheduled work, pipeline
+        # stage timings, and tracer spans all read the loop clock.
+        self.system._engine.clock = self.driver
+        self._queue = asyncio.Queue(maxsize=self.config.queue_capacity)
+        self._draining = False
+        self._worker = loop.create_task(self._run(), name="serve-worker")
+        if self.config.reallocate_interval is not None:
+            self._arm_refresh()
+
+    async def drain(self) -> None:
+        """Stop intake, finish accepted work, stop the worker."""
+        if self._worker is None:
+            return
+        self._draining = True
+        if self._refresh_handle is not None:
+            self._refresh_handle.cancel()
+            self._refresh_handle = None
+        loop = asyncio.get_running_loop()
+        stop = _Item("stop", None, loop.create_future())
+        await self._queue.put(stop)
+        await stop.future
+        await self._worker
+        self._worker = None
+        if self.journal is not None:
+            self.journal.sync()
+
+    async def close(self) -> None:
+        """Drain, then release the journal."""
+        await self.drain()
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- producers --------------------------------------------------------
+
+    def _check_intake(self) -> None:
+        if self._queue is None:
+            raise ServiceError("runtime not started")
+        if self._draining:
+            raise ServiceDrainingError(
+                "runtime is draining; no new work accepted"
+            )
+
+    async def ingest(self, document: Document):
+        """Queue one document; returns its dissemination plan.
+
+        Sheds with :class:`~repro.errors.AdmissionError` above the
+        admission watermark; otherwise blocks (backpressure) while
+        the queue is full.
+        """
+        self._check_intake()
+        if self.config.admission_high_watermark < 1.0:
+            watermark = max(
+                1,
+                int(
+                    self.config.admission_high_watermark
+                    * self.config.queue_capacity
+                ),
+            )
+            if self._queue.qsize() >= watermark:
+                self.metrics.counter("serve.shed").add()
+                raise AdmissionError(
+                    f"ingest queue at admission watermark "
+                    f"({self._queue.qsize()}/"
+                    f"{self.config.queue_capacity})"
+                )
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Item("doc", document, future))
+        self.metrics.counter("serve.ingested").add()
+        return await future
+
+    async def command(self, op: str, *args: Any):
+        """Queue one control command; returns its result.
+
+        Commands share the document queue, so they serialize against
+        in-flight batches (never inside one).  Supported ops mirror
+        the journal surface: ``register``, ``register_batch``,
+        ``unregister``, ``finalize``, ``seed_frequencies``,
+        ``reallocate``, ``rebalance``.
+        """
+        self._check_intake()
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Item(op, args, future))
+        self.metrics.counter("serve.commands").add()
+        return await future
+
+    async def register(self, profile: Filter) -> None:
+        await self.command("register", profile)
+
+    async def unregister(self, filter_id: str) -> Filter:
+        return await self.command("unregister", filter_id)
+
+    # -- the worker -------------------------------------------------------
+
+    async def _run(self) -> None:
+        queue = self._queue
+        while True:
+            item = await queue.get()
+            if item.kind == "doc":
+                batch, trailing = self._collect_batch(item)
+                self._publish(batch)
+                item = trailing
+            if item is not None:
+                if item.kind == "stop":
+                    item.future.set_result(None)
+                    return
+                self._execute_command(item)
+            self.metrics.gauge("serve.queue_depth").set(queue.qsize())
+            # Yield so producers blocked in put() make progress even
+            # under a steady stream of ready items.
+            await asyncio.sleep(0)
+
+    def _collect_batch(
+        self, first: _Item
+    ) -> Tuple[List[_Item], Optional[_Item]]:
+        """Opportunistic micro-batch: contiguous queued documents.
+
+        Stops at ``batch_max_docs``, an empty queue, or the first
+        non-document item (returned as ``trailing`` so commands keep
+        their queue position *between* batches).
+        """
+        batch = [first]
+        trailing: Optional[_Item] = None
+        while len(batch) < self.config.batch_max_docs:
+            try:
+                nxt = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if nxt.kind == "doc":
+                batch.append(nxt)
+            else:
+                trailing = nxt
+                break
+        return batch, trailing
+
+    def _publish(self, batch: List[_Item]) -> None:
+        documents = [item.payload for item in batch]
+        self.metrics.counter("serve.batches").add()
+        self.metrics.histogram(
+            "serve.batch_size", bounds=_BATCH_SIZE_BOUNDS
+        ).observe(float(len(documents)))
+        try:
+            plans = self._backend.publish_batch(documents)
+        except Exception as error:  # surface to every waiting producer
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+            return
+        for item, plan in zip(batch, plans):
+            if not item.future.done():
+                item.future.set_result(plan)
+
+    def _execute_command(self, item: _Item) -> None:
+        try:
+            method = getattr(self._backend, self._COMMANDS[item.kind])
+            result = method(*item.payload)
+        except Exception as error:
+            if not item.future.done():
+                item.future.set_exception(error)
+            return
+        if not item.future.done():
+            item.future.set_result(result)
+
+    _COMMANDS = {
+        "register": "register",
+        "register_batch": "register_batch",
+        "unregister": "unregister",
+        "finalize": "finalize_registration",
+        "seed_frequencies": "seed_frequencies",
+        "reallocate": "reallocate",
+        "rebalance": "rebalance",
+    }
+
+    # -- periodic refresh -------------------------------------------------
+
+    def _arm_refresh(self) -> None:
+        interval = self.config.reallocate_interval
+        assert interval is not None
+
+        def fire() -> None:
+            if self._draining or self._queue is None:
+                return
+            task = asyncio.ensure_future(self._refresh())
+            task.add_done_callback(lambda _t: None)
+            self._arm_refresh()
+
+        self._refresh_handle = self.driver.schedule(interval, fire)
+
+    async def _refresh(self) -> None:
+        try:
+            await self.command("reallocate")
+            self.metrics.counter("serve.refreshes").add()
+        except (ServiceDrainingError, ServiceError):
+            pass
+
+    # -- scrape surface ---------------------------------------------------
+
+    def prometheus_text(self) -> str:
+        """System + runtime registries in Prometheus text format."""
+        return prometheus_text(
+            self.system.metrics, prefix="repro"
+        ) + prometheus_text(self.metrics, prefix="repro")

@@ -1,0 +1,199 @@
+"""TCP JSON-lines front end for the service runtime.
+
+One request per line, one JSON response per line — a protocol thin
+enough for ``nc`` and the stdlib, yet covering the full service
+surface: register / unregister / finalize, ingest, reallocate, stats,
+and a Prometheus ``metrics`` scrape.  Requests:
+
+```
+{"op": "ping"}
+{"op": "register", "filter_id": "f1", "terms": ["alpha", "beta"]}
+{"op": "register_batch", "filters": [{"filter_id": ..., "terms": [...]}]}
+{"op": "unregister", "filter_id": "f1"}
+{"op": "finalize"}
+{"op": "ingest", "doc_id": "d1", "terms": ["alpha", "gamma"]}
+{"op": "reallocate"}
+{"op": "stats"}
+{"op": "metrics"}
+{"op": "shutdown"}
+```
+
+Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error":
+"<exception class>", "message": "..."}`` — overload surfaces as an
+``AdmissionError`` response, not a dropped connection, so clients can
+back off deliberately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError, ServiceError
+from ..model import Document, Filter
+from .runtime import ServiceRuntime
+
+
+def _decode_ingest(request: Dict[str, Any]) -> Document:
+    doc_id = request["doc_id"]
+    if "term_counts" in request:
+        counts = {
+            term: int(count)
+            for term, count in request["term_counts"].items()
+        }
+        return Document(
+            doc_id=doc_id, terms=frozenset(counts), term_counts=counts
+        )
+    return Document.from_terms(doc_id, request["terms"])
+
+
+def _plan_summary(plan) -> Dict[str, Any]:
+    return {
+        "doc_id": plan.document.doc_id,
+        "matched": sorted(plan.matched_filter_ids),
+        "fanout": plan.fanout,
+        "posting_entries": plan.total_posting_entries,
+    }
+
+
+class ServiceServer:
+    """Asyncio TCP server bridging the line protocol to a runtime."""
+
+    def __init__(
+        self,
+        runtime: ServiceRuntime,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: Set when a ``shutdown`` request asks the process to exit.
+        self.shutdown_requested = asyncio.Event()
+
+    async def start(self) -> None:
+        """Start the runtime worker and bind the listener.
+
+        With ``port=0`` the OS picks a free port; read the bound one
+        back from :attr:`port` (the CLI prints it as ``READY``).
+        """
+        if self._server is not None:
+            raise ServiceError("server already started")
+        if not self.runtime.started:
+            await self.runtime.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, then drain the runtime."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.runtime.close()
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                writer.write(
+                    json.dumps(response, sort_keys=True).encode("utf-8")
+                    + b"\n"
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict) or "op" not in request:
+                raise ValueError("request must be an object with 'op'")
+            return await self._dispatch(request)
+        except ReproError as error:
+            return {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+        except (ValueError, KeyError, TypeError) as error:
+            return {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+
+    async def _dispatch(
+        self, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        op = request["op"]
+        runtime = self.runtime
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "register":
+            profile = Filter.from_terms(
+                request["filter_id"],
+                request["terms"],
+                owner=request.get("owner", ""),
+            )
+            await runtime.register(profile)
+            return {"ok": True, "filter_id": profile.filter_id}
+        if op == "register_batch":
+            profiles = [
+                Filter.from_terms(
+                    f["filter_id"], f["terms"], owner=f.get("owner", "")
+                )
+                for f in request["filters"]
+            ]
+            await runtime.command("register_batch", profiles)
+            return {"ok": True, "registered": len(profiles)}
+        if op == "unregister":
+            removed = await runtime.unregister(request["filter_id"])
+            return {"ok": True, "filter_id": removed.filter_id}
+        if op == "finalize":
+            await runtime.command("finalize")
+            return {"ok": True}
+        if op == "ingest":
+            plan = await runtime.ingest(_decode_ingest(request))
+            return {"ok": True, **_plan_summary(plan)}
+        if op == "reallocate":
+            report = await runtime.command(
+                "reallocate",
+                request.get("force", False),
+                request.get("drift_epsilon"),
+            )
+            return {"ok": True, "report": _report_tags(report)}
+        if op == "stats":
+            return {"ok": True, "stats": asdict(runtime.system.stats())}
+        if op == "metrics":
+            return {"ok": True, "metrics": runtime.prometheus_text()}
+        if op == "shutdown":
+            self.shutdown_requested.set()
+            return {"ok": True, "draining": True}
+        raise ValueError(f"unknown op {op!r}")
+
+
+def _report_tags(report) -> Dict[str, Any]:
+    """JSON-safe view of a ReallocationReport (or None)."""
+    if report is None:
+        return {}
+    as_tags = getattr(report, "as_tags", None)
+    if as_tags is not None:
+        return dict(as_tags())
+    return {"repr": repr(report)}

@@ -7,21 +7,29 @@ Throughput is measured in the same units the paper's cost model uses
 transfer), so the relative shapes of the curves are preserved.
 
 - :mod:`repro.sim.engine` — event loop (priority queue of timestamped
-  callbacks),
+  callbacks) plus the :class:`Clock` / :class:`EventDriver`
+  abstractions that let the same dataplane run off real time
+  (see :mod:`repro.serve`),
 - :mod:`repro.sim.server` — single-server FIFO queues (the disk-bound
   node model),
 - :mod:`repro.sim.network` — link latency model,
 - :mod:`repro.sim.costs` — the paper's latency cost model,
-- :mod:`repro.sim.metrics` — compatibility shim; the counters and load
-  trackers moved to :mod:`repro.obs.metrics`,
 - :mod:`repro.sim.randomness` — seeded stream splitting.
 
-Metrics primitives (``Counter``, ``MetricsRegistry``, …) are no longer
-re-exported here: import them from :mod:`repro.obs` instead.
+Metrics primitives (``Counter``, ``MetricsRegistry``, …) live in
+:mod:`repro.obs`; the old ``repro.sim.metrics`` shim module has been
+removed.
 """
 
 from .costs import MatchCostModel
-from .engine import Event, Simulator
+from .engine import (
+    Clock,
+    Event,
+    EventDriver,
+    MonotonicClock,
+    PerfClock,
+    Simulator,
+)
 from .network import NetworkModel
 from .randomness import RandomSource
 from .server import FifoServer
@@ -29,6 +37,10 @@ from .server import FifoServer
 __all__ = [
     "Simulator",
     "Event",
+    "Clock",
+    "EventDriver",
+    "MonotonicClock",
+    "PerfClock",
     "FifoServer",
     "NetworkModel",
     "MatchCostModel",

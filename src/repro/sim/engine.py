@@ -1,18 +1,98 @@
-"""A minimal, deterministic discrete-event engine.
+"""A minimal, deterministic discrete-event engine — and the clock
+abstraction that lets the same dataplane run off real time.
 
 Events are ``(time, sequence, callback)`` triples in a binary heap; the
 sequence number breaks ties so simultaneous events fire in scheduling
 order, which keeps runs reproducible under a fixed seed.
+
+Two small abstractions decouple everything above this module from the
+*source* of time:
+
+- :class:`Clock` — a monotonically non-decreasing ``now``.  The
+  :class:`Simulator` is a virtual clock; :class:`MonotonicClock` and
+  :class:`PerfClock` read the host's real clocks.  The dissemination
+  pipeline and the tracer take a :class:`Clock` so stage timings come
+  from whichever driver is running them.
+- :class:`EventDriver` — a clock that can also ``schedule`` callbacks.
+  The :class:`Simulator` fires them in virtual time; the asyncio
+  runtime (:class:`repro.serve.AsyncioEventDriver`) fires them on a
+  live event loop.  Periodic work (the 10-minute allocation refresh)
+  is written once against this interface and runs under either
+  driver.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
+
+
+class Clock(ABC):
+    """A monotonically non-decreasing time source (seconds)."""
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (virtual or real)."""
+
+
+class MonotonicClock(Clock):
+    """Real time via :func:`time.monotonic` (the service runtime's
+    default timebase; immune to wall-clock steps)."""
+
+    __slots__ = ()
+
+    @property
+    def now(self) -> float:
+        return _time.monotonic()
+
+
+class PerfClock(Clock):
+    """Real time via :func:`time.perf_counter` (highest resolution;
+    the tracer's historical timebase, kept as its default)."""
+
+    __slots__ = ()
+
+    @property
+    def now(self) -> float:
+        return _time.perf_counter()
+
+
+#: Shared real-clock singletons — the classes are stateless.
+MONOTONIC_CLOCK = MonotonicClock()
+PERF_CLOCK = PerfClock()
+
+
+class EventDriver(Clock):
+    """A :class:`Clock` that can also schedule timed callbacks.
+
+    Implementations must provide :meth:`schedule` returning a handle
+    with a ``cancel()`` method.  :meth:`schedule_at` has a default in
+    terms of :meth:`schedule`.
+    """
+
+    __slots__ = ()
+
+    @abstractmethod
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> "Event":
+        """Run ``callback`` ``delay`` seconds from now; returns a
+        cancellable handle."""
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> "Event":
+        """Schedule ``callback`` at absolute time ``time``."""
+        return self.schedule(time - self.now, callback)
 
 
 @dataclass(order=True)
@@ -38,8 +118,11 @@ class Event:
             self.on_cancel()
 
 
-class Simulator:
+class Simulator(EventDriver):
     """Event loop with a virtual clock.
+
+    The canonical :class:`EventDriver`: ``now`` is virtual time and
+    ``schedule`` fires callbacks in deterministic event order.
 
     >>> sim = Simulator()
     >>> fired = []

@@ -280,17 +280,20 @@ class TestSystemStats:
             before.counters["documents_published"] == 0.0
         )
 
-    def test_move_stats_callable_and_legacy_attrs(self):
+    def test_move_stats_is_the_uniform_accessor(self):
+        """The PR 4-deprecated attribute-forwarding shim is gone:
+        ``move.stats()`` is the uniform snapshot accessor every system
+        shares, and the old ``move.stats.<attr>`` spelling no longer
+        reaches TermStatistics — that lives on ``move.term_stats``."""
         bundle = WORKLOAD.build()
         system = _build("move", bundle)
         system.publish_batch(bundle.documents[:3])
         stats = system.stats()
         assert isinstance(stats, SystemStats)
         assert stats.system == "Move"
-        # The old TermStatistics attributes still forward (deprecated).
-        with pytest.warns(DeprecationWarning):
-            legacy_popularity = system.stats.popularity
-        assert legacy_popularity is system.term_stats.popularity
+        with pytest.raises(AttributeError):
+            system.stats.popularity
+        assert system.term_stats.popularity.total_filters > 0
 
 
 # ---------------------------------------------------------------------------
@@ -335,12 +338,15 @@ class TestMatchingKernelKnob:
                 use_kernel=False,
             )
 
-    def test_sift_matcher_use_kernel_read_shim_warns(self):
+    def test_sift_matcher_use_kernel_attr_removed(self):
+        """The deprecated read shim is gone with its setter: kernel
+        introspection goes through ``matcher.kernel``."""
         matcher = SiftMatcher(
             InvertedIndex(), scorer=VsmScorer(), threshold=0.5
         )
-        with pytest.warns(DeprecationWarning):
-            assert matcher.use_kernel is True
+        with pytest.raises(AttributeError):
+            matcher.use_kernel
+        assert matcher.kernel is not None and matcher.kernel.enabled
 
     def test_sift_matcher_config_param_is_silent(self):
         index = InvertedIndex()
@@ -402,12 +408,11 @@ class TestMetricsPrimitives:
         assert registry.histogram("h") is registry.histogram("h")
         assert registry.load("l") is registry.load("l")
 
-    def test_sim_metrics_module_still_importable(self):
-        """The old import path stays valid (compat shim)."""
-        from repro.sim.metrics import Counter as ShimCounter
-        from repro.obs.metrics import Counter as ObsCounter
-
-        assert ShimCounter is ObsCounter
+    def test_sim_metrics_shim_removed(self):
+        """The ``repro.sim.metrics`` compat re-export is gone; the
+        primitives live only in :mod:`repro.obs.metrics` now."""
+        with pytest.raises(ModuleNotFoundError):
+            import repro.sim.metrics  # noqa: F401
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ def test_root_all_resolvable():
         "repro.matching",
         "repro.model",
         "repro.obs",
+        "repro.serve",
         "repro.sim",
         "repro.stats",
         "repro.text",
@@ -56,7 +57,8 @@ def test_observability_surface_at_root():
 
 def test_sim_no_longer_reexports_metrics():
     """Metrics primitives moved to ``repro.obs``; the old ``repro.sim``
-    re-exports are pruned (``repro.sim.metrics`` stays as a shim)."""
+    re-exports are pruned and the ``repro.sim.metrics`` shim module is
+    gone too."""
     import repro.sim
 
     for name in ("Counter", "MetricsRegistry", "ThroughputMeter"):

@@ -170,16 +170,17 @@ def test_batch_consumes_same_rng_stream(scheme):
     _assert_plans_identical(reference_plans, batched_plans)
 
 
-def test_legacy_publish_override_batches_as_the_loop():
-    """A pre-pipeline subclass that overrides ``publish`` directly is
-    batched as the plain per-document loop over its override (the
-    compatibility shim), not fed through the staged engine."""
+def test_publish_override_no_longer_reroutes_batches():
+    """The pre-pipeline compatibility shim is retired: a subclass that
+    overrides ``publish`` no longer has ``publish_batch`` rerouted
+    through its override — batches always run the staged engine, and
+    the batched plans still match the per-document reference loop."""
     calls = []
 
     class LegacySystem(InvertedListSystem):
         def publish(self, document):
-            # Stands in for a hand-rolled implementation: one document,
-            # no cross-document cache sharing.
+            # A hand-rolled per-document override; publish_batch must
+            # bypass it now that the shim is gone.
             calls.append(document.doc_id)
             return self._engine.publish_batch([document])[0]
 
@@ -193,7 +194,7 @@ def test_legacy_publish_override_batches_as_the_loop():
     legacy.finalize_registration()
     documents = bundle.documents[:5]
     plans = legacy.publish_batch(documents)
-    assert calls == [document.doc_id for document in documents]
+    assert calls == []
     reference = _build("il", bundle)
     reference.cluster.ring.cache_enabled = False
     _assert_plans_identical(

@@ -1,0 +1,306 @@
+"""Write-ahead log framing and crash-recovery equivalence tests.
+
+Two layers:
+
+- :class:`~repro.cluster.storage.WalWriter` /
+  :class:`~repro.cluster.storage.WalReader` — CRC framing, segment
+  rotation, torn-tail tolerance, corruption detection, repair;
+- :class:`~repro.serve.journal.JournaledSystem` — the property at the
+  heart of the service mode: a node killed after a random prefix of
+  mutations and recovered from its journal is **bit-identical** to a
+  twin that never crashed (same match sets, same stored replica
+  counts, same RNG stream positions).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.storage import WalReader, WalWriter
+from repro.errors import WalCorruptionError, WalError
+from repro.experiments.harness import build_cluster, make_system
+from repro.model import Document, Filter
+from repro.serve.journal import JournaledSystem
+
+# ---------------------------------------------------------------------------
+# WAL framing
+# ---------------------------------------------------------------------------
+
+
+def test_roundtrip_and_rotation(tmp_path):
+    writer = WalWriter(tmp_path, segment_max_bytes=64, fsync_interval=1)
+    payloads = [f"record-{i}".encode() for i in range(12)]
+    lsns = [writer.append(p) for p in payloads]
+    writer.close()
+    assert lsns == list(range(1, 13))
+    reader = WalReader(tmp_path)
+    assert len(reader.segments()) > 1  # 64-byte cap forces rotation
+    assert list(reader.replay()) == list(zip(lsns, payloads))
+    assert reader.last_lsn() == 12
+
+
+def test_oversized_record_gets_its_own_segment(tmp_path):
+    writer = WalWriter(tmp_path, segment_max_bytes=32)
+    big = b"x" * 100
+    writer.append(b"small")
+    writer.append(big)
+    writer.close()
+    replayed = list(WalReader(tmp_path).replay())
+    assert replayed == [(1, b"small"), (2, big)]
+
+
+def test_empty_log_replays_nothing(tmp_path):
+    assert WalReader(tmp_path).last_lsn() == 0
+    assert list(WalReader(tmp_path).replay()) == []
+
+
+def test_missing_directory_raises(tmp_path):
+    with pytest.raises(WalError):
+        WalReader(tmp_path / "nope")
+
+
+def test_torn_tail_tolerated_in_final_segment(tmp_path):
+    writer = WalWriter(tmp_path, segment_max_bytes=1 << 20)
+    writer.append(b"alpha")
+    writer.append(b"beta")
+    writer.close()
+    final = WalReader(tmp_path).segments()[-1]
+    data = final.read_bytes()
+    final.write_bytes(data[:-3])  # tear mid-record
+    replayed = list(WalReader(tmp_path).replay())
+    assert replayed == [(1, b"alpha")]
+
+
+def test_truncated_non_final_segment_raises(tmp_path):
+    writer = WalWriter(tmp_path, segment_max_bytes=48)
+    for i in range(8):
+        writer.append(f"payload-{i}".encode())
+    writer.close()
+    reader = WalReader(tmp_path)
+    segments = reader.segments()
+    assert len(segments) >= 2
+    first = segments[0]
+    first.write_bytes(first.read_bytes()[:-3])
+    with pytest.raises(WalCorruptionError):
+        list(reader.replay())
+
+
+def test_crc_corruption_mid_log_raises(tmp_path):
+    writer = WalWriter(tmp_path)
+    writer.append(b"alpha")
+    writer.append(b"beta")
+    writer.close()
+    segment = WalReader(tmp_path).segments()[0]
+    raw = bytearray(segment.read_bytes())
+    raw[18] ^= 0xFF  # flip a byte inside the first record's payload
+    segment.write_bytes(bytes(raw))
+    with pytest.raises(WalCorruptionError):
+        list(WalReader(tmp_path).replay())
+
+
+def test_repair_truncates_torn_tail_and_writer_continues(tmp_path):
+    writer = WalWriter(tmp_path)
+    for i in range(3):
+        writer.append(f"r{i}".encode())
+    writer.close()
+    reader = WalReader(tmp_path)
+    final = reader.segments()[-1]
+    final.write_bytes(final.read_bytes()[:-2])
+    assert reader.repair() > 0
+    assert reader.repair() == 0  # idempotent
+    assert reader.last_lsn() == 2
+    reopened = WalWriter(tmp_path)
+    assert reopened.next_lsn == 3  # the torn lsn 3 is reassigned
+    reopened.append(b"again")
+    reopened.close()
+    assert [lsn for lsn, _ in reader.replay()] == [1, 2, 3]
+
+
+def test_fsync_batching_loses_at_most_the_unsynced_tail(tmp_path):
+    writer = WalWriter(tmp_path, fsync_interval=5)
+    for i in range(7):
+        writer.append(f"r{i}".encode())
+    # Simulate a crash: the writer is abandoned without close/sync, so
+    # only the batched-fsync prefix is on disk.
+    visible = [p for _, p in WalReader(tmp_path).replay()]
+    assert len(visible) == 5  # the synced batch; 2 tail records lost
+    assert visible == [f"r{i}".encode() for i in range(5)]
+    writer.close()  # release the handle for cleanup
+
+
+def test_writer_validates_parameters(tmp_path):
+    with pytest.raises(WalError):
+        WalWriter(tmp_path, segment_max_bytes=0)
+    with pytest.raises(WalError):
+        WalWriter(tmp_path, fsync_interval=0)
+
+
+# ---------------------------------------------------------------------------
+# Crash-recovery equivalence (the service-mode property)
+# ---------------------------------------------------------------------------
+
+_VOCAB = [f"term{i:02d}" for i in range(50)]
+
+
+def _make_ops(seed: int, count: int = 24):
+    """A valid random mutation history: (method, args) pairs."""
+    rng = random.Random(seed)
+    profiles = [
+        Filter.from_terms(f"f{i}", rng.sample(_VOCAB, rng.randint(2, 4)))
+        for i in range(25)
+    ]
+    ops = [
+        ("register_batch", (list(profiles),)),
+        ("finalize_registration", ()),
+    ]
+    registered = [p.filter_id for p in profiles]
+    doc_seq = 0
+    late_seq = 0
+    while len(ops) < count:
+        roll = rng.random()
+        if roll < 0.45:
+            docs = []
+            for _ in range(rng.randint(1, 4)):
+                docs.append(
+                    Document.from_terms(
+                        f"d{doc_seq}", rng.choices(_VOCAB, k=8)
+                    )
+                )
+                doc_seq += 1
+            ops.append(("publish_batch", (docs,)))
+        elif roll < 0.65:
+            profile = Filter.from_terms(
+                f"late{late_seq}",
+                rng.sample(_VOCAB, rng.randint(2, 4)),
+            )
+            late_seq += 1
+            registered.append(profile.filter_id)
+            ops.append(("register", (profile,)))
+        elif roll < 0.8 and len(registered) > 5:
+            victim = registered.pop(rng.randrange(len(registered)))
+            ops.append(("unregister", (victim,)))
+        else:
+            ops.append(("reallocate", (True, None)))
+    return ops
+
+
+def _apply(target, ops):
+    for method, args in ops:
+        getattr(target, method)(*args)
+
+
+def _twin(seed: int):
+    cluster, config = build_cluster(4, 2_000, seed=seed)
+    return make_system("move", cluster, config)
+
+
+def _replica_counts(system):
+    return {
+        node_id: index.stored_replica_count()
+        for node_id, index in system._home_indexes.items()
+    }
+
+
+def _assert_bit_identical(recovered, twin):
+    """Match sets, replica counts, and RNG streams must all agree."""
+    assert recovered._rng.getstate() == twin._rng.getstate()
+    assert _replica_counts(recovered) == _replica_counts(twin)
+    probe_rng = random.Random(0xBEEF)
+    for i in range(5):
+        probe = Document.from_terms(
+            f"probe{i}", probe_rng.choices(_VOCAB, k=10)
+        )
+        ours = recovered.publish(probe)
+        theirs = twin.publish(probe)
+        assert ours.matched_filter_ids == theirs.matched_filter_ids
+        assert ours.fanout == theirs.fanout
+    assert recovered._rng.getstate() == twin._rng.getstate()
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_recovery_after_random_prefix_matches_uncrashed_twin(
+    tmp_path, seed
+):
+    """Kill the node after a random prefix of mutations; the replayed
+    restart must be indistinguishable from a twin that applied the
+    same prefix and never crashed."""
+    ops = _make_ops(seed)
+    rng = random.Random(seed * 31)
+    prefix = rng.randrange(2, len(ops) + 1)
+    journal = JournaledSystem(
+        tmp_path, scheme="move", num_nodes=4, seed=seed
+    )
+    _apply(journal, ops[:prefix])
+    # Crash: abandon without close().  fsync_interval=1 (the default)
+    # means every applied mutation is already durable.
+    recovered = JournaledSystem(tmp_path)
+    twin = _twin(seed)
+    _apply(twin, ops[:prefix])
+    assert recovered.setup["seed"] == seed
+    _assert_bit_identical(recovered.system, twin)
+
+
+def test_torn_final_record_recovers_to_previous_op(tmp_path):
+    """A torn write of the last journal record rolls the node back by
+    exactly one operation — the twin for the shorter history."""
+    ops = _make_ops(seed=9, count=10)
+    journal = JournaledSystem(tmp_path, scheme="move", num_nodes=4, seed=9)
+    _apply(journal, ops)
+    journal.close()
+    reader = WalReader(tmp_path)
+    final = reader.segments()[-1]
+    final.write_bytes(final.read_bytes()[:-4])
+    recovered = JournaledSystem(tmp_path)
+    twin = _twin(9)
+    _apply(twin, ops[:-1])
+    _assert_bit_identical(recovered.system, twin)
+
+
+def test_double_replay_is_idempotent(tmp_path):
+    import json
+
+    ops = _make_ops(seed=5, count=8)
+    journal = JournaledSystem(tmp_path, scheme="move", num_nodes=4, seed=5)
+    _apply(journal, ops)
+    journal.close()
+    recovered = JournaledSystem(tmp_path)
+    state_before = recovered.system._rng.getstate()
+    replicas_before = _replica_counts(recovered.system)
+    applied_again = 0
+    for lsn, payload in WalReader(tmp_path).replay():
+        record = json.loads(payload)
+        if record["op"] == "setup":
+            continue
+        if recovered.replay_record(lsn, record):
+            applied_again += 1
+    assert applied_again == 0
+    assert recovered.system._rng.getstate() == state_before
+    assert _replica_counts(recovered.system) == replicas_before
+
+
+def test_recovery_requires_setup_record(tmp_path):
+    writer = WalWriter(tmp_path)
+    writer.append(b'{"op": "finalize"}')
+    writer.close()
+    with pytest.raises(WalError):
+        JournaledSystem(tmp_path)
+
+
+def test_journal_continues_across_restarts(tmp_path):
+    """Mutations after a recovery land in the same journal, and a
+    second recovery sees the full combined history."""
+    ops = _make_ops(seed=11, count=8)
+    journal = JournaledSystem(
+        tmp_path, scheme="move", num_nodes=4, seed=11
+    )
+    _apply(journal, ops[:5])
+    journal.close()
+    middle = JournaledSystem(tmp_path)
+    _apply(middle, ops[5:])
+    middle.close()
+    recovered = JournaledSystem(tmp_path)
+    twin = _twin(11)
+    _apply(twin, ops)
+    _assert_bit_identical(recovered.system, twin)
