@@ -298,11 +298,15 @@ class WalWriter:
       throughput — exactly the torn tail :meth:`WalReader.replay`
       tolerates.
 
-    Reopening a directory with existing segments continues after the
-    highest replayable lsn in a **fresh** segment; a torn tail left by
-    a crash is ignored (it precedes the new segment and the reader
-    only tolerates tears in the *final* segment, so call
-    :meth:`WalReader.repair` first when reopening after a crash).
+    Reopening a directory with existing segments first runs
+    :meth:`WalReader.repair` — a torn tail left by a crash is
+    truncated away so the old final segment ends on a record boundary
+    — then continues after the highest replayable lsn in a **fresh**
+    segment.  Without the repair the tear would sit in a non-final
+    segment and every later :meth:`WalReader.replay` would reject the
+    log as corrupted at rest.  Mid-log damage repair cannot fix still
+    raises :class:`WalCorruptionError` here rather than opening a
+    writer over a broken log.
     """
 
     def __init__(
@@ -326,6 +330,10 @@ class WalWriter:
         existing = _list_segments(self.directory)
         if existing:
             reader = WalReader(self.directory)
+            # Truncate a crash's torn tail now: once this writer opens
+            # a fresh segment the old final segment is no longer final,
+            # and a tear there would fail every subsequent replay().
+            reader.repair()
             self._next_lsn = reader.last_lsn() + 1
             next_index = _segment_index(existing[-1]) + 1
         else:

@@ -26,8 +26,15 @@ Two details make the equivalence structural rather than hopeful:
 
 Note the failure contract of log-before-apply: a record is durable
 before its operation runs, so an operation that *raises* after
-logging will raise again on replay — the journal reproduces history,
-including its errors.
+logging (duplicate registration, unregistering an unknown filter id)
+raises the same exception again on replay.  The live service
+survived that error — the client saw the failure and the node kept
+running — so recovery survives it the same way: replay catches the
+application-level exception and moves past the record.  Because the
+apply path is deterministic, the re-raised error leaves state exactly
+as the original did, preserving bit-identity.  Only WAL-integrity
+errors (:class:`~repro.errors.WalError` and subclasses) abort
+recovery.
 """
 
 from __future__ import annotations
@@ -81,8 +88,10 @@ class JournaledSystem:
     Opening a directory that already holds journal segments recovers:
     the torn tail (if any) is repaired, the ``setup`` record rebuilds
     the system, and every following record is replayed.  Opening an
-    empty directory builds a fresh system from the keyword arguments
-    and logs them as the ``setup`` record.
+    empty directory — or one whose segments hold no durable records,
+    the trace of a crash before the first fsync — builds a fresh
+    system from the keyword arguments and logs them as the ``setup``
+    record.
 
     The wrapped system is :attr:`system`; reads (``stats()``,
     ``match`` inspection, metrics) go straight to it.  Writes must go
@@ -104,12 +113,16 @@ class JournaledSystem:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.last_applied_lsn = 0
-        existing = _list_segments(self.directory)
-        if existing:
+        #: Records whose replay raised an application-level error and
+        #: was skipped (each corresponds to a live operation that also
+        #: failed); nonzero after a recovery over such a history.
+        self.replay_skipped = 0
+        recovered = False
+        if _list_segments(self.directory):
             reader = WalReader(self.directory)
             reader.repair()
-            self._recover(reader)
-        else:
+            recovered = self._recover(reader)
+        if not recovered:
             self.setup = {
                 "scheme": scheme,
                 "num_nodes": num_nodes,
@@ -123,7 +136,7 @@ class JournaledSystem:
             segment_max_bytes=segment_max_bytes,
             fsync_interval=fsync_interval,
         )
-        if not existing:
+        if not recovered:
             self._writer.append(
                 json.dumps(
                     {"op": "setup", **self.setup}, sort_keys=True
@@ -144,15 +157,19 @@ class JournaledSystem:
             setup["scheme"], cluster, config, threshold=setup["threshold"]
         )
 
-    def _recover(self, reader: WalReader) -> None:
+    def _recover(self, reader: WalReader) -> bool:
+        """Rebuild from the journal; False if it holds no records.
+
+        Segment files with zero replayable records are the trace of a
+        crash between creating the first segment and making the setup
+        record durable — no state was ever recoverable, so the caller
+        falls back to a fresh start instead of refusing to boot.
+        """
         records = iter(reader.replay())
         try:
             lsn, payload = next(records)
         except StopIteration:
-            raise WalError(
-                f"{self.directory}: journal has segments but no "
-                "replayable records"
-            ) from None
+            return False
         first = json.loads(payload)
         if first.get("op") != "setup":
             raise WalError(
@@ -164,16 +181,27 @@ class JournaledSystem:
         self.last_applied_lsn = lsn
         for lsn, payload in records:
             self.replay_record(lsn, json.loads(payload))
+        return True
 
     def replay_record(self, lsn: int, record: Dict[str, Any]) -> bool:
         """Apply one decoded record; False if already applied.
 
         Skipping ``lsn <= last_applied_lsn`` is what makes double
-        replay idempotent.
+        replay idempotent.  An application-level exception out of the
+        apply (a duplicate registration, an unknown filter id) is
+        caught and the record skipped: the live node logged the
+        record, saw the same deterministic error, answered the client
+        with it, and kept running — so must recovery.  WAL-integrity
+        errors still propagate.
         """
         if lsn <= self.last_applied_lsn:
             return False
-        self._apply(record)
+        try:
+            self._apply(record)
+        except WalError:
+            raise
+        except Exception:
+            self.replay_skipped += 1
         self.last_applied_lsn = lsn
         return True
 
@@ -212,11 +240,15 @@ class JournaledSystem:
     def _log_and_apply(self, record: Dict[str, Any]) -> Any:
         payload = json.dumps(record, sort_keys=True).encode("utf-8")
         lsn = self._writer.append(payload)
-        # Apply the *decoded* form so the live path and crash replay
-        # execute identical inputs.
-        result = self._apply(json.loads(payload))
-        self.last_applied_lsn = lsn
-        return result
+        try:
+            # Apply the *decoded* form so the live path and crash
+            # replay execute identical inputs.
+            return self._apply(json.loads(payload))
+        finally:
+            # The record is in the log whether or not apply raised;
+            # the cursor tracks the log, and replay_record survives
+            # failed records the same way the live path did.
+            self.last_applied_lsn = lsn
 
     # -- journalled mutations ---------------------------------------------
 

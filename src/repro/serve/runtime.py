@@ -32,6 +32,7 @@ from typing import Any, List, Optional, Tuple
 
 from ..errors import (
     AdmissionError,
+    ReproError,
     ServiceDrainingError,
     ServiceError,
 )
@@ -181,6 +182,15 @@ class ServiceRuntime:
         self._draining = False
         self._worker = loop.create_task(self._run(), name="serve-worker")
         if self.config.reallocate_interval is not None:
+            # Fail at start rather than raising from the timer on
+            # every tick forever: only schemes exposing reallocate
+            # (MOVE) can run the periodic refresh.
+            if not hasattr(self.system, "reallocate"):
+                await self.drain()
+                raise ServiceError(
+                    f"scheme {self.config.scheme!r} does not support "
+                    "reallocate; unset reallocate_interval"
+                )
             self._arm_refresh()
 
     async def drain(self) -> None:
@@ -365,8 +375,10 @@ class ServiceRuntime:
         try:
             await self.command("reallocate")
             self.metrics.counter("serve.refreshes").add()
-        except (ServiceDrainingError, ServiceError):
-            pass
+        except ReproError:
+            # A refresh racing a drain (or any backend refusal) is a
+            # skipped tick, not a worker-killing failure.
+            self.metrics.counter("serve.refresh_errors").add()
 
     # -- scrape surface ---------------------------------------------------
 

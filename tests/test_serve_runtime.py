@@ -243,6 +243,23 @@ def test_periodic_reallocate_fires_under_the_driver():
     assert asyncio.run(scenario()) >= 1.0
 
 
+def test_reallocate_interval_rejected_for_schemes_without_reallocate():
+    """Arming the refresh timer for a scheme lacking ``reallocate``
+    must fail at start(), not raise from the timer on every tick."""
+
+    async def scenario():
+        runtime = ServiceRuntime(
+            ServeConfig(
+                scheme="il", num_nodes=4, reallocate_interval=0.02
+            )
+        )
+        with pytest.raises(ServiceError):
+            await runtime.start()
+        assert not runtime.started
+
+    asyncio.run(scenario())
+
+
 def test_commands_serialize_between_batches():
     """A register enqueued among documents lands between batches, so
     the batch contract holds by construction even under interleaving."""

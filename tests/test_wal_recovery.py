@@ -118,6 +118,26 @@ def test_repair_truncates_torn_tail_and_writer_continues(tmp_path):
     assert [lsn for lsn, _ in reader.replay()] == [1, 2, 3]
 
 
+def test_writer_reopen_after_torn_tail_repairs_automatically(tmp_path):
+    """Reopening a crashed directory must not strand the tear in a
+    non-final segment: the writer repairs first, so later replays of
+    the combined log succeed."""
+    writer = WalWriter(tmp_path)
+    writer.append(b"alpha")
+    writer.append(b"beta")
+    writer.close()
+    final = WalReader(tmp_path).segments()[-1]
+    final.write_bytes(final.read_bytes()[:-2])  # crash tears record 2
+    reopened = WalWriter(tmp_path)  # no explicit repair() by caller
+    assert reopened.next_lsn == 2
+    reopened.append(b"gamma")
+    reopened.close()
+    assert list(WalReader(tmp_path).replay()) == [
+        (1, b"alpha"),
+        (2, b"gamma"),
+    ]
+
+
 def test_fsync_batching_loses_at_most_the_unsynced_tail(tmp_path):
     writer = WalWriter(tmp_path, fsync_interval=5)
     for i in range(7):
@@ -286,6 +306,67 @@ def test_recovery_requires_setup_record(tmp_path):
     writer.close()
     with pytest.raises(WalError):
         JournaledSystem(tmp_path)
+
+
+def test_failed_operations_do_not_poison_recovery(tmp_path):
+    """A journalled request whose apply raises (duplicate register,
+    unknown unregister) left the live node running; replay must skip
+    it the same way instead of aborting recovery forever."""
+    ops = _make_ops(seed=13, count=8)
+    anchor = Filter.from_terms("anchor", ["term01", "term02"])
+    journal = JournaledSystem(tmp_path, scheme="move", num_nodes=4, seed=13)
+    _apply(journal, ops)
+    journal.register(anchor)
+    with pytest.raises(ValueError):
+        journal.register(Filter.from_terms("anchor", ["term05"]))
+    with pytest.raises(KeyError):
+        journal.unregister("no-such-filter")
+    more = [
+        ("register", (Filter.from_terms("fresh", ["term03", "term04"]),)),
+        ("reallocate", (True, None)),
+    ]
+    _apply(journal, more)
+    journal.close()
+    recovered = JournaledSystem(tmp_path)
+    assert recovered.replay_skipped == 2
+    twin = _twin(13)
+    _apply(twin, ops)
+    twin.register(anchor)
+    _apply(twin, more)
+    _assert_bit_identical(recovered.system, twin)
+
+
+def test_empty_segments_boot_fresh(tmp_path):
+    """Segments with zero durable records (crash before the first
+    fsync) must not brick the node: restart falls back to a fresh
+    system and logs a new setup record."""
+    WalWriter(tmp_path).close()  # segment file exists, no records
+    assert WalReader(tmp_path).last_lsn() == 0
+    journal = JournaledSystem(tmp_path, scheme="move", num_nodes=4, seed=7)
+    assert journal.setup["seed"] == 7
+    ops = _make_ops(seed=7, count=6)
+    _apply(journal, ops)
+    journal.close()
+    recovered = JournaledSystem(tmp_path)
+    twin = _twin(7)
+    _apply(twin, ops)
+    _assert_bit_identical(recovered.system, twin)
+
+
+def test_fully_torn_journal_boots_fresh(tmp_path):
+    """Same contract when the only record was torn by the crash."""
+    writer = WalWriter(tmp_path)
+    writer.append(b'{"op": "setup"}')
+    writer.close()
+    segment = WalReader(tmp_path).segments()[-1]
+    segment.write_bytes(segment.read_bytes()[:-4])  # setup never durable
+    journal = JournaledSystem(tmp_path, scheme="move", num_nodes=4, seed=3)
+    assert journal.setup["num_nodes"] == 4
+    journal.register(Filter.from_terms("f0", ["term00"]))
+    journal.close()
+    recovered = JournaledSystem(tmp_path)
+    assert recovered.setup["seed"] == 3
+    assert "f0" in recovered.system.registered_filters
 
 
 def test_journal_continues_across_restarts(tmp_path):
