@@ -14,11 +14,19 @@ Examples::
     python scripts/profile_publish.py --scheme il --sort tottime --top 40
     python scripts/profile_publish.py --scheme central --threshold 0.2 \
         --backend python --backend csr
+    python scripts/profile_publish.py --scheme move --memory \
+        --storage slab
 
 ``--backend`` selects the matching-kernel backend (threshold mode
 only); repeat it to profile the same workload under several backends,
 one cProfile section each — the quickest way to see where the
 vectorized CSR pass shifts the hot spots.
+
+``--memory`` switches from cProfile to tracemalloc: each pipeline
+stage (registration, finalize/allocation, publish) is snapshotted and
+its top allocators printed by aggregate size — the tool that located
+the per-filter overheads the slab store (``--storage slab``)
+eliminates.
 
 Run from the repository root; ``src/`` is put on ``sys.path``
 automatically.
@@ -100,6 +108,20 @@ def parse_args(argv=None) -> argparse.Namespace:
         ),
     )
     parser.add_argument(
+        "--memory",
+        action="store_true",
+        help=(
+            "profile allocations (tracemalloc) instead of CPU: print "
+            "the top allocation sites per pipeline stage"
+        ),
+    )
+    parser.add_argument(
+        "--storage",
+        default=None,
+        choices=["object", "slab"],
+        help="filter storage layout (default: the config default)",
+    )
+    parser.add_argument(
         "--backend",
         action="append",
         choices=["python", "csr"],
@@ -127,6 +149,8 @@ def build_system(args, backend=None):
         config = replace(config, matching_kernel=False)
     if backend is not None:
         config = replace(config, matching_backend=backend)
+    if args.storage is not None:
+        config = replace(config, filter_storage=args.storage)
     system = make_system(
         args.scheme, cluster, config, threshold=args.threshold
     )
@@ -171,11 +195,109 @@ def profile_backend(args, backend=None) -> None:
     )
 
 
+def _print_memory_stage(
+    label: str, before, after, top: int
+) -> None:
+    """Top allocators of one stage (diff of two snapshots)."""
+    import tracemalloc
+
+    stats = after.compare_to(before, "lineno")
+    print(f"-- {label}: top {top} allocators --")
+    total = sum(stat.size_diff for stat in stats)
+    for stat in stats[:top]:
+        frame = stat.traceback[0]
+        print(
+            f"  {stat.size_diff / 1024:+10.1f} KiB  "
+            f"({stat.count_diff:+d} blocks)  "
+            f"{frame.filename}:{frame.lineno}"
+        )
+    print(f"  {'':>10}  stage net: {total / (1024 * 1024):+.2f} MiB")
+
+
+def profile_memory(args, backend=None) -> None:
+    """tracemalloc per pipeline stage: register, finalize, publish.
+
+    Filters the traces to this repository so interpreter noise does
+    not drown the stage diffs, and reports net bytes per stage plus
+    the peak traced size — the numbers docs/PERFORMANCE.md's
+    memory-budget section is built from.
+    """
+    import tracemalloc
+
+    workload = ScaledWorkload(
+        num_filters=args.filters,
+        num_documents=args.documents,
+        num_nodes=args.nodes,
+    )
+    bundle = workload.build()
+    cluster, config = build_cluster(
+        workload.num_nodes, workload.node_capacity, seed=0
+    )
+    if args.naive_scorer:
+        config = replace(config, matching_kernel=False)
+    if backend is not None:
+        config = replace(config, matching_backend=backend)
+    if args.storage is not None:
+        config = replace(config, filter_storage=args.storage)
+
+    root = str(Path(__file__).resolve().parent.parent)
+    tracemalloc.start(1)
+    try:
+        baseline = tracemalloc.take_snapshot().filter_traces(
+            [tracemalloc.Filter(True, root + "/*")]
+        )
+        system = make_system(
+            args.scheme, cluster, config, threshold=args.threshold
+        )
+        system.register_batch(bundle.filters)
+        registered = tracemalloc.take_snapshot().filter_traces(
+            [tracemalloc.Filter(True, root + "/*")]
+        )
+        if isinstance(system, MoveSystem):
+            system.seed_frequencies(bundle.offline_corpus())
+        system.finalize_registration()
+        finalized = tracemalloc.take_snapshot().filter_traces(
+            [tracemalloc.Filter(True, root + "/*")]
+        )
+        plans = system.publish_batch(bundle.documents)
+        published = tracemalloc.take_snapshot().filter_traces(
+            [tracemalloc.Filter(True, root + "/*")]
+        )
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    storage = config.filter_storage
+    print(f"== memory profile: {args.scheme} (storage={storage}) ==")
+    _print_memory_stage(
+        "registration", baseline, registered, args.top
+    )
+    _print_memory_stage(
+        "finalize/allocation", registered, finalized, args.top
+    )
+    _print_memory_stage("publish", finalized, published, args.top)
+    matches = sum(len(plan.matched_filter_ids) for plan in plans)
+    register_bytes = sum(
+        stat.size_diff
+        for stat in registered.compare_to(baseline, "lineno")
+    )
+    print(
+        f"# {args.filters} filters, {len(bundle.documents)} docs, "
+        f"{matches} matches; registration net "
+        f"{register_bytes / (1024 * 1024):.2f} MiB "
+        f"({register_bytes / max(1, args.filters):.0f} B/filter), "
+        f"traced peak {peak / (1024 * 1024):.2f} MiB"
+    )
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     backends = args.backend if args.backend else [None]
     for backend in backends:
-        profile_backend(args, backend=backend)
+        if args.memory:
+            profile_memory(args, backend=backend)
+        else:
+            profile_backend(args, backend=backend)
     return 0
 
 

@@ -46,6 +46,14 @@ its floor (the 50k-filter matcher bench carries the >= 3x vectorized-
 backend acceptance).  Like ``disabled_overhead``, these are fixed
 same-host ratios, portable across machines.
 
+Both modes finally validate the committed scale trajectory
+(``BENCH_scale.json``, recorded by ``benchmarks/bench_scale.py``)
+against the floors stored inside it: slab bytes/filter and docs/sec
+at the full tier, the object-vs-slab memory ratio and twin
+equivalence at the ci tier.  These are recorded-file checks (no fresh
+run — the million-filter tier is too slow for every gate pass); CI
+re-measures the ci tier fresh in its own ``scale-smoke`` job.
+
 Benchmark noise note: absolute numbers are only comparable on the same
 hardware; the committed baseline tracks the *trajectory* across PRs on
 the reference machine, not an absolute claim.
@@ -63,6 +71,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hot_path.json"
+SCALE_PATH = REPO_ROOT / "BENCH_scale.json"
 BENCH_PATHS = (
     REPO_ROOT / "benchmarks" / "bench_hot_path.py",
     REPO_ROOT / "benchmarks" / "bench_reallocation.py",
@@ -286,6 +295,75 @@ def check_disabled_overhead(payload: dict) -> int:
     return 1
 
 
+def check_scale_budget() -> int:
+    """Validate the committed BENCH_scale.json against its own floors.
+
+    The scale trajectory carries its acceptance floors inline (see
+    ``FLOORS`` in benchmarks/bench_scale.py), so this check needs no
+    external config and survives re-recordings: a re-recorded file
+    whose numbers no longer meet the floors it ships fails here.
+    Checked in both gate modes; the numbers are host-recorded, but the
+    floors are deliberately far below any plausible host's measurement
+    so only a storage-layout or hot-path collapse trips them.
+    """
+    if not SCALE_PATH.exists():
+        print(f"REGRESSION scale budget: {SCALE_PATH.name} missing")
+        return 1
+    payload = json.loads(SCALE_PATH.read_text())
+    floors = payload.get("floors", {})
+    bytes_max = floors.get("slab_bytes_per_filter_max")
+    docs_min = floors.get("docs_per_second_min")
+    ratio_min = floors.get("object_slab_ratio_min")
+    failures = 0
+
+    full = payload.get("tiers", {}).get("full", {}).get("schemes", {})
+    if not full:
+        print("REGRESSION scale budget: no full-tier runs recorded")
+        failures += 1
+    for scheme, entry in sorted(full.items()):
+        run = entry.get("slab")
+        if run is None:
+            print(f"REGRESSION scale/{scheme}: no slab run recorded")
+            failures += 1
+            continue
+        bpf = run.get("bytes_per_filter")
+        dps = run.get("docs_per_second")
+        ok_mem = bytes_max is None or (
+            bpf is not None and bpf <= bytes_max
+        )
+        ok_docs = docs_min is None or (
+            dps is not None and dps >= docs_min
+        )
+        status = "ok" if ok_mem and ok_docs else "REGRESSION"
+        print(
+            f"{status:>10s} scale/{scheme}: {bpf:,.0f} B/filter "
+            f"(max {bytes_max:,.0f}), {dps:,.0f} docs/s "
+            f"(min {docs_min:,.0f}) at "
+            f"{run.get('filters', 0):,} filters"
+        )
+        if not (ok_mem and ok_docs):
+            failures += 1
+
+    ci = payload.get("tiers", {}).get("ci", {}).get("schemes", {})
+    for scheme, entry in sorted(ci.items()):
+        ratio = entry.get("object_slab_ratio")
+        equivalent = entry.get("equivalent")
+        if ratio is None or equivalent is None:
+            continue
+        ok = equivalent and (
+            ratio_min is None or ratio >= ratio_min
+        )
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"{status:>10s} scale-ci/{scheme}: object/slab ratio "
+            f"{ratio:.1f}x (min {ratio_min:.1f}x), twins "
+            f"{'identical' if equivalent else 'DIVERGED'}"
+        )
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -356,7 +434,8 @@ def main() -> int:
     code = check_regression(payload, args.tolerance, metrics)
     overhead_code = check_disabled_overhead(payload)
     csr_code = check_csr_floors(payload)
-    return code or overhead_code or csr_code
+    scale_code = check_scale_budget()
+    return code or overhead_code or csr_code or scale_code
 
 
 if __name__ == "__main__":

@@ -36,8 +36,13 @@ from typing import (
     TYPE_CHECKING,
 )
 
+from types import MappingProxyType
+from typing import Mapping, MutableMapping
+
 from ..config import SystemConfig
+from ..matching.inverted_index import InvertedIndex
 from ..model import Document, Filter
+from ..model.slab import FilterSlabStore, SlabRegistry
 from ..obs import MetricsRegistry, SystemStats, get_default_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -124,7 +129,23 @@ class DisseminationSystem(ABC):
         #: :func:`repro.obs.set_default_tracer` installed one); assign
         #: a :class:`repro.obs.Tracer` any time to start tracing.
         self.tracer = get_default_tracer()
-        self._registered: Dict[str, Filter] = {}
+        #: Columnar filter storage (``filter_storage="slab"``): one
+        #: shared :class:`~repro.model.slab.FilterSlabStore` holds
+        #: every registered filter's interned term-ids, the registry
+        #: below becomes a lazy view over it, and the scheme's indexes
+        #: are :class:`~repro.matching.slab_index.SlabBackedIndex`es
+        #: whose postings store slab slots.  ``None`` in the default
+        #: object mode.
+        self.filter_slab: Optional[FilterSlabStore] = (
+            FilterSlabStore()
+            if self.config.filter_storage == "slab"
+            else None
+        )
+        self._registered: MutableMapping[str, Filter] = (
+            SlabRegistry(self.filter_slab)
+            if self.filter_slab is not None
+            else {}
+        )
         if threshold is not None and not 0.0 < threshold <= 1.0:
             raise ValueError(
                 f"threshold must be in (0, 1], got {threshold}"
@@ -214,6 +235,47 @@ class DisseminationSystem(ABC):
             and type(self)._apply_semantics
             is DisseminationSystem._apply_semantics
         )
+
+    # -- storage layout ------------------------------------------------------
+
+    def _make_index(self) -> InvertedIndex:
+        """One local inverted index in the configured storage layout.
+
+        Object mode: the classic :class:`InvertedIndex`.  Slab mode: a
+        :class:`~repro.matching.slab_index.SlabBackedIndex` sharing the
+        system's :attr:`filter_slab`, whose postings hold slab slots.
+        Every scheme constructs its per-node/home/subset indexes
+        through this hook.
+        """
+        if self.filter_slab is not None:
+            from ..matching.slab_index import SlabBackedIndex
+
+            return SlabBackedIndex(self.filter_slab)
+        return InvertedIndex()
+
+    def _store_filter(self, node_id: str, profile: Filter) -> None:
+        """Persist one stored replica's filter payload on a node.
+
+        Object mode writes the sorted-terms row into the node's
+        filter-store column family (what an SSTable would hold).  Slab
+        mode skips the per-row write entirely: the shared columnar
+        slab *is* the filter payload store, and materializing 2–3
+        replica rows per filter is exactly the per-object overhead the
+        slab tier removes (KV write counters are therefore not part of
+        the slab/object equivalence contract — match sets, RNG
+        streams, and stored replica counts are).
+        """
+        if self.filter_slab is not None:
+            return
+        self.cluster.node(node_id).filter_store.put(
+            profile.filter_id, "terms", profile.sorted_terms()
+        )
+
+    def _unstore_filter(self, node_id: str, filter_id: str) -> None:
+        """Drop one stored replica's filter payload (see above)."""
+        if self.filter_slab is not None:
+            return
+        self.cluster.node(node_id).filter_store.delete(filter_id)
 
     # -- batch contract ------------------------------------------------------
 
@@ -336,7 +398,18 @@ class DisseminationSystem(ABC):
         """Hook run after bulk registration (MOVE allocates here)."""
 
     @property
-    def registered_filters(self) -> Dict[str, Filter]:
+    def registered_filters(self) -> Mapping[str, Filter]:
+        """Read view of the registry (the delivery boundary).
+
+        Object mode returns a snapshot copy (callers can't mutate the
+        registry through it).  Slab mode returns a read-only *lazy*
+        proxy over the slab registry: per-id lookups rehydrate one
+        ``Filter`` at a time through the slab's bounded cache, so a
+        delivery pass over a million-filter system never materializes
+        the whole filter population.
+        """
+        if self.filter_slab is not None:
+            return MappingProxyType(self._registered)
         return dict(self._registered)
 
     @property

@@ -177,17 +177,14 @@ class CentralizedSystem(DisseminationSystem):
                 f"central node {central_node!r} is not in the cluster"
             )
         self.central_node = central_node
-        self.index = InvertedIndex()
+        self.index = self._make_index()
         self._matcher = SiftMatcher(self.index)
         self._rng = random.Random((self.config.seed or 0) + 0x0C)
 
     # -- registration ----------------------------------------------------
 
     def _register(self, profile: Filter) -> None:
-        node = self.cluster.node(self.central_node)
-        node.filter_store.put(
-            profile.filter_id, "terms", profile.sorted_terms()
-        )
+        self._store_filter(self.central_node, profile)
         # Full local inverted list: indexed under every term.
         self.index.add_filter(profile)
         self.metrics.load("storage_replicas").add(self.central_node, 1.0)
@@ -199,12 +196,9 @@ class CentralizedSystem(DisseminationSystem):
         — one sort per posting list instead of one insert per filter.
         """
         storage_load = self.metrics.load("storage_replicas")
-        node = self.cluster.node(self.central_node)
         buffered: List[Tuple[Filter, None]] = []
         for profile in profiles:
-            node.filter_store.put(
-                profile.filter_id, "terms", profile.sorted_terms()
-            )
+            self._store_filter(self.central_node, profile)
             buffered.append((profile, None))
             storage_load.add(self.central_node, 1.0)
         if buffered:
@@ -213,9 +207,7 @@ class CentralizedSystem(DisseminationSystem):
     def _unregister(self, profile: Filter) -> None:
         """Remove the filter from the central node."""
         self.index.remove_filter(profile.filter_id)
-        self.cluster.node(self.central_node).filter_store.delete(
-            profile.filter_id
-        )
+        self._unstore_filter(self.central_node, profile.filter_id)
 
     # -- dissemination (pipeline stage hooks) ------------------------------
 

@@ -51,7 +51,7 @@ class InvertedListSystem(DisseminationSystem):
         super().__init__(config, threshold=threshold)
         self.cluster = cluster
         self._indexes: Dict[str, InvertedIndex] = {
-            node_id: InvertedIndex() for node_id in cluster.node_ids()
+            node_id: self._make_index() for node_id in cluster.node_ids()
         }
         self._bloom = (
             BloomFilter(
@@ -71,7 +71,7 @@ class InvertedListSystem(DisseminationSystem):
     def index_of(self, node_id: str) -> InvertedIndex:
         index = self._indexes.get(node_id)
         if index is None:
-            index = InvertedIndex()
+            index = self._make_index()
             self._indexes[node_id] = index
         return index
 
@@ -79,12 +79,10 @@ class InvertedListSystem(DisseminationSystem):
         storage_load = self.metrics.load("storage_replicas")
         for term in profile.terms:
             node_id = self.home_of(term)
-            node = self.cluster.node(node_id)
-            # Full filter object stored via the filter store (Figure 3)
-            # and indexed under this home node's term only.
-            node.filter_store.put(
-                profile.filter_id, "terms", profile.sorted_terms()
-            )
+            # Full filter object stored via the filter store (Figure 3;
+            # the columnar slab in slab mode) and indexed under this
+            # home node's term only.
+            self._store_filter(node_id, profile)
             self.index_of(node_id).add_filter(
                 profile, indexed_terms=[term]
             )
@@ -103,9 +101,7 @@ class InvertedListSystem(DisseminationSystem):
         for profile in profiles:
             for term in profile.terms:
                 node_id = self.home_of(term)
-                self.cluster.node(node_id).filter_store.put(
-                    profile.filter_id, "terms", profile.sorted_terms()
-                )
+                self._store_filter(node_id, profile)
                 buffers.setdefault(node_id, []).append(
                     (profile, [term])
                 )
@@ -197,8 +193,7 @@ class InvertedListSystem(DisseminationSystem):
             if profile.filter_id in index:
                 index.remove_filter(profile.filter_id)
                 storage_load.add(node_id, 0.0)
-            node = self.cluster.node(node_id)
-            node.filter_store.delete(profile.filter_id)
+            self._unstore_filter(node_id, profile.filter_id)
 
     # -- elasticity -----------------------------------------------------------
 
@@ -219,14 +214,9 @@ class InvertedListSystem(DisseminationSystem):
                     continue
                 filters = index.remove_term(term)
                 target_index = self.index_of(new_home)
-                target_node = self.cluster.node(new_home)
                 storage_load = self.metrics.load("storage_replicas")
                 for profile in filters:
-                    target_node.filter_store.put(
-                        profile.filter_id,
-                        "terms",
-                        profile.sorted_terms(),
-                    )
+                    self._store_filter(new_home, profile)
                     target_index.add_filter(
                         profile, indexed_terms=[term]
                     )

@@ -78,7 +78,7 @@ class RendezvousSystem(DisseminationSystem):
             node_ids[p :: partition_level] for p in range(partition_level)
         ]
         self._indexes: Dict[str, InvertedIndex] = {
-            node_id: InvertedIndex() for node_id in node_ids
+            node_id: self._make_index() for node_id in node_ids
         }
         self._matchers: Dict[str, SiftMatcher] = {
             node_id: SiftMatcher(index)
@@ -95,10 +95,7 @@ class RendezvousSystem(DisseminationSystem):
         partition = self._partitions[self.partition_of(profile.filter_id)]
         storage_load = self.metrics.load("storage_replicas")
         for node_id in partition:
-            node = self.cluster.node(node_id)
-            node.filter_store.put(
-                profile.filter_id, "terms", profile.sorted_terms()
-            )
+            self._store_filter(node_id, profile)
             # Full local inverted list: indexed under every term.
             self._indexes[node_id].add_filter(profile)
             storage_load.add(node_id, 1.0)
@@ -116,9 +113,7 @@ class RendezvousSystem(DisseminationSystem):
                 self.partition_of(profile.filter_id)
             ]
             for node_id in partition:
-                self.cluster.node(node_id).filter_store.put(
-                    profile.filter_id, "terms", profile.sorted_terms()
-                )
+                self._store_filter(node_id, profile)
                 buffers.setdefault(node_id, []).append((profile, None))
                 storage_load.add(node_id, 1.0)
         for node_id, buffered in buffers.items():
@@ -129,9 +124,7 @@ class RendezvousSystem(DisseminationSystem):
         partition = self._partitions[self.partition_of(profile.filter_id)]
         for node_id in partition:
             self._indexes[node_id].remove_filter(profile.filter_id)
-            self.cluster.node(node_id).filter_store.delete(
-                profile.filter_id
-            )
+            self._unstore_filter(node_id, profile.filter_id)
 
     # -- dissemination (pipeline stage hooks) ------------------------------
 

@@ -181,9 +181,20 @@ class SystemConfig:
     #: backends produce bit-identical scores and plans; see
     #: :mod:`repro.matching.csr_kernel`.
     matching_backend: str = "auto"
+    #: How registered filters are stored: ``"object"`` (one ``Filter``
+    #: dataclass per registration plus per-index bookkeeping dicts —
+    #: the historical layout) or ``"slab"`` (one shared columnar
+    #: :class:`repro.model.slab.FilterSlabStore` of interned term-ids
+    #: per system; posting lists hold slab slots and ``Filter`` objects
+    #: are rehydrated lazily at delivery boundaries).  Both layouts are
+    #: bit-identical in match sets, RNG streams, and stored replica
+    #: counts; ``"slab"`` cuts bytes/filter by an order of magnitude at
+    #: the million-filter tier (see docs/PERFORMANCE.md).
+    filter_storage: str = "object"
     seed: Optional[int] = 0
 
     _MATCHING_BACKENDS = ("auto", "csr", "python")
+    _FILTER_STORAGES = ("object", "slab")
 
     def __post_init__(self) -> None:
         if self.expected_filter_terms < 1:
@@ -194,4 +205,9 @@ class SystemConfig:
             raise ConfigurationError(
                 f"unknown matching backend {self.matching_backend!r}; "
                 f"expected one of {self._MATCHING_BACKENDS}"
+            )
+        if self.filter_storage not in self._FILTER_STORAGES:
+            raise ConfigurationError(
+                f"unknown filter storage {self.filter_storage!r}; "
+                f"expected one of {self._FILTER_STORAGES}"
             )

@@ -77,7 +77,7 @@ class MoveSystem(DisseminationSystem):
         self.term_stats = TermStatistics()
         #: Home-node indexes (the distributed inverted list), as in IL.
         self._home_indexes: Dict[str, InvertedIndex] = {
-            node_id: InvertedIndex() for node_id in cluster.node_ids()
+            node_id: self._make_index() for node_id in cluster.node_ids()
         }
         #: Allocated-subset indexes: receiving node -> origin home node
         #: -> index of the subset filters (indexed under origin terms).
@@ -140,10 +140,7 @@ class MoveSystem(DisseminationSystem):
             node_id = self.home_of(term)
             key = node_id if aggregate else term
             key_epochs[key] = key_epochs.get(key, 0) + 1
-            node = self.cluster.node(node_id)
-            node.filter_store.put(
-                profile.filter_id, "terms", profile.sorted_terms()
-            )
+            self._store_filter(node_id, profile)
             self._home_indexes[node_id].add_filter(
                 profile, indexed_terms=[term]
             )
@@ -170,9 +167,7 @@ class MoveSystem(DisseminationSystem):
                 node_id = self.home_of(term)
                 key = node_id if aggregate else term
                 key_epochs[key] = key_epochs.get(key, 0) + 1
-                self.cluster.node(node_id).filter_store.put(
-                    profile.filter_id, "terms", profile.sorted_terms()
-                )
+                self._store_filter(node_id, profile)
                 buffers.setdefault(node_id, []).append(
                     (profile, [term])
                 )
@@ -209,7 +204,7 @@ class MoveSystem(DisseminationSystem):
             per_origin = self._allocated_indexes[holder]
             index = per_origin.get(origin_key)
             if index is None:
-                index = InvertedIndex()
+                index = self._make_index()
                 per_origin[origin_key] = index
             index.add_filter(profile, indexed_terms=[term])
 
@@ -226,9 +221,7 @@ class MoveSystem(DisseminationSystem):
             index = self._home_indexes[home_id]
             if profile.filter_id in index:
                 index.remove_filter(profile.filter_id)
-            self.cluster.node(home_id).filter_store.delete(
-                profile.filter_id
-            )
+            self._unstore_filter(home_id, profile.filter_id)
             if self.plan is None:
                 continue
             table = self.plan.tables.get(origin_key)
@@ -397,43 +390,90 @@ class MoveSystem(DisseminationSystem):
         self._refresh_allocated_storage_load()
         return report
 
+    def _origin_payloads(self, home_index: InvertedIndex, key: str):
+        """Origin filters of one key in the index's native currency.
+
+        Returns ``(entries, load)`` where ``entries`` yields
+        ``(filter_id, payload)`` for every origin filter that has at
+        least one indexed term, and ``load(index, payloads)``
+        bulk-indexes the buffered payloads into a subset index.  In
+        object mode the payload is the classic ``(profile,
+        indexed_terms)`` pair; in slab mode it is ``(slot, term_ids)``
+        fed to :meth:`~repro.matching.slab_index.SlabBackedIndex.
+        add_slots`, so rebuilding subset indexes never rehydrates a
+        single ``Filter``.  Both modes skip the same filters and visit
+        holders identically — only the ``moves`` list order (outside
+        the twin-equivalence contract) can differ.
+        """
+        aggregate = self.config.allocation.aggregate_per_node
+        slab = home_index.slab
+        if slab is not None:
+            if aggregate:
+                slot_entries = home_index.iter_slot_items()
+                origin_ids = set(home_index.posting_term_ids())
+            else:
+                slot_entries = home_index.slot_entries_for_term(key)
+                term_id = slab.interner.lookup(key)
+                origin_ids = {term_id} if term_id is not None else set()
+            term_ids = slab.term_ids
+
+            def entries():
+                for slot, filter_id in slot_entries:
+                    indexed = [
+                        tid for tid in term_ids(slot) if tid in origin_ids
+                    ]
+                    if indexed:
+                        yield filter_id, (slot, indexed)
+
+            def load(index: InvertedIndex, payloads) -> None:
+                index.add_slots(payloads)
+
+            return entries(), load
+        if aggregate:
+            origin_filters = home_index.all_filters()
+            origin_terms = set(home_index.terms())
+        else:
+            origin_filters, _ = home_index.filters_for_term(key)
+            origin_terms = {key}
+
+        def entries():
+            for profile in origin_filters:
+                indexed_terms = profile.terms & origin_terms
+                if indexed_terms:
+                    yield profile.filter_id, (profile, indexed_terms)
+
+        def load(index: InvertedIndex, payloads) -> None:
+            index.add_filters(payloads)
+
+        return entries(), load
+
     def _apply_plan_full(self, plan: AllocationPlan) -> ReallocationReport:
         """From-scratch apply: discard and rebuild every key."""
         report = ReallocationReport(keys_new=len(plan.tables))
         self.plan = plan
         self._allocated_indexes = defaultdict(dict)
-        aggregate = self.config.allocation.aggregate_per_node
         for key, table in plan.tables.items():
             grid = table.grid
             home_index = self._home_indexes[grid.home_node]
             subset_indexes: Dict[str, InvertedIndex] = {}
             for row in grid.rows:
                 for node_id in row:
-                    subset_indexes[node_id] = InvertedIndex()
-            if aggregate:
-                origin_filters = home_index.all_filters()
-                origin_terms = set(home_index.terms())
-            else:
-                origin_filters, _ = home_index.filters_for_term(key)
-                origin_terms = {key}
+                    subset_indexes[node_id] = self._make_index()
+            origin_entries, load = self._origin_payloads(home_index, key)
             # Buffer per holder, then bulk-index: each posting list is
             # rebuilt with one sort instead of one insert per filter.
-            buffers: Dict[str, List[Tuple[Filter, Set[str]]]] = {
+            buffers: Dict[str, List] = {
                 node_id: [] for node_id in subset_indexes
             }
             subset_holders = grid.subset_holders()
-            for profile in origin_filters:
-                subset = grid.subset_of(profile.filter_id)
-                indexed_terms = profile.terms & origin_terms
-                if not indexed_terms:
-                    continue
-                holders = subset_holders[subset]
+            for filter_id, payload in origin_entries:
+                holders = subset_holders[grid.subset_of(filter_id)]
                 report.replicas_moved += len(holders)
                 for holder in holders:
-                    buffers[holder].append((profile, indexed_terms))
+                    buffers[holder].append(payload)
             for node_id, buffered in buffers.items():
                 if buffered:
-                    subset_indexes[node_id].add_filters(buffered)
+                    load(subset_indexes[node_id], buffered)
             for node_id, index in subset_indexes.items():
                 self._allocated_indexes[node_id][key] = index
         return report
@@ -532,29 +572,20 @@ class MoveSystem(DisseminationSystem):
         grid = table.grid
         home_id = grid.home_node
         home_index = self._home_indexes[home_id]
-        if self.config.allocation.aggregate_per_node:
-            origin_filters = home_index.all_filters()
-            origin_terms = set(home_index.terms())
-        else:
-            origin_filters, _ = home_index.filters_for_term(key)
-            origin_terms = {key}
+        origin_entries, load = self._origin_payloads(home_index, key)
         subset_holders = grid.subset_holders()
         old_grid = old_table.grid if old_table is not None else None
         old_subset_holders = (
             old_grid.subset_holders() if old_grid is not None else None
         )
-        buffers: Dict[str, List[Tuple[Filter, Set[str]]]] = {
+        buffers: Dict[str, List] = {
             node_id: [] for node_id in grid.all_nodes()
         }
         dropped = 0
-        for profile in origin_filters:
-            indexed_terms = profile.terms & origin_terms
-            if not indexed_terms:
-                continue
-            filter_id = profile.filter_id
+        for filter_id, payload in origin_entries:
             holders = subset_holders[grid.subset_of(filter_id)]
             for holder in holders:
-                buffers[holder].append((profile, indexed_terms))
+                buffers[holder].append(payload)
             if old_grid is None:
                 for holder in holders:
                     moves.append(
@@ -578,9 +609,9 @@ class MoveSystem(DisseminationSystem):
                 if per_origin is not None:
                     per_origin.pop(key, None)
         for node_id, buffered in buffers.items():
-            index = InvertedIndex()
+            index = self._make_index()
             if buffered:
-                index.add_filters(buffered)
+                load(index, buffered)
             self._allocated_indexes[node_id][key] = index
         return dropped
 
@@ -872,7 +903,8 @@ class MoveSystem(DisseminationSystem):
         over the new membership.  Returns filter replicas moved.
         """
         for node_id in self.cluster.node_ids():
-            self._home_indexes.setdefault(node_id, InvertedIndex())
+            if node_id not in self._home_indexes:
+                self._home_indexes[node_id] = self._make_index()
         moved = 0
         aggregate = self.config.allocation.aggregate_per_node
         key_epochs = self._key_epochs
@@ -889,13 +921,8 @@ class MoveSystem(DisseminationSystem):
                 ):
                     key_epochs[key] = key_epochs.get(key, 0) + 1
                 target_index = self._home_indexes[new_home]
-                target_node = self.cluster.node(new_home)
                 for profile in filters:
-                    target_node.filter_store.put(
-                        profile.filter_id,
-                        "terms",
-                        profile.sorted_terms(),
-                    )
+                    self._store_filter(new_home, profile)
                     target_index.add_filter(
                         profile, indexed_terms=[term]
                     )

@@ -76,8 +76,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _UNROUTED = object()
 
 #: Memoized posting retrieval: (filters, their filter ids, posting
-#: lists touched, posting entries scanned).
-Retrieval = Tuple[List[Filter], Tuple[str, ...], int, int]
+#: lists touched, posting entries scanned).  ``filters`` is any
+#: sequence/iterable of the posting's filters — boolean paths consume
+#: only the id tuple, and the slab-backed index supplies a lazy
+#: sequence that rehydrates ``Filter`` objects on iteration.
+Retrieval = Tuple[Sequence[Filter], Tuple[str, ...], int, int]
 
 
 class WorkAccumulator:
@@ -240,14 +243,13 @@ class BatchCaches:
 
         Callers check ``caches.retrieval.get(key)`` first (keeping the
         hit path a single dict probe) and call this only on a miss.
+        The index builds the entry (``InvertedIndex.retrieve_for_term``)
+        so the slab-backed index can hand back filter ids straight from
+        its columns with a lazy filter sequence in slot position —
+        boolean paths never touch it, threshold paths rehydrate through
+        the slab's bounded cache.
         """
-        filters, cost = index.filters_for_term(term)
-        entry = (
-            filters,
-            tuple(profile.filter_id for profile in filters),
-            cost.posting_lists,
-            cost.posting_entries,
-        )
+        entry = index.retrieve_for_term(term)
         self.retrieval[key] = entry
         return entry
 

@@ -18,9 +18,12 @@ from .harness import (
     ClusterThroughputHarness,
     ExperimentSeries,
     ScaledWorkload,
+    StreamingWorkload,
     ThroughputResult,
     build_cluster,
     make_system,
+    register_streaming,
+    run_scheme_once,
 )
 from .plotting import ascii_plot, sparkline
 
@@ -29,6 +32,9 @@ __all__ = [
     "ThroughputResult",
     "ExperimentSeries",
     "ScaledWorkload",
+    "StreamingWorkload",
+    "register_streaming",
+    "run_scheme_once",
     "build_cluster",
     "make_system",
     "ascii_plot",

@@ -16,7 +16,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..baselines import (
     CentralizedSystem,
@@ -188,6 +197,25 @@ class ScaledWorkload:
             documents=documents,
         )
 
+    def stream(self) -> "StreamingWorkload":
+        """The never-materialized twin of :meth:`build`.
+
+        Only the shared vocabulary is held in memory; filters and
+        documents are regenerated on demand from the same seeds, so a
+        streamed run sees bit-identical workload objects to a built
+        one without ever holding ``num_filters`` profiles at once.
+        This is what lets the scale bench drive million-filter runs
+        at a resident set bounded by the system under test, not the
+        workload.
+        """
+        vocabulary = SharedVocabulary(
+            size=self.vocabulary_size,
+            overlap_fraction=self.corpus_profile.query_overlap,
+            overlap_k=max(10, self.vocabulary_size // 10),
+            seed=self.seed,
+        )
+        return StreamingWorkload(workload=self, vocabulary=vocabulary)
+
 
 @dataclass
 class WorkloadBundle:
@@ -207,6 +235,72 @@ class WorkloadBundle:
             mean_terms_override=self.workload.mean_doc_terms,
         )
         return generator.generate(size, prefix="seed")
+
+
+@dataclass
+class StreamingWorkload:
+    """Workload whose filters/documents are generated, never stored.
+
+    Each ``iter_*`` call builds a fresh generator from the same seeds
+    :meth:`ScaledWorkload.build` uses, so the yielded objects are
+    bit-identical to the materialized bundle's — the streaming and
+    built paths are twins, not approximations.
+    """
+
+    workload: ScaledWorkload
+    vocabulary: SharedVocabulary
+
+    def iter_filters(self) -> Iterator[Filter]:
+        generator = FilterTraceGenerator(
+            self.vocabulary, seed=self.workload.seed + 1
+        )
+        return generator.iter_generate(self.workload.num_filters)
+
+    def iter_documents(self) -> Iterator[Document]:
+        generator = CorpusGenerator(
+            self.vocabulary,
+            self.workload.corpus_profile,
+            seed=self.workload.seed + 2,
+            mean_terms_override=self.workload.mean_doc_terms,
+        )
+        return generator.iter_generate(self.workload.num_documents)
+
+    def offline_corpus(self, size: int = 100) -> List[Document]:
+        """Same bootstrap corpus as :meth:`WorkloadBundle.offline_corpus`."""
+        generator = CorpusGenerator(
+            self.vocabulary,
+            self.workload.corpus_profile,
+            seed=self.workload.seed + 3,
+            mean_terms_override=self.workload.mean_doc_terms,
+        )
+        return generator.generate(size, prefix="seed")
+
+
+def register_streaming(
+    system: DisseminationSystem,
+    profiles: Iterable[Filter],
+    chunk_size: int = 10_000,
+) -> int:
+    """Register a filter stream in bounded ``register_batch`` chunks.
+
+    Equivalent to one giant ``register_batch`` (the batch API is
+    defined as repeated ``register``) while holding at most
+    ``chunk_size`` profiles at a time.  Returns the number registered.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    chunk: List[Filter] = []
+    total = 0
+    for profile in profiles:
+        chunk.append(profile)
+        if len(chunk) >= chunk_size:
+            system.register_batch(chunk)
+            total += len(chunk)
+            chunk.clear()
+    if chunk:
+        system.register_batch(chunk)
+        total += len(chunk)
+    return total
 
 
 #: Cost-model constants for the scaled-down workloads.  The paper's
@@ -412,12 +506,36 @@ class ClusterThroughputHarness:
         if self.refresh_interval <= horizon:
             sim.schedule(self.refresh_interval, refresh)
 
-    def run(self, documents: Sequence[Document]) -> ThroughputResult:
+    def run(
+        self,
+        documents: Iterable[Document],
+        expected_documents: Optional[int] = None,
+    ) -> ThroughputResult:
+        """Drive one document stream to completion.
+
+        ``documents`` is normally a materialized sequence (scheduled
+        up front, exactly as before).  A generator may be passed
+        instead together with ``expected_documents``: arrivals are
+        then chained — injecting document *k* schedules arrival
+        *k+1* — so at most one undelivered document is resident at a
+        time and a million-document corpus never materializes.
+        """
+        try:
+            total: int = len(documents)  # type: ignore[arg-type]
+            streaming = False
+        except TypeError:
+            if expected_documents is None:
+                raise ValueError(
+                    "streaming document iterables require "
+                    "expected_documents"
+                )
+            total = expected_documents
+            streaming = True
         sim = self.cluster.sim
         pressure = self._pressure_factors()
         self._charge_allocation_movement()
-        if documents:
-            horizon = len(documents) / self.arrivals.rate
+        if total:
+            horizon = total / self.arrivals.rate
             self._schedule_refreshes(horizon)
         meter_completed = 0
         last_completion = [0.0]
@@ -476,12 +594,38 @@ class ClusterThroughputHarness:
 
                 sim.schedule(delay, deliver)
 
-        for arrival_time, document in zip(
-            self.arrivals.times(len(documents)), documents
-        ):
-            sim.schedule_at(
-                arrival_time, lambda d=document: inject(d)
-            )
+        injected = 0
+
+        def count_inject(document: Document) -> None:
+            nonlocal injected
+            injected += 1
+            inject(document)
+
+        if streaming:
+            pairs = zip(self.arrivals.times(total), documents)
+
+            def schedule_next() -> None:
+                # Chained arrivals: pull one (time, document) pair and
+                # arm the next pull for when it fires.  Arrival times
+                # are non-decreasing, so scheduling from inside the
+                # previous arrival's event never goes backwards.
+                for arrival_time, document in pairs:
+
+                    def fire(document=document) -> None:
+                        count_inject(document)
+                        schedule_next()
+
+                    sim.schedule_at(arrival_time, fire)
+                    return
+
+            schedule_next()
+        else:
+            for arrival_time, document in zip(
+                self.arrivals.times(total), documents
+            ):
+                sim.schedule_at(
+                    arrival_time, lambda d=document: count_inject(d)
+                )
         sim.run()
 
         elapsed = max(last_completion[0], sim.now) or 1.0
@@ -498,13 +642,13 @@ class ClusterThroughputHarness:
         )
         return ThroughputResult(
             system=self.system.name,
-            documents=len(documents),
+            documents=injected,
             completed=completed,
             elapsed=elapsed,
             bottleneck_busy=bottleneck_busy,
             throughput=throughput,
             mean_fanout=(
-                total_fanout / len(documents) if documents else 0.0
+                total_fanout / injected if injected else 0.0
             ),
             total_matches=total_matches,
             unreachable=total_unreachable,
@@ -513,7 +657,7 @@ class ClusterThroughputHarness:
 
 def run_scheme_once(
     scheme: str,
-    bundle: WorkloadBundle,
+    bundle: Union[WorkloadBundle, StreamingWorkload],
     num_nodes: Optional[int] = None,
     node_capacity: Optional[int] = None,
     fail_fraction: float = 0.0,
@@ -523,10 +667,18 @@ def run_scheme_once(
     injection_rate: Optional[float] = None,
     seed: int = 0,
     tracer=None,
+    register_chunk_size: int = 10_000,
+    filter_storage: Optional[str] = None,
 ) -> ThroughputResult:
     """End-to-end: build cluster + system, register, allocate, run.
 
     The one-stop entry the figure modules and benches call.
+
+    ``bundle`` may be a materialized :class:`WorkloadBundle` or a
+    :class:`StreamingWorkload` (from :meth:`ScaledWorkload.stream`):
+    the streaming form registers filters in ``register_chunk_size``
+    batches and chains document arrivals, so the run's resident set is
+    the system under test, not the workload.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) attaches pipeline tracing
     to the built system: every publish in the run emits per-stage and
@@ -550,10 +702,18 @@ def run_scheme_once(
                 placement=placement or config.allocation.placement,
             ),
         )
+    if filter_storage is not None:
+        config = replace(config, filter_storage=filter_storage)
     system = make_system(scheme, cluster, config)
     if tracer is not None:
         system.tracer = tracer
-    system.register_batch(bundle.filters)
+    streaming = isinstance(bundle, StreamingWorkload)
+    if streaming:
+        register_streaming(
+            system, bundle.iter_filters(), chunk_size=register_chunk_size
+        )
+    else:
+        system.register_batch(bundle.filters)
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
@@ -564,6 +724,11 @@ def run_scheme_once(
         cluster,
         injection_rate=injection_rate or workload.injection_rate,
     )
+    if streaming:
+        return harness.run(
+            bundle.iter_documents(),
+            expected_documents=workload.num_documents,
+        )
     return harness.run(bundle.documents)
 
 

@@ -6,6 +6,10 @@ The paper's matching machinery in one place:
   in the cost model),
 - :mod:`repro.matching.inverted_index` — a local inverted index over
   registered filters,
+- :mod:`repro.matching.slab_index` — the columnar twin of the index:
+  term-id-keyed postings of slab slots over one shared
+  :class:`~repro.model.slab.FilterSlabStore` (the
+  ``filter_storage="slab"`` memory tier),
 - :mod:`repro.matching.bloom` — the Bloom filter used to prune
   document forwarding (Section V),
 - :mod:`repro.matching.sift` — the SIFT centralized matcher used by the
@@ -42,11 +46,13 @@ from .query import (
     parse_query,
 )
 from .sift import SiftMatcher
+from .slab_index import SlabBackedIndex
 from .vsm import VsmScorer
 
 __all__ = [
     "PostingList",
     "InvertedIndex",
+    "SlabBackedIndex",
     "BloomFilter",
     "SiftMatcher",
     "HomeNodeMatcher",

@@ -44,6 +44,12 @@ class InvertedIndex:
     indexes every term of every local filter.
     """
 
+    #: Slab capability marker: the columnar subclass
+    #: (:class:`repro.matching.slab_index.SlabBackedIndex`) sets this to
+    #: its :class:`~repro.model.slab.FilterSlabStore`, letting callers
+    #: pick slot-native paths with one attribute check.
+    slab = None
+
     def __init__(self) -> None:
         self._postings: Dict[str, PostingList] = {}
         self._filters: Dict[int, Filter] = {}
@@ -270,6 +276,28 @@ class InvertedIndex:
             return [], RetrievalCost(0, 0)
         filters = [self._filters[local_id] for local_id in plist]
         return filters, RetrievalCost(1, len(plist))
+
+    def retrieve_for_term(self, term: str):
+        """One posting retrieval in the pipeline's memo shape.
+
+        Returns ``(filters, filter_ids, posting_lists,
+        posting_entries)`` — the :data:`repro.core.pipeline.Retrieval`
+        tuple.  The boolean any-term paths consume only the id tuple;
+        ``filters`` may therefore be any iterable of the posting's
+        filters, which is what lets the slab subclass return a lazy
+        sequence that rehydrates objects only when threshold semantics
+        actually iterate it.
+        """
+        plist = self._postings.get(term)
+        if plist is None:
+            return [], (), 0, 0
+        filters = [self._filters[local_id] for local_id in plist]
+        return (
+            filters,
+            tuple(profile.filter_id for profile in filters),
+            1,
+            len(plist),
+        )
 
     def match_document_single_term(
         self, document: Document, term: str

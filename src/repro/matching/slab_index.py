@@ -1,0 +1,375 @@
+"""Slot-native inverted index over a shared filter slab.
+
+The compacted twin of :class:`~repro.matching.inverted_index
+.InvertedIndex` for ``SystemConfig.filter_storage = "slab"``:
+
+- posting lists are keyed by **interned term-id** and hold the
+  filter's global **slab slot** (a plain int) instead of an object
+  reference — one shared :class:`~repro.model.slab.FilterSlabStore`
+  per system replaces every per-index ``_filters`` /
+  ``_local_id_by_filter_id`` / ``_indexed_terms`` dict;
+- a filter's indexed-terms bookkeeping disappears entirely: which
+  local terms index a slot is answered by probing the slot's slab
+  term-ids against the local postings (``O(|f| log n)``, and ``|f|``
+  averages 2–3);
+- every object-returning read (``filters_for_term``, ``all_filters``,
+  the matchers) *rehydrates* through the slab's bounded cache, so the
+  hot boolean pipeline — which consumes only filter-id tuples via
+  :meth:`retrieve_for_term` — never materializes a ``Filter`` at all;
+- :meth:`add_slots` is the slot-native bulk loader the MOVE
+  reallocation engine feeds directly from home-index postings, so
+  rebuilding a subset index never rehydrates a single filter.
+
+Equivalence: posting *sets* per term are identical to the object
+index's (slots and local-ids differ as integers but select the same
+filters), every count (``__len__``, ``stored_replica_count``,
+retrieval costs) matches, and listener notifications carry the same
+``(term, id, filter)`` shape — so CSR posting-block mirrors build
+against either index unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import MatchingError
+from ..model import Document, Filter
+from ..model.slab import FilterSlabStore
+from .inverted_index import InvertedIndex, RetrievalCost
+from .postings import PostingList
+
+
+class _SlabPostingFilters:
+    """Lazy ``Sequence[Filter]`` over a snapshot of posting slots.
+
+    Sits in the ``filters`` position of the pipeline's memoized
+    :data:`~repro.core.pipeline.Retrieval` tuple: boolean any-term
+    paths never touch it, threshold paths iterate it and rehydrate
+    through the slab's bounded cache on demand.
+    """
+
+    __slots__ = ("_slab", "_slots")
+
+    def __init__(self, slab: FilterSlabStore, slots: Tuple[int, ...]) -> None:
+        self._slab = slab
+        self._slots = slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[Filter]:
+        get = self._slab.get
+        for slot in self._slots:
+            yield get(slot)
+
+    def __getitem__(self, index: int) -> Filter:
+        return self._slab.get(self._slots[index])
+
+
+class SlabBackedIndex(InvertedIndex):
+    """``InvertedIndex`` storing slab slots in term-id-keyed postings."""
+
+    def __init__(self, slab: FilterSlabStore) -> None:
+        super().__init__()
+        self.slab = slab
+        #: Interned term-id -> :class:`PostingList` of slab slots.  The
+        #: base class's string-keyed map stays empty; every accessor
+        #: that would read it is overridden below.
+        self._id_postings: Dict[int, PostingList] = {}
+        #: Distinct filters indexed here, maintained by add/remove
+        #: probes so ``__len__`` stays O(1).
+        self._distinct = 0
+
+    # -- shape -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._distinct
+
+    def __contains__(self, filter_id: str) -> bool:
+        slot = self.slab.slot_of(filter_id)
+        return slot is not None and self._indexed_anywhere(slot)
+
+    @property
+    def distinct_terms(self) -> int:
+        return len(self._id_postings)
+
+    def stored_replica_count(self) -> int:
+        return self._replica_entries
+
+    def _indexed_anywhere(self, slot: int) -> bool:
+        """Is ``slot`` on any local posting of its slab terms?"""
+        postings = self._id_postings
+        if not postings:
+            return False
+        for term_id in self.slab.term_ids(slot):
+            plist = postings.get(term_id)
+            if plist is not None and slot in plist:
+                return True
+        return False
+
+    # -- registration -----------------------------------------------------
+
+    def _posting(self, term_id: int, term: Optional[str] = None) -> PostingList:
+        plist = self._id_postings.get(term_id)
+        if plist is None:
+            if term is None:
+                term = self.slab.interner.term(term_id)
+            plist = PostingList(term)
+            self._id_postings[term_id] = plist
+        return plist
+
+    def add_filter(
+        self,
+        profile: Filter,
+        indexed_terms: Optional[Iterable[str]] = None,
+    ) -> int:
+        """Index ``profile``; returns its slab slot (the posting id)."""
+        slot = self.slab.add(profile)
+        if indexed_terms is None:
+            terms = profile.terms
+        else:
+            terms = set(indexed_terms) & profile.terms
+            if not terms:
+                raise MatchingError(
+                    f"filter {profile.filter_id!r} indexed under none of "
+                    f"its terms"
+                )
+        known = self._indexed_anywhere(slot)
+        intern = self.slab.interner.intern
+        listeners = self._listeners
+        for term in terms:
+            plist = self._posting(intern(term), term)
+            if plist.add(slot):
+                self._replica_entries += 1
+                if listeners:
+                    for listener in listeners:
+                        listener.posting_added(term, slot, profile)
+        if not known:
+            self._distinct += 1
+        return slot
+
+    def add_filters(
+        self,
+        entries: Iterable[Tuple[Filter, Optional[Iterable[str]]]],
+    ) -> int:
+        """Bulk-index ``(profile, indexed_terms)`` pairs (one sort per
+        touched posting list); returns posting entries added."""
+        per_term: Dict[int, Tuple[str, List[int]]] = {}
+        new_slots: Set[int] = set()
+        profiles: Dict[int, Filter] = {} if self._listeners else None
+        for profile, indexed_terms in entries:
+            slot = self.slab.add(profile)
+            if indexed_terms is None:
+                terms = profile.terms
+            else:
+                terms = set(indexed_terms) & profile.terms
+                if not terms:
+                    raise MatchingError(
+                        f"filter {profile.filter_id!r} indexed under none "
+                        f"of its terms"
+                    )
+            if slot not in new_slots and not self._indexed_anywhere(slot):
+                new_slots.add(slot)
+            if profiles is not None:
+                profiles[slot] = profile
+            intern = self.slab.interner.intern
+            for term in terms:
+                term_id = intern(term)
+                bucket = per_term.get(term_id)
+                if bucket is None:
+                    bucket = (term, [])
+                    per_term[term_id] = bucket
+                bucket[1].append(slot)
+        added = 0
+        for term_id, (term, slots) in per_term.items():
+            plist = self._posting(term_id, term)
+            if self._listeners:
+                # Per-slot inserts so each effective add is observable;
+                # final posting state is identical to ``add_many``.
+                for slot in slots:
+                    if plist.add(slot):
+                        added += 1
+                        for listener in self._listeners:
+                            listener.posting_added(
+                                term, slot, profiles[slot]
+                            )
+            else:
+                added += plist.add_many(slots)
+        self._replica_entries += added
+        self._distinct += len(new_slots)
+        return added
+
+    def add_slots(
+        self,
+        entries: Iterable[Tuple[int, Optional[Iterable[int]]]],
+    ) -> int:
+        """Slot-native bulk load: ``(slot, indexed term-ids)`` pairs.
+
+        The reallocation fast path — subset indexes are rebuilt
+        straight from home-index postings without rehydrating any
+        ``Filter``.  ``None`` term-ids index the slot under all of its
+        slab terms.  Listener notifications rehydrate lazily (the CSR
+        mirrors are only attached to matcher-facing indexes).
+        """
+        per_term: Dict[int, List[int]] = {}
+        new_slots: Set[int] = set()
+        for slot, term_ids in entries:
+            if term_ids is None:
+                term_ids = self.slab.term_ids(slot)
+            if slot not in new_slots and not self._indexed_anywhere(slot):
+                new_slots.add(slot)
+            for term_id in term_ids:
+                per_term.setdefault(term_id, []).append(slot)
+        added = 0
+        term_of = self.slab.interner.term
+        for term_id, slots in per_term.items():
+            plist = self._posting(term_id)
+            if self._listeners:
+                term = term_of(term_id)
+                for slot in slots:
+                    if plist.add(slot):
+                        added += 1
+                        for listener in self._listeners:
+                            listener.posting_added(
+                                term, slot, self.slab.get(slot)
+                            )
+            else:
+                added += plist.add_many(slots)
+        self._replica_entries += added
+        self._distinct += len(new_slots)
+        return added
+
+    def remove_filter(self, filter_id: str) -> bool:
+        slot = self.slab.slot_of(filter_id)
+        if slot is None:
+            return False
+        removed = False
+        postings = self._id_postings
+        listeners = self._listeners
+        term_of = self.slab.interner.term
+        for term_id in self.slab.term_ids(slot):
+            plist = postings.get(term_id)
+            if plist is None:
+                continue
+            if plist.remove(slot):
+                removed = True
+                self._replica_entries -= 1
+                if listeners:
+                    term = term_of(term_id)
+                    for listener in listeners:
+                        listener.posting_removed(term, slot)
+            if not plist:
+                del postings[term_id]
+        if removed:
+            self._distinct -= 1
+        return removed
+
+    def remove_term(self, term: str) -> List[Filter]:
+        term_id = self.slab.interner.lookup(term)
+        plist = (
+            self._id_postings.pop(term_id, None)
+            if term_id is not None
+            else None
+        )
+        if plist is None:
+            return []
+        self._replica_entries -= len(plist)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.term_dropped(term)
+        moved: List[Filter] = []
+        for slot in plist:
+            moved.append(self.slab.get(slot))
+            if not self._indexed_anywhere(slot):
+                self._distinct -= 1
+        return moved
+
+    # -- retrieval ----------------------------------------------------------
+
+    def posting_list(self, term: str) -> Optional[PostingList]:
+        term_id = self.slab.interner.lookup(term)
+        if term_id is None:
+            return None
+        return self._id_postings.get(term_id)
+
+    def filters_for_term(
+        self, term: str
+    ) -> Tuple[List[Filter], RetrievalCost]:
+        plist = self.posting_list(term)
+        if plist is None:
+            return [], RetrievalCost(0, 0)
+        get = self.slab.get
+        return [get(slot) for slot in plist], RetrievalCost(1, len(plist))
+
+    def retrieve_for_term(self, term: str):
+        plist = self.posting_list(term)
+        if plist is None:
+            return [], (), 0, 0
+        slab = self.slab
+        slots = plist.ids()
+        filter_id = slab.filter_id
+        return (
+            _SlabPostingFilters(slab, slots),
+            tuple(filter_id(slot) for slot in slots),
+            1,
+            len(slots),
+        )
+
+    def match_document_all_terms(
+        self, document: Document
+    ) -> Tuple[List[Filter], RetrievalCost]:
+        lookup = self.slab.interner.lookup
+        postings = self._id_postings
+        seen: Set[int] = set()
+        ordered: List[int] = []
+        lists = 0
+        entries = 0
+        for term in document.terms:
+            term_id = lookup(term)
+            plist = postings.get(term_id) if term_id is not None else None
+            if plist is None:
+                continue
+            lists += 1
+            entries += len(plist)
+            for slot in plist:
+                if slot not in seen:
+                    seen.add(slot)
+                    ordered.append(slot)
+        get = self.slab.get
+        return [get(slot) for slot in ordered], RetrievalCost(lists, entries)
+
+    def iter_term_postings(self):
+        term_of = self.slab.interner.term
+        get = self.slab.get
+        for term_id, plist in self._id_postings.items():
+            yield term_of(term_id), [(slot, get(slot)) for slot in plist]
+
+    def iter_slot_items(self) -> Iterator[Tuple[int, str]]:
+        """Distinct ``(slot, filter_id)`` pairs, posting-walk order."""
+        seen: Set[int] = set()
+        filter_id = self.slab.filter_id
+        for plist in self._id_postings.values():
+            for slot in plist:
+                if slot not in seen:
+                    seen.add(slot)
+                    yield slot, filter_id(slot)
+
+    def slot_entries_for_term(self, term: str) -> List[Tuple[int, str]]:
+        """``(slot, filter_id)`` of one posting (reallocation origin)."""
+        plist = self.posting_list(term)
+        if plist is None:
+            return []
+        filter_id = self.slab.filter_id
+        return [(slot, filter_id(slot)) for slot in plist]
+
+    def posting_term_ids(self) -> Iterator[int]:
+        """Term-ids with a live posting list here (insertion order)."""
+        return iter(self._id_postings)
+
+    def all_filters(self) -> List[Filter]:
+        get = self.slab.get
+        return [get(slot) for slot, _fid in self.iter_slot_items()]
+
+    def terms(self) -> List[str]:
+        term_of = self.slab.interner.term
+        return sorted(term_of(term_id) for term_id in self._id_postings)

@@ -8,10 +8,13 @@ from .match import (
     ThresholdSemantics,
     brute_force_match,
 )
+from .slab import FilterSlabStore, SlabRegistry
 
 __all__ = [
     "Document",
     "Filter",
+    "FilterSlabStore",
+    "SlabRegistry",
     "MatchSemantics",
     "BooleanAnyTermSemantics",
     "ThresholdSemantics",

@@ -1,0 +1,360 @@
+"""Columnar filter storage: the million-filter memory tier.
+
+At the paper's scale (Section VI-C registers 4M filters, replicated
+``n_i ∝ √(p_i·q_i)`` times) per-object storage dominates memory long
+before CPU does: one registered :class:`~repro.model.filter.Filter` is
+a dataclass + a ``frozenset`` of python strings (~600 bytes), and every
+index replica adds per-filter dict rows on top.  This module stores
+filters *columnar* instead — struct-of-arrays over interned term-ids —
+so a stored filter costs a few dozen bytes and posting lists can hold
+plain integer slots:
+
+- :class:`FilterSlabStore` — one contiguous ``array('i')`` of term-ids
+  with per-slot offset/length columns, a dense slot ↔ filter-id map,
+  and precomputed ``sqrt(|f|)`` norms.  ``Filter`` objects are
+  *rehydrated* from the columns only at delivery boundaries, through a
+  small bounded cache.
+- :class:`SlabRegistry` — a ``MutableMapping`` view over the slab that
+  lets :class:`~repro.baselines.base.DisseminationSystem` use the slab
+  as its registration table without code changes: assignment interns
+  into the slab, lookup rehydrates lazily.
+
+Equivalence contract: a rehydrated filter compares ``==`` to the
+originally registered one (same id, same term set, same owner) and its
+``term_ids`` re-intern to the same ids, so slab-backed systems are
+bit-identical to object-backed twins in match sets, RNG streams, and
+stored replica counts (``tests/test_slab_store.py`` runs the twin
+matrix over all four schemes).
+
+Slots are reused: ``release`` puts a slot on a free list and the next
+``add`` claims it, so long-lived churny systems don't grow without
+bound; ``epoch`` bumps on every mutation so downstream caches (and the
+hydration cache itself) can never serve a stale rebinding.  Term-id
+cells abandoned by released slots are tracked as ``dead_term_cells``
+and reclaimed by :meth:`FilterSlabStore.compact`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import OrderedDict
+from math import sqrt
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..text.interning import DEFAULT_INTERNER, TermInterner
+from .filter import Filter
+
+__all__ = ["FilterSlabStore", "SlabRegistry"]
+
+#: Default bound on the rehydration cache (delivery working set).
+DEFAULT_HYDRATION_CACHE = 4096
+
+#: CPython overhead estimate for one short str object (header + ascii).
+_STR_OVERHEAD = 49
+#: Rough per-entry cost of a dict slot (key/value pointers + hash).
+_DICT_ENTRY = 104
+#: Rough cost of one list cell (pointer).
+_LIST_CELL = 8
+
+
+class FilterSlabStore:
+    """Struct-of-arrays storage for registered filters.
+
+    Columns, all parallel by *slot* (a dense reusable integer):
+
+    - ``_starts[slot]`` / ``_lengths[slot]`` — the filter's run inside
+      the shared ``_term_ids`` buffer;
+    - ``_norms[slot]`` — precomputed ``sqrt(|f|)`` (the VSM filter
+      norm, so scoring paths never need the object);
+    - ``_filter_ids[slot]`` — the external string id (``None`` while
+      the slot sits on the free list);
+    - ``_owners`` — sparse: only filters whose owner differs from
+      their id pay for the extra string.
+    """
+
+    __slots__ = (
+        "interner",
+        "_term_ids",
+        "_starts",
+        "_lengths",
+        "_norms",
+        "_filter_ids",
+        "_owners",
+        "_slot_of",
+        "_free",
+        "_hydrated",
+        "_hydration_limit",
+        "_epoch",
+        "_dead_cells",
+        "_id_bytes",
+    )
+
+    def __init__(
+        self,
+        interner: Optional[TermInterner] = None,
+        hydration_cache_size: int = DEFAULT_HYDRATION_CACHE,
+    ) -> None:
+        self.interner = interner or DEFAULT_INTERNER
+        self._term_ids: array = array("i")
+        self._starts: array = array("q")
+        self._lengths: array = array("i")
+        self._norms: array = array("d")
+        self._filter_ids: List[Optional[str]] = []
+        self._owners: Dict[int, str] = {}
+        self._slot_of: Dict[str, int] = {}
+        self._free: List[int] = []
+        self._hydrated: "OrderedDict[int, Filter]" = OrderedDict()
+        self._hydration_limit = max(1, hydration_cache_size)
+        self._epoch = 0
+        self._dead_cells = 0
+        self._id_bytes = 0
+
+    # -- shape -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of live (registered) filters."""
+        return len(self._slot_of)
+
+    def __contains__(self, filter_id: str) -> bool:
+        return filter_id in self._slot_of
+
+    @property
+    def epoch(self) -> int:
+        """Bumped on every add/release/compact; caches key on this."""
+        return self._epoch
+
+    @property
+    def slot_count(self) -> int:
+        """Total slots ever allocated (live + free-listed)."""
+        return len(self._filter_ids)
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    @property
+    def dead_term_cells(self) -> int:
+        """Term-id cells abandoned by released slots (see compact)."""
+        return self._dead_cells
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, profile: Filter) -> int:
+        """Intern ``profile`` and return its slot (idempotent upsert).
+
+        An id that is already stored keeps its slot — registration
+        layers validate duplicates before they reach the slab, so a
+        repeat ``add`` is the batch-registration path ensuring a slot
+        exists, not a rebind.
+        """
+        slot = self._slot_of.get(profile.filter_id)
+        if slot is not None:
+            return slot
+        term_ids = profile.term_ids
+        start = len(self._term_ids)
+        self._term_ids.extend(term_ids)
+        if self._free:
+            slot = self._free.pop()
+            self._starts[slot] = start
+            self._lengths[slot] = len(term_ids)
+            self._norms[slot] = sqrt(len(term_ids))
+            self._filter_ids[slot] = profile.filter_id
+        else:
+            slot = len(self._filter_ids)
+            self._starts.append(start)
+            self._lengths.append(len(term_ids))
+            self._norms.append(sqrt(len(term_ids)))
+            self._filter_ids.append(profile.filter_id)
+        if profile.owner != profile.filter_id:
+            self._owners[slot] = profile.owner
+        self._slot_of[profile.filter_id] = slot
+        self._id_bytes += len(profile.filter_id) + _STR_OVERHEAD
+        self._epoch += 1
+        return slot
+
+    def release(self, filter_id: str) -> int:
+        """Free the filter's slot (returned for listeners/tests).
+
+        The slot goes on the free list and its term-id cells become
+        dead until :meth:`compact`; raises ``KeyError`` for unknown
+        ids so the registry view keeps dict semantics.
+        """
+        slot = self._slot_of.pop(filter_id)
+        self._dead_cells += self._lengths[slot]
+        self._filter_ids[slot] = None
+        self._owners.pop(slot, None)
+        self._hydrated.pop(slot, None)
+        self._free.append(slot)
+        self._id_bytes -= len(filter_id) + _STR_OVERHEAD
+        self._epoch += 1
+        return slot
+
+    def compact(self) -> int:
+        """Rewrite the term-id buffer dropping dead runs.
+
+        Slot numbering is preserved (postings stay valid); returns the
+        number of cells reclaimed.
+        """
+        if not self._dead_cells:
+            return 0
+        reclaimed = self._dead_cells
+        fresh: array = array("i")
+        old = self._term_ids
+        for slot, filter_id in enumerate(self._filter_ids):
+            if filter_id is None:
+                continue
+            start = self._starts[slot]
+            length = self._lengths[slot]
+            self._starts[slot] = len(fresh)
+            fresh.extend(old[start : start + length])
+        self._term_ids = fresh
+        self._dead_cells = 0
+        self._epoch += 1
+        return reclaimed
+
+    # -- reads -------------------------------------------------------------
+
+    def slot_of(self, filter_id: str) -> Optional[int]:
+        return self._slot_of.get(filter_id)
+
+    def filter_id(self, slot: int) -> str:
+        filter_id = self._filter_ids[slot]
+        if filter_id is None:
+            raise KeyError(f"slot {slot} is free")
+        return filter_id
+
+    def owner(self, slot: int) -> str:
+        return self._owners.get(slot) or self.filter_id(slot)
+
+    def term_ids(self, slot: int) -> Sequence[int]:
+        """The filter's interned term-ids (a cheap buffer slice)."""
+        start = self._starts[slot]
+        return self._term_ids[start : start + self._lengths[slot]]
+
+    def terms(self, slot: int) -> List[str]:
+        term = self.interner.term
+        return [term(tid) for tid in self.term_ids(slot)]
+
+    def norm(self, slot: int) -> float:
+        """Precomputed ``sqrt(|f|)`` of the slot's filter."""
+        return self._norms[slot]
+
+    def length(self, slot: int) -> int:
+        """Number of terms (``|f|``) without touching strings."""
+        return self._lengths[slot]
+
+    def get(self, slot: int) -> Filter:
+        """Rehydrate the slot's :class:`Filter` (bounded LRU cache).
+
+        The rehydrated object is ``==`` the originally registered one
+        and re-interns to the same term-ids; identity is *not*
+        preserved, which no consumer relies on (postings hold slots,
+        the kernel keys on ``filter_id``).
+        """
+        cached = self._hydrated.get(slot)
+        if cached is not None:
+            self._hydrated.move_to_end(slot)
+            return cached
+        profile = Filter.from_terms(
+            self.filter_id(slot),
+            self.terms(slot),
+            owner=self._owners.get(slot, ""),
+        )
+        self._hydrated[slot] = profile
+        if len(self._hydrated) > self._hydration_limit:
+            self._hydrated.popitem(last=False)
+        return profile
+
+    def get_by_id(self, filter_id: str) -> Filter:
+        slot = self._slot_of.get(filter_id)
+        if slot is None:
+            raise KeyError(filter_id)
+        return self.get(slot)
+
+    def iter_filter_ids(self) -> Iterator[str]:
+        return iter(self._slot_of)
+
+    def iter_slots(self) -> Iterator[Tuple[int, str]]:
+        """Yield ``(slot, filter_id)`` for every live slot."""
+        for filter_id, slot in self._slot_of.items():
+            yield slot, filter_id
+
+    # -- accounting --------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes of the columns (diagnostics).
+
+        Array buffers are exact; string and dict costs use CPython
+        per-object estimates.  RSS-level truth comes from the scale
+        bench (``benchmarks/bench_scale.py``), which measures the
+        process, not this estimate.
+        """
+        buffers = (
+            len(self._term_ids) * self._term_ids.itemsize
+            + len(self._starts) * self._starts.itemsize
+            + len(self._lengths) * self._lengths.itemsize
+            + len(self._norms) * self._norms.itemsize
+        )
+        maps = (
+            len(self._slot_of) * _DICT_ENTRY
+            + len(self._filter_ids) * _LIST_CELL
+            + len(self._owners) * _DICT_ENTRY
+        )
+        return buffers + maps + self._id_bytes
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "live_filters": len(self._slot_of),
+            "slots": len(self._filter_ids),
+            "free_slots": len(self._free),
+            "term_cells": len(self._term_ids),
+            "dead_term_cells": self._dead_cells,
+            "epoch": self._epoch,
+            "memory_bytes": self.memory_bytes(),
+            "hydrated": len(self._hydrated),
+        }
+
+
+class SlabRegistry(MutableMapping):
+    """Dict-shaped registration table backed by a slab.
+
+    Drop-in for the base system's ``_registered`` dict: ``__setitem__``
+    interns the filter into the slab (no object retained),
+    ``__getitem__``/``get`` rehydrate lazily — the delivery boundary.
+    """
+
+    __slots__ = ("slab",)
+
+    def __init__(self, slab: FilterSlabStore) -> None:
+        self.slab = slab
+
+    def __setitem__(self, filter_id: str, profile: Filter) -> None:
+        if profile.filter_id != filter_id:
+            raise ValueError(
+                f"registry key {filter_id!r} != profile id "
+                f"{profile.filter_id!r}"
+            )
+        self.slab.add(profile)
+
+    def __getitem__(self, filter_id: str) -> Filter:
+        return self.slab.get_by_id(filter_id)
+
+    def __delitem__(self, filter_id: str) -> None:
+        self.slab.release(filter_id)
+
+    def __contains__(self, filter_id: object) -> bool:
+        return filter_id in self.slab
+
+    def __iter__(self) -> Iterator[str]:
+        return self.slab.iter_filter_ids()
+
+    def __len__(self) -> int:
+        return len(self.slab)

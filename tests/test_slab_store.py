@@ -1,0 +1,422 @@
+"""The columnar filter slab and its equivalence contract.
+
+Three layers of coverage for ``SystemConfig.filter_storage = "slab"``:
+
+- unit behaviour of :class:`~repro.model.slab.FilterSlabStore` and the
+  :class:`~repro.model.slab.SlabRegistry` mapping view (slot reuse,
+  epoch bumps, compaction, bounded rehydration),
+- structural parity of :class:`~repro.matching.slab_index
+  .SlabBackedIndex` against the object :class:`InvertedIndex` under a
+  randomized mutation fuzz,
+- the twin matrix: every scheme × both semantics runs bit-identically
+  under object and slab storage — same match sets, same stored
+  replica distribution, same RNG stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core import MoveSystem
+from repro.experiments.harness import (
+    ScaledWorkload,
+    build_cluster,
+    make_system,
+)
+from repro.matching import InvertedIndex, SlabBackedIndex
+from repro.model import Document, Filter
+from repro.model.slab import FilterSlabStore, SlabRegistry
+
+
+def _filter(fid: str, terms, owner: str = "") -> Filter:
+    return Filter.from_terms(fid, terms, owner=owner)
+
+
+# ---------------------------------------------------------------------------
+# FilterSlabStore units
+# ---------------------------------------------------------------------------
+
+
+def test_slab_rehydrates_equal_filters():
+    slab = FilterSlabStore()
+    original = _filter("f1", ["alpha", "beta"], owner="client-9")
+    slot = slab.add(original)
+    hydrated = slab.get(slot)
+    assert hydrated == original
+    assert hydrated.owner == "client-9"
+    assert hydrated.terms == original.terms
+    # Storage order is the profile's interning order, not numeric —
+    # compare as multisets so shared-interner state can't skew it.
+    assert sorted(slab.term_ids(slot)) == sorted(original.term_ids)
+    assert slab.get_by_id("f1") == original
+
+
+def test_slab_add_is_idempotent_upsert():
+    slab = FilterSlabStore()
+    profile = _filter("f1", ["a", "b"])
+    slot = slab.add(profile)
+    epoch = slab.epoch
+    assert slab.add(profile) == slot
+    assert slab.epoch == epoch  # repeat add is a no-op
+    assert len(slab) == 1
+
+
+def test_slab_norm_and_length_columns():
+    slab = FilterSlabStore()
+    slot = slab.add(_filter("f1", ["a", "b", "c", "d"]))
+    assert slab.length(slot) == 4
+    assert slab.norm(slot) == pytest.approx(2.0)
+
+
+def test_release_frees_slot_and_next_add_reuses_it():
+    slab = FilterSlabStore()
+    slab.add(_filter("f1", ["a"]))
+    slot2 = slab.add(_filter("f2", ["b", "c"]))
+    released = slab.release("f2")
+    assert released == slot2
+    assert slab.free_slots == 1
+    assert "f2" not in slab
+    with pytest.raises(KeyError):
+        slab.filter_id(slot2)
+    # The freed slot is claimed by the next add, with fresh columns.
+    slot3 = slab.add(_filter("f3", ["d"]))
+    assert slot3 == slot2
+    assert slab.free_slots == 0
+    assert slab.filter_id(slot3) == "f3"
+    assert slab.terms(slot3) == ["d"]
+    assert slab.length(slot3) == 1
+
+
+def test_release_unknown_id_raises_keyerror():
+    slab = FilterSlabStore()
+    with pytest.raises(KeyError):
+        slab.release("ghost")
+
+
+def test_hydration_cache_never_serves_stale_slot_binding():
+    # Release drops the cached object, so a reused slot can never
+    # resolve to the previous tenant — the epoch contract in action.
+    slab = FilterSlabStore()
+    slot = slab.add(_filter("f1", ["a", "b"]))
+    assert slab.get(slot).filter_id == "f1"  # now cached
+    slab.release("f1")
+    assert slab.add(_filter("f2", ["z"])) == slot
+    assert slab.get(slot).filter_id == "f2"
+    assert slab.get(slot).terms == frozenset({"z"})
+
+
+def test_epoch_bumps_on_every_mutation():
+    slab = FilterSlabStore()
+    e0 = slab.epoch
+    slab.add(_filter("f1", ["a"]))
+    e1 = slab.epoch
+    slab.release("f1")
+    e2 = slab.epoch
+    slab.add(_filter("f2", ["b"]))
+    slab.release("f2")
+    compacted = slab.compact()
+    e3 = slab.epoch
+    assert e0 < e1 < e2 < e3
+    assert compacted > 0
+
+
+def test_compact_reclaims_dead_cells_preserving_slots():
+    slab = FilterSlabStore()
+    slots = {
+        fid: slab.add(_filter(fid, terms))
+        for fid, terms in [
+            ("f1", ["a", "b"]),
+            ("f2", ["c", "d", "e"]),
+            ("f3", ["f"]),
+        ]
+    }
+    before = {fid: slab.terms(slot) for fid, slot in slots.items()}
+    slab.release("f2")
+    assert slab.dead_term_cells == 3
+    assert slab.compact() == 3
+    assert slab.dead_term_cells == 0
+    assert slab.compact() == 0  # idempotent when clean
+    for fid in ("f1", "f3"):
+        assert slab.terms(slots[fid]) == before[fid]
+        assert slab.filter_id(slots[fid]) == fid
+
+
+def test_hydration_cache_is_bounded():
+    slab = FilterSlabStore(hydration_cache_size=4)
+    slots = [slab.add(_filter(f"f{i}", [f"t{i}"])) for i in range(10)]
+    for slot in slots:
+        slab.get(slot)
+    assert slab.stats()["hydrated"] <= 4
+    # Reads are still correct after evictions.
+    assert slab.get(slots[0]).filter_id == "f0"
+
+
+def test_memory_bytes_tracks_population():
+    slab = FilterSlabStore()
+    empty = slab.memory_bytes()
+    for i in range(100):
+        slab.add(_filter(f"f{i}", [f"t{i}", f"u{i}"]))
+    full = slab.memory_bytes()
+    assert full > empty
+    for i in range(100):
+        slab.release(f"f{i}")
+    slab.compact()
+    assert slab.memory_bytes() < full
+
+
+# ---------------------------------------------------------------------------
+# SlabRegistry mapping semantics
+# ---------------------------------------------------------------------------
+
+
+def test_registry_is_a_mutable_mapping_over_the_slab():
+    slab = FilterSlabStore()
+    registry = SlabRegistry(slab)
+    profile = _filter("f1", ["a", "b"])
+    registry["f1"] = profile
+    assert "f1" in registry
+    assert len(registry) == 1
+    assert registry["f1"] == profile
+    assert list(registry) == ["f1"]
+    assert registry.get("missing") is None
+    del registry["f1"]
+    assert "f1" not in registry
+    with pytest.raises(KeyError):
+        registry["f1"]
+
+
+def test_registry_rejects_mismatched_keys():
+    registry = SlabRegistry(FilterSlabStore())
+    with pytest.raises(ValueError):
+        registry["other"] = _filter("f1", ["a"])
+
+
+# ---------------------------------------------------------------------------
+# SlabBackedIndex parity fuzz
+# ---------------------------------------------------------------------------
+
+
+def _index_fingerprint(index, terms):
+    """Observable state of an index, comparable across storage modes."""
+    per_term = {}
+    for term in terms:
+        filters, cost = index.filters_for_term(term)
+        per_term[term] = (
+            sorted(f.filter_id for f in filters),
+            cost.posting_lists,
+            cost.posting_entries,
+        )
+    return {
+        "len": len(index),
+        "replicas": index.stored_replica_count(),
+        "distinct_terms": index.distinct_terms,
+        "terms": index.terms(),
+        "all": sorted(f.filter_id for f in index.all_filters()),
+        "per_term": per_term,
+    }
+
+
+def test_slab_index_matches_object_index_under_fuzz():
+    rng = random.Random(0xC0FFEE)
+    vocab = [f"term{i}" for i in range(30)]
+    slab = FilterSlabStore()
+    obj = InvertedIndex()
+    col = SlabBackedIndex(slab)
+    live = {}
+    for step in range(400):
+        action = rng.random()
+        if action < 0.55 or not live:
+            fid = f"f{step}"
+            terms = rng.sample(vocab, rng.randint(1, 5))
+            profile = _filter(fid, terms)
+            indexed = (
+                None
+                if rng.random() < 0.5
+                else rng.sample(terms, rng.randint(1, len(terms)))
+            )
+            obj.add_filter(profile, indexed_terms=indexed)
+            col.add_filter(profile, indexed_terms=indexed)
+            live[fid] = profile
+        elif action < 0.85:
+            fid = rng.choice(sorted(live))
+            assert obj.remove_filter(fid) == col.remove_filter(fid)
+            del live[fid]
+        else:
+            term = rng.choice(vocab)
+            moved_obj = {f.filter_id for f in obj.remove_term(term)}
+            moved_col = {f.filter_id for f in col.remove_term(term)}
+            assert moved_obj == moved_col
+        assert _index_fingerprint(obj, vocab) == _index_fingerprint(
+            col, vocab
+        )
+
+    document = Document.from_terms("d1", rng.sample(vocab, 8))
+    got_obj, cost_obj = obj.match_document_all_terms(document)
+    got_col, cost_col = col.match_document_all_terms(document)
+    assert {f.filter_id for f in got_obj} == {
+        f.filter_id for f in got_col
+    }
+    assert cost_obj == cost_col
+
+
+def test_slab_index_retrieve_for_term_is_lazy_and_equivalent():
+    slab = FilterSlabStore()
+    index = SlabBackedIndex(slab)
+    profiles = [
+        _filter(f"f{i}", ["shared", f"own{i}"]) for i in range(5)
+    ]
+    for profile in profiles:
+        index.add_filter(profile)
+    filters, ids, lists, entries = index.retrieve_for_term("shared")
+    assert lists == 1 and entries == 5
+    assert sorted(ids) == [f"f{i}" for i in range(5)]
+    # The filters element hydrates only when iterated.
+    assert len(filters) == 5
+    assert sorted(f.filter_id for f in filters) == sorted(ids)
+    assert index.retrieve_for_term("absent") == ([], (), 0, 0)
+
+
+def test_slab_index_bulk_and_slot_loads_match_incremental():
+    slab = FilterSlabStore()
+    incremental = SlabBackedIndex(slab)
+    bulk = SlabBackedIndex(slab)
+    profiles = [
+        _filter(f"f{i}", [f"t{i % 4}", f"u{i % 3}"]) for i in range(30)
+    ]
+    for profile in profiles:
+        incremental.add_filter(profile)
+    bulk.add_filters((profile, None) for profile in profiles)
+    vocab = sorted({t for p in profiles for t in p.terms})
+    assert _index_fingerprint(incremental, vocab) == _index_fingerprint(
+        bulk, vocab
+    )
+    # Slot-native load (the reallocation path) builds the same index.
+    slots = SlabBackedIndex(slab)
+    slots.add_slots(
+        (slab.slot_of(p.filter_id), None) for p in profiles
+    )
+    assert _index_fingerprint(slots, vocab) == _index_fingerprint(
+        bulk, vocab
+    )
+
+
+# ---------------------------------------------------------------------------
+# The twin matrix: object vs slab across schemes and semantics
+# ---------------------------------------------------------------------------
+
+TWIN_WORKLOAD = ScaledWorkload(
+    num_filters=400,
+    num_documents=60,
+    num_nodes=8,
+    node_capacity=300,
+    vocabulary_size=300,
+    seed=17,
+)
+
+
+def _twin_run(scheme: str, storage: str, threshold=None):
+    """One registration-churn-publish run; its observable trace."""
+    bundle = TWIN_WORKLOAD.build()
+    cluster, config = build_cluster(
+        TWIN_WORKLOAD.num_nodes, TWIN_WORKLOAD.node_capacity, seed=5
+    )
+    config = replace(config, filter_storage=storage)
+    system = make_system(scheme, cluster, config, threshold=threshold)
+    system.register_batch(bundle.filters)
+    churn = random.Random(23)
+    for fid in churn.sample(
+        [p.filter_id for p in bundle.filters], 40
+    ):
+        system.unregister(fid)
+    if isinstance(system, MoveSystem):
+        system.seed_frequencies(bundle.offline_corpus())
+    system.finalize_registration()
+    plans = system.publish_batch(bundle.documents)
+    trace = {
+        "matches": [
+            tuple(sorted(plan.matched_filter_ids)) for plan in plans
+        ],
+        "storage": system.storage_distribution(),
+        "registered": sorted(system.registered_filters),
+    }
+    rng = getattr(system, "_rng", None)
+    if rng is not None:
+        trace["rng"] = rng.getstate()
+    return trace
+
+
+@pytest.mark.parametrize("scheme", ["move", "il", "rs", "central"])
+@pytest.mark.parametrize(
+    "threshold", [None, 0.2], ids=["boolean", "threshold"]
+)
+def test_slab_twin_is_bit_identical(scheme, threshold):
+    object_trace = _twin_run(scheme, "object", threshold)
+    slab_trace = _twin_run(scheme, "slab", threshold)
+    assert object_trace == slab_trace
+
+
+def test_move_slab_twin_survives_churny_reallocation():
+    """Post-finalize churn + repeated reallocation stays equivalent.
+
+    This is the epoch-invalidation scenario: write-through adds, slot
+    releases and slot *reuse* interleave with incremental reallocation,
+    so any stale hydration-cache or subset-index binding would show up
+    as a match-set divergence between the twins.
+    """
+
+    def run(storage: str):
+        bundle = TWIN_WORKLOAD.build()
+        cluster, config = build_cluster(
+            TWIN_WORKLOAD.num_nodes,
+            TWIN_WORKLOAD.node_capacity,
+            seed=5,
+        )
+        config = replace(config, filter_storage=storage)
+        system = make_system("move", cluster, config)
+        initial = bundle.filters[:300]
+        late = bundle.filters[300:]
+        system.register_batch(initial)
+        system.seed_frequencies(bundle.offline_corpus())
+        system.finalize_registration()
+        matches = []
+        churn = random.Random(31)
+        docs = list(bundle.documents)
+        for round_no in range(3):
+            for fid in churn.sample(
+                sorted(system.registered_filters), 25
+            ):
+                system.unregister(fid)
+            wave = late[round_no * 30 : (round_no + 1) * 30]
+            for profile in wave:
+                system.register(profile)
+            system.reallocate()
+            for doc in docs[round_no * 15 : (round_no + 1) * 15]:
+                plan = system.publish(doc)
+                matches.append(tuple(sorted(plan.matched_filter_ids)))
+        return matches, system.storage_distribution()
+
+    assert run("object") == run("slab")
+
+
+def test_slab_mode_shares_one_slab_across_system_layers():
+    """The registration table and every index use the same slab."""
+    cluster, config = build_cluster(4, 300, seed=1)
+    config = replace(config, filter_storage="slab")
+    system = make_system("move", cluster, config)
+    profiles = [_filter(f"f{i}", [f"t{i % 7}", "shared"]) for i in range(50)]
+    system.register_batch(profiles)
+    system.finalize_registration()
+    slab = system.filter_slab
+    assert slab is not None
+    assert len(slab) == 50
+    for index in system._home_indexes.values():
+        assert index.slab is slab
+    # Releasing through unregister frees the slot for reuse.
+    system.unregister("f0")
+    assert "f0" not in slab
+    assert slab.free_slots == 1
+    system.register(_filter("f-reused", ["t1"]))
+    assert slab.free_slots == 0
