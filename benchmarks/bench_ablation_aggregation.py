@@ -37,7 +37,7 @@ def _run(aggregate: bool, bundle):
         seed=config.seed,
     )
     system = MoveSystem(cluster, config)
-    system.register_all(bundle.filters)
+    system.subscribe(bundle.filters)
     system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
     tables = len(system.plan.tables) if system.plan else 0

@@ -40,7 +40,7 @@ def _run(use_bloom: bool, bundle):
         seed=config.seed,
     )
     system = MoveSystem(cluster, config)
-    system.register_all(bundle.filters)
+    system.subscribe(bundle.filters)
     system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
     messages = 0

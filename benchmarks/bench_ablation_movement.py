@@ -34,7 +34,7 @@ def _run(placement: str, movement_factor: float, bundle) -> float:
         seed=config.seed,
     )
     system = MoveSystem(cluster, config)
-    system.register_all(bundle.filters)
+    system.subscribe(bundle.filters)
     system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
     harness = ClusterThroughputHarness(

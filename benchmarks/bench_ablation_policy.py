@@ -28,7 +28,7 @@ def _run(policy_name: str, bundle):
         workload.num_nodes, workload.node_capacity, seed=0
     )
     system = MoveSystem(cluster, config)
-    system.register_all(bundle.filters)
+    system.subscribe(bundle.filters)
     policy = (
         ProactivePolicy()
         if policy_name == "proactive"

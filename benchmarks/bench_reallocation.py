@@ -91,7 +91,7 @@ def _build_move(bundle, incremental: bool, drift_epsilon: float = 0.0):
         ),
     )
     system = make_system("move", cluster, config)
-    system.register_batch(bundle.filters)
+    system.subscribe(bundle.filters)
     system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
     return system

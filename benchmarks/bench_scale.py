@@ -123,7 +123,6 @@ def run_worker(spec: dict) -> dict:
         ScaledWorkload,
         build_cluster,
         make_system,
-        register_streaming,
     )
     from repro.sim.costs import MatchCostModel
 
@@ -145,8 +144,8 @@ def run_worker(spec: dict) -> dict:
 
     rss_base = _rss_bytes()
     t0 = time.perf_counter()
-    registered = register_streaming(
-        system, stream.iter_filters(), chunk_size=REGISTER_CHUNK
+    registered = len(
+        system.subscribe(stream.iter_filters(), chunk_size=REGISTER_CHUNK)
     )
     register_seconds = time.perf_counter() - t0
     if isinstance(system, MoveSystem):

@@ -2,19 +2,26 @@
 """Boolean query subscriptions over the MOVE cluster.
 
 Flat keyword filters fire on any shared term; real alerting wants
-predicates.  The query layer compiles "storm AND (flood OR surge) NOT
-sports" into (a) a routing filter over the query's *anchor terms* —
-registered through the unchanged MOVE machinery — and (b) an AST
-evaluated at delivery time.  Anchor soundness guarantees no satisfying
-document is missed.
+predicates.  Queries like "storm AND (flood OR surge) NOT sports" are
+first-class subscriptions: ``subscribe`` compiles the text into (a) a
+routing filter over the query's *anchor terms* — homed at the rarest
+anchor conjunct and registered through the unchanged MOVE machinery —
+and (b) an AST the system evaluates at the delivery boundary.  Anchor
+soundness guarantees no satisfying document is missed.
 
 Run:  python examples/boolean_queries.py
 """
 
 from __future__ import annotations
 
-from repro import Cluster, ClusterConfig, Document, MoveSystem, SystemConfig
-from repro.matching import QueryEngine, parse_query
+from repro import (
+    Cluster,
+    ClusterConfig,
+    Document,
+    MoveSystem,
+    SystemConfig,
+    parse_query,
+)
 
 
 def main() -> None:
@@ -23,17 +30,16 @@ def main() -> None:
         seed=31,
     )
     move = MoveSystem(Cluster(config.cluster), config)
-    engine = QueryEngine(move)
 
     subscriptions = {
         "coastal-warning": "storm AND (flood OR surge) NOT sports",
         "quake-watch": "earthquake OR tremor",
         "transit": "train AND (delay OR strike)",
     }
-    for query_id, text in subscriptions.items():
-        subscription = engine.subscribe(query_id, text)
+    move.subscribe(subscriptions.items())
+    for query_id, subscription in sorted(move.subscriptions().items()):
         print(
-            f"{query_id:16s} anchors={sorted(subscription.routing_filter.terms)}"
+            f"{query_id:16s} anchors={sorted(subscription.terms)}"
         )
     move.seed_frequencies(
         [Document.from_text("seed", "storm flood train delays")]
@@ -49,8 +55,9 @@ def main() -> None:
     }
     print()
     for doc_id, text in articles.items():
-        fired = engine.publish(Document.from_text(doc_id, text))
-        print(f"{doc_id}: {text!r:46s} -> {sorted(fired) or '(none)'}")
+        plan = move.publish(Document.from_text(doc_id, text))
+        fired = sorted(plan.matched_filter_ids)
+        print(f"{doc_id}: {text!r:46s} -> {fired or '(none)'}")
 
     print()
     node = parse_query(subscriptions["coastal-warning"])

@@ -42,7 +42,7 @@ def main() -> None:
             workload.num_nodes, workload.node_capacity, seed=7
         )
         system = make_system(scheme, cluster, config)
-        system.register_all(bundle.filters)
+        system.subscribe(bundle.filters)
         if isinstance(system, MoveSystem):
             system.seed_frequencies(bundle.offline_corpus())
         system.finalize_registration()

@@ -71,7 +71,7 @@ def main() -> None:
     cluster.sim.schedule(400.0, lambda: None)
     cluster.sim.run()
     for index, filter_id in enumerate(
-        sorted(move.registered_filters)
+        sorted(move.subscriptions())
     ):
         if index % 2 == 0:
             manager.renew(filter_id)

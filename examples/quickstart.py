@@ -43,8 +43,10 @@ def main() -> None:
         "carol": "database storage",
         "dave": "cloud computing",
     }
-    for user, query in subscriptions.items():
-        move.register(Filter.from_text(f"{user}-filter", query, owner=user))
+    move.subscribe(
+        Filter.from_text(f"{user}-filter", query, owner=user)
+        for user, query in subscriptions.items()
+    )
     print(f"registered {move.total_filters} filters")
 
     # -- 2. bootstrap statistics and allocate --------------------------
@@ -68,7 +70,7 @@ def main() -> None:
     for doc_id, text in articles.items():
         plan = move.publish(Document.from_text(doc_id, text))
         owners = sorted(
-            move.registered_filters[fid].owner
+            move.subscriptions()[fid].owner
             for fid in plan.matched_filter_ids
         )
         print(

@@ -38,7 +38,7 @@ def run_policy(placement: str, bundle) -> None:
     )
     cluster = Cluster(config.cluster)
     move = MoveSystem(cluster, config)
-    move.register_all(bundle.filters)
+    move.subscribe(bundle.filters)
     move.seed_frequencies(bundle.offline_corpus())
     move.finalize_registration()
 

@@ -89,7 +89,7 @@ def main() -> None:
     # Boolean semantics: carol's single keyword fires on the tangent
     # article where "battery" is incidental.
     boolean_system = InvertedListSystem(Cluster(config.cluster), config)
-    boolean_system.register_all(replayed_filters)
+    boolean_system.subscribe(replayed_filters)
     run_system(
         "boolean any-term", boolean_system, replayed_docs,
         replayed_filters,
@@ -99,7 +99,7 @@ def main() -> None:
     threshold_system = MoveSystem(
         Cluster(config.cluster), config, threshold=0.35
     )
-    threshold_system.register_all(replayed_filters)
+    threshold_system.subscribe(replayed_filters)
     threshold_system.seed_frequencies(replayed_docs[:1])
     threshold_system.finalize_registration()
     run_system(

@@ -56,7 +56,7 @@ def main() -> None:
     for user_index in range(500):
         topic = rng.choice(list(TOPICS))
         keywords = rng.sample(TOPICS[topic], k=2)
-        move.register(
+        move.subscribe(
             Filter.from_terms(
                 f"u{user_index}", keywords, owner=f"user{user_index}"
             )
@@ -100,7 +100,7 @@ def main() -> None:
     # receives sports posts only.  (No reallocation needed — late
     # registrations are written through to the live grids.)
     sample = Filter.from_terms("demo", ["goal", "match"], owner="demo")
-    move.register(sample)
+    move.subscribe(sample)
     sports_post = Document.from_terms(
         "demo-sports", ["goal", "match", "today"]
     )

@@ -154,7 +154,7 @@ def build_system(args, backend=None):
     system = make_system(
         args.scheme, cluster, config, threshold=args.threshold
     )
-    system.register_batch(bundle.filters)
+    system.subscribe(bundle.filters)
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()
@@ -249,7 +249,7 @@ def profile_memory(args, backend=None) -> None:
         system = make_system(
             args.scheme, cluster, config, threshold=args.threshold
         )
-        system.register_batch(bundle.filters)
+        system.subscribe(bundle.filters)
         registered = tracemalloc.take_snapshot().filter_traces(
             [tracemalloc.Filter(True, root + "/*")]
         )

@@ -37,7 +37,11 @@ Both modes additionally assert the observability disabled-path budget:
 the fresh ``test_tracing_disabled_overhead`` bench must report a
 ``disabled_overhead`` of at most 2% (tracing off may not slow the hot
 path; see docs/OBSERVABILITY.md).  This is a fixed ceiling, not a
-baseline comparison, so it needs no entry in the committed JSON.
+baseline comparison, so it needs no entry in the committed JSON.  The
+same fixed-ceiling protocol gates the predicate-capable dispatcher:
+``test_predicate_flat_overhead`` must report a
+``predicate_flat_overhead`` of at most 2% on a predicate-free system
+(flat workloads may not pay for the boolean-subscription layer).
 
 Both modes also re-assert every CSR backend floor: each ``test_csr_*``
 bench records its ``csr_floor`` next to the measured python-vs-csr
@@ -106,6 +110,13 @@ STATS_KEYS = ("min", "max", "mean", "stddev", "median", "rounds",
 #: gate fails loudly even if the bench's assert is ever relaxed).
 OVERHEAD_BENCH = "test_tracing_disabled_overhead"
 OVERHEAD_CEILING = 0.02
+
+#: The predicate-path twin of the tracing gate: on a system with no
+#: predicated subscriptions, ``publish_batch`` may cost at most 2%
+#: over the raw engine loop even though the dispatcher now also
+#: checks ``has_predicates`` per batch.
+PREDICATE_OVERHEAD_BENCH = "test_predicate_flat_overhead"
+PREDICATE_OVERHEAD_CEILING = 0.02
 
 
 def _env_with_src() -> dict:
@@ -295,6 +306,31 @@ def check_disabled_overhead(payload: dict) -> int:
     return 1
 
 
+def check_predicate_overhead(payload: dict) -> int:
+    """Assert the predicate-path flat-workload budget from the fresh run."""
+    for bench in payload.get("benchmarks", []):
+        if bench["name"] != PREDICATE_OVERHEAD_BENCH:
+            continue
+        overhead = bench.get("extra_info", {}).get(
+            "predicate_flat_overhead"
+        )
+        if overhead is None:
+            break
+        ok = overhead <= PREDICATE_OVERHEAD_CEILING
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"{status:>10s} {PREDICATE_OVERHEAD_BENCH}: "
+            f"predicate_flat_overhead {overhead:+.2%} "
+            f"(ceiling {PREDICATE_OVERHEAD_CEILING:.0%})"
+        )
+        return 0 if ok else 1
+    print(
+        f"REGRESSION {PREDICATE_OVERHEAD_BENCH}: "
+        f"predicate_flat_overhead missing from fresh run"
+    )
+    return 1
+
+
 def check_scale_budget() -> int:
     """Validate the committed BENCH_scale.json against its own floors.
 
@@ -433,9 +469,12 @@ def main() -> int:
     metrics = CHECK_METRICS if args.check else GATED_METRICS
     code = check_regression(payload, args.tolerance, metrics)
     overhead_code = check_disabled_overhead(payload)
+    predicate_code = check_predicate_overhead(payload)
     csr_code = check_csr_floors(payload)
     scale_code = check_scale_budget()
-    return code or overhead_code or csr_code or scale_code
+    return (
+        code or overhead_code or predicate_code or csr_code or scale_code
+    )
 
 
 if __name__ == "__main__":

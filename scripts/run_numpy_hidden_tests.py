@@ -36,6 +36,8 @@ TEST_PATHS = (
     "tests/test_kernel_equivalence.py",
     "tests/test_matching_bloom_sift_vsm.py",
     "tests/test_matching_postings_index.py",
+    "tests/test_predicate_subscriptions.py",
+    "tests/test_query_language.py",
     "tests/test_serve_runtime.py",
     "tests/test_threshold_semantics.py",
     "tests/test_wal_recovery.py",

@@ -53,13 +53,20 @@ _DOCS = {
 }
 
 
+_QUERY_ID = "q-pred"
+_QUERY = "alpha NOT zeta"
+
+
 def _expected_matches(terms):
     doc_terms = set(terms)
-    return sorted(
+    matched = [
         fid
         for fid, fterms in _FILTERS.items()
         if doc_terms & set(fterms)
-    )
+    ]
+    if "alpha" in doc_terms and "zeta" not in doc_terms:
+        matched.append(_QUERY_ID)
+    return sorted(matched)
 
 
 def _boot(wal_dir: str) -> "tuple[subprocess.Popen, int]":
@@ -87,7 +94,13 @@ def _boot(wal_dir: str) -> "tuple[subprocess.Popen, int]":
     while True:
         line = process.stdout.readline()
         if line.startswith("READY port="):
-            return process, int(line.strip().split("=", 1)[1])
+            # "READY port=<n> protocol=<v>" — fields are one token each.
+            fields = dict(
+                part.split("=", 1)
+                for part in line.strip().split()
+                if "=" in part
+            )
+            return process, int(fields["port"])
         if not line or time.monotonic() > deadline:
             process.kill()
             raise SystemExit(
@@ -103,6 +116,9 @@ def main() -> int:
             assert client.ping()
             for fid, terms in _FILTERS.items():
                 client.register(fid, terms)
+            assert client.server_protocol == 2, client.server_protocol
+            qid = client.register_query(_QUERY, query_id=_QUERY_ID)
+            assert qid == _QUERY_ID, qid
             client.finalize()
             before = {}
             for doc_id, terms in _DOCS.items():

@@ -12,7 +12,8 @@ Quickstart::
 
     cluster = Cluster()
     move = MoveSystem(cluster)
-    move.register(Filter.from_text("f1", "distributed systems"))
+    move.subscribe([Filter.from_text("f1", "distributed systems")])
+    move.subscribe([("q1", "cloud AND (storage OR compute)")])
     move.seed_frequencies([Document.from_text("seed", "systems paper")])
     move.finalize_registration()
     plan = move.publish(Document.from_text("d1", "new distributed tricks"))
@@ -44,8 +45,11 @@ from .model import (
     BooleanAnyTermSemantics,
     Document,
     Filter,
+    QueryError,
+    Subscription,
     ThresholdSemantics,
     brute_force_match,
+    parse_query,
 )
 from .obs import (
     MetricsRegistry,
@@ -69,6 +73,9 @@ __all__ = [
     # data model
     "Document",
     "Filter",
+    "Subscription",
+    "QueryError",
+    "parse_query",
     "BooleanAnyTermSemantics",
     "ThresholdSemantics",
     "brute_force_match",

@@ -13,7 +13,8 @@ Subcommands:
   (JSON lines: register / unregister / ingest / stats / metrics)
   over one dissemination system, with optional write-ahead-log
   durability and crash recovery (``--wal-dir``); prints
-  ``READY port=<n>`` once listening (see ``docs/OPERATIONS.md``),
+  ``READY port=<n> protocol=<v>`` once listening (see
+  ``docs/OPERATIONS.md``),
 - ``list`` — list the available experiment ids,
 - ``demo`` — run the quickstart scenario inline.
 """
@@ -128,10 +129,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def run() -> None:
+        from .serve.server import PROTOCOL_VERSION
+
         runtime = ServiceRuntime(config)
         server = ServiceServer(runtime, host=args.host, port=args.port)
         await server.start()
-        print(f"READY port={server.port}", flush=True)
+        print(
+            f"READY port={server.port} protocol={PROTOCOL_VERSION}",
+            flush=True,
+        )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
@@ -154,8 +160,13 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
     cluster = Cluster()
     move = MoveSystem(cluster)
-    move.register(Filter.from_text("alice", "distributed systems"))
-    move.register(Filter.from_text("bob", "cloud storage"))
+    move.subscribe(
+        [
+            Filter.from_text("alice", "distributed systems"),
+            Filter.from_text("bob", "cloud storage"),
+            ("carol", "cloud AND (storage OR compute)"),
+        ]
+    )
     move.seed_frequencies(
         [Document.from_text("seed", "cloud systems news")]
     )

@@ -23,8 +23,10 @@ stage hooks (:meth:`~DisseminationSystem._choose_ingest`,
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import (
     Dict,
     Iterable,
@@ -34,6 +36,7 @@ from typing import (
     Set,
     Tuple,
     TYPE_CHECKING,
+    Union,
 )
 
 from types import MappingProxyType
@@ -41,7 +44,8 @@ from typing import Mapping, MutableMapping
 
 from ..config import SystemConfig
 from ..matching.inverted_index import InvertedIndex
-from ..model import Document, Filter
+from ..model import Document, Filter, Subscription
+from ..model.query import QueryNode
 from ..model.slab import FilterSlabStore, SlabRegistry
 from ..obs import MetricsRegistry, SystemStats, get_default_tracer
 
@@ -146,6 +150,19 @@ class DisseminationSystem(ABC):
             if self.filter_slab is not None
             else {}
         )
+        #: Parsed predicates of predicated subscriptions, keyed by id
+        #: (object mode only; slab mode keeps the raw query text in
+        #: the slab's sparse query column and parses lazily).
+        self._predicates: Optional[Dict[str, QueryNode]] = (
+            None if self.filter_slab is not None else {}
+        )
+        #: How many registered subscriptions carry a delivery-time
+        #: predicate; ``0`` keeps every batch on the anchor-only fast
+        #: path, bit-identical to the pre-predicate pipeline.
+        self._predicate_count = 0
+        #: Monotonic sequence for auto-assigned subscription ids
+        #: (bare query-text items passed to :meth:`subscribe`).
+        self._subscription_seq = 0
         if threshold is not None and not 0.0 < threshold <= 1.0:
             raise ValueError(
                 f"threshold must be in (0, 1], got {threshold}"
@@ -301,8 +318,187 @@ class DisseminationSystem(ABC):
     def _register(self, profile: Filter) -> None:
         """Scheme-specific placement of one filter."""
 
+    def _term_popularity(self, term: str) -> float:
+        """How many registered filters carry ``term`` (anchor choice).
+
+        Schemes that track term statistics (MOVE's
+        :class:`~repro.stats.TermStatistics`) answer from the live
+        popularity tracker, so a conjunctive subscription homes at its
+        *rarest* candidate anchor set; schemes without statistics
+        return 0 and the choice degrades to the deterministic
+        smallest/lexicographic rule.
+        """
+        stats = getattr(self, "term_stats", None)
+        if stats is None:
+            return 0.0
+        return float(stats.popularity.count(term))
+
+    def _next_subscription_id(self, pending: Set[str]) -> str:
+        """Deterministic auto id for a bare query-text item.
+
+        Skips ids already registered *and* ids earlier items of the
+        in-flight chunk claimed (``pending``), so a bare-text item
+        never collides with an explicit id in the same call.
+        """
+        while True:
+            self._subscription_seq += 1
+            candidate = f"q{self._subscription_seq}"
+            if candidate not in self._registered and candidate not in pending:
+                return candidate
+
+    def _coerce_subscription(
+        self,
+        item: Union[Filter, str, Tuple[str, ...]],
+        pending: Set[str],
+    ) -> Filter:
+        """Normalize one :meth:`subscribe` item to a profile object.
+
+        ``Filter``/``Subscription`` objects pass through unchanged
+        (their anchors were fixed at construction); a query string or
+        an ``(id, query[, owner])`` tuple is parsed and homed at its
+        rarest anchor candidate against the live popularity
+        statistics.  Raises :class:`~repro.model.QueryError` here — at
+        the API boundary — when a query cannot be routed.
+        """
+        if isinstance(item, Filter):
+            return item
+        if isinstance(item, str):
+            return Subscription.from_query(
+                self._next_subscription_id(pending),
+                item,
+                popularity=self._term_popularity,
+            )
+        if isinstance(item, tuple) and len(item) in (2, 3):
+            owner = item[2] if len(item) == 3 else ""
+            return Subscription.from_query(
+                item[0],
+                item[1],
+                owner=owner,
+                popularity=self._term_popularity,
+            )
+        raise TypeError(
+            "subscribe() items must be Filter/Subscription objects, "
+            "query strings, or (id, query[, owner]) tuples; "
+            f"got {item!r}"
+        )
+
+    def subscribe(
+        self,
+        items: Union[Filter, str, Iterable[Union[Filter, str, Tuple[str, ...]]]],
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> List[str]:
+        """Register subscriptions; **the** registration entrypoint.
+
+        Accepts any mix of flat :class:`~repro.model.Filter` profiles,
+        first-class :class:`~repro.model.Subscription` objects, raw
+        query strings (``"storm AND (flood OR surge) NOT sports"`` —
+        ids are auto-assigned ``q1, q2, …``), and ``(id, query[,
+        owner])`` tuples; a single item may be passed bare.  Returns
+        the registered ids in input order.
+
+        Query items are parsed up front and homed at their **rarest
+        anchor term** (live popularity statistics where the scheme
+        tracks them); the full predicate is evaluated at the delivery
+        boundary, so routing, allocation, and Bloom pruning see only
+        the anchors.  An unroutable query (``NOT sports``) raises
+        :class:`~repro.model.QueryError` before anything registers.
+
+        Validation is all-or-nothing per chunk: a duplicate id
+        anywhere in a chunk (against the registry or within the chunk)
+        raises without registering any of that chunk.  ``chunk_size``
+        bounds peak memory when ``items`` is a large stream — each
+        chunk is admitted as one bulk operation, exactly what the old
+        ``register_streaming`` helper did.
+
+        This entrypoint replaces ``register`` / ``register_all`` /
+        ``register_batch`` / ``register_streaming``, which remain as
+        deprecated shims (see docs/API.md for the migration note).
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if isinstance(items, (Filter, str)):
+            items = [items]
+        registered: List[str] = []
+        iterator = iter(items)
+        while True:
+            if chunk_size is None:
+                raw_chunk = list(iterator)
+            else:
+                raw_chunk = list(islice(iterator, chunk_size))
+            if not raw_chunk:
+                break
+            pending: Set[str] = set()
+            chunk: List[Filter] = []
+            for item in raw_chunk:
+                profile = self._coerce_subscription(item, pending)
+                pending.add(profile.filter_id)
+                chunk.append(profile)
+            self._admit_batch(chunk)
+            registered.extend(profile.filter_id for profile in chunk)
+            if chunk_size is None:
+                break
+        return registered
+
+    def subscriptions(self) -> Mapping[str, Filter]:
+        """Read-only view of every registered subscription by id.
+
+        Flat registrations appear as :class:`~repro.model.Filter`,
+        predicated ones as :class:`~repro.model.Subscription` (whose
+        ``query`` carries the original text).  Object mode returns a
+        snapshot copy; slab mode returns a lazy read-only proxy that
+        rehydrates one profile at a time through the slab's bounded
+        cache.  This view replaces direct ``registered_filters``
+        mapping pokes.
+        """
+        if self.filter_slab is not None:
+            return MappingProxyType(self._registered)
+        return dict(self._registered)
+
     def register(self, profile: Filter) -> None:
-        """Register a user's profile filter."""
+        """Deprecated: use :meth:`subscribe`."""
+        warnings.warn(
+            "register() is deprecated; use subscribe([profile]) "
+            "(see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._admit_one(profile)
+
+    def register_all(self, profiles: Iterable[Filter]) -> None:
+        """Deprecated: use :meth:`subscribe`."""
+        warnings.warn(
+            "register_all() is deprecated; use subscribe(profiles) "
+            "(see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        for profile in profiles:
+            self._admit_one(profile)
+
+    def register_batch(self, profiles: Iterable[Filter]) -> None:
+        """Deprecated: use :meth:`subscribe`."""
+        warnings.warn(
+            "register_batch() is deprecated; use subscribe(profiles) "
+            "(see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._admit_batch(list(profiles))
+
+    def _record_predicates(self, batch: Sequence[Filter]) -> None:
+        """Post-admission predicate bookkeeping for ``batch``."""
+        for profile in batch:
+            if (
+                isinstance(profile, Subscription)
+                and profile.predicate is not None
+            ):
+                self._predicate_count += 1
+                if self._predicates is not None:
+                    self._predicates[profile.filter_id] = profile.predicate
+
+    def _admit_one(self, profile: Filter) -> None:
+        """Register one profile (the old ``register`` body)."""
         if profile.filter_id in self._registered:
             raise ValueError(
                 f"filter {profile.filter_id!r} is already registered"
@@ -312,11 +508,8 @@ class DisseminationSystem(ABC):
         self._mutation_epoch += 1
         if self._kernel is not None:
             self._kernel.register_filter(profile)
+        self._record_predicates((profile,))
         self.metrics.counter("filters_registered").add()
-
-    def register_all(self, profiles: Iterable[Filter]) -> None:
-        for profile in profiles:
-            self.register(profile)
 
     def _register_batch(self, profiles: Sequence[Filter]) -> None:
         """Scheme-specific bulk placement.
@@ -331,17 +524,16 @@ class DisseminationSystem(ABC):
         for profile in profiles:
             self._register(profile)
 
-    def register_batch(self, profiles: Iterable[Filter]) -> None:
-        """Register many filters as one bulk operation.
+    def _admit_batch(self, batch: Sequence[Filter]) -> None:
+        """Register many profiles as one bulk operation.
 
-        Equivalent to :meth:`register_all` — same final placement,
-        stores, metrics, and duplicate-id rejection — but lets the
-        scheme amortize posting-list maintenance across the batch.
-        Validation is all-or-nothing *before* placement: a duplicate
-        anywhere in the batch (against the registry or within the
-        batch itself) raises without registering any of it.
+        Equivalent to a per-profile :meth:`_admit_one` loop — same
+        final placement, stores, metrics, and duplicate-id rejection —
+        but lets the scheme amortize posting-list maintenance across
+        the batch.  Validation is all-or-nothing *before* placement: a
+        duplicate anywhere in the batch (against the registry or
+        within the batch itself) raises without registering any of it.
         """
-        batch = list(profiles)
         seen: Set[str] = set()
         for profile in batch:
             if profile.filter_id in self._registered or (
@@ -359,6 +551,7 @@ class DisseminationSystem(ABC):
         if self._kernel is not None:
             for profile in batch:
                 self._kernel.register_filter(profile)
+        self._record_predicates(batch)
         if batch:
             self.metrics.counter("filters_registered").add(
                 float(len(batch))
@@ -387,6 +580,13 @@ class DisseminationSystem(ABC):
         if profile is None:
             raise KeyError(f"unknown filter {filter_id!r}")
         self._unregister(profile)
+        if (
+            isinstance(profile, Subscription)
+            and profile.predicate is not None
+        ):
+            self._predicate_count -= 1
+            if self._predicates is not None:
+                self._predicates.pop(filter_id, None)
         del self._registered[filter_id]
         self._mutation_epoch += 1
         if self._kernel is not None:
@@ -401,16 +601,61 @@ class DisseminationSystem(ABC):
     def registered_filters(self) -> Mapping[str, Filter]:
         """Read view of the registry (the delivery boundary).
 
-        Object mode returns a snapshot copy (callers can't mutate the
-        registry through it).  Slab mode returns a read-only *lazy*
-        proxy over the slab registry: per-id lookups rehydrate one
-        ``Filter`` at a time through the slab's bounded cache, so a
-        delivery pass over a million-filter system never materializes
-        the whole filter population.
+        Alias of :meth:`subscriptions`, kept for compatibility; new
+        code should call ``subscriptions()``.
         """
-        if self.filter_slab is not None:
-            return MappingProxyType(self._registered)
-        return dict(self._registered)
+        return self.subscriptions()
+
+    # -- predicate delivery gate --------------------------------------------
+
+    @property
+    def has_predicates(self) -> bool:
+        """True when any registered subscription carries a predicate.
+
+        Checked once per batch by the pipeline: ``False`` keeps the
+        whole batch on the anchor-only fast path, byte-identical to
+        the flat-filter pipeline.
+        """
+        return self._predicate_count > 0
+
+    def _predicate_of(self, filter_id: str) -> Optional[QueryNode]:
+        """The parsed predicate of ``filter_id``, or None if flat.
+
+        Object mode answers from the predicate dict; slab mode asks
+        the slab, which parses the stored raw query text lazily and
+        memoizes the tree per slot.
+        """
+        if self._predicates is not None:
+            return self._predicates.get(filter_id)
+        return self.filter_slab.predicate_by_id(filter_id)
+
+    def _apply_predicate_gate(
+        self, document: Document, matched: Set[str]
+    ) -> Tuple[int, int]:
+        """Drop matched ids whose predicate rejects ``document``.
+
+        The delivery-boundary evaluation of the tentpole: anchors got
+        the document here (routing is predicate-blind), the full
+        boolean tree decides delivery.  Mutates ``matched`` in place,
+        consumes no RNG, and returns ``(evaluated, rejected)`` counts
+        for the per-batch metrics.  Ids rejected here are *not* moved
+        to the unreachable set — same convention as the threshold
+        semantics, where a candidate failing the score test is simply
+        not a match.
+        """
+        doc_terms = document.terms
+        evaluated = 0
+        rejected: List[str] = []
+        for filter_id in matched:
+            predicate = self._predicate_of(filter_id)
+            if predicate is None:
+                continue
+            evaluated += 1
+            if not predicate.matches(doc_terms):
+                rejected.append(filter_id)
+        if rejected:
+            matched.difference_update(rejected)
+        return evaluated, len(rejected)
 
     @property
     def total_filters(self) -> int:

@@ -84,7 +84,7 @@ class DeliveryService:
 
     def deliver(self, plan: DisseminationPlan) -> List[Notification]:
         """Resolve a plan to user notifications (one per owner)."""
-        registered = self.system.registered_filters
+        registered = self.system.subscriptions()
         by_owner: Dict[str, Set[str]] = {}
         for filter_id in plan.matched_filter_ids:
             profile = registered.get(filter_id)

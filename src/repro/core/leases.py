@@ -48,7 +48,7 @@ class SubscriptionManager:
         ttl = self.default_ttl if ttl is None else ttl
         if ttl <= 0:
             raise ValueError(f"ttl must be positive, got {ttl}")
-        self.system.register(profile)
+        self.system.subscribe([profile])
         expires_at = self.clock() + ttl
         self._expiry[profile.filter_id] = expires_at
         return Lease(filter_id=profile.filter_id, expires_at=expires_at)

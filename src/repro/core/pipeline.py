@@ -367,6 +367,8 @@ class DisseminationPipeline:
         tracer = getattr(self.system, "tracer", None)
         if tracer is not None and tracer.enabled:
             return self._publish_batch_traced(documents, tracer)
+        if getattr(self.system, "has_predicates", False):
+            return self._publish_batch_predicated(documents)
         return self._publish_batch_untraced(documents)
 
     def _publish_batch_untraced(
@@ -424,6 +426,87 @@ class DisseminationPipeline:
             unreachable_filter_ids=unreachable,
             routing_messages=ctx.routing_messages,
         )
+
+    # -- predicated twin -----------------------------------------------------
+
+    def _publish_batch_predicated(
+        self, documents: Sequence[Document]
+    ) -> List[DisseminationPlan]:
+        """The engine loop with the predicate delivery gate.
+
+        Selected once per batch (the dispatcher's ``has_predicates``
+        check), so systems holding only flat filters never pay for it:
+        :meth:`_publish_batch_untraced` stays byte-identical to the
+        pre-predicate pipeline.  Everything up to the execute stage —
+        cache lifetime, hook order, RNG consumption — is identical;
+        the gate only *removes* ids from the matched set afterwards
+        (it consumes no RNG), so flat subscriptions disseminate
+        bit-identically on either loop.
+        """
+        system = self.system
+        caches = BatchCaches(epoch=system._batch_epoch())
+        disseminate = self._disseminate_predicated
+        system._active_caches = caches
+        evaluated = 0
+        rejected = 0
+        try:
+            plans: List[DisseminationPlan] = []
+            for document in documents:
+                plan, doc_evaluated, doc_rejected = disseminate(
+                    document, caches
+                )
+                evaluated += doc_evaluated
+                rejected += doc_rejected
+                plans.append(plan)
+            return plans
+        finally:
+            system._active_caches = None
+            metrics = system.metrics
+            metrics.counter("predicate_evaluated").add(float(evaluated))
+            metrics.counter("predicate_rejected").add(float(rejected))
+
+    def _disseminate_predicated(
+        self, document: Document, caches: BatchCaches
+    ) -> Tuple[DisseminationPlan, int, int]:
+        """:meth:`_disseminate` plus the delivery-boundary gate.
+
+        The gate runs between execution and accounting — in
+        particular *before* unreachable ids are reconciled against
+        the matched set, so an id the predicate rejects at one node
+        but a failure lost at another stays counted as unreachable
+        (the same convention the threshold semantics established).
+        """
+        system = self.system
+        if caches.epoch is not None and (
+            caches.epoch != system._batch_epoch()
+        ):
+            raise BatchContractError(
+                f"{system.name}: registration, allocation, or cluster "
+                "membership mutated inside a publish batch (epoch "
+                f"{caches.epoch} -> {system._batch_epoch()}); mutations "
+                "must be serialized between batches — the per-batch "
+                "memos would otherwise be stale"
+            )
+        system._observe(document)
+        ctx = ExecutionContext(document, system._choose_ingest(), caches)
+        routes = system._resolve_routes(document, caches)
+        system._execute(ctx, routes)
+        evaluated, rejected = system._apply_predicate_gate(
+            document, ctx.matched
+        )
+        tasks = ctx.work.tasks()
+        unreachable = ctx.unreachable
+        unreachable.difference_update(ctx.matched)
+        system._account_tasks(tasks)
+        system.metrics.counter("documents_published").add()
+        plan = DisseminationPlan(
+            document=document,
+            matched_filter_ids=ctx.matched,
+            tasks=tasks,
+            unreachable_filter_ids=unreachable,
+            routing_messages=ctx.routing_messages,
+        )
+        return plan, evaluated, rejected
 
     # -- traced twin ---------------------------------------------------------
 
@@ -490,9 +573,24 @@ class DisseminationPipeline:
                 routes = system._resolve_routes(document, caches)
             with tracer.span(
                 "execute", backend=system.matching_backend
-            ):
+            ) as exec_span:
                 ctx.work = TracedWorkAccumulator(tracer, self.clock)
                 system._execute(ctx, routes)
+                if getattr(system, "has_predicates", False):
+                    evaluated, rejected = system._apply_predicate_gate(
+                        document, ctx.matched
+                    )
+                    exec_span.annotate(
+                        predicate_evaluated=evaluated,
+                        predicate_rejected=rejected,
+                    )
+                    metrics = system.metrics
+                    metrics.counter("predicate_evaluated").add(
+                        float(evaluated)
+                    )
+                    metrics.counter("predicate_rejected").add(
+                        float(rejected)
+                    )
             with tracer.span("account"):
                 tasks = ctx.work.tasks()
                 unreachable = ctx.unreachable

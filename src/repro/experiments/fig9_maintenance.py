@@ -90,7 +90,7 @@ def _build_and_run(
         workload.num_nodes, workload.node_capacity, seed=seed
     )
     system = make_system(scheme, cluster, config)
-    system.register_all(bundle.filters)
+    system.subscribe(bundle.filters)
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()

@@ -15,6 +15,7 @@ FIFO queue, and the document completes when its last task finishes.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import (
     Dict,
@@ -41,7 +42,8 @@ from ..config import (
     SystemConfig,
 )
 from ..core import MoveSystem
-from ..model import Document, Filter
+from ..model import Document, Filter, Subscription
+from ..text import tokenize
 from ..sim.costs import MatchCostModel
 from ..workloads import (
     CorpusGenerator,
@@ -173,6 +175,19 @@ class ScaledWorkload:
     corpus_profile: CorpusProfile = TREC_WT_PROFILE
     injection_rate: float = 1_000.0
     seed: int = 7
+    #: Fraction of the filter trace upgraded to boolean predicate
+    #: subscriptions (AND/OR/NOT over the filter's own terms, drawn
+    #: from a dedicated ``seed + 4`` RNG stream so the flat workload
+    #: at 0.0 — the default — is bit-identical to the pre-predicate
+    #: harness, and build/stream stay twins at any fraction).
+    predicate_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.predicate_fraction <= 1.0:
+            raise ValueError(
+                "predicate_fraction must be in [0, 1], got "
+                f"{self.predicate_fraction}"
+            )
 
     def build(self) -> "WorkloadBundle":
         vocabulary = SharedVocabulary(
@@ -189,6 +204,10 @@ class ScaledWorkload:
             mean_terms_override=self.mean_doc_terms,
         )
         filters = filter_gen.generate(self.num_filters)
+        if self.predicate_fraction > 0.0:
+            filters = list(
+                _iter_with_predicates(iter(filters), self, vocabulary)
+            )
         documents = corpus_gen.generate(self.num_documents)
         return WorkloadBundle(
             workload=self,
@@ -254,7 +273,12 @@ class StreamingWorkload:
         generator = FilterTraceGenerator(
             self.vocabulary, seed=self.workload.seed + 1
         )
-        return generator.iter_generate(self.workload.num_filters)
+        base = generator.iter_generate(self.workload.num_filters)
+        if self.workload.predicate_fraction > 0.0:
+            return _iter_with_predicates(
+                base, self.workload, self.vocabulary
+            )
+        return base
 
     def iter_documents(self) -> Iterator[Document]:
         generator = CorpusGenerator(
@@ -276,31 +300,82 @@ class StreamingWorkload:
         return generator.generate(size, prefix="seed")
 
 
+def _iter_with_predicates(
+    profiles: Iterator[Filter],
+    workload: ScaledWorkload,
+    vocabulary: SharedVocabulary,
+) -> Iterator[Filter]:
+    """Upgrade a deterministic fraction of a flat filter stream to
+    boolean predicate subscriptions.
+
+    Every upgrade decision and shape draw comes from one dedicated
+    ``Random(seed + 4)`` stream consumed identically whether the
+    workload is built or streamed, so the two stay bit-identical
+    twins; the flat generators' own RNG streams are never touched.
+    Upgraded subscriptions reuse the profile's id/owner and compose
+    their query from the profile's own terms (conjunctions, an
+    AND-of-OR shape, and NOT over a popular document term), so the
+    predicate mix stresses exactly the delivery-gate path.  Terms the
+    text pipeline would rewrite (a non-round-tripping stem) leave the
+    profile flat rather than silently changing its term set.
+    """
+    fraction = workload.predicate_fraction
+    rng = random.Random(workload.seed + 4)
+    popular = min(200, vocabulary.size)
+    for profile in profiles:
+        if rng.random() >= fraction:
+            yield profile
+            continue
+        # Draw the shape inputs unconditionally so the stream position
+        # never depends on the fallback branches below.
+        negated = vocabulary.doc_term(rng.randrange(popular))
+        shape = rng.random()
+        terms = list(profile.sorted_terms())
+        if any(tokenize(term) != [term] for term in terms):
+            yield profile
+            continue
+        if negated in terms or tokenize(negated) != [negated]:
+            negated = ""
+        if len(terms) == 1:
+            if not negated:
+                yield profile
+                continue
+            query = f"{terms[0]} NOT {negated}"
+        elif len(terms) == 2:
+            query = f"{terms[0]} AND {terms[1]}"
+            if negated and shape < 0.5:
+                query += f" NOT {negated}"
+        elif shape < 0.5:
+            query = f"{terms[0]} AND ({' OR '.join(terms[1:])})"
+        else:
+            query = " AND ".join(terms)
+            if negated:
+                query += f" NOT {negated}"
+        yield Subscription.from_query(
+            profile.filter_id, query, owner=profile.owner
+        )
+
+
 def register_streaming(
     system: DisseminationSystem,
     profiles: Iterable[Filter],
     chunk_size: int = 10_000,
 ) -> int:
-    """Register a filter stream in bounded ``register_batch`` chunks.
+    """Deprecated: use ``system.subscribe(profiles, chunk_size=...)``.
 
-    Equivalent to one giant ``register_batch`` (the batch API is
-    defined as repeated ``register``) while holding at most
-    ``chunk_size`` profiles at a time.  Returns the number registered.
+    Kept as a thin shim over the unified subscription entrypoint —
+    same chunked all-or-nothing admission, same final state.  Returns
+    the number registered.
     """
+    warnings.warn(
+        "register_streaming() is deprecated; use "
+        "system.subscribe(profiles, chunk_size=...) (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-    chunk: List[Filter] = []
-    total = 0
-    for profile in profiles:
-        chunk.append(profile)
-        if len(chunk) >= chunk_size:
-            system.register_batch(chunk)
-            total += len(chunk)
-            chunk.clear()
-    if chunk:
-        system.register_batch(chunk)
-        total += len(chunk)
-    return total
+    return len(system.subscribe(profiles, chunk_size=chunk_size))
 
 
 #: Cost-model constants for the scaled-down workloads.  The paper's
@@ -709,11 +784,11 @@ def run_scheme_once(
         system.tracer = tracer
     streaming = isinstance(bundle, StreamingWorkload)
     if streaming:
-        register_streaming(
-            system, bundle.iter_filters(), chunk_size=register_chunk_size
+        system.subscribe(
+            bundle.iter_filters(), chunk_size=register_chunk_size
         )
     else:
-        system.register_batch(bundle.filters)
+        system.subscribe(bundle.filters)
     if isinstance(system, MoveSystem):
         system.seed_frequencies(bundle.offline_corpus())
     system.finalize_registration()

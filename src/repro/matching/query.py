@@ -1,256 +1,36 @@
-"""Boolean query subscriptions: AND/OR/NOT over keywords.
+"""Boolean query subscriptions over a dissemination system.
 
-The paper's data model is flat keyword sets with any-term matching;
-production alert services expose richer predicates ("storm AND
-(flood OR surge) NOT sports").  This module adds that layer *on top*
-of the unchanged dissemination machinery:
+The query language itself — AST, parser, anchor extraction — lives in
+:mod:`repro.model.query` (so :class:`repro.model.Subscription` can
+embed a predicate without an upward import); this module re-exports it
+for backward compatibility and keeps the thin
+:class:`QueryEngine` wrapper that predates first-class predicate
+subscriptions.
 
-- a recursive-descent parser for the query language,
-- AST evaluation against a document's term set,
-- **anchor-term extraction**: a set of terms such that any document
-  satisfying the query must contain at least one of them.  The query
-  registers an ordinary filter over its anchors, so routing (home
-  nodes, allocation, Bloom pruning) is untouched, and the full
-  predicate is evaluated at delivery time.
-
-Grammar (case-insensitive keywords, implicit AND by juxtaposition):
-
-    query  := or
-    or     := and ( OR and )*
-    and    := unary ( [AND] unary )*
-    unary  := NOT unary | atom
-    atom   := WORD | '(' query ')'
-
-NOT is supported only where the query retains at least one positive
-anchor (a pure negation matches almost everything and cannot be
-routed by shared terms — the parser rejects it).
+New code should prefer ``system.subscribe(["storm AND flood"])`` —
+the system evaluates predicates at the delivery boundary itself, on
+every scheme, backend, and storage mode.  :class:`QueryEngine` remains
+as the client-side post-filtering formulation of the same idea.
 """
 
 from __future__ import annotations
 
-import re
-from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Set
 
-from ..errors import ReproError
 from ..model import Document, Filter
-from ..text import Tokenizer
+from ..model.query import (  # noqa: F401  (re-exported compat surface)
+    And,
+    Not,
+    Or,
+    QueryError,
+    QueryNode,
+    Term,
+    anchor_candidates,
+    parse_query,
+)
+from ..model.subscription import Subscription
 
-
-class QueryError(ReproError):
-    """The query text could not be parsed or cannot be routed."""
-
-
-# ---------------------------------------------------------------------------
-# AST
-# ---------------------------------------------------------------------------
-
-class QueryNode(ABC):
-    """A node of the parsed boolean query."""
-
-    @abstractmethod
-    def matches(self, terms: FrozenSet[str]) -> bool:
-        """Evaluate against a document's term set."""
-
-    @abstractmethod
-    def anchors(self) -> Optional[Set[str]]:
-        """Terms such that any match contains one of them.
-
-        Returns None when no such finite set exists (pure negation).
-        """
-
-
-@dataclass(frozen=True)
-class Term(QueryNode):
-    term: str
-
-    def matches(self, terms: FrozenSet[str]) -> bool:
-        return self.term in terms
-
-    def anchors(self) -> Optional[Set[str]]:
-        return {self.term}
-
-    def __str__(self) -> str:
-        return self.term
-
-
-@dataclass(frozen=True)
-class And(QueryNode):
-    operands: Tuple[QueryNode, ...]
-
-    def matches(self, terms: FrozenSet[str]) -> bool:
-        return all(op.matches(terms) for op in self.operands)
-
-    def anchors(self) -> Optional[Set[str]]:
-        # Any one operand's anchor set suffices; pick the smallest
-        # available (fewest home nodes touched).
-        best: Optional[Set[str]] = None
-        for operand in self.operands:
-            candidate = operand.anchors()
-            if candidate is None:
-                continue
-            if best is None or len(candidate) < len(best):
-                best = candidate
-        return best
-
-    def __str__(self) -> str:
-        return "(" + " AND ".join(map(str, self.operands)) + ")"
-
-
-@dataclass(frozen=True)
-class Or(QueryNode):
-    operands: Tuple[QueryNode, ...]
-
-    def matches(self, terms: FrozenSet[str]) -> bool:
-        return any(op.matches(terms) for op in self.operands)
-
-    def anchors(self) -> Optional[Set[str]]:
-        # Every branch must contribute: a match may come through any.
-        union: Set[str] = set()
-        for operand in self.operands:
-            candidate = operand.anchors()
-            if candidate is None:
-                return None
-            union |= candidate
-        return union
-
-    def __str__(self) -> str:
-        return "(" + " OR ".join(map(str, self.operands)) + ")"
-
-
-@dataclass(frozen=True)
-class Not(QueryNode):
-    operand: QueryNode
-
-    def matches(self, terms: FrozenSet[str]) -> bool:
-        return not self.operand.matches(terms)
-
-    def anchors(self) -> Optional[Set[str]]:
-        return None  # negations constrain nothing positively
-
-    def __str__(self) -> str:
-        return f"NOT {self.operand}"
-
-
-# ---------------------------------------------------------------------------
-# Parser
-# ---------------------------------------------------------------------------
-
-_TOKEN_RE = re.compile(r"\(|\)|[^\s()]+")
-_KEYWORDS = {"and", "or", "not"}
-
-
-class _Parser:
-    def __init__(self, tokens: List[str], raw: str) -> None:
-        self.tokens = tokens
-        self.position = 0
-        self.raw = raw
-
-    def peek(self) -> Optional[str]:
-        if self.position < len(self.tokens):
-            return self.tokens[self.position]
-        return None
-
-    def advance(self) -> str:
-        token = self.peek()
-        if token is None:
-            raise QueryError(f"unexpected end of query: {self.raw!r}")
-        self.position += 1
-        return token
-
-    def parse(self) -> QueryNode:
-        node = self.parse_or()
-        if self.peek() is not None:
-            raise QueryError(
-                f"trailing tokens after query: {self.raw!r}"
-            )
-        return node
-
-    def parse_or(self) -> QueryNode:
-        operands = [self.parse_and()]
-        while (
-            self.peek() is not None and self.peek().lower() == "or"
-        ):
-            self.advance()
-            operands.append(self.parse_and())
-        if len(operands) == 1:
-            return operands[0]
-        return Or(tuple(operands))
-
-    def parse_and(self) -> QueryNode:
-        operands = [self.parse_unary()]
-        while True:
-            token = self.peek()
-            if token is None or token == ")":
-                break
-            lowered = token.lower()
-            if lowered == "or":
-                break
-            if lowered == "and":
-                self.advance()
-                operands.append(self.parse_unary())
-            else:
-                operands.append(self.parse_unary())  # implicit AND
-        if len(operands) == 1:
-            return operands[0]
-        return And(tuple(operands))
-
-    def parse_unary(self) -> QueryNode:
-        token = self.peek()
-        if token is None:
-            raise QueryError(f"unexpected end of query: {self.raw!r}")
-        if token.lower() == "not":
-            self.advance()
-            return Not(self.parse_unary())
-        return self.parse_atom()
-
-    def parse_atom(self) -> QueryNode:
-        token = self.advance()
-        if token == "(":
-            node = self.parse_or()
-            closing = self.advance()
-            if closing != ")":
-                raise QueryError(
-                    f"expected ')' in query: {self.raw!r}"
-                )
-            return node
-        if token == ")":
-            raise QueryError(f"unexpected ')' in query: {self.raw!r}")
-        if token.lower() in _KEYWORDS:
-            raise QueryError(
-                f"operator {token!r} where a term was expected: "
-                f"{self.raw!r}"
-            )
-        return self._term(token)
-
-    def _term(self, token: str) -> QueryNode:
-        processed = _PIPELINE(token)
-        if not processed:
-            raise QueryError(
-                f"term {token!r} vanishes in the text pipeline "
-                f"(stop word or too short): {self.raw!r}"
-            )
-        if len(processed) == 1:
-            return Term(processed[0])
-        # A token that splits (e.g. "real-time") becomes an AND.
-        return And(tuple(Term(t) for t in processed))
-
-
-_PIPELINE = Tokenizer()
-
-
-def parse_query(text: str) -> QueryNode:
-    """Parse query ``text`` into an AST (pipeline-normalized terms)."""
-    tokens = _TOKEN_RE.findall(text)
-    if not tokens:
-        raise QueryError("empty query")
-    return _Parser(tokens, text).parse()
-
-
-# ---------------------------------------------------------------------------
-# Subscriptions
-# ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class QuerySubscription:
@@ -305,7 +85,7 @@ class QueryEngine:
         self, query_id: str, text: str, owner: str = ""
     ) -> QuerySubscription:
         subscription = compile_subscription(query_id, text, owner)
-        self.system.register(subscription.routing_filter)
+        self.system.subscribe([subscription.routing_filter])
         self._subscriptions[query_id] = subscription
         return subscription
 
@@ -327,3 +107,19 @@ class QueryEngine:
 
     def __len__(self) -> int:
         return len(self._subscriptions)
+
+
+__all__ = [
+    "QueryError",
+    "QueryNode",
+    "Term",
+    "And",
+    "Or",
+    "Not",
+    "parse_query",
+    "anchor_candidates",
+    "Subscription",
+    "QuerySubscription",
+    "compile_subscription",
+    "QueryEngine",
+]

@@ -1,4 +1,5 @@
-"""Data model: documents, filters and match semantics (Section III-A)."""
+"""Data model: documents, filters, subscriptions and match semantics
+(Section III-A plus the boolean query extension)."""
 
 from .document import Document
 from .filter import Filter
@@ -8,15 +9,35 @@ from .match import (
     ThresholdSemantics,
     brute_force_match,
 )
+from .query import (
+    And,
+    Not,
+    Or,
+    QueryError,
+    QueryNode,
+    Term,
+    anchor_candidates,
+    parse_query,
+)
 from .slab import FilterSlabStore, SlabRegistry
+from .subscription import Subscription
 
 __all__ = [
     "Document",
     "Filter",
+    "Subscription",
     "FilterSlabStore",
     "SlabRegistry",
     "MatchSemantics",
     "BooleanAnyTermSemantics",
     "ThresholdSemantics",
     "brute_force_match",
+    "QueryNode",
+    "QueryError",
+    "Term",
+    "And",
+    "Or",
+    "Not",
+    "parse_query",
+    "anchor_candidates",
 ]

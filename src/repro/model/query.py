@@ -1,0 +1,295 @@
+"""The boolean query language: AND/OR/NOT trees over keywords.
+
+The paper's data model is flat keyword sets with any-term matching;
+production alert services expose richer predicates ("storm AND
+(flood OR surge) NOT sports").  This module holds the query language
+itself — the AST, the recursive-descent parser, and **anchor-term
+extraction** — as a model-layer value type so that
+:class:`repro.model.Subscription` can embed a parsed predicate without
+reaching upward into the matching layer.
+
+Grammar (case-insensitive keywords, implicit AND by juxtaposition):
+
+    query  := or
+    or     := and ( OR and )*
+    and    := unary ( [AND] unary )*
+    unary  := NOT unary | atom
+    atom   := WORD | '(' query ')'
+
+Anchor soundness: ``node.anchors()`` returns a set of terms such that
+any document satisfying the query must contain at least one of them.
+A subscription registers an ordinary filter over (a subset of) its
+anchors, so routing (home nodes, allocation, Bloom pruning) is
+untouched, and the full predicate is evaluated at the delivery
+boundary.  NOT is supported only where the query retains at least one
+positive anchor (a pure negation matches almost everything and cannot
+be routed by shared terms).
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import ReproError
+from ..text import Tokenizer
+
+
+class QueryError(ReproError):
+    """The query text could not be parsed or cannot be routed."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+class QueryNode(ABC):
+    """A node of the parsed boolean query."""
+
+    @abstractmethod
+    def matches(self, terms: FrozenSet[str]) -> bool:
+        """Evaluate against a document's term set."""
+
+    @abstractmethod
+    def anchors(self) -> Optional[Set[str]]:
+        """Terms such that any match contains one of them.
+
+        Returns None when no such finite set exists (pure negation).
+        """
+
+
+def _canonical(anchor_set: Set[str]) -> Tuple[int, Tuple[str, ...]]:
+    """Deterministic comparison key for an anchor set: size, then the
+    sorted term tuple — equivalent queries pick the same anchors no
+    matter how their operands were ordered."""
+    return (len(anchor_set), tuple(sorted(anchor_set)))
+
+
+@dataclass(frozen=True)
+class Term(QueryNode):
+    term: str
+
+    def matches(self, terms: FrozenSet[str]) -> bool:
+        return self.term in terms
+
+    def anchors(self) -> Optional[Set[str]]:
+        return {self.term}
+
+    def __str__(self) -> str:
+        return self.term
+
+
+@dataclass(frozen=True)
+class And(QueryNode):
+    operands: Tuple[QueryNode, ...]
+
+    def matches(self, terms: FrozenSet[str]) -> bool:
+        return all(op.matches(terms) for op in self.operands)
+
+    def anchors(self) -> Optional[Set[str]]:
+        # Any one operand's anchor set suffices; pick the smallest
+        # available (fewest home nodes touched), breaking size ties by
+        # the sorted term tuple so the choice is order-independent.
+        best: Optional[Set[str]] = None
+        for operand in self.operands:
+            candidate = operand.anchors()
+            if candidate is None:
+                continue
+            if best is None or _canonical(candidate) < _canonical(best):
+                best = candidate
+        return best
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(QueryNode):
+    operands: Tuple[QueryNode, ...]
+
+    def matches(self, terms: FrozenSet[str]) -> bool:
+        return any(op.matches(terms) for op in self.operands)
+
+    def anchors(self) -> Optional[Set[str]]:
+        # Every branch must contribute: a match may come through any.
+        union: Set[str] = set()
+        for operand in self.operands:
+            candidate = operand.anchors()
+            if candidate is None:
+                return None
+            union |= candidate
+        return union
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(QueryNode):
+    operand: QueryNode
+
+    def matches(self, terms: FrozenSet[str]) -> bool:
+        return not self.operand.matches(terms)
+
+    def anchors(self) -> Optional[Set[str]]:
+        return None  # negations constrain nothing positively
+
+    def __str__(self) -> str:
+        return f"NOT {self.operand}"
+
+
+def anchor_candidates(node: QueryNode) -> Tuple[FrozenSet[str], ...]:
+    """Every sound anchor set of ``node``, deterministically ordered.
+
+    For a conjunction each positively anchored operand yields one
+    candidate on its own (a match must satisfy *every* operand, so any
+    one operand's anchors cover it); for every other node shape the
+    node's own :meth:`~QueryNode.anchors` is the only candidate.  The
+    caller picks among candidates — e.g. the rarest by live popularity
+    statistics (see :meth:`repro.model.Subscription.from_query`).
+    """
+    if isinstance(node, And):
+        seen: Set[FrozenSet[str]] = set()
+        out: List[FrozenSet[str]] = []
+        for operand in node.operands:
+            candidate = operand.anchors()
+            if candidate is None:
+                continue
+            frozen = frozenset(candidate)
+            if frozen not in seen:
+                seen.add(frozen)
+                out.append(frozen)
+        out.sort(key=_canonical)
+        return tuple(out)
+    whole = node.anchors()
+    if whole is None:
+        return ()
+    return (frozenset(whole),)
+
+
+def is_flat(node: QueryNode) -> bool:
+    """True when ``node`` is semantically plain any-term matching over
+    its own anchors — a single term, or a disjunction of terms — so a
+    subscription built from it needs no delivery-time predicate."""
+    if isinstance(node, Term):
+        return True
+    if isinstance(node, Or):
+        return all(isinstance(op, Term) for op in node.operands)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"\(|\)|[^\s()]+")
+_KEYWORDS = {"and", "or", "not"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], raw: str) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.raw = raw
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self.raw!r}")
+        self.position += 1
+        return token
+
+    def parse(self) -> QueryNode:
+        node = self.parse_or()
+        if self.peek() is not None:
+            raise QueryError(
+                f"trailing tokens after query: {self.raw!r}"
+            )
+        return node
+
+    def parse_or(self) -> QueryNode:
+        operands = [self.parse_and()]
+        while (
+            self.peek() is not None and self.peek().lower() == "or"
+        ):
+            self.advance()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def parse_and(self) -> QueryNode:
+        operands = [self.parse_unary()]
+        while True:
+            token = self.peek()
+            if token is None or token == ")":
+                break
+            lowered = token.lower()
+            if lowered == "or":
+                break
+            if lowered == "and":
+                self.advance()
+                operands.append(self.parse_unary())
+            else:
+                operands.append(self.parse_unary())  # implicit AND
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def parse_unary(self) -> QueryNode:
+        token = self.peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self.raw!r}")
+        if token.lower() == "not":
+            self.advance()
+            return Not(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> QueryNode:
+        token = self.advance()
+        if token == "(":
+            node = self.parse_or()
+            closing = self.advance()
+            if closing != ")":
+                raise QueryError(
+                    f"expected ')' in query: {self.raw!r}"
+                )
+            return node
+        if token == ")":
+            raise QueryError(f"unexpected ')' in query: {self.raw!r}")
+        if token.lower() in _KEYWORDS:
+            raise QueryError(
+                f"operator {token!r} where a term was expected: "
+                f"{self.raw!r}"
+            )
+        return self._term(token)
+
+    def _term(self, token: str) -> QueryNode:
+        processed = _PIPELINE(token)
+        if not processed:
+            raise QueryError(
+                f"term {token!r} vanishes in the text pipeline "
+                f"(stop word or too short): {self.raw!r}"
+            )
+        if len(processed) == 1:
+            return Term(processed[0])
+        # A token that splits (e.g. "real-time") becomes an AND.
+        return And(tuple(Term(t) for t in processed))
+
+
+_PIPELINE = Tokenizer()
+
+
+def parse_query(text: str) -> QueryNode:
+    """Parse query ``text`` into an AST (pipeline-normalized terms)."""
+    tokens = _TOKEN_RE.findall(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens, text).parse()

@@ -51,8 +51,13 @@ from typing import (
 
 from ..text.interning import DEFAULT_INTERNER, TermInterner
 from .filter import Filter
+from .query import QueryNode, is_flat, parse_query
+from .subscription import Subscription
 
 __all__ = ["FilterSlabStore", "SlabRegistry"]
+
+#: Parsed-predicate cache sentinel ("never parsed" vs "parsed, flat").
+_UNPARSED = object()
 
 #: Default bound on the rehydration cache (delivery working set).
 DEFAULT_HYDRATION_CACHE = 4096
@@ -77,7 +82,11 @@ class FilterSlabStore:
     - ``_filter_ids[slot]`` — the external string id (``None`` while
       the slot sits on the free list);
     - ``_owners`` — sparse: only filters whose owner differs from
-      their id pay for the extra string.
+      their id pay for the extra string;
+    - ``_queries`` — sparse: only predicate subscriptions store their
+      raw query text (the compact predicate representation — the
+      parsed tree is rebuilt lazily per slot and memoized in
+      ``_parsed``, exactly like ``Filter`` rehydration).
     """
 
     __slots__ = (
@@ -88,6 +97,8 @@ class FilterSlabStore:
         "_norms",
         "_filter_ids",
         "_owners",
+        "_queries",
+        "_parsed",
         "_slot_of",
         "_free",
         "_hydrated",
@@ -95,6 +106,7 @@ class FilterSlabStore:
         "_epoch",
         "_dead_cells",
         "_id_bytes",
+        "_query_bytes",
     )
 
     def __init__(
@@ -109,6 +121,8 @@ class FilterSlabStore:
         self._norms: array = array("d")
         self._filter_ids: List[Optional[str]] = []
         self._owners: Dict[int, str] = {}
+        self._queries: Dict[int, str] = {}
+        self._parsed: Dict[int, Optional[QueryNode]] = {}
         self._slot_of: Dict[str, int] = {}
         self._free: List[int] = []
         self._hydrated: "OrderedDict[int, Filter]" = OrderedDict()
@@ -116,6 +130,7 @@ class FilterSlabStore:
         self._epoch = 0
         self._dead_cells = 0
         self._id_bytes = 0
+        self._query_bytes = 0
 
     # -- shape -------------------------------------------------------------
 
@@ -175,6 +190,10 @@ class FilterSlabStore:
             self._filter_ids.append(profile.filter_id)
         if profile.owner != profile.filter_id:
             self._owners[slot] = profile.owner
+        query = getattr(profile, "query", "")
+        if query:
+            self._queries[slot] = query
+            self._query_bytes += len(query) + _STR_OVERHEAD
         self._slot_of[profile.filter_id] = slot
         self._id_bytes += len(profile.filter_id) + _STR_OVERHEAD
         self._epoch += 1
@@ -191,6 +210,10 @@ class FilterSlabStore:
         self._dead_cells += self._lengths[slot]
         self._filter_ids[slot] = None
         self._owners.pop(slot, None)
+        released_query = self._queries.pop(slot, None)
+        if released_query is not None:
+            self._query_bytes -= len(released_query) + _STR_OVERHEAD
+        self._parsed.pop(slot, None)
         self._hydrated.pop(slot, None)
         self._free.append(slot)
         self._id_bytes -= len(filter_id) + _STR_OVERHEAD
@@ -263,11 +286,20 @@ class FilterSlabStore:
         if cached is not None:
             self._hydrated.move_to_end(slot)
             return cached
-        profile = Filter.from_terms(
-            self.filter_id(slot),
-            self.terms(slot),
-            owner=self._owners.get(slot, ""),
-        )
+        query = self._queries.get(slot)
+        if query is not None:
+            profile: Filter = Subscription(
+                filter_id=self.filter_id(slot),
+                terms=frozenset(self.terms(slot)),
+                owner=self._owners.get(slot, ""),
+                query=query,
+            )
+        else:
+            profile = Filter.from_terms(
+                self.filter_id(slot),
+                self.terms(slot),
+                owner=self._owners.get(slot, ""),
+            )
         self._hydrated[slot] = profile
         if len(self._hydrated) > self._hydration_limit:
             self._hydrated.popitem(last=False)
@@ -278,6 +310,34 @@ class FilterSlabStore:
         if slot is None:
             raise KeyError(filter_id)
         return self.get(slot)
+
+    def query(self, slot: int) -> str:
+        """The slot's raw query text ("" for flat filters)."""
+        return self._queries.get(slot, "")
+
+    def predicate(self, slot: int) -> Optional[QueryNode]:
+        """The slot's parsed delivery predicate, or None if flat.
+
+        Parsed lazily from the stored raw text and memoized per slot
+        (the memo dies with the slot on release) — the predicate twin
+        of lazy ``Filter`` rehydration.  Queries that are semantically
+        plain any-term matching over their own anchors memoize None.
+        """
+        text = self._queries.get(slot)
+        if text is None:
+            return None
+        cached = self._parsed.get(slot, _UNPARSED)
+        if cached is _UNPARSED:
+            node = parse_query(text)
+            cached = None if is_flat(node) else node
+            self._parsed[slot] = cached
+        return cached
+
+    def predicate_by_id(self, filter_id: str) -> Optional[QueryNode]:
+        slot = self._slot_of.get(filter_id)
+        if slot is None:
+            return None
+        return self.predicate(slot)
 
     def iter_filter_ids(self) -> Iterator[str]:
         return iter(self._slot_of)
@@ -307,8 +367,9 @@ class FilterSlabStore:
             len(self._slot_of) * _DICT_ENTRY
             + len(self._filter_ids) * _LIST_CELL
             + len(self._owners) * _DICT_ENTRY
+            + len(self._queries) * _DICT_ENTRY
         )
-        return buffers + maps + self._id_bytes
+        return buffers + maps + self._id_bytes + self._query_bytes
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -320,6 +381,8 @@ class FilterSlabStore:
             "epoch": self._epoch,
             "memory_bytes": self.memory_bytes(),
             "hydrated": len(self._hydrated),
+            "queries": len(self._queries),
+            "parsed_predicates": len(self._parsed),
         }
 
 

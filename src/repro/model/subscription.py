@@ -1,0 +1,139 @@
+"""The :class:`Subscription` value object: a filter with a predicate.
+
+A subscription subsumes :class:`~repro.model.filter.Filter`: its
+``terms`` are the **routing anchors** the dissemination machinery sees
+(home nodes, popularity statistics, allocation, Bloom pruning — all
+unchanged), while an optional boolean predicate (the parsed query
+tree) is evaluated at the delivery boundary.  A flat filter is the
+degenerate case — anchors only, no predicate.
+
+Anchor choice is where predicates meet MOVE's allocation: a
+conjunctive query needs only *one* of its operands' anchor sets to be
+routable, so :meth:`Subscription.from_query` homes it at its **rarest**
+candidate (by a caller-supplied popularity statistic, e.g.
+``PopularityTracker.count``), and popularity is counted only there —
+one subscription never multi-counts across its terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Optional
+
+from .filter import Filter
+from .query import (
+    QueryError,
+    QueryNode,
+    anchor_candidates,
+    is_flat,
+    parse_query,
+)
+
+#: Cached-predicate sentinel distinguishing "not parsed yet" from a
+#: parsed-but-flat (None) predicate.
+_UNPARSED = object()
+
+
+@dataclass(frozen=True)
+class Subscription(Filter):
+    """An immutable registered subscription.
+
+    ``terms`` are the routing anchors; ``query`` is the raw query text
+    (empty for plain flat subscriptions).  The parsed predicate is
+    derived lazily from ``query`` — the raw text, never the stemmed
+    AST, is what travels through slabs, the WAL, and the wire, because
+    the text pipeline is not idempotent (re-stemming a stem can change
+    it); re-parsing the original text always rebuilds the identical
+    tree.
+    """
+
+    query: str = ""
+
+    @property
+    def predicate(self) -> Optional[QueryNode]:
+        """The parsed boolean predicate, or None for flat semantics.
+
+        None both for subscriptions without query text and for queries
+        that are semantically plain any-term matching over their own
+        anchors (a single term, a disjunction of terms) — those stay
+        on the anchor-only fast path bit-identically to a
+        :class:`Filter`.
+        """
+        cached = self.__dict__.get("_predicate", _UNPARSED)
+        if cached is _UNPARSED:
+            if not self.query:
+                cached = None
+            else:
+                node = parse_query(self.query)
+                cached = None if is_flat(node) else node
+            object.__setattr__(self, "_predicate", cached)
+        return cached
+
+    @property
+    def is_predicated(self) -> bool:
+        return self.predicate is not None
+
+    def accepts(self, terms: FrozenSet[str]) -> bool:
+        """Full-semantics evaluation against a document's term set:
+        the predicate when present, any-anchor-term otherwise."""
+        predicate = self.predicate
+        if predicate is not None:
+            return predicate.matches(terms)
+        return not self.terms.isdisjoint(terms)
+
+    @classmethod
+    def from_query(
+        cls,
+        subscription_id: str,
+        text: str,
+        owner: str = "",
+        popularity: Optional[Callable[[str], float]] = None,
+    ) -> "Subscription":
+        """Parse ``text`` and home the subscription at its rarest
+        anchor candidate.
+
+        ``popularity`` maps a term to how many registered filters
+        carry it (:meth:`repro.stats.PopularityTracker.count`); the
+        candidate anchor set with the smallest popularity mass wins,
+        ties broken by size then by the sorted term tuple so the
+        choice is deterministic.  Raises :class:`QueryError` when the
+        query has no positive anchors (e.g. ``NOT sports``) — such a
+        query cannot be routed by shared terms and would have to
+        flood.
+        """
+        node = parse_query(text)
+        candidates = anchor_candidates(node)
+        if not candidates:
+            raise QueryError(
+                f"query {text!r} has no positive anchors and cannot be "
+                "routed (a query must require at least one term)"
+            )
+        if popularity is None:
+            anchors = candidates[0]  # pre-sorted: smallest, then lexicographic
+        else:
+            anchors = min(
+                candidates,
+                key=lambda c: (
+                    sum(popularity(term) for term in c),
+                    len(c),
+                    tuple(sorted(c)),
+                ),
+            )
+        return cls(
+            filter_id=subscription_id,
+            terms=frozenset(anchors),
+            owner=owner,
+            query=text,
+        )
+
+    @classmethod
+    def from_filter(cls, profile: Filter) -> "Subscription":
+        """Wrap a flat filter unchanged (same id/terms/owner, no
+        predicate)."""
+        if isinstance(profile, cls):
+            return profile
+        return cls(
+            filter_id=profile.filter_id,
+            terms=profile.terms,
+            owner=profile.owner,
+        )

@@ -28,7 +28,19 @@ class ServiceClientError(ServiceError):
 
 
 class ServiceClient:
-    """One TCP connection speaking the JSON-lines protocol."""
+    """One TCP connection speaking the JSON-lines protocol.
+
+    On connect the client pings the server and records the protocol
+    version it advertises (:attr:`server_protocol`; a response without
+    the field is a v1 server).  A server *newer* than this client is
+    rejected outright — its responses may not mean what we think —
+    while an older server stays usable for the ops it supports;
+    v2-only calls such as :meth:`register_query` raise a clear
+    client-side error instead of an opaque server one.
+    """
+
+    #: Highest protocol version this client speaks.
+    PROTOCOL_VERSION = 2
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
@@ -37,6 +49,15 @@ class ServiceClient:
             (host, port), timeout=timeout
         )
         self._file = self._sock.makefile("rwb")
+        response = self.request({"op": "ping"})
+        self.server_protocol = int(response.get("protocol", 1))
+        if self.server_protocol > self.PROTOCOL_VERSION:
+            self.close()
+            raise ServiceError(
+                f"server speaks protocol {self.server_protocol}, "
+                f"newer than this client "
+                f"(max {self.PROTOCOL_VERSION}); upgrade the client"
+            )
 
     # -- plumbing ---------------------------------------------------------
 
@@ -96,6 +117,30 @@ class ServiceClient:
             {"op": "register_batch", "filters": list(filters)}
         )
         return int(response["registered"])
+
+    def register_query(
+        self,
+        query: str,
+        query_id: Optional[str] = None,
+        owner: str = "",
+    ) -> str:
+        """Register a boolean query subscription; returns its id.
+
+        Requires a protocol-v2 server; against a v1 server this
+        raises client-side rather than letting the server answer
+        with an unintelligible ``unknown op`` error.
+        """
+        if self.server_protocol < 2:
+            raise ServiceError(
+                "register_query needs a protocol>=2 server; this one "
+                f"speaks protocol {self.server_protocol}"
+            )
+        payload: Dict[str, Any] = {"op": "register_query", "query": query}
+        if query_id is not None:
+            payload["query_id"] = query_id
+        if owner:
+            payload["owner"] = owner
+        return str(self.request(payload)["query_id"])
 
     def unregister(self, filter_id: str) -> None:
         self.request({"op": "unregister", "filter_id": filter_id})

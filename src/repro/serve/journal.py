@@ -46,7 +46,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 from ..cluster.storage import WalReader, WalWriter, _list_segments
 from ..errors import WalError
 from ..experiments.harness import build_cluster, make_system
-from ..model import Document, Filter
+from ..model import Document, Filter, Subscription
 
 
 def _encode_filter(profile: Filter) -> Dict[str, Any]:
@@ -61,6 +61,51 @@ def _decode_filter(data: Dict[str, Any]) -> Filter:
     return Filter.from_terms(
         data["filter_id"], data["terms"], owner=data.get("owner", "")
     )
+
+
+def _encode_subscribe_item(item: Any) -> Dict[str, Any]:
+    """Encode one ``subscribe`` item *preserving its input shape*.
+
+    Replay re-runs ``subscribe`` on the decoded items, so bare query
+    text must stay bare text — resolving auto-assigned ids at encode
+    time would desynchronize the subscription-id sequence between the
+    live system and its recovered twin.
+    """
+    if isinstance(item, Subscription):
+        return {
+            "kind": "subscription",
+            "filter_id": item.filter_id,
+            "terms": sorted(item.terms),
+            "owner": item.owner,
+            "query": item.query,
+        }
+    if isinstance(item, Filter):
+        return {"kind": "filter", **_encode_filter(item)}
+    if isinstance(item, str):
+        return {"kind": "query", "text": item}
+    if isinstance(item, tuple):
+        return {"kind": "pair", "values": [str(v) for v in item]}
+    raise TypeError(
+        f"cannot journal subscription item of type {type(item).__name__}"
+    )
+
+
+def _decode_subscribe_item(data: Dict[str, Any]) -> Any:
+    kind = data["kind"]
+    if kind == "subscription":
+        return Subscription(
+            filter_id=data["filter_id"],
+            terms=frozenset(data["terms"]),
+            owner=data.get("owner", ""),
+            query=data.get("query", ""),
+        )
+    if kind == "filter":
+        return _decode_filter(data)
+    if kind == "query":
+        return data["text"]
+    if kind == "pair":
+        return tuple(data["values"])
+    raise WalError(f"unknown subscribe item kind {kind!r}")
 
 
 def _encode_document(document: Document) -> Dict[str, Any]:
@@ -211,10 +256,15 @@ class JournaledSystem:
         op = record["op"]
         system = self.system
         if op == "register":
-            return system.register(_decode_filter(record["filter"]))
+            return system._admit_one(_decode_filter(record["filter"]))
         if op == "register_batch":
-            return system.register_batch(
+            return system._admit_batch(
                 [_decode_filter(f) for f in record["filters"]]
+            )
+        if op == "subscribe":
+            return system.subscribe(
+                [_decode_subscribe_item(i) for i in record["items"]],
+                chunk_size=record.get("chunk_size"),
             )
         if op == "unregister":
             return system.unregister(record["filter_id"])
@@ -253,6 +303,8 @@ class JournaledSystem:
     # -- journalled mutations ---------------------------------------------
 
     def register(self, profile: Filter) -> None:
+        # Wire-op application surface: the v1 ``register`` op lands
+        # here, so it stays warning-free (unlike the system shim).
         self._log_and_apply(
             {"op": "register", "filter": _encode_filter(profile)}
         )
@@ -262,6 +314,25 @@ class JournaledSystem:
         if not batch:
             return
         self._log_and_apply({"op": "register_batch", "filters": batch})
+
+    # The runtime command table targets the non-warning admission
+    # names uniformly across journalled and bare backends.
+    _admit_one = register
+    _admit_batch = register_batch
+
+    def subscribe(
+        self, items: Iterable[Any], *, chunk_size: Optional[int] = None
+    ) -> List[str]:
+        encoded = [_encode_subscribe_item(i) for i in items]
+        if not encoded:
+            return []
+        return self._log_and_apply(
+            {
+                "op": "subscribe",
+                "items": encoded,
+                "chunk_size": chunk_size,
+            }
+        )
 
     def unregister(self, filter_id: str) -> Filter:
         return self._log_and_apply(

@@ -260,8 +260,8 @@ class ServiceRuntime:
         Commands share the document queue, so they serialize against
         in-flight batches (never inside one).  Supported ops mirror
         the journal surface: ``register``, ``register_batch``,
-        ``unregister``, ``finalize``, ``seed_frequencies``,
-        ``reallocate``, ``rebalance``.
+        ``subscribe``, ``unregister``, ``finalize``,
+        ``seed_frequencies``, ``reallocate``, ``rebalance``.
         """
         self._check_intake()
         future = asyncio.get_running_loop().create_future()
@@ -271,6 +271,9 @@ class ServiceRuntime:
 
     async def register(self, profile: Filter) -> None:
         await self.command("register", profile)
+
+    async def subscribe(self, items: List[Any]) -> List[str]:
+        return await self.command("subscribe", items)
 
     async def unregister(self, filter_id: str) -> Filter:
         return await self.command("unregister", filter_id)
@@ -347,8 +350,11 @@ class ServiceRuntime:
             item.future.set_result(result)
 
     _COMMANDS = {
-        "register": "register",
-        "register_batch": "register_batch",
+        # The v1 register ops target the non-warning admission names
+        # so service traffic never trips the deprecation shims.
+        "register": "_admit_one",
+        "register_batch": "_admit_batch",
+        "subscribe": "subscribe",
         "unregister": "unregister",
         "finalize": "finalize_registration",
         "seed_frequencies": "seed_frequencies",

@@ -9,6 +9,7 @@ and a Prometheus ``metrics`` scrape.  Requests:
 {"op": "ping"}
 {"op": "register", "filter_id": "f1", "terms": ["alpha", "beta"]}
 {"op": "register_batch", "filters": [{"filter_id": ..., "terms": [...]}]}
+{"op": "register_query", "query": "llm AND (eval OR bench)", "query_id": "q1"}
 {"op": "unregister", "filter_id": "f1"}
 {"op": "finalize"}
 {"op": "ingest", "doc_id": "d1", "terms": ["alpha", "gamma"]}
@@ -22,6 +23,13 @@ Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error":
 "<exception class>", "message": "..."}`` — overload surfaces as an
 ``AdmissionError`` response, not a dropped connection, so clients can
 back off deliberately.
+
+This is **protocol version 2** (the ``ping`` response advertises it
+as ``"protocol": 2``); version 1 is the same wire format without
+``register_query`` and without the version field.  ``register_query``
+registers a boolean predicate subscription from query text —
+``query_id`` is optional (the server assigns one and returns it), a
+malformed or NOT-only query comes back as a ``QueryError`` response.
 """
 
 from __future__ import annotations
@@ -34,6 +42,11 @@ from typing import Any, Dict, Optional
 from ..errors import ReproError, ServiceError
 from ..model import Document, Filter
 from .runtime import ServiceRuntime
+
+#: Wire protocol version advertised in the ``ping`` response (and the
+#: CLI's ``READY`` line).  v2 added ``register_query``; v1 servers
+#: predate the field entirely.
+PROTOCOL_VERSION = 2
 
 
 def _decode_ingest(request: Dict[str, Any]) -> Document:
@@ -145,7 +158,7 @@ class ServiceServer:
         op = request["op"]
         runtime = self.runtime
         if op == "ping":
-            return {"ok": True, "pong": True}
+            return {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
         if op == "register":
             profile = Filter.from_terms(
                 request["filter_id"],
@@ -163,6 +176,20 @@ class ServiceServer:
             ]
             await runtime.command("register_batch", profiles)
             return {"ok": True, "registered": len(profiles)}
+        if op == "register_query":
+            query = request["query"]
+            if not isinstance(query, str):
+                raise ValueError("'query' must be a string")
+            query_id = request.get("query_id")
+            owner = request.get("owner", "")
+            if query_id is None:
+                item: Any = query
+            elif owner:
+                item = (str(query_id), query, owner)
+            else:
+                item = (str(query_id), query)
+            ids = await runtime.subscribe([item])
+            return {"ok": True, "query_id": ids[0]}
         if op == "unregister":
             removed = await runtime.unregister(request["filter_id"])
             return {"ok": True, "filter_id": removed.filter_id}
