@@ -1,0 +1,413 @@
+#!/usr/bin/env python
+"""Service dataplane ingest bench: wire protocol x WAL durability.
+
+The serve-mode companion to ``bench_scale.py``: it measures what the
+dataplane throughput overhaul actually buys by driving N concurrent
+:class:`~repro.serve.client.ServiceClient` connections through a real
+:class:`~repro.serve.server.ServiceServer` +
+:class:`~repro.serve.runtime.ServiceRuntime` (TCP loopback, WAL on
+disk), sweeping the four axes of the hot path::
+
+    connections x client batching x fsync_interval x protocol
+
+The **seed path** is emulated exactly: ``protocol="json"`` with
+``wal_group_commit=False`` at ``fsync_interval=1`` is one JSON line
+and one fsync per append, which is what the service spoke before the
+binary protocol and group commit landed.  The headline ratio divides
+the binary + group-commit configuration by that baseline — a
+same-host ratio, so it is machine-portable the same way the
+``--check`` gate's other ratios are.
+
+The second half times **recovery**: the journal written by the
+headline run is recovered twice — full replay, then checkpoint +
+snapshot-boot — and the recovered twins are checked bit-identical
+(RNG fingerprint + stored replicas).  Checkpointed recovery must beat
+full replay by ``recovery_speedup_min``.
+
+Two tiers::
+
+    python benchmarks/bench_serve_ingest.py --tier small   # CI smoke
+    python benchmarks/bench_serve_ingest.py --tier full --json BENCH_serve.json
+
+Floors travel inside the JSON (see ``FLOORS``) and are re-asserted
+from the committed file by ``scripts/run_benchmarks.py`` in both gate
+modes; the bench itself also hard-fails when a fresh run misses them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import shutil
+import sys
+import tempfile
+import threading
+import time
+import zlib
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.model import Filter  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServeConfig,
+    ServiceClient,
+    ServiceRuntime,
+    ServiceServer,
+)
+from repro.serve.journal import JournaledSystem  # noqa: E402
+
+#: Self-describing floors recorded into the JSON and re-asserted from
+#: the committed file by scripts/run_benchmarks.py.  Both are
+#: same-host ratios (new path vs old path on identical hardware), so
+#: they are machine-portable.
+FLOORS = {
+    # Binary + group commit vs seed JSON + per-append fsync, both at
+    # fsync_interval=1 (the ISSUE's >= 2x acceptance criterion).
+    "ingest_speedup_min": 2.0,
+    # Snapshot-boot recovery vs full-history replay of the same WAL.
+    "recovery_speedup_min": 5.0,
+}
+
+TIERS = {
+    "small": {"docs": 1_200, "filters": 200, "connections": 2},
+    "full": {"docs": 8_000, "filters": 500, "connections": 4},
+}
+
+_VOCAB_SIZE = 600
+_DOC_TERMS = 8
+_NODES = 4
+
+
+def _vocab():
+    return [f"term{i:04d}" for i in range(_VOCAB_SIZE)]
+
+
+def _profiles(count: int):
+    rng = random.Random(11)
+    vocab = _vocab()
+    return [
+        {
+            "filter_id": f"f{i:05d}",
+            "terms": sorted(rng.sample(vocab, rng.randint(2, 4))),
+        }
+        for i in range(count)
+    ]
+
+
+def _doc_entries(worker: int, count: int):
+    """Deterministic per-connection document stream."""
+    rng = random.Random(1000 + worker)
+    vocab = _vocab()
+    return [
+        {
+            "doc_id": f"w{worker}-d{i}",
+            "terms": rng.choices(vocab, k=_DOC_TERMS),
+        }
+        for i in range(count)
+    ]
+
+
+def _sweep(tier: dict):
+    """The benchmark grid: every config publishes the same workload."""
+    conns = tier["connections"]
+    grid = [
+        # The seed path: JSON lines, one fsync per WAL append.
+        dict(name="json-per-append", protocol="json",
+             group_commit=False, fsync_interval=1,
+             connections=conns, client_batch=1),
+        # Group commit alone (protocol held at JSON).
+        dict(name="json-group-commit", protocol="json",
+             group_commit=True, fsync_interval=1,
+             connections=conns, client_batch=1),
+        # Binary frames alone, per-document requests.
+        dict(name="binary-group-commit", protocol="binary",
+             group_commit=True, fsync_interval=1,
+             connections=conns, client_batch=1),
+        # The headline: binary frames + batched requests + group
+        # commit — the full overhaul.
+        dict(name="binary-batched", protocol="binary",
+             group_commit=True, fsync_interval=1,
+             connections=conns, client_batch=16),
+        # Connection-count sweep around the headline.
+        dict(name="binary-batched-conn1", protocol="binary",
+             group_commit=True, fsync_interval=1,
+             connections=1, client_batch=16),
+        # fsync_interval sweep: batched fsync instead of (or on top
+        # of) the commit window.
+        dict(name="binary-batched-fsync8", protocol="binary",
+             group_commit=True, fsync_interval=8,
+             connections=conns, client_batch=16),
+    ]
+    if tier["connections"] >= 4:
+        grid.append(
+            dict(name="binary-batched-conn8", protocol="binary",
+                 group_commit=True, fsync_interval=1,
+                 connections=8, client_batch=16)
+        )
+    return grid
+
+
+def run_config(spec: dict, tier: dict, wal_dir: str) -> dict:
+    """Serve one configuration and hammer it from client threads."""
+    total_docs = tier["docs"]
+    connections = spec["connections"]
+    per_worker = total_docs // connections
+    profiles = _profiles(tier["filters"])
+    errors: list = []
+
+    def client_work(worker: int, port: int) -> None:
+        try:
+            with ServiceClient(
+                port=port, protocol=spec["protocol"]
+            ) as client:
+                entries = _doc_entries(worker, per_worker)
+                step = spec["client_batch"]
+                for start in range(0, len(entries), step):
+                    chunk = entries[start:start + step]
+                    if step == 1:
+                        client.ingest(
+                            chunk[0]["doc_id"], terms=chunk[0]["terms"]
+                        )
+                    else:
+                        client.ingest_batch(chunk)
+        except Exception as error:  # noqa: BLE001 - reported below
+            errors.append(error)
+
+    async def scenario() -> dict:
+        runtime = ServiceRuntime(
+            ServeConfig(
+                scheme="move",
+                num_nodes=_NODES,
+                seed=0,
+                wal_dir=wal_dir,
+                fsync_interval=spec["fsync_interval"],
+                wal_group_commit=spec["group_commit"],
+                queue_capacity=4_096,
+            )
+        )
+        server = ServiceServer(runtime, port=0)
+        await server.start()
+        await runtime.command(
+            "register_batch",
+            [
+                Filter.from_terms(p["filter_id"], p["terms"])
+                for p in profiles
+            ],
+        )
+        await runtime.command("finalize")
+        writer = runtime.journal.writer
+        fsyncs_before = writer.fsyncs
+        records_before = writer.records_synced
+        threads = [
+            threading.Thread(target=client_work, args=(w, server.port))
+            for w in range(connections)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        await asyncio.gather(
+            *(asyncio.to_thread(t.join) for t in threads)
+        )
+        elapsed = time.perf_counter() - started
+        fsyncs = writer.fsyncs - fsyncs_before
+        records = writer.records_synced - records_before
+        group_commits = writer.group_commits
+        await server.close()
+        return {
+            "elapsed": elapsed,
+            "fsyncs": fsyncs,
+            "records": records,
+            "group_commits": group_commits,
+        }
+
+    measured = asyncio.run(scenario())
+    if errors:
+        raise RuntimeError(
+            f"{spec['name']}: client worker failed: {errors[0]!r}"
+        )
+    docs = per_worker * connections
+    elapsed = measured["elapsed"]
+    return {
+        **{k: spec[k] for k in (
+            "name", "protocol", "connections", "client_batch",
+            "fsync_interval", "group_commit",
+        )},
+        "docs": docs,
+        "seconds": round(elapsed, 3),
+        "docs_per_second": round(docs / elapsed, 1),
+        "wal_fsyncs": measured["fsyncs"],
+        "wal_records": measured["records"],
+        "records_per_fsync": round(
+            measured["records"] / max(1, measured["fsyncs"]), 2
+        ),
+        "wal_group_commits": measured["group_commits"],
+    }
+
+
+def _fingerprint(journal: JournaledSystem) -> tuple:
+    system = journal.system
+    replicas = {
+        node_id: index.stored_replica_count()
+        for node_id, index in system._home_indexes.items()
+    }
+    # The checkpoint marker logged between the two boots bumps the
+    # lsn without touching state, so the lsn is not part of the print.
+    return (
+        zlib.crc32(repr(system._rng.getstate()).encode()),
+        tuple(sorted(replicas.items())),
+    )
+
+
+def run_recovery(wal_dir: str) -> dict:
+    """Full replay vs checkpoint + snapshot boot over the same WAL."""
+    full = JournaledSystem(wal_dir)
+    full_seconds = full.recovery_seconds
+    full_records = full.recovery_replayed_records
+    full_print = _fingerprint(full)
+    checkpoint = full.checkpoint()
+    full.close()
+
+    snap = JournaledSystem(wal_dir)
+    snap_seconds = snap.recovery_seconds
+    snap_records = snap.recovery_replayed_records
+    snap_print = _fingerprint(snap)
+    snap.close()
+
+    return {
+        "full_replay_seconds": round(full_seconds, 4),
+        "full_replayed_records": full_records,
+        "checkpoint_seconds": round(checkpoint["seconds"], 4),
+        "snapshot_bytes": checkpoint["bytes"],
+        "segments_removed": checkpoint["segments_removed"],
+        "snapshot_recovery_seconds": round(snap_seconds, 4),
+        "tail_replayed_records": snap_records,
+        "speedup": round(full_seconds / max(1e-9, snap_seconds), 1),
+        "bit_identical": full_print == snap_print,
+    }
+
+
+def run_tier(tier_name: str) -> dict:
+    tier = TIERS[tier_name]
+    configs = []
+    headline_wal: str | None = None
+    for spec in _sweep(tier):
+        wal_dir = tempfile.mkdtemp(prefix=f"serve-bench-{spec['name']}-")
+        result = run_config(spec, tier, wal_dir)
+        configs.append(result)
+        print(
+            f"   {result['name']:<22s} {result['docs_per_second']:>9,.0f} "
+            f"docs/s  ({result['connections']} conns, batch "
+            f"{result['client_batch']}, fsync {result['fsync_interval']}"
+            f"{', GC' if result['group_commit'] else ''}; "
+            f"{result['records_per_fsync']:.1f} rec/fsync)",
+            flush=True,
+        )
+        if spec["name"] == "binary-batched":
+            headline_wal = wal_dir  # recovery reuses this journal
+        else:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+    by_name = {entry["name"]: entry for entry in configs}
+    baseline = by_name["json-per-append"]
+    headline = by_name["binary-batched"]
+    speedup = round(
+        headline["docs_per_second"] / baseline["docs_per_second"], 2
+    )
+    print(
+        f"   ingest speedup: {speedup:.2f}x "
+        f"({headline['name']} vs {baseline['name']}, floor "
+        f"{FLOORS['ingest_speedup_min']}x)",
+        flush=True,
+    )
+
+    assert headline_wal is not None
+    recovery = run_recovery(headline_wal)
+    shutil.rmtree(headline_wal, ignore_errors=True)
+    print(
+        f"   recovery speedup: {recovery['speedup']:.1f}x "
+        f"(full {recovery['full_replay_seconds']:.3f}s / "
+        f"{recovery['full_replayed_records']} records vs snapshot "
+        f"{recovery['snapshot_recovery_seconds']:.4f}s / "
+        f"{recovery['tail_replayed_records']} tail records; twins "
+        f"{'identical' if recovery['bit_identical'] else 'DIVERGED'})",
+        flush=True,
+    )
+
+    failures = []
+    if speedup < FLOORS["ingest_speedup_min"]:
+        failures.append(
+            f"ingest speedup {speedup:.2f}x below floor "
+            f"{FLOORS['ingest_speedup_min']}x"
+        )
+    if recovery["speedup"] < FLOORS["recovery_speedup_min"]:
+        failures.append(
+            f"recovery speedup {recovery['speedup']:.1f}x below floor "
+            f"{FLOORS['recovery_speedup_min']}x"
+        )
+    if not recovery["bit_identical"]:
+        failures.append("snapshot-recovered twin diverged from replay")
+    for failure in failures:
+        print(f"FAILURE: {failure}", file=sys.stderr)
+    if failures:
+        raise SystemExit(1)
+
+    return {
+        "workload": {
+            "docs": tier["docs"],
+            "filters": tier["filters"],
+            "vocabulary": _VOCAB_SIZE,
+            "doc_terms": _DOC_TERMS,
+            "nodes": _NODES,
+        },
+        "configs": configs,
+        "ingest": {
+            "baseline": baseline["name"],
+            "headline": headline["name"],
+            "baseline_docs_per_second": baseline["docs_per_second"],
+            "headline_docs_per_second": headline["docs_per_second"],
+            "speedup": speedup,
+        },
+        "recovery": recovery,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Service dataplane ingest/recovery bench."
+    )
+    parser.add_argument(
+        "--tier",
+        default="small",
+        choices=["small", "full", "both"],
+        help="workload tier (default: small)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write the result trajectory to this file",
+    )
+    args = parser.parse_args(argv)
+
+    tiers = ["small", "full"] if args.tier == "both" else [args.tier]
+    payload = {
+        "version": 1,
+        "datetime": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "floors": FLOORS,
+        "tiers": {},
+    }
+    for tier_name in tiers:
+        print(f"== tier: {tier_name} ==", flush=True)
+        payload["tiers"][tier_name] = run_tier(tier_name)
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

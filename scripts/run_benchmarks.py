@@ -58,6 +58,15 @@ equivalence at the ci tier.  These are recorded-file checks (no fresh
 run — the million-filter tier is too slow for every gate pass); CI
 re-measures the ci tier fresh in its own ``scale-smoke`` job.
 
+Both modes likewise validate the committed service dataplane
+trajectory (``BENCH_serve.json``, recorded by
+``benchmarks/bench_serve_ingest.py``) against the floors stored
+inside it: the binary + group-commit ingest speedup over the seed
+JSON/per-append path, the snapshot-boot recovery speedup over full
+replay, and the bit-identity of the snapshot-recovered twin.  Both
+speedups are same-host ratios, so the recorded file gates portably;
+CI re-measures the small tier fresh in its own ``serve-bench`` job.
+
 Benchmark noise note: absolute numbers are only comparable on the same
 hardware; the committed baseline tracks the *trajectory* across PRs on
 the reference machine, not an absolute claim.
@@ -76,6 +85,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hot_path.json"
 SCALE_PATH = REPO_ROOT / "BENCH_scale.json"
+SERVE_PATH = REPO_ROOT / "BENCH_serve.json"
 BENCH_PATHS = (
     REPO_ROOT / "benchmarks" / "bench_hot_path.py",
     REPO_ROOT / "benchmarks" / "bench_reallocation.py",
@@ -400,6 +410,65 @@ def check_scale_budget() -> int:
     return 1 if failures else 0
 
 
+def check_serve_budget() -> int:
+    """Validate the committed BENCH_serve.json against its own floors.
+
+    Same protocol as :func:`check_scale_budget`: the service dataplane
+    trajectory (recorded by benchmarks/bench_serve_ingest.py) carries
+    its acceptance floors inline, and both gated numbers are same-host
+    ratios — binary + group-commit ingest vs the seed JSON/per-append
+    path, and snapshot-boot recovery vs full WAL replay — so the
+    committed file gates portably on any runner.  The snapshot twin
+    must also have recovered bit-identical to the replayed one.
+    """
+    if not SERVE_PATH.exists():
+        print(f"REGRESSION serve budget: {SERVE_PATH.name} missing")
+        return 1
+    payload = json.loads(SERVE_PATH.read_text())
+    floors = payload.get("floors", {})
+    ingest_min = floors.get("ingest_speedup_min")
+    recovery_min = floors.get("recovery_speedup_min")
+    failures = 0
+    tiers = payload.get("tiers", {})
+    if not tiers:
+        print("REGRESSION serve budget: no tiers recorded")
+        failures += 1
+    for tier_name, tier in sorted(tiers.items()):
+        ingest = tier.get("ingest", {})
+        speedup = ingest.get("speedup")
+        ok = ingest_min is None or (
+            speedup is not None and speedup >= ingest_min
+        )
+        status = "ok" if ok else "REGRESSION"
+        shown = "missing" if speedup is None else f"{speedup:.2f}x"
+        print(
+            f"{status:>10s} serve-{tier_name}: ingest speedup {shown} "
+            f"({ingest.get('headline', '?')} vs "
+            f"{ingest.get('baseline', '?')}, floor {ingest_min}x)"
+        )
+        if not ok:
+            failures += 1
+        recovery = tier.get("recovery", {})
+        rec_speedup = recovery.get("speedup")
+        identical = recovery.get("bit_identical")
+        ok = bool(identical) and (
+            recovery_min is None
+            or (rec_speedup is not None and rec_speedup >= recovery_min)
+        )
+        status = "ok" if ok else "REGRESSION"
+        shown = (
+            "missing" if rec_speedup is None else f"{rec_speedup:.1f}x"
+        )
+        print(
+            f"{status:>10s} serve-{tier_name}: recovery speedup {shown} "
+            f"(floor {recovery_min}x), twins "
+            f"{'identical' if identical else 'DIVERGED'}"
+        )
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -472,8 +541,14 @@ def main() -> int:
     predicate_code = check_predicate_overhead(payload)
     csr_code = check_csr_floors(payload)
     scale_code = check_scale_budget()
+    serve_code = check_serve_budget()
     return (
-        code or overhead_code or predicate_code or csr_code or scale_code
+        code
+        or overhead_code
+        or predicate_code
+        or csr_code
+        or scale_code
+        or serve_code
     )
 
 

@@ -12,7 +12,14 @@ it exercises the real deployment story across *process* boundaries.
 4. boot a fresh process on the same WAL directory;
 5. assert the recovered stats match the pre-kill snapshot (documents
    published, active filters) and that a probe document matches
-   exactly the filters it should.
+   exactly the filters it should;
+6. grow the WAL across several segments, checkpoint via the client,
+   assert the truncation shrank the on-disk segment count, ingest a
+   small tail, ``SIGKILL`` again;
+7. boot a third process and assert recovery replayed *only* the
+   post-checkpoint tail (the ``repro_serve_recovery_replayed_records``
+   gauge equals tail records + the checkpoint marker) while the
+   recovered state still answers probes correctly.
 
 Matched *sets* are the cross-process invariant; RNG-stream identity
 is only meaningful in-process (hash randomization perturbs set
@@ -56,6 +63,21 @@ _DOCS = {
 _QUERY_ID = "q-pred"
 _QUERY = "alpha NOT zeta"
 
+#: Documents ingested after the checkpoint; recovery must replay
+#: exactly these plus the checkpoint marker record.
+_TAIL_DOCS = 5
+
+
+def _segments(wal_dir: str) -> "list[Path]":
+    return sorted(Path(wal_dir).glob("wal-*.log"))
+
+
+def _gauge(metrics_text: str, name: str) -> float:
+    for line in metrics_text.splitlines():
+        if line.startswith(f"{name} ") or line.startswith(f"{name}\t"):
+            return float(line.split()[-1])
+    raise AssertionError(f"gauge {name} missing from /metrics")
+
 
 def _expected_matches(terms):
     doc_terms = set(terms)
@@ -84,6 +106,10 @@ def _boot(wal_dir: str) -> "tuple[subprocess.Popen, int]":
             "0",
             "--wal-dir",
             wal_dir,
+            # Small segments so the checkpoint leg spans several and
+            # its truncation is visible in the on-disk file count.
+            "--segment-max-bytes",
+            "4096",
         ],
         cwd=REPO_ROOT,
         env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
@@ -157,13 +183,68 @@ def main() -> int:
             )
             metrics = client.metrics()
             assert "repro_documents_published" in metrics
+
+            # -- checkpoint leg: grow, checkpoint, tail, kill -9 ----
+            for batch in range(10):
+                client.ingest_batch(
+                    [
+                        {
+                            "doc_id": f"fill-{batch}-{i}",
+                            "terms": [f"fill{batch}t{i}k{k}"
+                                      for k in range(6)],
+                        }
+                        for i in range(30)
+                    ]
+                )
+            segments_before = len(_segments(wal_dir))
+            assert segments_before > 1, segments_before
+            report = client.checkpoint()
+            assert report["segments_removed"] > 0, report
+            segments_after = len(_segments(wal_dir))
+            assert segments_after < segments_before, (
+                segments_before,
+                segments_after,
+            )
+            for i in range(_TAIL_DOCS):
+                client.ingest(f"tail-{i}", terms=["gamma", f"t{i}"])
+            stats_before = client.stats()
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    process, port = _boot(wal_dir)
+    try:
+        with ServiceClient(port=port) as client:
+            # Recovery must boot from the snapshot and replay only the
+            # tail: one record per post-checkpoint ingest plus the
+            # checkpoint marker itself — not the whole history.
+            replayed = _gauge(
+                client.metrics(), "repro_serve_recovery_replayed_records"
+            )
+            assert replayed == _TAIL_DOCS + 1, replayed
+            stats_after = client.stats()
+            assert (
+                stats_after["documents_published"]
+                == stats_before["documents_published"]
+            ), (stats_before, stats_after)
+            probe_terms = ["alpha", "zeta", "unseen"]
+            plan = client.ingest("probe2", terms=probe_terms)
+            assert plan["matched"] == _expected_matches(probe_terms), (
+                plan["matched"]
+            )
             client.shutdown()
         process.wait(timeout=60)
         assert process.returncode == 0, process.returncode
     finally:
         if process.poll() is None:
             process.kill()
-    print("serve smoke OK: recovered after SIGKILL with state intact")
+    print(
+        "serve smoke OK: recovered after SIGKILL with state intact; "
+        f"checkpoint shrank the WAL and recovery replayed only "
+        f"{_TAIL_DOCS + 1} tail records"
+    )
     return 0
 
 

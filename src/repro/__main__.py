@@ -122,20 +122,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         wal_dir=args.wal_dir,
         fsync_interval=args.fsync_interval,
+        segment_max_bytes=args.segment_max_bytes,
         queue_capacity=args.queue_capacity,
         admission_high_watermark=args.admission_watermark,
         batch_max_docs=args.batch_max_docs,
         reallocate_interval=args.reallocate_interval,
+        drift_epsilon=args.drift_epsilon,
+        wal_group_commit=not args.no_group_commit,
+        checkpoint_interval=args.checkpoint_interval,
+        snapshot_retain=args.snapshot_retain,
     )
 
     async def run() -> None:
         from .serve.server import PROTOCOL_VERSION
+        from .serve.wire import BINARY_PROTOCOL_VERSION
 
         runtime = ServiceRuntime(config)
-        server = ServiceServer(runtime, host=args.host, port=args.port)
+        server = ServiceServer(
+            runtime,
+            host=args.host,
+            port=args.port,
+            binary_enabled=not args.no_binary,
+        )
         await server.start()
+        binary = (
+            f" binary={BINARY_PROTOCOL_VERSION}"
+            if server.binary_enabled
+            else ""
+        )
         print(
-            f"READY port={server.port} protocol={PROTOCOL_VERSION}",
+            f"READY port={server.port} protocol={PROTOCOL_VERSION}"
+            f"{binary}",
             flush=True,
         )
         loop = asyncio.get_running_loop()
@@ -296,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync every N journal appends (1 = every append)",
     )
     serve_parser.add_argument(
+        "--segment-max-bytes",
+        type=int,
+        default=1 << 20,
+        help="WAL segment rotation size in bytes (default: 1 MiB); "
+        "checkpoints can only truncate whole segments, so smaller "
+        "segments mean tighter disk bounds at more files",
+    )
+    serve_parser.add_argument(
         "--queue-capacity",
         type=int,
         default=1_024,
@@ -320,6 +345,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds between periodic allocation refreshes "
         "(default: disabled)",
+    )
+    serve_parser.add_argument(
+        "--drift-epsilon",
+        type=float,
+        default=None,
+        help="drift threshold for the periodic refresh; a tick "
+        "below it skips reallocation (default: the system's "
+        "configured epsilon)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        help="seconds between automatic journal checkpoints "
+        "(snapshot + WAL truncation; requires --wal-dir)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-retain",
+        type=int,
+        default=2,
+        help="checkpoint snapshots kept on disk (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--no-group-commit",
+        action="store_true",
+        help="fsync per append instead of coalescing each worker "
+        "cycle's appends into one fsync",
+    )
+    serve_parser.add_argument(
+        "--no-binary",
+        action="store_true",
+        help="serve JSON-lines only (decline binary negotiation)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

@@ -281,6 +281,24 @@ def _list_segments(directory: Path) -> List[Path]:
     return sorted(directory.glob(_SEGMENT_GLOB), key=_segment_index)
 
 
+def _first_frame_lsn(segment: Path) -> Optional[int]:
+    """The lsn of a segment's first frame header, or None if empty.
+
+    Only the header is read — no CRC verification — because the
+    caller (:meth:`WalWriter.truncate_through`) uses it purely as an
+    upper bound on the *previous* segment's lsns.
+    """
+    try:
+        with open(segment, "rb") as handle:
+            header = handle.read(_WAL_HEADER.size)
+    except OSError:
+        return None
+    if len(header) < _WAL_HEADER.size:
+        return None
+    lsn, _, _ = _WAL_HEADER.unpack_from(header)
+    return lsn
+
+
 class WalWriter:
     """Appends CRC-framed records to a segmented write-ahead log.
 
@@ -342,7 +360,16 @@ class WalWriter:
         self._segment_index = next_index
         self._segment_bytes = 0
         self._unsynced = 0
+        self._group_depth = 0
         self._file = None
+        #: Count of fsync syscalls issued (durability barriers).
+        self.fsyncs = 0
+        #: Cumulative records covered by those fsyncs.
+        self.records_synced = 0
+        #: Records covered by the most recent fsync.
+        self.last_fsync_records = 0
+        #: Group-commit windows that closed with a real fsync.
+        self.group_commits = 0
         self._open_segment()
 
     # -- segment plumbing ------------------------------------------------
@@ -374,6 +401,9 @@ class WalWriter:
         if self._file is not None and self._unsynced:
             self._file.flush()
             os.fsync(self._file.fileno())
+            self.fsyncs += 1
+            self.records_synced += self._unsynced
+            self.last_fsync_records = self._unsynced
             self._unsynced = 0
 
     # -- public API ------------------------------------------------------
@@ -397,13 +427,90 @@ class WalWriter:
         self._file.write(frame)
         self._segment_bytes += len(frame)
         self._unsynced += 1
-        if self._unsynced >= self.fsync_interval:
+        if (
+            self._group_depth == 0
+            and self._unsynced >= self.fsync_interval
+        ):
             self._fsync()
         return lsn
+
+    def begin_group(self) -> None:
+        """Open a group-commit window: appends defer their fsync.
+
+        Inside the window no append fsyncs, regardless of
+        ``fsync_interval`` — every record written before the matching
+        :meth:`end_group` becomes durable together, under **one**
+        fsync.  Callers must not release durability acks for the
+        window's records until :meth:`end_group` returns.  Windows
+        nest; only the outermost ``end_group`` syncs.
+        """
+        if self._file is None:
+            raise WalError("WalWriter is closed")
+        self._group_depth += 1
+
+    def end_group(self) -> int:
+        """Close the window; returns records made durable by its fsync.
+
+        Returns 0 when the window wrote nothing (no fsync issued) or
+        when closing an inner nested window.
+        """
+        if self._group_depth <= 0:
+            raise WalError("end_group without begin_group")
+        self._group_depth -= 1
+        if self._group_depth > 0:
+            return 0
+        covered = self._unsynced
+        if covered:
+            self._fsync()
+            self.group_commits += 1
+        return covered
 
     def sync(self) -> None:
         """Force the batched fsync now (durability barrier)."""
         self._fsync()
+
+    def rotate(self) -> Path:
+        """Cut over to a fresh segment; returns the new segment path.
+
+        The old segment is fsynced and closed first.  Checkpointing
+        uses this so its marker record (and everything after it) lands
+        in a segment the subsequent truncation will keep.
+        """
+        if self._file is None:
+            raise WalError("WalWriter is closed")
+        self._rotate()
+        return self.segment_path
+
+    def truncate_through(self, lsn: int) -> int:
+        """Delete segments whose records are all ``<= lsn``.
+
+        Returns the number of segment files removed.  The current
+        (open) segment is never removed, and a segment is only removed
+        when the *next* segment proves — via its first record's lsn —
+        that no record above the threshold would be lost.  Deleting
+        prefixes is safe for the reader: replay's monotonicity check
+        only requires lsns to increase, not to start at 1.
+        """
+        if self._file is None:
+            raise WalError("WalWriter is closed")
+        segments = _list_segments(self.directory)
+        removed = 0
+        for position in range(len(segments) - 1):
+            following = segments[position + 1]
+            first_after = _first_frame_lsn(following)
+            if first_after is None or first_after > lsn + 1:
+                break
+            segments[position].unlink()
+            removed += 1
+        if removed:
+            # Make the deletions themselves durable: fsync the
+            # directory so a crash cannot resurrect half the prefix.
+            dir_fd = os.open(self.directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        return removed
 
     def close(self) -> None:
         if self._file is not None:

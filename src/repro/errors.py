@@ -114,3 +114,24 @@ class AdmissionError(ServiceError):
 
 class ServiceDrainingError(ServiceError):
     """An operation arrived after the runtime began draining."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame or binary record could not be decoded.
+
+    Covers both directions: a server rejecting a malformed, truncated,
+    or oversized binary frame (the connection answers with a typed
+    error and survives), and a client rejecting a response it cannot
+    parse.  Also raised by the journal's binary record codec when a
+    record's bytes don't decode.
+    """
+
+
+class SnapshotError(StorageError):
+    """A checkpoint snapshot file is unreadable or failed validation.
+
+    Recovery treats this as "that snapshot does not exist" and falls
+    back to the next-older snapshot (or full WAL replay); the journal
+    only raises it to a caller when *no* usable snapshot remains and
+    the WAL alone cannot reconstruct state.
+    """

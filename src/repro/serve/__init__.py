@@ -10,19 +10,25 @@ EventDriver` contract, implemented here by
 
 - :mod:`repro.serve.driver` — the asyncio
   :class:`~repro.sim.engine.EventDriver` (loop time + ``call_later``),
+- :mod:`repro.serve.wire` — the binary wire codec shared by the
+  protocol-v3 frames and the journal's binary record format (LEB128
+  varints, length-prefixed strings, reused encode buffers),
 - :mod:`repro.serve.journal` — :class:`JournaledSystem`:
   log-before-apply journalling of every mutation onto the
-  write-ahead log (:mod:`repro.cluster.storage`), and crash recovery
-  by replay — a recovered system is bit-identical to a never-crashed
-  twin,
+  write-ahead log (:mod:`repro.cluster.storage`) with group commit,
+  plus :meth:`~JournaledSystem.checkpoint` snapshots and
+  tail-only crash recovery — a recovered system is bit-identical to
+  a never-crashed twin,
+- :mod:`repro.serve.snapshot` — the CRC-framed snapshot files
+  checkpointing writes and recovery boots from,
 - :mod:`repro.serve.runtime` — :class:`ServiceRuntime`: a bounded
   single-worker queue carrying documents and control commands in one
-  total order (micro-batching, admission control, backpressure,
-  graceful drain),
+  total order (micro-batching, WAL commit windows, admission
+  control, backpressure, graceful drain),
 - :mod:`repro.serve.server` / :mod:`repro.serve.client` — the TCP
-  JSON-lines protocol (``python -m repro serve``) and its blocking
-  client, with ``repro.obs`` metrics exposed in Prometheus text
-  format.
+  front end (``python -m repro serve``) speaking both binary v3
+  frames and JSON-lines v2, and its blocking client, with
+  ``repro.obs`` metrics exposed in Prometheus text format.
 """
 
 from .client import ServiceClient, ServiceClientError
@@ -30,9 +36,11 @@ from .driver import AsyncioEventDriver
 from .journal import JournaledSystem
 from .runtime import ServeConfig, ServiceRuntime
 from .server import ServiceServer
+from .wire import BINARY_PROTOCOL_VERSION
 
 __all__ = [
     "AsyncioEventDriver",
+    "BINARY_PROTOCOL_VERSION",
     "JournaledSystem",
     "ServeConfig",
     "ServiceRuntime",

@@ -1,20 +1,33 @@
-"""Blocking client for the JSON-lines service protocol.
+"""Blocking client for the service protocols (binary v3 and JSON).
 
-A thin stdlib-socket wrapper over the protocol of
+A thin stdlib-socket wrapper over the protocols of
 :mod:`repro.serve.server`, for scripts, smoke tests, and operators'
 one-liners — anything that does not want an event loop of its own.
-Each call sends one request line and blocks for its response line;
-error responses raise :class:`ServiceClientError` carrying the
-server-side exception name.
+Each call sends one request and blocks for its response; error
+responses raise :class:`ServiceClientError` carrying the server-side
+exception name.
+
+By default the client *negotiates*: it opens with the binary hello
+line and, if the server answers with a JSON error (the signature of
+a pre-v3 or binary-disabled server), falls back to JSON-lines
+transparently.  ``protocol="json"`` skips the hello entirely;
+``protocol="binary"`` makes fallback an error instead.  On a binary
+connection the hot calls (:meth:`ingest`, :meth:`ingest_batch`,
+:meth:`register_query`) go as compact frames through one reused
+encode buffer, and everything else rides a JSON envelope frame —
+the whole surface works on either transport.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+from collections import Counter
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
-from ..errors import ServiceError
+from ..errors import ProtocolError, ServiceError
+from . import wire
+from .wire import WireDecoder, WireEncoder
 
 
 class ServiceClientError(ServiceError):
@@ -39,18 +52,54 @@ class ServiceClient:
     client-side error instead of an opaque server one.
     """
 
-    #: Highest protocol version this client speaks.
+    #: Highest JSON protocol version this client speaks.
     PROTOCOL_VERSION = 2
+    #: Highest binary protocol version this client speaks.
+    BINARY_PROTOCOL_VERSION = wire.BINARY_PROTOCOL_VERSION
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 10.0,
+        protocol: str = "auto",
     ) -> None:
+        if protocol not in ("auto", "binary", "json"):
+            raise ServiceError(
+                f"protocol must be 'auto', 'binary', or 'json', "
+                f"got {protocol!r}"
+            )
         self._sock = socket.create_connection(
             (host, port), timeout=timeout
         )
         self._file = self._sock.makefile("rwb")
-        response = self.request({"op": "ping"})
-        self.server_protocol = int(response.get("protocol", 1))
+        #: True once binary framing was negotiated.
+        self.binary = False
+        #: Binary protocol version the server speaks (0 on JSON).
+        self.server_binary_protocol = 0
+        self._enc = WireEncoder()
+        if protocol in ("auto", "binary"):
+            self._negotiate_binary(must_succeed=protocol == "binary")
+        if self.binary:
+            versions = self._binary_ping()
+            self.server_binary_protocol, self.server_protocol = versions
+            if (
+                self.server_binary_protocol
+                > self.BINARY_PROTOCOL_VERSION
+            ):
+                self.close()
+                raise ServiceError(
+                    f"server speaks binary protocol "
+                    f"{self.server_binary_protocol}, newer than this "
+                    f"client (max {self.BINARY_PROTOCOL_VERSION}); "
+                    "upgrade the client"
+                )
+        else:
+            response = self.request({"op": "ping"})
+            self.server_protocol = int(response.get("protocol", 1))
+            self.server_binary_protocol = int(
+                response.get("binary_protocol", 0)
+            )
         if self.server_protocol > self.PROTOCOL_VERSION:
             self.close()
             raise ServiceError(
@@ -61,19 +110,90 @@ class ServiceClient:
 
     # -- plumbing ---------------------------------------------------------
 
+    def _negotiate_binary(self, must_succeed: bool) -> None:
+        """Send the hello; flip to binary if the server acks.
+
+        A pre-v3 (or binary-disabled) server parses the hello as a
+        broken JSON line and answers ``{"ok": false, ...}`` — read
+        as the fallback signal.  Anything else on the wire is a
+        protocol violation.
+        """
+        self._file.write(wire.HELLO)
+        self._file.flush()
+        response = self._file.readline()
+        if response == wire.HELLO_ACK:
+            self.binary = True
+            return
+        if must_succeed:
+            self.close()
+            raise ServiceError(
+                "server declined binary negotiation and "
+                "protocol='binary' forbids JSON fallback"
+            )
+        if not response.startswith(b"{"):
+            self.close()
+            raise ProtocolError(
+                f"unexpected negotiation response {response[:40]!r}"
+            )
+        # JSON error line consumed; the connection continues as
+        # plain JSON-lines from here.
+
+    def _binary_ping(self) -> tuple:
+        enc = self._enc.reset()
+        enc.u8(wire.OP_PING)
+        dec = self._roundtrip_frame(enc.frame())
+        return dec.varint(), dec.varint()
+
+    def _roundtrip_frame(self, frame: bytes) -> WireDecoder:
+        """Send one frame; return a decoder past the OK status byte.
+
+        Error frames raise :class:`ServiceClientError` with the
+        server-side exception name, exactly like JSON error objects.
+        """
+        self._file.write(frame)
+        self._file.flush()
+        header = self._file.read(4)
+        if len(header) < 4:
+            raise ServiceError("server closed the connection")
+        length = wire.split_header(header)
+        if length > wire.MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"response frame of {length} bytes exceeds the "
+                f"{wire.MAX_FRAME_BYTES}-byte limit"
+            )
+        payload = self._file.read(length)
+        if len(payload) < length:
+            raise ServiceError("server closed the connection")
+        dec = WireDecoder(payload)
+        status = dec.u8()
+        if status == wire.STATUS_OK:
+            return dec
+        if status == wire.STATUS_ERROR:
+            error, message = wire.decode_error(dec)
+            raise ServiceClientError(error, message)
+        raise ProtocolError(f"unknown response status {status:#04x}")
+
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request object; return the decoded response.
 
-        Raises :class:`ServiceClientError` on an error response.
+        On a binary connection the object rides a JSON envelope
+        frame; either way an error response raises
+        :class:`ServiceClientError`.
         """
-        self._file.write(
-            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
-        )
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ServiceError("server closed the connection")
-        response = json.loads(line)
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if self.binary:
+            enc = self._enc.reset()
+            enc.u8(wire.OP_JSON)
+            enc.raw(encoded)
+            dec = self._roundtrip_frame(enc.frame())
+            response = json.loads(dec.string())
+        else:
+            self._file.write(encoded + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+            if not line:
+                raise ServiceError("server closed the connection")
+            response = json.loads(line)
         if not response.get("ok", False):
             raise ServiceClientError(
                 response.get("error", "unknown"),
@@ -135,6 +255,21 @@ class ServiceClient:
                 "register_query needs a protocol>=2 server; this one "
                 f"speaks protocol {self.server_protocol}"
             )
+        if self.binary:
+            if query_id is None:
+                item: Any = query
+            elif owner:
+                item = (str(query_id), query, owner)
+            else:
+                item = (str(query_id), query)
+            enc = self._enc.reset()
+            enc.u8(wire.OP_SUBSCRIBE)
+            enc.varint(1)
+            wire.encode_subscribe_item(enc, item)
+            dec = self._roundtrip_frame(enc.frame())
+            count = dec.varint()
+            ids = [dec.string() for _ in range(count)]
+            return ids[0]
         payload: Dict[str, Any] = {"op": "register_query", "query": query}
         if query_id is not None:
             payload["query_id"] = query_id
@@ -148,6 +283,26 @@ class ServiceClient:
     def finalize(self) -> None:
         self.request({"op": "finalize"})
 
+    @staticmethod
+    def _counts(
+        terms: Optional[Iterable[str]],
+        term_counts: Optional[Mapping[str, int]],
+    ) -> Dict[str, int]:
+        if term_counts is not None:
+            return {t: int(c) for t, c in term_counts.items()}
+        if terms is not None:
+            return dict(Counter(terms))
+        raise ServiceError("ingest needs terms or term_counts")
+
+    def _encode_doc_body(
+        self, enc: WireEncoder, doc_id: str, counts: Dict[str, int]
+    ) -> None:
+        enc.string(doc_id)
+        enc.varint(len(counts))
+        for term in sorted(counts):
+            enc.string(term)
+            enc.varint(counts[term])
+
     def ingest(
         self,
         doc_id: str,
@@ -156,6 +311,14 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         """Publish one document; returns the plan summary
         (``matched`` filter ids, ``fanout``, ``posting_entries``)."""
+        if self.binary:
+            counts = self._counts(terms, term_counts)
+            enc = self._enc.reset()
+            enc.u8(wire.OP_INGEST)
+            self._encode_doc_body(enc, doc_id, counts)
+            dec = self._roundtrip_frame(enc.frame())
+            summary = wire.decode_plan_summary(dec)
+            return {"ok": True, "doc_id": doc_id, **summary}
         payload: Dict[str, Any] = {"op": "ingest", "doc_id": doc_id}
         if term_counts is not None:
             payload["term_counts"] = dict(term_counts)
@@ -164,6 +327,36 @@ class ServiceClient:
         else:
             raise ServiceError("ingest needs terms or term_counts")
         return self.request(payload)
+
+    def ingest_batch(
+        self, docs: Iterable[Mapping[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Publish documents in one round trip; summaries in order.
+
+        Each entry carries ``doc_id`` plus ``terms`` or
+        ``term_counts``, the same shapes :meth:`ingest` takes.
+        """
+        entries = list(docs)
+        if not entries:
+            return []
+        if self.binary:
+            enc = self._enc.reset()
+            enc.u8(wire.OP_INGEST_BATCH)
+            enc.varint(len(entries))
+            for entry in entries:
+                counts = self._counts(
+                    entry.get("terms"), entry.get("term_counts")
+                )
+                self._encode_doc_body(enc, entry["doc_id"], counts)
+            dec = self._roundtrip_frame(enc.frame())
+            plans = wire.decode_plans(dec)
+            for entry, plan in zip(entries, plans):
+                plan["doc_id"] = entry["doc_id"]
+            return plans
+        response = self.request(
+            {"op": "ingest_batch", "docs": entries}
+        )
+        return list(response["plans"])
 
     def reallocate(
         self,
@@ -184,6 +377,11 @@ class ServiceClient:
     def metrics(self) -> str:
         """The Prometheus text exposition."""
         return self.request({"op": "metrics"})["metrics"]
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Ask the server to checkpoint its journal; returns the
+        summary (lsn, snapshot path, segments removed, seconds)."""
+        return self.request({"op": "checkpoint"})
 
     def matched_ids(self, doc_id: str, terms: Iterable[str]) -> List[str]:
         """Convenience: just the matched filter ids for one document."""

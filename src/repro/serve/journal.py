@@ -40,13 +40,25 @@ recovery.
 from __future__ import annotations
 
 import json
+import pickle
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..cluster.storage import WalReader, WalWriter, _list_segments
-from ..errors import WalError
+from ..errors import SnapshotError, WalCorruptionError, WalError
 from ..experiments.harness import build_cluster, make_system
 from ..model import Document, Filter, Subscription
+from ..obs import NULL_TRACER, get_default_tracer
+from ..sim.engine import PERF_CLOCK
+from .snapshot import (
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    snapshot_lsn,
+    write_snapshot,
+)
+from .wire import RECORD_MAGIC, WireEncoder, decode_record, encode_record
 
 
 def _encode_filter(profile: Filter) -> Dict[str, Any]:
@@ -127,6 +139,57 @@ def _decode_document(data: Dict[str, Any]) -> Document:
     )
 
 
+def _decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Decode one journal payload, JSON or binary.
+
+    One byte discriminates: binary records start with
+    :data:`~repro.serve.wire.RECORD_MAGIC`, JSON records with ``{``.
+    Journals written before the binary codec existed are all-JSON and
+    replay unchanged.
+    """
+    if payload and payload[0] == RECORD_MAGIC:
+        return decode_record(payload)
+    return json.loads(payload)
+
+
+def _is_sorted(terms: Sequence[str]) -> bool:
+    return all(terms[i] <= terms[i + 1] for i in range(len(terms) - 1))
+
+
+def _canonical_document(document: Document) -> Document:
+    """``document`` with term_counts in sorted insertion order.
+
+    The binary journal path applies the *same object* it encodes, so
+    the object must already be in the canonical order a replay decode
+    will reconstruct — otherwise live and recovered twins would
+    iterate ``term_counts`` differently.  Documents decoded by the
+    wire protocol arrive sorted already, so the common service path
+    takes the no-copy branch.
+    """
+    counts = document.term_counts
+    terms = list(counts)
+    if _is_sorted(terms):
+        return document
+    ordered = {term: counts[term] for term in sorted(terms)}
+    return Document(
+        doc_id=document.doc_id,
+        terms=frozenset(ordered),
+        term_counts=ordered,
+    )
+
+
+def _canonical_subscribe_item(item: Any) -> Any:
+    """Match the JSON codec's normalization for the binary path.
+
+    Tuples are str-ified at encode time (the JSON codec did the same
+    via ``[str(v) for v in item]``), so the live apply must see the
+    str-ified form too.  Every other item kind round-trips as-is.
+    """
+    if isinstance(item, tuple):
+        return tuple(str(v) for v in item)
+    return item
+
+
 class JournaledSystem:
     """A dissemination system with log-before-apply durability.
 
@@ -154,19 +217,42 @@ class JournaledSystem:
         threshold: Optional[float] = None,
         segment_max_bytes: int = 1 << 20,
         fsync_interval: int = 1,
+        snapshot_retain: int = 2,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        if snapshot_retain < 1:
+            raise WalError(
+                f"snapshot_retain must be >= 1, got {snapshot_retain}"
+            )
+        self.snapshot_retain = snapshot_retain
         self.last_applied_lsn = 0
         #: Records whose replay raised an application-level error and
         #: was skipped (each corresponds to a live operation that also
         #: failed); nonzero after a recovery over such a history.
         self.replay_skipped = 0
+        #: Records actually applied by the last recovery (with a
+        #: snapshot boot, only the post-checkpoint tail).
+        self.recovery_replayed_records = 0
+        #: Wall seconds the last recovery took (0.0 for a fresh boot).
+        self.recovery_seconds = 0.0
+        #: lsn of the snapshot recovery booted from, or None.
+        self.recovered_from_snapshot_lsn: Optional[int] = None
+        #: Snapshot files recovery tried and rejected as unreadable.
+        self.snapshots_skipped = 0
+        #: Checkpoint accounting, updated by :meth:`checkpoint`.
+        self.checkpoints = 0
+        self.last_checkpoint_lsn = 0
+        self.last_checkpoint_seconds = 0.0
+        self.last_checkpoint_bytes = 0
+        self.last_checkpoint_segments_removed = 0
+        #: Reused encode buffer for the binary record codec.
+        self._enc = WireEncoder()
         recovered = False
-        if _list_segments(self.directory):
-            reader = WalReader(self.directory)
-            reader.repair()
-            recovered = self._recover(reader)
+        if _list_segments(self.directory) or list_snapshots(
+            self.directory
+        ):
+            recovered = self._recover()
         if not recovered:
             self.setup = {
                 "scheme": scheme,
@@ -202,14 +288,57 @@ class JournaledSystem:
             setup["scheme"], cluster, config, threshold=setup["threshold"]
         )
 
-    def _recover(self, reader: WalReader) -> bool:
-        """Rebuild from the journal; False if it holds no records.
+    def _recover(self) -> bool:
+        """Rebuild from snapshots + journal; False if neither exists.
 
-        Segment files with zero replayable records are the trace of a
-        crash between creating the first segment and making the setup
-        record durable — no state was ever recoverable, so the caller
-        falls back to a fresh start instead of refusing to boot.
+        Boots from the newest loadable snapshot and replays only the
+        WAL tail above its lsn; an unreadable snapshot is skipped in
+        favour of the next older one, and with no usable snapshot the
+        full-history replay runs as before.  Segment files with zero
+        replayable records (and no snapshot) are the trace of a crash
+        before the setup record was durable — the caller falls back
+        to a fresh start instead of refusing to boot.
         """
+        started = time.perf_counter()
+        reader = WalReader(self.directory)
+        reader.repair()
+        tracer = get_default_tracer()
+        with tracer.span("recovery", directory=str(self.directory)):
+            if self._recover_from_snapshot(reader):
+                self.recovery_seconds = time.perf_counter() - started
+                return True
+            if self._recover_full(reader):
+                self.recovery_seconds = time.perf_counter() - started
+                return True
+        return False
+
+    def _recover_from_snapshot(self, reader: WalReader) -> bool:
+        for path in reversed(list_snapshots(self.directory)):
+            try:
+                lsn, payload = load_snapshot(path)
+                setup, system = pickle.loads(payload)
+            except SnapshotError:
+                self.snapshots_skipped += 1
+                continue
+            except Exception:
+                # CRC passed but the pickle won't load (e.g. state
+                # written by an incompatible code version) — same
+                # treatment as damage: try the next older snapshot.
+                self.snapshots_skipped += 1
+                continue
+            self.setup = setup
+            self.system = system
+            # The snapshot was pickled with neutral attachments; give
+            # the revived system the process's current tracer (the
+            # runtime re-installs its clock on start()).
+            self.system.tracer = get_default_tracer()
+            self.last_applied_lsn = lsn
+            self.recovered_from_snapshot_lsn = lsn
+            self._replay_tail(reader, after=lsn)
+            return True
+        return False
+
+    def _recover_full(self, reader: WalReader) -> bool:
         records = iter(reader.replay())
         try:
             lsn, payload = next(records)
@@ -219,14 +348,42 @@ class JournaledSystem:
         if first.get("op") != "setup":
             raise WalError(
                 f"{self.directory}: first journal record is "
-                f"{first.get('op')!r}, expected 'setup'"
+                f"{first.get('op')!r}, expected 'setup' — with no "
+                "usable snapshot, a truncated journal cannot be "
+                "replayed from scratch"
             )
         self.setup = {k: v for k, v in first.items() if k != "op"}
         self.system = self._build(self.setup)
         self.last_applied_lsn = lsn
         for lsn, payload in records:
-            self.replay_record(lsn, json.loads(payload))
+            if self.replay_record(lsn, _decode_payload(payload)):
+                self.recovery_replayed_records += 1
         return True
+
+    def _replay_tail(self, reader: WalReader, after: int) -> None:
+        """Replay every record above ``after``, verifying contiguity.
+
+        The writer assigns lsns with no holes, so the tail above a
+        snapshot must start at ``after + 1`` and increase by exactly
+        one — a gap means segments holding unreplayed records were
+        lost (e.g. truncation outran the snapshots that justified it)
+        and silently skipping it would diverge from the uncrashed
+        twin.  Records at or below ``after`` are skipped without even
+        decoding their payloads.
+        """
+        expected = after + 1
+        for lsn, payload in reader.replay():
+            if lsn <= after:
+                continue
+            if lsn != expected:
+                raise WalCorruptionError(
+                    f"{self.directory}: journal tail jumps from lsn "
+                    f"{expected - 1} to {lsn}; records in between "
+                    "were lost"
+                )
+            expected += 1
+            if self.replay_record(lsn, _decode_payload(payload)):
+                self.recovery_replayed_records += 1
 
     def replay_record(self, lsn: int, record: Dict[str, Any]) -> bool:
         """Apply one decoded record; False if already applied.
@@ -253,18 +410,36 @@ class JournaledSystem:
     # -- the single apply path --------------------------------------------
 
     def _apply(self, record: Dict[str, Any]) -> Any:
+        """Apply one record, in JSON-dict or binary-decoded form.
+
+        The hot ops arrive in two shapes: the JSON codec's dicts (from
+        old journals and the non-hot live path) and the binary codec's
+        model objects (from binary journals and the binary live path).
+        Both shapes construct identical apply inputs — the binary
+        decoder builds documents/filters in the same canonical sorted
+        order the JSON decoder does.
+        """
         op = record["op"]
         system = self.system
+        if op == "publish_batch":
+            docs = record["docs"]
+            if docs and isinstance(docs[0], dict):
+                docs = [_decode_document(d) for d in docs]
+            return system.publish_batch(docs)
         if op == "register":
             return system._admit_one(_decode_filter(record["filter"]))
         if op == "register_batch":
-            return system._admit_batch(
-                [_decode_filter(f) for f in record["filters"]]
-            )
+            profiles = record["filters"]
+            if profiles and isinstance(profiles[0], dict):
+                profiles = [_decode_filter(f) for f in profiles]
+            return system._admit_batch(profiles)
         if op == "subscribe":
+            items = [
+                _decode_subscribe_item(i) if isinstance(i, dict) else i
+                for i in record["items"]
+            ]
             return system.subscribe(
-                [_decode_subscribe_item(i) for i in record["items"]],
-                chunk_size=record.get("chunk_size"),
+                items, chunk_size=record.get("chunk_size")
             )
         if op == "unregister":
             return system.unregister(record["filter_id"])
@@ -281,23 +456,43 @@ class JournaledSystem:
             )
         if op == "rebalance":
             return system.rebalance()
-        if op == "publish_batch":
-            return system.publish_batch(
-                [_decode_document(d) for d in record["docs"]]
-            )
+        if op == "checkpoint":
+            # A marker, not a mutation: it records that a snapshot at
+            # record["lsn"] exists so operators can correlate the log
+            # with snapshot files.  Replay applies nothing.
+            return None
         raise WalError(f"unknown journal op {op!r}")
 
     def _log_and_apply(self, record: Dict[str, Any]) -> Any:
-        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        # The encoders above emit only JSON-pure values with sorted
+        # structures, so ``record == json.loads(json.dumps(record))``
+        # holds and the record can be applied directly — one encode
+        # for the log, no sort_keys re-canonicalization, no decode
+        # round-trip on the live path.  Replay still applies the
+        # loads() form, which is the same structure by construction.
+        payload = json.dumps(record).encode("utf-8")
         lsn = self._writer.append(payload)
         try:
-            # Apply the *decoded* form so the live path and crash
-            # replay execute identical inputs.
-            return self._apply(json.loads(payload))
+            return self._apply(record)
         finally:
             # The record is in the log whether or not apply raised;
             # the cursor tracks the log, and replay_record survives
             # failed records the same way the live path did.
+            self.last_applied_lsn = lsn
+
+    def _log_binary_and_apply(self, record: Dict[str, Any]) -> Any:
+        """Hot-op twin of :meth:`_log_and_apply`: binary record codec.
+
+        ``record`` carries live model objects; the codec canonicalizes
+        them into bytes once, and the same objects are applied — valid
+        because callers pre-canonicalize (sorted term order, str-ified
+        tuples) so encode → decode reconstructs equal inputs.
+        """
+        payload = encode_record(self._enc, record)
+        lsn = self._writer.append(payload)
+        try:
+            return self._apply(record)
+        finally:
             self.last_applied_lsn = lsn
 
     # -- journalled mutations ---------------------------------------------
@@ -310,10 +505,12 @@ class JournaledSystem:
         )
 
     def register_batch(self, profiles: Iterable[Filter]) -> None:
-        batch = [_encode_filter(p) for p in profiles]
+        batch = list(profiles)
         if not batch:
             return
-        self._log_and_apply({"op": "register_batch", "filters": batch})
+        self._log_binary_and_apply(
+            {"op": "register_batch", "filters": batch}
+        )
 
     # The runtime command table targets the non-warning admission
     # names uniformly across journalled and bare backends.
@@ -323,13 +520,13 @@ class JournaledSystem:
     def subscribe(
         self, items: Iterable[Any], *, chunk_size: Optional[int] = None
     ) -> List[str]:
-        encoded = [_encode_subscribe_item(i) for i in items]
-        if not encoded:
+        canonical = [_canonical_subscribe_item(i) for i in items]
+        if not canonical:
             return []
-        return self._log_and_apply(
+        return self._log_binary_and_apply(
             {
                 "op": "subscribe",
-                "items": encoded,
+                "items": canonical,
                 "chunk_size": chunk_size,
             }
         )
@@ -372,10 +569,10 @@ class JournaledSystem:
     def publish_batch(self, documents: Sequence[Document]) -> List:
         if not documents:
             return []
-        return self._log_and_apply(
+        return self._log_binary_and_apply(
             {
                 "op": "publish_batch",
-                "docs": [_encode_document(d) for d in documents],
+                "docs": [_canonical_document(d) for d in documents],
             }
         )
 
@@ -389,7 +586,105 @@ class JournaledSystem:
                 f"{op!r}"
             )
 
+    # -- checkpoint / compaction -------------------------------------------
+
+    def _pickle_state(self) -> bytes:
+        """Pickle ``(setup, system)`` with neutral attachments.
+
+        The service runtime installs its asyncio event-loop clock on
+        the pipeline and may install a live tracer with sink
+        callables; neither survives pickling.  Both are swapped for
+        process-neutral defaults for the duration of the dump and
+        restored after — the snapshot captures pure dissemination
+        state (slab columns, postings, RNG streams), never plumbing.
+        """
+        system = self.system
+        engine = getattr(system, "_engine", None)
+        saved_clock = engine.clock if engine is not None else None
+        saved_tracer = getattr(system, "tracer", None)
+        try:
+            if engine is not None:
+                engine.clock = PERF_CLOCK
+            if saved_tracer is not None:
+                system.tracer = NULL_TRACER
+            return pickle.dumps(
+                (self.setup, system),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        finally:
+            if engine is not None:
+                engine.clock = saved_clock
+            if saved_tracer is not None:
+                system.tracer = saved_tracer
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot state, mark the log, and drop replayed segments.
+
+        The sequence is crash-safe at every point:
+
+        1. ``sync()`` — everything at or below the snapshot lsn is
+           durable before the snapshot can claim it;
+        2. write the snapshot (temp + fsync + atomic rename) — a
+           crash mid-write leaves the previous snapshot authoritative;
+        3. rotate to a fresh segment and log a ``checkpoint`` marker
+           (a replay no-op) — a crash before the marker just means
+           the tail replay starts from the snapshot with no marker;
+        4. prune snapshots to ``snapshot_retain``, then truncate
+           segments fully below the **oldest retained** snapshot —
+           never below the newest, so a latently corrupt newest
+           snapshot still recovers from the older one plus tail.
+
+        Returns a summary dict (lsn, snapshot path, segments removed,
+        bytes, seconds); the same numbers land on the
+        ``last_checkpoint_*`` attributes for the metrics surface.
+        """
+        started = time.perf_counter()
+        tracer = getattr(self.system, "tracer", None) or NULL_TRACER
+        with tracer.span(
+            "checkpoint", directory=str(self.directory)
+        ):
+            self._writer.sync()
+            lsn = self.last_applied_lsn
+            payload = self._pickle_state()
+            path = write_snapshot(self.directory, lsn, payload)
+            self._writer.rotate()
+            self._log_and_apply({"op": "checkpoint", "lsn": lsn})
+            self._writer.sync()
+            prune_snapshots(
+                self.directory, retain=self.snapshot_retain
+            )
+            retained = list_snapshots(self.directory)
+            removed = self._writer.truncate_through(
+                snapshot_lsn(retained[0])
+            )
+        elapsed = time.perf_counter() - started
+        self.checkpoints += 1
+        self.last_checkpoint_lsn = lsn
+        self.last_checkpoint_seconds = elapsed
+        self.last_checkpoint_bytes = len(payload)
+        self.last_checkpoint_segments_removed = removed
+        return {
+            "lsn": lsn,
+            "snapshot": str(path),
+            "bytes": len(payload),
+            "segments_removed": removed,
+            "seconds": elapsed,
+        }
+
     # -- durability plumbing ----------------------------------------------
+
+    @property
+    def writer(self) -> WalWriter:
+        """The underlying WAL writer (fsync/group-commit counters)."""
+        return self._writer
+
+    def begin_commit_window(self) -> None:
+        """Open a WAL group-commit window (see ``WalWriter``)."""
+        self._writer.begin_group()
+
+    def end_commit_window(self) -> int:
+        """Close the window with one fsync; records made durable."""
+        return self._writer.end_group()
 
     def sync(self) -> None:
         """Force the batched fsync (durability barrier)."""

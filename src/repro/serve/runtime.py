@@ -72,6 +72,20 @@ class ServeConfig:
     #: Seconds between periodic allocation refreshes (MOVE's
     #: 10-minute timer); ``None`` disables the timer.
     reallocate_interval: Optional[float] = None
+    #: Drift threshold the periodic refresh hands to ``reallocate``;
+    #: ``None`` defers to the system's configured epsilon.  Refreshes
+    #: never force — a tick below the drift gate is counted as
+    #: skipped, not executed.
+    drift_epsilon: Optional[float] = None
+    #: Coalesce every WAL append of one worker drain cycle into a
+    #: single fsync (durability acks released together).  Disable to
+    #: get the one-fsync-per-append behaviour of fsync_interval=1.
+    wal_group_commit: bool = True
+    #: Seconds between automatic ``checkpoint()`` calls; ``None``
+    #: leaves checkpointing to explicit operator commands.
+    checkpoint_interval: Optional[float] = None
+    #: Snapshot files kept on disk after each checkpoint.
+    snapshot_retain: int = 2
 
     def __post_init__(self) -> None:
         if self.queue_capacity <= 0:
@@ -95,6 +109,23 @@ class ServeConfig:
             raise ServiceError(
                 f"reallocate_interval must be positive, got "
                 f"{self.reallocate_interval}"
+            )
+        if self.drift_epsilon is not None and self.drift_epsilon < 0:
+            raise ServiceError(
+                f"drift_epsilon must be non-negative, got "
+                f"{self.drift_epsilon}"
+            )
+        if self.checkpoint_interval is not None and (
+            self.checkpoint_interval <= 0
+        ):
+            raise ServiceError(
+                f"checkpoint_interval must be positive, got "
+                f"{self.checkpoint_interval}"
+            )
+        if self.snapshot_retain < 1:
+            raise ServiceError(
+                f"snapshot_retain must be >= 1, got "
+                f"{self.snapshot_retain}"
             )
 
 
@@ -127,6 +158,7 @@ class ServiceRuntime:
                 threshold=self.config.threshold,
                 segment_max_bytes=self.config.segment_max_bytes,
                 fsync_interval=self.config.fsync_interval,
+                snapshot_retain=self.config.snapshot_retain,
             )
             self.system = self.journal.system
         else:
@@ -153,6 +185,7 @@ class ServiceRuntime:
         self._queue: Optional["asyncio.Queue[_Item]"] = None
         self._worker: Optional["asyncio.Task"] = None
         self._refresh_handle = None
+        self._checkpoint_handle = None
         self._draining = False
 
     # -- lifecycle --------------------------------------------------------
@@ -192,6 +225,14 @@ class ServiceRuntime:
                     "reallocate; unset reallocate_interval"
                 )
             self._arm_refresh()
+        if self.config.checkpoint_interval is not None:
+            if self.journal is None:
+                await self.drain()
+                raise ServiceError(
+                    "checkpoint_interval requires a journal "
+                    "(set wal_dir)"
+                )
+            self._arm_checkpoint()
 
     async def drain(self) -> None:
         """Stop intake, finish accepted work, stop the worker."""
@@ -201,6 +242,9 @@ class ServiceRuntime:
         if self._refresh_handle is not None:
             self._refresh_handle.cancel()
             self._refresh_handle = None
+        if self._checkpoint_handle is not None:
+            self._checkpoint_handle.cancel()
+            self._checkpoint_handle = None
         loop = asyncio.get_running_loop()
         stop = _Item("stop", None, loop.create_future())
         await self._queue.put(stop)
@@ -254,6 +298,45 @@ class ServiceRuntime:
         self.metrics.counter("serve.ingested").add()
         return await future
 
+    async def ingest_batch(self, documents: List[Document]) -> List:
+        """Queue a batch of documents; returns their plans in order.
+
+        One admission decision covers the whole batch (shed all or
+        accept all); acceptance then enqueues per document, so the
+        worker's micro-batcher and WAL commit window see the batch as
+        contiguous items and backpressure still applies per slot.
+        """
+        if not documents:
+            return []
+        self._check_intake()
+        if self.config.admission_high_watermark < 1.0:
+            watermark = max(
+                1,
+                int(
+                    self.config.admission_high_watermark
+                    * self.config.queue_capacity
+                ),
+            )
+            if self._queue.qsize() >= watermark:
+                self.metrics.counter("serve.shed").add(
+                    float(len(documents))
+                )
+                raise AdmissionError(
+                    f"ingest queue at admission watermark "
+                    f"({self._queue.qsize()}/"
+                    f"{self.config.queue_capacity})"
+                )
+        loop = asyncio.get_running_loop()
+        futures = []
+        for document in documents:
+            future = loop.create_future()
+            await self._queue.put(_Item("doc", document, future))
+            futures.append(future)
+        self.metrics.counter("serve.ingested").add(
+            float(len(documents))
+        )
+        return list(await asyncio.gather(*futures))
+
     async def command(self, op: str, *args: Any):
         """Queue one control command; returns its result.
 
@@ -278,25 +361,70 @@ class ServiceRuntime:
     async def unregister(self, filter_id: str) -> Filter:
         return await self.command("unregister", filter_id)
 
+    async def checkpoint(self) -> dict:
+        """Checkpoint the journal via the worker (total-order safe)."""
+        if self.journal is None:
+            raise ServiceError(
+                "checkpoint requires a journal (set wal_dir)"
+            )
+        return await self.command("checkpoint")
+
     # -- the worker -------------------------------------------------------
 
     async def _run(self) -> None:
         queue = self._queue
+        journal = self.journal
+        group = journal is not None and self.config.wal_group_commit
         while True:
             item = await queue.get()
-            if item.kind == "doc":
-                batch, trailing = self._collect_batch(item)
-                self._publish(batch)
-                item = trailing
-            if item is not None:
-                if item.kind == "stop":
-                    item.future.set_result(None)
-                    return
-                self._execute_command(item)
+            #: Deferred acks: ``(future, ok, plan-or-exception)``.
+            #: Futures resolve only after the commit window closes, so
+            #: no producer observes success before its record's fsync.
+            ready: List[Tuple["asyncio.Future", bool, Any]] = []
+            stop: Optional[_Item] = None
+            if group:
+                journal.begin_commit_window()
+            try:
+                # Drain the whole backlog under one durability window.
+                # Nothing awaits inside, so the queue cannot refill
+                # mid-window: the window is exactly the items queued
+                # when the worker woke (bounded by queue_capacity),
+                # and they all share a single fsync.
+                while item is not None:
+                    if item.kind == "doc":
+                        batch, item = self._collect_batch(item)
+                        self._publish(batch, ready)
+                        if item is None:
+                            item = self._next_nowait()
+                        continue
+                    if item.kind == "stop":
+                        stop = item
+                        break
+                    self._execute_command(item, ready)
+                    item = self._next_nowait()
+            finally:
+                if group:
+                    journal.end_commit_window()
+            for future, ok, value in ready:
+                if future.done():
+                    continue
+                if ok:
+                    future.set_result(value)
+                else:
+                    future.set_exception(value)
+            if stop is not None:
+                stop.future.set_result(None)
+                return
             self.metrics.gauge("serve.queue_depth").set(queue.qsize())
             # Yield so producers blocked in put() make progress even
             # under a steady stream of ready items.
             await asyncio.sleep(0)
+
+    def _next_nowait(self) -> Optional[_Item]:
+        try:
+            return self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
 
     def _collect_batch(
         self, first: _Item
@@ -321,7 +449,11 @@ class ServiceRuntime:
                 break
         return batch, trailing
 
-    def _publish(self, batch: List[_Item]) -> None:
+    def _publish(
+        self,
+        batch: List[_Item],
+        ready: List[Tuple["asyncio.Future", bool, Any]],
+    ) -> None:
         documents = [item.payload for item in batch]
         self.metrics.counter("serve.batches").add()
         self.metrics.histogram(
@@ -331,23 +463,23 @@ class ServiceRuntime:
             plans = self._backend.publish_batch(documents)
         except Exception as error:  # surface to every waiting producer
             for item in batch:
-                if not item.future.done():
-                    item.future.set_exception(error)
+                ready.append((item.future, False, error))
             return
         for item, plan in zip(batch, plans):
-            if not item.future.done():
-                item.future.set_result(plan)
+            ready.append((item.future, True, plan))
 
-    def _execute_command(self, item: _Item) -> None:
+    def _execute_command(
+        self,
+        item: _Item,
+        ready: List[Tuple["asyncio.Future", bool, Any]],
+    ) -> None:
         try:
             method = getattr(self._backend, self._COMMANDS[item.kind])
             result = method(*item.payload)
         except Exception as error:
-            if not item.future.done():
-                item.future.set_exception(error)
+            ready.append((item.future, False, error))
             return
-        if not item.future.done():
-            item.future.set_result(result)
+        ready.append((item.future, True, result))
 
     _COMMANDS = {
         # The v1 register ops target the non-warning admission names
@@ -360,6 +492,7 @@ class ServiceRuntime:
         "seed_frequencies": "seed_frequencies",
         "reallocate": "reallocate",
         "rebalance": "rebalance",
+        "checkpoint": "checkpoint",
     }
 
     # -- periodic refresh -------------------------------------------------
@@ -379,17 +512,85 @@ class ServiceRuntime:
 
     async def _refresh(self) -> None:
         try:
-            await self.command("reallocate")
-            self.metrics.counter("serve.refreshes").add()
+            # Never force: the periodic timer proposes, the drift gate
+            # disposes.  An epsilon of None defers to the system's
+            # configured allocation.drift_epsilon.
+            report = await self.command(
+                "reallocate", False, self.config.drift_epsilon
+            )
         except ReproError:
             # A refresh racing a drain (or any backend refusal) is a
             # skipped tick, not a worker-killing failure.
             self.metrics.counter("serve.refresh_errors").add()
+            return
+        if getattr(report, "skipped", False):
+            self.metrics.counter(
+                "serve.reallocations_skipped"
+            ).add()
+        else:
+            self.metrics.counter("serve.refreshes").add()
+
+    def _arm_checkpoint(self) -> None:
+        interval = self.config.checkpoint_interval
+        assert interval is not None
+
+        def fire() -> None:
+            if self._draining or self._queue is None:
+                return
+            task = asyncio.ensure_future(self._checkpoint_tick())
+            task.add_done_callback(lambda _t: None)
+            self._arm_checkpoint()
+
+        self._checkpoint_handle = self.driver.schedule(interval, fire)
+
+    async def _checkpoint_tick(self) -> None:
+        try:
+            await self.checkpoint()
+        except ReproError:
+            self.metrics.counter("serve.checkpoint_errors").add()
 
     # -- scrape surface ---------------------------------------------------
 
+    def _export_wal_gauges(self) -> None:
+        """Copy journal/WAL accounting onto the metrics registry.
+
+        Pulled at scrape time instead of pushed per append: the hot
+        path touches plain ints on the writer, and the registry only
+        pays when someone looks.
+        """
+        journal = self.journal
+        if journal is None:
+            return
+        writer = journal.writer
+        gauge = self.metrics.gauge
+        gauge("serve.wal_fsyncs").set(float(writer.fsyncs))
+        gauge("serve.wal_group_commits").set(
+            float(writer.group_commits)
+        )
+        per_fsync = (
+            writer.records_synced / writer.fsyncs
+            if writer.fsyncs
+            else 0.0
+        )
+        gauge("serve.wal_records_per_fsync").set(per_fsync)
+        gauge("serve.checkpoints").set(float(journal.checkpoints))
+        gauge("serve.checkpoint_seconds").set(
+            journal.last_checkpoint_seconds
+        )
+        gauge("serve.checkpoint_segments_removed").set(
+            float(journal.last_checkpoint_segments_removed)
+        )
+        gauge("serve.recovery_replayed_records").set(
+            float(journal.recovery_replayed_records)
+        )
+        gauge("serve.recovery_seconds").set(journal.recovery_seconds)
+        gauge("serve.snapshots_skipped").set(
+            float(journal.snapshots_skipped)
+        )
+
     def prometheus_text(self) -> str:
         """System + runtime registries in Prometheus text format."""
+        self._export_wal_gauges()
         return prometheus_text(
             self.system.metrics, prefix="repro"
         ) + prometheus_text(self.metrics, prefix="repro")

@@ -24,12 +24,34 @@ Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error":
 ``AdmissionError`` response, not a dropped connection, so clients can
 back off deliberately.
 
-This is **protocol version 2** (the ``ping`` response advertises it
-as ``"protocol": 2``); version 1 is the same wire format without
-``register_query`` and without the version field.  ``register_query``
-registers a boolean predicate subscription from query text —
-``query_id`` is optional (the server assigns one and returns it), a
-malformed or NOT-only query comes back as a ``QueryError`` response.
+The JSON surface is **protocol version 2** (the ``ping`` response
+advertises it as ``"protocol": 2``); version 1 is the same wire
+format without ``register_query`` and without the version field.
+``register_query`` registers a boolean predicate subscription from
+query text — ``query_id`` is optional (the server assigns one and
+returns it), a malformed or NOT-only query comes back as a
+``QueryError`` response.
+
+Binary protocol v3
+------------------
+The same listener also speaks the length-prefixed binary protocol of
+:mod:`repro.serve.wire`, negotiated by the connection's **first
+line**: a client opening with the :data:`~repro.serve.wire.HELLO`
+line (first byte ``0x00``, impossible in JSON) gets the
+:data:`~repro.serve.wire.HELLO_ACK` line back and the connection
+switches to binary frames; any other first line is a JSON request
+and the connection stays JSON-lines forever.  Against a pre-v3
+server the hello is just an unparsable JSON line — the client reads
+the ``{"ok": false...`` response and falls back.  The JSON ``ping``
+advertises binary support as ``"binary_protocol": 3`` (the
+``protocol`` field stays 2, so old clients' newer-server check still
+passes).
+
+Binary frames cover the hot ops natively (ping / ingest /
+ingest_batch / subscribe) and wrap everything else as a JSON
+envelope (opcode 0), so one binary connection reaches the whole
+surface.  A corrupt or oversized frame is answered with a typed
+``ProtocolError`` frame and the connection survives.
 """
 
 from __future__ import annotations
@@ -39,13 +61,16 @@ import json
 from dataclasses import asdict
 from typing import Any, Dict, Optional
 
-from ..errors import ReproError, ServiceError
+from ..errors import ProtocolError, ReproError, ServiceError
 from ..model import Document, Filter
+from . import wire
 from .runtime import ServiceRuntime
+from .wire import WireDecoder, WireEncoder
 
-#: Wire protocol version advertised in the ``ping`` response (and the
-#: CLI's ``READY`` line).  v2 added ``register_query``; v1 servers
-#: predate the field entirely.
+#: JSON wire protocol version advertised in the ``ping`` response
+#: (and the CLI's ``READY`` line).  v2 added ``register_query``; v1
+#: servers predate the field entirely.  The binary protocol is
+#: versioned separately (``wire.BINARY_PROTOCOL_VERSION``).
 PROTOCOL_VERSION = 2
 
 
@@ -79,10 +104,18 @@ class ServiceServer:
         runtime: ServiceRuntime,
         host: str = "127.0.0.1",
         port: int = 0,
+        binary_enabled: bool = True,
+        max_frame_bytes: int = wire.MAX_FRAME_BYTES,
     ) -> None:
         self.runtime = runtime
         self.host = host
         self.port = port
+        #: Accept binary-hello negotiation.  Disabled, the server
+        #: behaves exactly like a pre-v3 JSON-lines server (the hello
+        #: line gets a JSON error response and clients fall back) —
+        #: which is also how the interop tests emulate one.
+        self.binary_enabled = binary_enabled
+        self.max_frame_bytes = max_frame_bytes
         self._server: Optional[asyncio.AbstractServer] = None
         #: Set when a ``shutdown`` request asks the process to exit.
         self.shutdown_requested = asyncio.Event()
@@ -116,22 +149,154 @@ class ServiceServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first == wire.HELLO and self.binary_enabled:
+                await self._serve_binary(reader, writer)
+                return
+            # JSON-lines mode (a disabled-binary server answers the
+            # hello like any unparsable line, which is exactly what a
+            # pre-v3 server would do — clients fall back on it).
+            line = first
             while True:
-                line = await reader.readline()
-                if not line:
-                    break
                 response = await self._dispatch_line(line)
                 writer.write(
                     json.dumps(response, sort_keys=True).encode("utf-8")
                     + b"\n"
                 )
                 await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    break
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _serve_binary(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """The binary frame loop: one reused encoder per connection."""
+        enc = WireEncoder()
+        writer.write(wire.HELLO_ACK)
+        await writer.drain()
+        while True:
+            try:
+                header = await reader.readexactly(4)
+            except asyncio.IncompleteReadError:
+                return
+            length = wire.split_header(header)
+            if length > self.max_frame_bytes:
+                # Reject but survive: drain the oversized payload so
+                # the stream stays frame-aligned, answer with a typed
+                # error, and keep serving this connection.
+                await self._drain_payload(reader, length)
+                writer.write(
+                    wire.error_frame(
+                        enc,
+                        "ProtocolError",
+                        f"frame of {length} bytes exceeds the "
+                        f"{self.max_frame_bytes}-byte limit",
+                    )
+                )
+                await writer.drain()
+                continue
+            try:
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return
+            writer.write(await self._dispatch_frame(payload, enc))
+            await writer.drain()
+
+    @staticmethod
+    async def _drain_payload(
+        reader: asyncio.StreamReader, length: int
+    ) -> None:
+        remaining = length
+        while remaining > 0:
+            chunk = await reader.read(min(1 << 16, remaining))
+            if not chunk:
+                return
+            remaining -= len(chunk)
+
+    async def _dispatch_frame(
+        self, payload: bytes, enc: WireEncoder
+    ) -> bytes:
+        """Decode, execute, and encode one binary request frame.
+
+        Any decode failure — truncated varints, bad UTF-8, an unknown
+        opcode — comes back as a ``ProtocolError`` frame; runtime
+        errors keep their own exception names, mirroring the JSON
+        surface's typed error objects.
+        """
+        runtime = self.runtime
+        try:
+            dec = WireDecoder(payload)
+            opcode = dec.u8()
+            if opcode == wire.OP_PING:
+                enc.reset()
+                enc.u8(wire.STATUS_OK)
+                enc.varint(wire.BINARY_PROTOCOL_VERSION)
+                enc.varint(PROTOCOL_VERSION)
+                return enc.frame()
+            if opcode == wire.OP_INGEST:
+                document = wire.decode_document(dec)
+                plan = await runtime.ingest(document)
+                enc.reset()
+                enc.u8(wire.STATUS_OK)
+                self._encode_plan(enc, plan)
+                return enc.frame()
+            if opcode == wire.OP_INGEST_BATCH:
+                documents = [
+                    wire.decode_document(dec)
+                    for _ in range(dec.varint())
+                ]
+                plans = await runtime.ingest_batch(documents)
+                enc.reset()
+                enc.u8(wire.STATUS_OK)
+                enc.varint(len(plans))
+                for plan in plans:
+                    self._encode_plan(enc, plan)
+                return enc.frame()
+            if opcode == wire.OP_SUBSCRIBE:
+                items = [
+                    wire.decode_subscribe_item(dec)
+                    for _ in range(dec.varint())
+                ]
+                ids = await runtime.subscribe(items)
+                enc.reset()
+                enc.u8(wire.STATUS_OK)
+                enc.varint(len(ids))
+                for assigned in ids:
+                    enc.string(assigned)
+                return enc.frame()
+            if opcode == wire.OP_JSON:
+                response = await self._dispatch_line(payload[1:])
+                enc.reset()
+                enc.u8(wire.STATUS_OK)
+                enc.string(json.dumps(response, sort_keys=True))
+                return enc.frame()
+            raise ProtocolError(f"unknown opcode {opcode:#04x}")
+        except ReproError as error:
+            return wire.error_frame(
+                enc, type(error).__name__, str(error)
+            )
+        except (ValueError, KeyError, TypeError) as error:
+            return wire.error_frame(enc, "ProtocolError", str(error))
+
+    @staticmethod
+    def _encode_plan(enc: WireEncoder, plan) -> None:
+        wire.encode_plan_summary(
+            enc,
+            sorted(plan.matched_filter_ids),
+            plan.fanout,
+            plan.total_posting_entries,
+        )
 
     async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
         try:
@@ -158,7 +323,20 @@ class ServiceServer:
         op = request["op"]
         runtime = self.runtime
         if op == "ping":
-            return {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
+            response = {
+                "ok": True,
+                "pong": True,
+                "protocol": PROTOCOL_VERSION,
+            }
+            if self.binary_enabled:
+                # Old clients ignore unknown fields, so advertising
+                # binary here is compatible; the ``protocol`` field
+                # itself must stay 2 or their newer-server check
+                # would reject us.
+                response["binary_protocol"] = (
+                    wire.BINARY_PROTOCOL_VERSION
+                )
+            return response
         if op == "register":
             profile = Filter.from_terms(
                 request["filter_id"],
@@ -199,6 +377,18 @@ class ServiceServer:
         if op == "ingest":
             plan = await runtime.ingest(_decode_ingest(request))
             return {"ok": True, **_plan_summary(plan)}
+        if op == "ingest_batch":
+            documents = [
+                _decode_ingest(entry) for entry in request["docs"]
+            ]
+            plans = await runtime.ingest_batch(documents)
+            return {
+                "ok": True,
+                "plans": [_plan_summary(p) for p in plans],
+            }
+        if op == "checkpoint":
+            report = await runtime.checkpoint()
+            return {"ok": True, **report}
         if op == "reallocate":
             report = await runtime.command(
                 "reallocate",

@@ -1,0 +1,427 @@
+"""Binary wire codec shared by the TCP protocol and the WAL.
+
+One compact encoding serves two hot paths:
+
+- the **protocol v3** frames of :mod:`repro.serve.server` /
+  :mod:`repro.serve.client` — length-prefixed binary request/response
+  frames replacing one ``json.loads`` per line on the socket;
+- the **journal record codec** of :mod:`repro.serve.journal` — the
+  dominant write-ahead-log records (``publish_batch``,
+  ``register_batch``, ``subscribe``) encoded once per batch, with no
+  ``sort_keys`` re-canonicalization per append.
+
+The primitives are deliberately boring: unsigned LEB128 varints and
+``varint length + UTF-8`` strings, written into a caller-owned
+:class:`WireEncoder` so a connection (or the journal) reuses one
+growable buffer instead of allocating per message.
+
+Canonical term order
+--------------------
+Documents and filters are always encoded with their terms in sorted
+order.  That makes the *decoded* object construction deterministic —
+the same property the JSON journal codec had — so a crash replay that
+rebuilds a :class:`~repro.model.Document` from bytes constructs it
+exactly like the live apply path did (see
+:meth:`repro.serve.journal.JournaledSystem._log_and_apply`).
+
+Frame format (protocol v3)
+--------------------------
+``<u32 length (little-endian)> <payload>`` where a request payload is
+``<u8 opcode> <body>`` and a response payload is ``<u8 status>
+<body>`` (status 0 = ok, 1 = error carrying ``str error_name`` +
+``str message``).  A connection is negotiated binary by the
+:data:`HELLO` / :data:`HELLO_ACK` line exchange; everything after the
+ack is frames.  The first hello byte is ``0x00``, which no JSON-lines
+request can start with — that single byte is the whole negotiation
+trick (see ``repro.serve.server``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..errors import ProtocolError
+from ..model import Document, Filter, Subscription
+
+#: Client → server negotiation line: asks for the binary protocol.
+#: Starts with 0x00 so a JSON-lines server answers with a JSON error
+#: line (clients fall back on seeing ``{``) instead of hanging.
+HELLO = b"\x00MV3\n"
+#: Server → client negotiation line: binary accepted, speak frames.
+HELLO_ACK = b"\x00MV3 3\n"
+
+#: Protocol version spoken after a successful hello exchange.
+BINARY_PROTOCOL_VERSION = 3
+
+#: Hard ceiling on one frame's payload (requests and responses); a
+#: length prefix above this is rejected with :class:`ProtocolError`
+#: and the oversized payload is drained so the connection survives.
+MAX_FRAME_BYTES = 32 << 20
+
+#: Request opcodes.  OP_JSON wraps any v2 JSON request object, so the
+#: whole service surface is reachable over one binary connection; the
+#: dedicated opcodes cover the hot ops with no JSON at all.
+OP_JSON = 0x00
+OP_PING = 0x01
+OP_INGEST = 0x02
+OP_INGEST_BATCH = 0x03
+OP_SUBSCRIBE = 0x04
+
+#: Response status bytes.
+STATUS_OK = 0x00
+STATUS_ERROR = 0x01
+
+_U32 = struct.Struct("<I")
+
+# -- varint / string primitives -------------------------------------------
+
+
+class WireEncoder:
+    """A reusable growable encode buffer.
+
+    ``reset()`` truncates without reallocating, so a long-lived
+    connection amortizes the buffer across every frame it sends.
+    """
+
+    __slots__ = ("buf",)
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def reset(self) -> "WireEncoder":
+        del self.buf[:]
+        return self
+
+    # Primitive writers ---------------------------------------------------
+
+    def u8(self, value: int) -> None:
+        self.buf.append(value)
+
+    def varint(self, value: int) -> None:
+        if value < 0:
+            raise ProtocolError(f"varint cannot encode negative {value}")
+        buf = self.buf
+        while value >= 0x80:
+            buf.append((value & 0x7F) | 0x80)
+            value >>= 7
+        buf.append(value)
+
+    def string(self, value: str) -> None:
+        raw = value.encode("utf-8")
+        self.varint(len(raw))
+        self.buf += raw
+
+    def raw(self, value: bytes) -> None:
+        self.buf += value
+
+    # Framing -------------------------------------------------------------
+
+    def frame(self) -> bytes:
+        """The buffer's contents as one length-prefixed frame."""
+        return _U32.pack(len(self.buf)) + bytes(self.buf)
+
+
+class WireDecoder:
+    """Sequential reader over one frame's payload bytes."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _need(self, count: int) -> None:
+        if self.pos + count > len(self.data):
+            raise ProtocolError(
+                f"truncated frame: needed {count} bytes at offset "
+                f"{self.pos}, have {len(self.data) - self.pos}"
+            )
+
+    def u8(self) -> int:
+        self._need(1)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def varint(self) -> int:
+        data = self.data
+        pos = self.pos
+        result = 0
+        shift = 0
+        while True:
+            if pos >= len(data):
+                raise ProtocolError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                raise ProtocolError("varint overflow (more than 9 bytes)")
+        self.pos = pos
+        return result
+
+    def string(self) -> str:
+        length = self.varint()
+        self._need(length)
+        value = self.data[self.pos:self.pos + length].decode("utf-8")
+        self.pos += length
+        return value
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.data)
+
+
+# -- document / filter / plan codecs --------------------------------------
+
+
+def encode_document(enc: WireEncoder, document: Document) -> None:
+    """``str doc_id, varint n, [str term, varint count]`` sorted."""
+    enc.string(document.doc_id)
+    counts = document.term_counts
+    enc.varint(len(counts))
+    for term in sorted(counts):
+        enc.string(term)
+        enc.varint(counts[term])
+
+
+def decode_document(dec: WireDecoder) -> Document:
+    doc_id = dec.string()
+    count = dec.varint()
+    counts: Dict[str, int] = {}
+    for _ in range(count):
+        term = dec.string()
+        counts[term] = dec.varint()
+    return Document(
+        doc_id=doc_id, terms=frozenset(counts), term_counts=counts
+    )
+
+
+def encode_filter(enc: WireEncoder, profile: Filter) -> None:
+    enc.string(profile.filter_id)
+    enc.string(profile.owner)
+    enc.varint(len(profile.terms))
+    for term in sorted(profile.terms):
+        enc.string(term)
+
+
+def decode_filter(dec: WireDecoder) -> Filter:
+    filter_id = dec.string()
+    owner = dec.string()
+    terms = [dec.string() for _ in range(dec.varint())]
+    return Filter(
+        filter_id=filter_id, terms=frozenset(terms), owner=owner
+    )
+
+
+#: Subscribe item kind tags (see ``encode_subscribe_item``).  They
+#: mirror the JSON journal codec's ``kind`` strings one to one.
+_ITEM_FILTER = 0
+_ITEM_QUERY = 1
+_ITEM_PAIR = 2
+_ITEM_SUBSCRIPTION = 3
+
+
+def encode_subscribe_item(enc: WireEncoder, item: Any) -> None:
+    """Encode one ``subscribe`` item *preserving its input shape*.
+
+    Bare query text stays bare text for the same reason the JSON
+    journal codec keeps it bare: replay re-runs ``subscribe`` on the
+    decoded items, and resolving auto-assigned ids at encode time
+    would desynchronize the id sequence between live and recovered
+    twins.
+    """
+    if isinstance(item, Subscription):
+        enc.u8(_ITEM_SUBSCRIPTION)
+        enc.string(item.filter_id)
+        enc.string(item.owner)
+        enc.string(item.query)
+        enc.varint(len(item.terms))
+        for term in sorted(item.terms):
+            enc.string(term)
+    elif isinstance(item, Filter):
+        enc.u8(_ITEM_FILTER)
+        encode_filter(enc, item)
+    elif isinstance(item, str):
+        enc.u8(_ITEM_QUERY)
+        enc.string(item)
+    elif isinstance(item, tuple):
+        enc.u8(_ITEM_PAIR)
+        enc.varint(len(item))
+        for value in item:
+            enc.string(str(value))
+    else:
+        raise ProtocolError(
+            f"cannot encode subscription item of type "
+            f"{type(item).__name__}"
+        )
+
+
+def decode_subscribe_item(dec: WireDecoder) -> Any:
+    kind = dec.u8()
+    if kind == _ITEM_SUBSCRIPTION:
+        filter_id = dec.string()
+        owner = dec.string()
+        query = dec.string()
+        terms = [dec.string() for _ in range(dec.varint())]
+        return Subscription(
+            filter_id=filter_id,
+            terms=frozenset(terms),
+            owner=owner,
+            query=query,
+        )
+    if kind == _ITEM_FILTER:
+        return decode_filter(dec)
+    if kind == _ITEM_QUERY:
+        return dec.string()
+    if kind == _ITEM_PAIR:
+        return tuple(dec.string() for _ in range(dec.varint()))
+    raise ProtocolError(f"unknown subscribe item kind {kind}")
+
+
+def encode_plan_summary(
+    enc: WireEncoder,
+    matched: Sequence[str],
+    fanout: int,
+    posting_entries: int,
+) -> None:
+    """The ``ingest`` response body: matched ids + fanout accounting."""
+    enc.varint(len(matched))
+    for filter_id in matched:
+        enc.string(filter_id)
+    enc.varint(fanout)
+    enc.varint(posting_entries)
+
+
+def decode_plan_summary(dec: WireDecoder) -> Dict[str, Any]:
+    matched = [dec.string() for _ in range(dec.varint())]
+    return {
+        "matched": matched,
+        "fanout": dec.varint(),
+        "posting_entries": dec.varint(),
+    }
+
+
+# -- WAL record codec ------------------------------------------------------
+
+#: First byte of a binary journal record.  JSON records start with
+#: ``{`` (0x7B), so one byte discriminates the two formats and old
+#: JSON-era journals keep replaying unchanged.
+RECORD_MAGIC = 0xB1
+
+_REC_PUBLISH_BATCH = 0x01
+_REC_REGISTER_BATCH = 0x02
+_REC_SUBSCRIBE = 0x03
+
+#: Ops the binary record codec covers; everything else stays JSON.
+BINARY_RECORD_OPS = frozenset(
+    {"publish_batch", "register_batch", "subscribe"}
+)
+
+
+def encode_record(enc: WireEncoder, record: Dict[str, Any]) -> bytes:
+    """Encode one hot-op journal record into binary bytes.
+
+    ``record`` carries live model objects (``Document`` / ``Filter`` /
+    subscribe items), not their JSON dict forms — the codec is the
+    canonicalization step, replacing ``json.dumps(..., sort_keys=True)``.
+    """
+    enc.reset()
+    op = record["op"]
+    enc.u8(RECORD_MAGIC)
+    if op == "publish_batch":
+        enc.u8(_REC_PUBLISH_BATCH)
+        docs = record["docs"]
+        enc.varint(len(docs))
+        for document in docs:
+            encode_document(enc, document)
+    elif op == "register_batch":
+        enc.u8(_REC_REGISTER_BATCH)
+        profiles = record["filters"]
+        enc.varint(len(profiles))
+        for profile in profiles:
+            encode_filter(enc, profile)
+    elif op == "subscribe":
+        enc.u8(_REC_SUBSCRIBE)
+        chunk_size = record.get("chunk_size")
+        enc.varint(0 if chunk_size is None else chunk_size + 1)
+        items = record["items"]
+        enc.varint(len(items))
+        for item in items:
+            encode_subscribe_item(enc, item)
+    else:
+        raise ProtocolError(f"no binary codec for journal op {op!r}")
+    return bytes(enc.buf)
+
+
+def decode_record(payload: bytes) -> Dict[str, Any]:
+    """Decode one binary journal record into its apply form.
+
+    The returned dict carries decoded model objects (the journal's
+    ``_apply`` accepts both these and the JSON dict forms), built in
+    the same canonical sorted-term order the JSON decoder used — so
+    binary replay constructs bit-identical inputs.
+    """
+    dec = WireDecoder(payload)
+    if dec.u8() != RECORD_MAGIC:
+        raise ProtocolError("not a binary journal record")
+    tag = dec.u8()
+    if tag == _REC_PUBLISH_BATCH:
+        return {
+            "op": "publish_batch",
+            "docs": [
+                decode_document(dec) for _ in range(dec.varint())
+            ],
+        }
+    if tag == _REC_REGISTER_BATCH:
+        return {
+            "op": "register_batch",
+            "filters": [
+                decode_filter(dec) for _ in range(dec.varint())
+            ],
+        }
+    if tag == _REC_SUBSCRIBE:
+        raw_chunk = dec.varint()
+        chunk_size = None if raw_chunk == 0 else raw_chunk - 1
+        return {
+            "op": "subscribe",
+            "chunk_size": chunk_size,
+            "items": [
+                decode_subscribe_item(dec) for _ in range(dec.varint())
+            ],
+        }
+    raise ProtocolError(f"unknown binary record tag {tag:#04x}")
+
+
+# -- frame helpers ---------------------------------------------------------
+
+
+def error_frame(enc: WireEncoder, error: str, message: str) -> bytes:
+    enc.reset()
+    enc.u8(STATUS_ERROR)
+    enc.string(error)
+    enc.string(message)
+    return enc.frame()
+
+
+def split_header(header: bytes) -> int:
+    """Payload length from a 4-byte frame header."""
+    if len(header) != 4:
+        raise ProtocolError("truncated frame header")
+    return _U32.unpack(header)[0]
+
+
+def pack_length(length: int) -> bytes:
+    return _U32.pack(length)
+
+
+def decode_error(dec: WireDecoder) -> Tuple[str, str]:
+    """The (error name, message) pair of a STATUS_ERROR body."""
+    return dec.string(), dec.string()
+
+
+def decode_plans(dec: WireDecoder) -> List[Dict[str, Any]]:
+    return [decode_plan_summary(dec) for _ in range(dec.varint())]

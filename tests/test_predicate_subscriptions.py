@@ -608,7 +608,13 @@ class _FakeServer:
                 line = stream.readline()
                 if not line:
                     return
-                request = json.loads(line)
+                # A real pre-v3 server answers any unparsable line
+                # (including the binary hello) with a JSON error —
+                # that response is the client's fallback signal.
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    request = {}
                 if request.get("op") == "ping":
                     response = self._ping_response
                 else:

@@ -1,0 +1,365 @@
+"""Binary wire protocol v3: codec, negotiation, and interop matrix.
+
+Covers the :mod:`repro.serve.wire` codec roundtrips (varints,
+documents, filters, subscribe items, journal records), the hello
+negotiation against v3 and binary-disabled servers (the latter being
+byte-identical to a pre-v3 JSON-lines server), forced-protocol client
+modes, and the damaged-frame contract: a corrupt or oversized frame
+is answered with a typed ``ProtocolError`` and the connection keeps
+serving.  Server-side scenarios use the same threaded-client pattern
+as ``test_serve_runtime``: the server owns the loop, the blocking
+client drives it from a thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError, ServiceError
+from repro.model import Document, Filter, Subscription
+from repro.serve import (
+    ServeConfig,
+    ServiceClient,
+    ServiceRuntime,
+    ServiceServer,
+)
+from repro.serve.client import ServiceClientError
+from repro.serve import wire
+from repro.serve.wire import WireDecoder, WireEncoder
+
+# ---------------------------------------------------------------------------
+# Codec roundtrips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value", [0, 1, 127, 128, 300, 2**21, 2**35, 2**63 - 1]
+)
+def test_varint_roundtrip(value):
+    enc = WireEncoder()
+    enc.varint(value)
+    dec = WireDecoder(bytes(enc.buf))
+    assert dec.varint() == value
+    assert dec.exhausted
+
+
+def test_varint_rejects_negative_and_overflow():
+    enc = WireEncoder()
+    with pytest.raises(ProtocolError):
+        enc.varint(-1)
+    with pytest.raises(ProtocolError):
+        WireDecoder(b"\x80" * 10 + b"\x01").varint()
+    with pytest.raises(ProtocolError):
+        WireDecoder(b"\x80\x80").varint()  # truncated continuation
+
+
+def test_encoder_reset_reuses_the_buffer():
+    enc = WireEncoder()
+    enc.string("first message")
+    buf = enc.buf
+    enc.reset()
+    assert enc.buf is buf and not enc.buf
+    enc.string("x")
+    dec = WireDecoder(bytes(enc.buf))
+    assert dec.string() == "x"
+
+
+def test_document_roundtrip_is_canonically_sorted():
+    doc = Document(
+        doc_id="dé",  # non-ASCII survives the UTF-8 strings
+        terms=frozenset(["zeta", "alpha", "mid"]),
+        term_counts={"zeta": 3, "alpha": 1, "mid": 2},
+    )
+    enc = WireEncoder()
+    wire.encode_document(enc, doc)
+    decoded = wire.decode_document(WireDecoder(bytes(enc.buf)))
+    assert decoded == doc
+    # Decode inserts terms in sorted order regardless of input order.
+    assert list(decoded.term_counts) == ["alpha", "mid", "zeta"]
+
+
+def test_filter_roundtrip():
+    profile = Filter.from_terms("f1", ["beta", "alpha"], owner="ops")
+    enc = WireEncoder()
+    wire.encode_filter(enc, profile)
+    assert wire.decode_filter(WireDecoder(bytes(enc.buf))) == profile
+
+
+@pytest.mark.parametrize(
+    "item",
+    [
+        Filter.from_terms("f1", ["a", "b"], owner="x"),
+        "cloud AND (storage OR compute)",
+        ("q1", "alpha OR beta"),
+        ("q2", "alpha", "owner"),
+        Subscription(
+            filter_id="s1",
+            terms=frozenset(["a", "b"]),
+            owner="o",
+            query="a AND b",
+        ),
+    ],
+)
+def test_subscribe_item_roundtrip_preserves_shape(item):
+    enc = WireEncoder()
+    wire.encode_subscribe_item(enc, item)
+    decoded = wire.decode_subscribe_item(WireDecoder(bytes(enc.buf)))
+    assert type(decoded) is type(item)
+    assert decoded == item
+
+
+def test_subscribe_item_rejects_unknown_types():
+    with pytest.raises(ProtocolError):
+        wire.encode_subscribe_item(WireEncoder(), 42)
+    with pytest.raises(ProtocolError):
+        wire.decode_subscribe_item(WireDecoder(b"\x09"))
+
+
+@pytest.mark.parametrize(
+    "record",
+    [
+        {
+            "op": "publish_batch",
+            "docs": [
+                Document.from_terms("d1", ["a", "b", "a"]),
+                Document.from_terms("d2", ["z"]),
+            ],
+        },
+        {
+            "op": "register_batch",
+            "filters": [Filter.from_terms("f1", ["a"], owner="u")],
+        },
+        {
+            "op": "subscribe",
+            "items": ["a AND b", ("q1", "c OR d")],
+            "chunk_size": None,
+        },
+        {
+            "op": "subscribe",
+            "items": [Filter.from_terms("f2", ["e"])],
+            "chunk_size": 0,
+        },
+    ],
+)
+def test_record_roundtrip(record):
+    payload = wire.encode_record(WireEncoder(), record)
+    assert payload[0] == wire.RECORD_MAGIC
+    assert wire.decode_record(payload) == record
+
+
+def test_record_codec_rejects_non_hot_ops_and_damage():
+    with pytest.raises(ProtocolError):
+        wire.encode_record(WireEncoder(), {"op": "finalize"})
+    with pytest.raises(ProtocolError):
+        wire.decode_record(b"{not binary}")
+    with pytest.raises(ProtocolError):
+        wire.decode_record(bytes([wire.RECORD_MAGIC, 0x7F]))
+    good = wire.encode_record(
+        WireEncoder(),
+        {"op": "publish_batch", "docs": [Document.from_terms("d", ["a"])]},
+    )
+    with pytest.raises(ProtocolError):
+        wire.decode_record(good[:-2])  # truncated body
+
+
+def test_error_frame_roundtrip():
+    frame = wire.error_frame(WireEncoder(), "AdmissionError", "shed")
+    length = wire.split_header(frame[:4])
+    dec = WireDecoder(frame[4:4 + length])
+    assert dec.u8() == wire.STATUS_ERROR
+    assert wire.decode_error(dec) == ("AdmissionError", "shed")
+
+
+# ---------------------------------------------------------------------------
+# Server scenarios (threaded blocking client, as in test_serve_runtime)
+# ---------------------------------------------------------------------------
+
+_PROFILES = [
+    Filter.from_terms("f-alpha", ["alpha", "beta"]),
+    Filter.from_terms("f-gamma", ["gamma"]),
+]
+
+
+def _run_server(client_work, **server_kwargs):
+    """Run a server on its own loop and drive it from a thread.
+
+    ``client_work(port, results)`` runs in the thread; any exception
+    it raises is re-raised here after the server shuts down.
+    """
+    results: dict = {}
+
+    def drive(port: int) -> None:
+        try:
+            client_work(port, results)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            results["error"] = error
+        finally:
+            try:
+                with ServiceClient(port=port, protocol="json") as c:
+                    c.shutdown()
+            except Exception:
+                pass
+
+    async def scenario():
+        runtime = ServiceRuntime(
+            ServeConfig(scheme="move", num_nodes=4, seed=0)
+        )
+        server = ServiceServer(runtime, port=0, **server_kwargs)
+        await server.start()
+        thread = threading.Thread(target=drive, args=(server.port,))
+        thread.start()
+        await asyncio.wait_for(
+            server.shutdown_requested.wait(), timeout=30.0
+        )
+        await server.close()
+        await asyncio.to_thread(thread.join)
+
+    asyncio.run(scenario())
+    if "error" in results:
+        raise results["error"]
+    return results
+
+
+def test_binary_client_full_surface_matches_json_client():
+    def work(port, results):
+        with ServiceClient(port=port, protocol="binary") as binary:
+            assert binary.binary
+            assert binary.server_binary_protocol == 3
+            assert binary.server_protocol == 2
+            assert binary.ping()
+            binary.register_batch(
+                [
+                    {"filter_id": p.filter_id, "terms": sorted(p.terms)}
+                    for p in _PROFILES
+                ]
+            )
+            query_id = binary.register_query(
+                "alpha AND beta", query_id="q-ab"
+            )
+            assert query_id == "q-ab"
+            binary.finalize()
+            plan = binary.ingest("d0", terms=["alpha", "beta"])
+            batch = binary.ingest_batch(
+                [
+                    {"doc_id": "d1", "terms": ["gamma"]},
+                    {"doc_id": "d2", "term_counts": {"alpha": 2}},
+                ]
+            )
+            assert "repro_serve_ingested" in binary.metrics()
+            stats = binary.stats()
+        # The same documents through a JSON connection on the same
+        # server must produce identical plan summaries.
+        with ServiceClient(port=port, protocol="json") as plain:
+            assert not plain.binary
+            json_plan = plain.ingest("d0b", terms=["alpha", "beta"])
+            assert json_plan["matched"] == plan["matched"]
+            assert json_plan["fanout"] == plan["fanout"]
+            json_batch = plain.ingest_batch(
+                [
+                    {"doc_id": "d1b", "terms": ["gamma"]},
+                    {"doc_id": "d2b", "term_counts": {"alpha": 2}},
+                ]
+            )
+            for ours, theirs in zip(batch, json_batch):
+                assert ours["matched"] == theirs["matched"]
+                assert ours["fanout"] == theirs["fanout"]
+        assert sorted(plan["matched"]) == ["f-alpha", "q-ab"]
+        assert batch[0]["matched"] == ["f-gamma"]
+        assert batch[0]["doc_id"] == "d1"
+        assert stats["active_filters"] >= len(_PROFILES)
+
+    _run_server(work)
+
+
+def test_auto_client_falls_back_against_binary_disabled_server():
+    """A binary-disabled server is wire-identical to a pre-v3 server:
+    the hello line comes back as a JSON error and the client continues
+    on JSON transparently."""
+
+    def work(port, results):
+        with ServiceClient(port=port) as client:  # protocol="auto"
+            assert not client.binary
+            assert client.server_protocol == 2
+            assert client.server_binary_protocol == 0
+            assert client.ping()
+            client.register("f1", ["alpha"])
+            client.finalize()
+            plan = client.ingest("d0", terms=["alpha"])
+            assert plan["matched"] == ["f1"]
+
+    _run_server(work, binary_enabled=False)
+
+
+def test_forced_binary_client_refuses_json_fallback():
+    def work(port, results):
+        with pytest.raises(ServiceError, match="declined binary"):
+            ServiceClient(port=port, protocol="binary")
+
+    _run_server(work, binary_enabled=False)
+
+
+def test_json_ping_advertises_binary_without_bumping_protocol():
+    def work(port, results):
+        with ServiceClient(port=port, protocol="json") as client:
+            response = client.request({"op": "ping"})
+            assert response["protocol"] == 2
+            assert response["binary_protocol"] == 3
+            assert client.server_binary_protocol == 3
+
+    _run_server(work)
+
+
+def test_corrupt_frame_gets_typed_error_and_connection_survives():
+    def work(port, results):
+        with ServiceClient(port=port, protocol="binary") as client:
+            # Truncated ingest body: opcode then garbage.
+            enc = WireEncoder()
+            enc.u8(wire.OP_INGEST)
+            enc.raw(b"\xff")
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._roundtrip_frame(enc.frame())
+            assert excinfo.value.error == "ProtocolError"
+            # Unknown opcode.
+            enc = WireEncoder()
+            enc.u8(0x7E)
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._roundtrip_frame(enc.frame())
+            assert excinfo.value.error == "ProtocolError"
+            # The connection still works.
+            assert client.ping()
+            plan = client.ingest("d0", terms=["nothing"])
+            assert plan["matched"] == []
+
+    _run_server(work)
+
+
+def test_oversized_frame_rejected_and_drained():
+    def work(port, results):
+        with ServiceClient(port=port, protocol="binary") as client:
+            oversized = wire.pack_length(4096) + b"\x00" * 4096
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._roundtrip_frame(oversized)
+            assert excinfo.value.error == "ProtocolError"
+            assert "exceeds" in excinfo.value.message
+            # The payload was drained, so the stream is still
+            # frame-aligned and the connection keeps serving.
+            assert client.ping()
+
+    _run_server(work, max_frame_bytes=1024)
+
+
+def test_runtime_errors_cross_the_binary_transport_typed():
+    def work(port, results):
+        with ServiceClient(port=port, protocol="binary") as client:
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.unregister("missing")
+            assert excinfo.value.error == "KeyError"
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.register_query("NOT alpha", query_id="bad")
+            assert excinfo.value.error == "QueryError"
+            assert client.ping()
+
+    _run_server(work)

@@ -243,6 +243,202 @@ def test_periodic_reallocate_fires_under_the_driver():
     assert asyncio.run(scenario()) >= 1.0
 
 
+def test_drift_gate_counts_skipped_refreshes():
+    """With the operator epsilon above any plausible drift, every
+    periodic tick is gated off: the reallocation is skipped (counted
+    separately), never executed."""
+
+    async def scenario():
+        runtime = ServiceRuntime(
+            ServeConfig(
+                scheme="move",
+                num_nodes=4,
+                reallocate_interval=0.02,
+                drift_epsilon=1e9,
+            )
+        )
+        await runtime.start()
+        await runtime.register(_PROFILES[0])
+        await runtime.command("finalize")
+        await asyncio.sleep(0.1)
+        skipped = runtime.metrics.counter(
+            "serve.reallocations_skipped"
+        ).value
+        applied = runtime.metrics.counter("serve.refreshes").value
+        await runtime.close()
+        return skipped, applied
+
+    skipped, applied = asyncio.run(scenario())
+    assert skipped >= 1.0
+    assert applied == 0.0
+
+
+def test_ingest_batch_matches_per_doc_ingest():
+    async def scenario():
+        runtime = ServiceRuntime(
+            ServeConfig(scheme="move", num_nodes=4, seed=0)
+        )
+        await runtime.start()
+        assert await runtime.ingest_batch([]) == []
+        await runtime.command("register_batch", list(_PROFILES))
+        await runtime.command("finalize")
+        plans = await runtime.ingest_batch(list(_DOCS))
+        ingested = runtime.metrics.counter("serve.ingested").value
+        await runtime.close()
+        return plans, ingested
+
+    plans, ingested = asyncio.run(scenario())
+    reference = _reference_plans()
+    assert ingested == float(len(_DOCS))
+    for ours, theirs in zip(plans, reference):
+        assert ours.matched_filter_ids == theirs.matched_filter_ids
+        assert ours.fanout == theirs.fanout
+
+
+def test_ingest_batch_coalesces_wal_fsyncs(tmp_path):
+    """One worker drain cycle = one commit window = one fsync, even
+    at fsync_interval=1: the batch's records become durable together
+    and the acks are released only after the group fsync."""
+
+    async def scenario():
+        runtime = ServiceRuntime(
+            ServeConfig(
+                scheme="move",
+                num_nodes=4,
+                wal_dir=str(tmp_path),
+                fsync_interval=1,
+            )
+        )
+        await runtime.start()
+        await runtime.command("register_batch", list(_PROFILES))
+        await runtime.command("finalize")
+        docs = [
+            Document.from_terms(f"b{i}", ["alpha", f"t{i}"])
+            for i in range(32)
+        ]
+        writer = runtime.journal.writer
+        before = writer.fsyncs
+        plans = await runtime.ingest_batch(docs)
+        coalesced = writer.fsyncs - before
+        group_commits = writer.group_commits
+        text = runtime.prometheus_text()
+        await runtime.close()
+        return plans, coalesced, group_commits, text
+
+    plans, coalesced, group_commits, text = asyncio.run(scenario())
+    assert len(plans) == 32
+    # 32 queued documents drained under (at most a couple of) commit
+    # windows instead of 32 per-append fsyncs.
+    assert coalesced <= 2
+    assert group_commits >= 1
+    assert "repro_serve_wal_group_commits" in text
+    assert "repro_serve_wal_records_per_fsync" in text
+
+
+def test_group_commit_disabled_fsyncs_per_append(tmp_path):
+    async def scenario():
+        runtime = ServiceRuntime(
+            ServeConfig(
+                scheme="move",
+                num_nodes=4,
+                wal_dir=str(tmp_path),
+                wal_group_commit=False,
+            )
+        )
+        await runtime.start()
+        await runtime.command("register_batch", list(_PROFILES))
+        await runtime.command("finalize")
+        writer = runtime.journal.writer
+        before = writer.fsyncs
+        await runtime.ingest_batch(
+            [
+                Document.from_terms(f"p{i}", ["alpha"])
+                for i in range(4)
+            ]
+        )
+        per_append = writer.fsyncs - before
+        await runtime.close()
+        return per_append, writer.group_commits
+
+    per_append, group_commits = asyncio.run(scenario())
+    # Batching still merges the docs into one publish_batch record,
+    # but each append gets its own fsync and no window ever opens.
+    assert per_append >= 1
+    assert group_commits == 0
+
+
+def test_runtime_checkpoint_command(tmp_path):
+    async def scenario():
+        runtime = ServiceRuntime(
+            ServeConfig(
+                scheme="move", num_nodes=4, wal_dir=str(tmp_path)
+            )
+        )
+        await runtime.start()
+        await runtime.command("register_batch", list(_PROFILES))
+        await runtime.command("finalize")
+        await runtime.ingest(Document.from_terms("d0", ["alpha"]))
+        report = await runtime.checkpoint()
+        text = runtime.prometheus_text()
+        await runtime.close()
+        return report, text
+
+    report, text = asyncio.run(scenario())
+    assert report["lsn"] > 0
+    assert report["bytes"] > 0
+    assert "repro_serve_checkpoints 1" in text
+    assert "repro_serve_checkpoint_seconds" in text
+
+
+def test_checkpoint_requires_a_journal():
+    async def scenario():
+        runtime = ServiceRuntime(ServeConfig(scheme="move", num_nodes=4))
+        await runtime.start()
+        with pytest.raises(ServiceError):
+            await runtime.checkpoint()
+        await runtime.close()
+        runtime = ServiceRuntime(
+            ServeConfig(
+                scheme="move", num_nodes=4, checkpoint_interval=0.02
+            )
+        )
+        with pytest.raises(ServiceError):
+            await runtime.start()
+        assert not runtime.started
+
+    asyncio.run(scenario())
+
+
+def test_periodic_checkpoint_fires(tmp_path):
+    async def scenario():
+        runtime = ServiceRuntime(
+            ServeConfig(
+                scheme="move",
+                num_nodes=4,
+                wal_dir=str(tmp_path),
+                checkpoint_interval=0.02,
+            )
+        )
+        await runtime.start()
+        await runtime.register(_PROFILES[0])
+        await runtime.command("finalize")
+        await asyncio.sleep(0.1)
+        checkpoints = runtime.journal.checkpoints
+        await runtime.close()
+        return checkpoints
+
+    assert asyncio.run(scenario()) >= 1
+
+
+def test_serve_config_validates_new_knobs():
+    with pytest.raises(ServiceError):
+        ServeConfig(drift_epsilon=-0.5)
+    with pytest.raises(ServiceError):
+        ServeConfig(checkpoint_interval=0.0)
+    with pytest.raises(ServiceError):
+        ServeConfig(snapshot_retain=0)
+
+
 def test_reallocate_interval_rejected_for_schemes_without_reallocate():
     """Arming the refresh timer for a scheme lacking ``reallocate``
     must fail at start(), not raise from the timer on every tick."""

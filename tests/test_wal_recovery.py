@@ -22,7 +22,7 @@ from repro.cluster.storage import WalReader, WalWriter
 from repro.errors import WalCorruptionError, WalError
 from repro.experiments.harness import build_cluster, make_system
 from repro.model import Document, Filter
-from repro.serve.journal import JournaledSystem
+from repro.serve.journal import JournaledSystem, _decode_payload
 
 # ---------------------------------------------------------------------------
 # WAL framing
@@ -158,6 +158,87 @@ def test_writer_validates_parameters(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Group commit
+# ---------------------------------------------------------------------------
+
+
+def test_group_commit_coalesces_appends_into_one_fsync(tmp_path):
+    writer = WalWriter(tmp_path, fsync_interval=1)
+    baseline = writer.fsyncs
+    writer.begin_group()
+    for i in range(10):
+        writer.append(f"g{i}".encode())
+    assert writer.fsyncs == baseline  # deferred inside the window
+    covered = writer.end_group()
+    assert covered == 10
+    assert writer.fsyncs == baseline + 1
+    assert writer.group_commits == 1
+    assert writer.last_fsync_records == 10
+    # The records are durable: a reader sees all of them.
+    assert len(list(WalReader(tmp_path).replay())) == 10
+    writer.close()
+
+
+def test_group_commit_nests(tmp_path):
+    writer = WalWriter(tmp_path)
+    writer.begin_group()
+    writer.append(b"outer")
+    writer.begin_group()
+    writer.append(b"inner")
+    assert writer.end_group() == 0  # inner close defers to the outer
+    assert writer.group_commits == 0
+    writer.append(b"tail")
+    assert writer.end_group() == 3
+    assert writer.group_commits == 1
+    writer.close()
+
+
+def test_empty_group_commits_nothing(tmp_path):
+    writer = WalWriter(tmp_path)
+    writer.begin_group()
+    assert writer.end_group() == 0
+    assert writer.fsyncs == 0  # nothing to sync, no fsync issued
+    assert writer.group_commits == 0
+    writer.close()
+
+
+def test_unbalanced_end_group_raises(tmp_path):
+    writer = WalWriter(tmp_path)
+    with pytest.raises(WalError):
+        writer.end_group()
+    writer.close()
+    with pytest.raises(WalError):
+        writer.begin_group()
+
+
+def test_group_commit_spanning_rotation_stays_durable(tmp_path):
+    # A rotation inside the window fsyncs the old file before moving
+    # on (durability ordering), but the acks are still held until
+    # end_group — every record in the window must replay.
+    writer = WalWriter(tmp_path, segment_max_bytes=64)
+    writer.begin_group()
+    payloads = [f"rot{i}".encode() * 3 for i in range(8)]
+    for payload in payloads:
+        writer.append(payload)
+    writer.end_group()
+    writer.close()
+    assert [p for _, p in WalReader(tmp_path).replay()] == payloads
+
+
+def test_journal_commit_window_defers_durability(tmp_path):
+    journal = JournaledSystem(tmp_path, scheme="move", num_nodes=4)
+    baseline = journal.writer.fsyncs
+    journal.begin_commit_window()
+    journal.register(Filter.from_terms("f1", ["term01"]))
+    journal.finalize_registration()
+    journal.publish(Document.from_terms("d1", ["term01"]))
+    assert journal.writer.fsyncs == baseline
+    assert journal.end_commit_window() == 3
+    assert journal.writer.fsyncs == baseline + 1
+    journal.close()
+
+
+# ---------------------------------------------------------------------------
 # Crash-recovery equivalence (the service-mode property)
 # ---------------------------------------------------------------------------
 
@@ -279,8 +360,6 @@ def test_torn_final_record_recovers_to_previous_op(tmp_path):
 
 
 def test_double_replay_is_idempotent(tmp_path):
-    import json
-
     ops = _make_ops(seed=5, count=8)
     journal = JournaledSystem(tmp_path, scheme="move", num_nodes=4, seed=5)
     _apply(journal, ops)
@@ -290,7 +369,7 @@ def test_double_replay_is_idempotent(tmp_path):
     replicas_before = _replica_counts(recovered.system)
     applied_again = 0
     for lsn, payload in WalReader(tmp_path).replay():
-        record = json.loads(payload)
+        record = _decode_payload(payload)
         if record["op"] == "setup":
             continue
         if recovered.replay_record(lsn, record):
